@@ -1,0 +1,41 @@
+GO ?= go
+
+.PHONY: all build test race bench cover vet fmt experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Operation-level + per-experiment benchmarks (quick instances).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Full-size experiment tables (the numbers recorded in EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/rsbench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/indexability
+	$(GO) run ./examples/timeseries
+	$(GO) run ./examples/intervals
+	$(GO) run ./examples/spatial
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,223 @@
+package rangesearch
+
+import (
+	"fmt"
+	"testing"
+
+	"rangesearch/internal/bench"
+	"rangesearch/internal/core"
+	"rangesearch/internal/eio"
+	"rangesearch/internal/epst"
+	"rangesearch/internal/geom"
+	"rangesearch/internal/interval"
+	"rangesearch/internal/range4"
+	"rangesearch/internal/smallstruct"
+	"rangesearch/internal/wbtree"
+)
+
+// --- Experiment benchmarks: one target per table/claim in DESIGN.md. ---
+// Each runs the corresponding experiment (in quick mode, so the benches
+// finish in seconds); cmd/rsbench prints the full-size tables recorded in
+// EXPERIMENTS.md.
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	var exp *bench.Experiment
+	for _, e := range bench.All() {
+		if e.Name == name {
+			e := e
+			exp = &e
+			break
+		}
+	}
+	if exp == nil {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	for i := 0; i < b.N; i++ {
+		tables, err := exp.Run(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			for _, t := range tables {
+				b.Log("\n" + t.Render())
+			}
+		}
+	}
+}
+
+func BenchmarkE1FibonacciDensity(b *testing.B)   { benchExperiment(b, "e1") }
+func BenchmarkE2LowerBoundTradeoff(b *testing.B) { benchExperiment(b, "e2") }
+func BenchmarkE3Sweep3Sided(b *testing.B)        { benchExperiment(b, "e3") }
+func BenchmarkE4Hier4Sided(b *testing.B)         { benchExperiment(b, "e4") }
+func BenchmarkE5SmallStruct(b *testing.B)        { benchExperiment(b, "e5") }
+func BenchmarkE6WBTree(b *testing.B)             { benchExperiment(b, "e6") }
+func BenchmarkE7EPSTQuery(b *testing.B)          { benchExperiment(b, "e7") }
+func BenchmarkE8EPSTUpdate(b *testing.B)         { benchExperiment(b, "e8") }
+func BenchmarkE9IntervalStab(b *testing.B)       { benchExperiment(b, "e9") }
+func BenchmarkE10Range4(b *testing.B)            { benchExperiment(b, "e10") }
+func BenchmarkE11Baselines(b *testing.B)         { benchExperiment(b, "e11") }
+func BenchmarkE12UpdateTail(b *testing.B)        { benchExperiment(b, "e12") }
+func BenchmarkE13Ablation(b *testing.B)          { benchExperiment(b, "e13") }
+
+// --- Operation-level micro-benchmarks with I/O metrics. ---
+
+const (
+	benchN        = 50_000
+	benchPageSize = 1024 // B = 64
+	benchDomain   = int64(benchN) * 4
+)
+
+func BenchmarkOpEPSTQuery3(b *testing.B) {
+	store := eio.NewMemStore(benchPageSize)
+	tr, err := epst.Build(store, epst.Options{}, bench.Uniform(1, benchN, benchDomain))
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := bench.Queries3(2, 256, benchDomain, 0.05)
+	var buf []geom.Point
+	store.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		buf, err = tr.Query3(buf, queries[i%len(queries)])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(store.Stats().IOs())/float64(b.N), "ios/op")
+}
+
+func BenchmarkOpEPSTInsertDelete(b *testing.B) {
+	store := eio.NewMemStore(benchPageSize)
+	pts := bench.Uniform(3, benchN, benchDomain)
+	tr, err := epst.Build(store, epst.Options{}, pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pts[i%len(pts)]
+		if _, err := tr.Delete(p); err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.Insert(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(store.Stats().IOs())/float64(2*b.N), "ios/op")
+}
+
+func BenchmarkOpRange4Query(b *testing.B) {
+	store := eio.NewMemStore(benchPageSize)
+	tr, err := range4.Build(store, range4.Options{}, bench.Uniform(5, benchN/2, benchDomain))
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := bench.Queries4(6, 256, benchDomain, 0.05, 0.05)
+	var buf []geom.Point
+	store.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		buf, err = tr.Query4(buf, queries[i%len(queries)])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(store.Stats().IOs())/float64(b.N), "ios/op")
+}
+
+func BenchmarkOpWBTreeInsert(b *testing.B) {
+	store := eio.NewMemStore(4096)
+	tr, err := wbtree.Create(store, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := bench.Uniform(7, 1<<20, 1<<40)
+	store.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(pts[i%len(pts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(store.Stats().IOs())/float64(b.N), "ios/op")
+}
+
+func BenchmarkOpSmallStructQuery(b *testing.B) {
+	store := eio.NewMemStore(benchPageSize) // B = 64
+	pts := bench.Uniform(9, 64*64, 1<<20)
+	s, err := smallstruct.Create(store, 2, pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := bench.Queries3(10, 256, 1<<20, 0.1)
+	var buf []geom.Point
+	store.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		buf, err = s.Query3(buf, queries[i%len(queries)])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(store.Stats().IOs())/float64(b.N), "ios/op")
+}
+
+func BenchmarkOpIntervalStab(b *testing.B) {
+	store := eio.NewMemStore(benchPageSize)
+	pts := bench.Diagonal(11, benchN/2, benchDomain)
+	ivs := make([]geom.Interval, len(pts))
+	for i, p := range pts {
+		ivs[i] = geom.Interval{Lo: p.X, Hi: p.Y}
+	}
+	s, err := interval.Build(store, epst.Options{}, ivs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf []geom.Interval
+	store.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		buf, err = s.Stab(buf, int64(i*9973)%benchDomain)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(store.Stats().IOs())/float64(b.N), "ios/op")
+}
+
+// BenchmarkOpBufferPool shows the effect of an M-page buffer pool on query
+// I/Os — the practical deployment mode (ablation from DESIGN.md).
+func BenchmarkOpBufferPool(b *testing.B) {
+	for _, capacity := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("M=%d", capacity), func(b *testing.B) {
+			backing := eio.NewMemStore(benchPageSize)
+			pool := eio.NewPool(backing, capacity)
+			tr, err := epst.Build(pool, epst.Options{}, bench.Uniform(13, benchN/2, benchDomain))
+			if err != nil {
+				b.Fatal(err)
+			}
+			queries := bench.Queries3(14, 256, benchDomain, 0.05)
+			var buf []geom.Point
+			backing.ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = buf[:0]
+				buf, err = tr.Query3(buf, queries[i%len(queries)])
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(backing.Stats().IOs())/float64(b.N), "ios/op")
+		})
+	}
+}
+
+// Compile-time use of the facade so the root package depends on the whole
+// public surface.
+var _ core.Index = (*core.ThreeSided)(nil)

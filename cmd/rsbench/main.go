@@ -1,0 +1,68 @@
+// Command rsbench runs the experiment suite that reproduces every
+// quantitative claim of Arge, Samoladas & Vitter (PODS 1999) and prints
+// one table per claim (the experiment index lives in DESIGN.md, the
+// recorded results in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	rsbench                 # run every experiment at full size
+//	rsbench -exp e7,e8      # run selected experiments
+//	rsbench -quick          # smaller instances (seconds instead of minutes)
+//	rsbench -list           # list experiments and the claims they test
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rangesearch/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "", "comma-separated experiment names (default: all)")
+		quickFlag = flag.Bool("quick", false, "run smaller instances")
+		listFlag  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	exps := bench.All()
+	if *listFlag {
+		for _, e := range exps {
+			fmt.Printf("%-5s %s\n", e.Name, e.Claim)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *expFlag != "" {
+		for _, name := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(strings.ToLower(name))] = true
+		}
+	}
+
+	ran := 0
+	for _, e := range exps {
+		if len(want) > 0 && !want[e.Name] {
+			continue
+		}
+		ran++
+		start := time.Now()
+		tables, err := e.Run(*quickFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rsbench: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+		fmt.Printf("(%s finished in %v)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "rsbench: no experiment matches -exp=%q (try -list)\n", *expFlag)
+		os.Exit(2)
+	}
+}

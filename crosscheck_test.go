@@ -1,0 +1,141 @@
+package rangesearch
+
+import (
+	"math/rand"
+	"testing"
+
+	"rangesearch/internal/baseline"
+	"rangesearch/internal/bench"
+	"rangesearch/internal/core"
+	"rangesearch/internal/eio"
+	"rangesearch/internal/epst"
+	"rangesearch/internal/geom"
+	"rangesearch/internal/hier"
+	"rangesearch/internal/range4"
+)
+
+// TestCrossCheckAllIndexes runs the same mutation workload against every
+// dynamic index in the repository — the two paper structures and all four
+// baselines — and demands identical answers to every query. Differential
+// testing across six independent implementations is the strongest
+// correctness evidence the repository has: a bug would have to be
+// replicated in all of them to go unnoticed.
+func TestCrossCheckAllIndexes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	mk := map[string]func() (core.Index, error){
+		"three-sided": func() (core.Index, error) {
+			return core.NewThreeSided(eio.NewMemStore(256), epst.Options{})
+		},
+		"four-sided": func() (core.Index, error) {
+			return core.NewFourSided(eio.NewMemStore(256), range4.Options{})
+		},
+		"scan":   func() (core.Index, error) { return baseline.NewScan(eio.NewMemStore(256)) },
+		"xtree":  func() (core.Index, error) { return baseline.NewXTree(eio.NewMemStore(256)) },
+		"kdtree": func() (core.Index, error) { return baseline.NewKDTree(eio.NewMemStore(256), 0) },
+		"rtree":  func() (core.Index, error) { return baseline.NewRTree(eio.NewMemStore(256), 0) },
+	}
+	names := make([]string, 0, len(mk))
+	idxs := make([]core.Index, 0, len(mk))
+	for name, f := range mk {
+		idx, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		names = append(names, name)
+		idxs = append(idxs, idx)
+	}
+
+	universe := bench.Uniform(9, 800, 2000)
+	live := map[geom.Point]bool{}
+	for op := 0; op < 2500; op++ {
+		p := universe[rng.Intn(len(universe))]
+		if rng.Intn(3) != 0 {
+			if !live[p] {
+				for i, idx := range idxs {
+					if err := idx.Insert(p); err != nil {
+						t.Fatalf("op %d: %s insert: %v", op, names[i], err)
+					}
+				}
+				live[p] = true
+			}
+		} else if live[p] {
+			for i, idx := range idxs {
+				found, err := idx.Delete(p)
+				if err != nil || !found {
+					t.Fatalf("op %d: %s delete: %v %v", op, names[i], found, err)
+				}
+			}
+			delete(live, p)
+		}
+		if op%197 == 0 {
+			a := rng.Int63n(2000)
+			b := a + rng.Int63n(2000-a+1)
+			c := rng.Int63n(2000)
+			d := c + rng.Int63n(geom.MaxCoord-c) // sometimes open-topped-ish
+			if rng.Intn(2) == 0 {
+				d = c + rng.Int63n(2000-c+1)
+			}
+			q := geom.Rect{XLo: a, XHi: b, YLo: c, YHi: d}
+			var ref []geom.Point
+			for i, idx := range idxs {
+				got, err := idx.Query(nil, q)
+				if err != nil {
+					t.Fatalf("op %d: %s query: %v", op, names[i], err)
+				}
+				geom.SortByX(got)
+				if i == 0 {
+					ref = got
+					continue
+				}
+				if len(got) != len(ref) {
+					t.Fatalf("op %d query %v: %s returned %d, %s returned %d",
+						op, q, names[0], len(ref), names[i], len(got))
+				}
+				for j := range got {
+					if got[j] != ref[j] {
+						t.Fatalf("op %d query %v: %s and %s disagree at %d",
+							op, q, names[0], names[i], j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCrossCheckStaticSchemes cross-validates the Section 2 static
+// indexing schemes against the dynamic structures on identical data.
+func TestCrossCheckStaticSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	pts := bench.Uniform(10, 3000, 5000)
+
+	hs, err := hier.Build(pts, 8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := range4.Build(eio.NewMemStore(256), range4.Options{}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 120; trial++ {
+		a := rng.Int63n(5000)
+		b := a + rng.Int63n(5000-a+1)
+		c := rng.Int63n(5000)
+		d := c + rng.Int63n(5000-c+1)
+		q := geom.Rect{XLo: a, XHi: b, YLo: c, YHi: d}
+		g1, _ := hs.Query4(nil, q)
+		g2, err := r4.Query4(nil, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		geom.SortByX(g1)
+		geom.SortByX(g2)
+		if len(g1) != len(g2) {
+			t.Fatalf("query %v: hier %d vs range4 %d", q, len(g1), len(g2))
+		}
+		for i := range g1 {
+			if g1[i] != g2[i] {
+				t.Fatalf("query %v: mismatch at %d", q, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,20 @@
+// Package rangesearch is a from-scratch Go reproduction of
+//
+//	Lars Arge, Vasilis Samoladas, Jeffrey Scott Vitter:
+//	"On Two-Dimensional Indexability and Optimal Range Search Indexing",
+//	PODS 1999.
+//
+// The library lives under internal/: the external-memory substrate (eio),
+// the indexability framework and both indexing-scheme constructions
+// (indexability, sweep, hier), the external priority search tree and its
+// building blocks (smallstruct, wbtree, epst), interval management
+// (interval), the 4-sided structure (range4), baselines (baseline), and
+// the experiment harness (bench). See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+//
+// The benchmarks in bench_test.go regenerate every experiment table; run
+//
+//	go test -bench=. -benchmem .
+//
+// or the cmd/rsbench binary for the full-size tables.
+package rangesearch

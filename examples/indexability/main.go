@@ -1,0 +1,80 @@
+// Indexability: a walkthrough of Section 2 of the paper — the theory side.
+//
+// It builds the Fibonacci workload (the worst case for 2-D range search
+// indexing), verifies its density property, constructs the 3-sided
+// sweep-line scheme and the 4-sided hierarchy on it, measures their
+// redundancy and access overhead, and evaluates the Redundancy-Theorem
+// lower bound those constructions meet.
+//
+//	go run ./examples/indexability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rangesearch/internal/geom"
+	"rangesearch/internal/hier"
+	"rangesearch/internal/indexability"
+	"rangesearch/internal/sweep"
+)
+
+func main() {
+	const (
+		k = 21 // N = Fib(21) = 10946
+		b = 16 // block size in points
+	)
+	pts := indexability.FibonacciLattice(k)
+	n := len(pts)
+	fmt.Printf("Fibonacci lattice: N = %d points on an N x N grid (k = %d)\n", n, k)
+
+	// Proposition 1: every rectangle of area lBN holds Theta(lB) points.
+	rep := indexability.MeasureDensity(k, b, 1, 2.0)
+	fmt.Printf("\nProposition 1 over %d rectangles of area B*N:\n", rep.Rects)
+	fmt.Printf("  expected %.0f points per rectangle; observed min %d, max %d\n",
+		rep.Expected, rep.Min, rep.Max)
+	fmt.Printf("  observed c1 = %.2f (paper: <= 1.9), c2 = %.2f (paper: >= 0.45)\n", rep.C1, rep.C2)
+
+	// Theorem 4: 3-sided sweep-line scheme with constant redundancy.
+	s3, err := sweep.Build(pts, b, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTheorem 4 (3-sided sweep scheme, alpha=2):\n")
+	fmt.Printf("  blocks %d, redundancy %.3f (bound 1+1/(alpha-1) = 2.0)\n",
+		s3.NumBlocks(), s3.Redundancy())
+	q3 := geom.Query3{XLo: int64(n / 4), XHi: int64(n / 2), YLo: int64(n - n/64)}
+	res, blocks := s3.Query3(nil, q3)
+	fmt.Printf("  query %v: %d points from %d blocks (t = %d)\n",
+		q3, len(res), blocks, (len(res)+b-1)/b)
+
+	// Theorem 5: the 4-sided hierarchy trades redundancy for overhead.
+	fmt.Printf("\nTheorem 5 (4-sided hierarchy, redundancy vs rho):\n")
+	w := &indexability.Workload{Points: pts, Queries: indexability.TilingQueries(k, b, 1, 4.0)}
+	for _, rho := range []int{2, 4, 16} {
+		s4, err := hier.Build(pts, b, rho, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc, err := indexability.MeasureAccess(s4, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  rho=%2d: r = %6.2f  A = %5.2f  (shape log n/log rho = %.2f)\n",
+			rho, s4.Redundancy(), acc.Overhead,
+			indexability.TradeoffShape(float64(n)/float64(b), float64(rho)))
+	}
+
+	// Theorems 2/3: the lower bound the construction meets.
+	lb, err := indexability.FibonacciLowerBound(indexability.LowerBoundParams{
+		N: indexability.Fib(60), B: 1 << 12, A: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTheorem 2 lower bound at N = Fib(60), B = 4096, A = 2:\n")
+	fmt.Printf("  r >= %.2f over %.1f admissible aspect ratios (epsilon = %.0f)\n",
+		lb.R, lb.Ratios, lb.Epsilon)
+	fmt.Println("\nThe dynamic structures in internal/epst and internal/range4 turn")
+	fmt.Println("these placements into searchable indexes; see the other examples.")
+}

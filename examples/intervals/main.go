@@ -1,0 +1,115 @@
+// Intervals: dynamic interval management — the constraint/temporal-model
+// application that motivated 3-sided indexing (Section 1 of the paper).
+//
+// A room-booking service stores reservations as time intervals and asks
+// "which reservations cover instant q?" (a stabbing query). The example
+// runs against a REAL file on disk, reopens it, and shows that updates and
+// stabbing queries survive the round trip — the structures serialize
+// themselves into fixed-size pages.
+//
+//	go run ./examples/intervals
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"rangesearch/internal/eio"
+	"rangesearch/internal/epst"
+	"rangesearch/internal/geom"
+	"rangesearch/internal/interval"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "bookings")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "bookings.db")
+
+	// Phase 1: create the store, load a year of bookings, close it.
+	fs, err := eio.CreateFileStore(path, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	const year = 365 * 24 * 60 // minutes
+	seen := map[geom.Interval]bool{}
+	var bookings []geom.Interval
+	for len(bookings) < 30_000 {
+		start := rng.Int63n(year)
+		iv := geom.Interval{Lo: start, Hi: start + 30 + rng.Int63n(240)}
+		if !seen[iv] {
+			seen[iv] = true
+			bookings = append(bookings, iv)
+		}
+	}
+	set, err := interval.Build(fs, epst.Options{}, bookings)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hdr := set.HeaderID()
+	if err := fs.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("stored %d bookings in %s (%d KiB on disk)\n", len(bookings), path, info.Size()/1024)
+
+	// Phase 2: reopen the file and serve queries from it.
+	fs2, err := eio.OpenFileStore(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fs2.Close()
+	set, err = interval.Open(fs2, hdr, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q := int64(year / 2)
+	fs2.ResetStats()
+	hits, err := set.Stab(nil, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstab(minute %d): %d active bookings, %d page reads\n",
+		q, len(hits), fs2.Stats().Reads)
+	for i, iv := range hits {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(hits)-5)
+			break
+		}
+		fmt.Printf("  booking [%d, %d] (%d min)\n", iv.Lo, iv.Hi, iv.Hi-iv.Lo)
+	}
+
+	// Cancel everything covering q, verify, then double-book one slot.
+	for _, iv := range hits {
+		if _, err := set.Delete(iv); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cnt, err := set.StabCount(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter cancelling them: stab(%d) = %d\n", q, cnt)
+
+	nb := geom.Interval{Lo: q - 15, Hi: q + 45}
+	if err := set.Insert(nb); err != nil {
+		log.Fatal(err)
+	}
+	cnt, err = set.StabCount(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after booking %v: stab(%d) = %d\n", nb, q, cnt)
+
+	if err := set.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("structural invariants: OK")
+}

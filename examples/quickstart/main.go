@@ -1,0 +1,66 @@
+// Quickstart: build the paper's optimal 3-sided index on the in-memory
+// block-device simulator, query it, and watch the I/O counters.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rangesearch/internal/bench"
+	"rangesearch/internal/core"
+	"rangesearch/internal/eio"
+	"rangesearch/internal/epst"
+	"rangesearch/internal/geom"
+)
+
+func main() {
+	// A simulated disk with 4 KiB pages: each block holds B = 256 points.
+	store := eio.NewMemStore(4096)
+
+	// 100k uniform points, bulk-loaded into an external priority search
+	// tree (Theorem 6 of the paper).
+	pts := bench.Uniform(1, 100_000, 1_000_000)
+	idx, err := core.BuildThreeSided(store, epst.Options{}, pts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := idx.Len()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d points on %d pages (%.2f blocks per B points)\n",
+		n, store.Pages(), float64(store.Pages()*256)/float64(n))
+
+	// A 3-sided query: x in [250k, 750k], y >= 990k (the "top" slice).
+	q := geom.Query3{XLo: 250_000, XHi: 750_000, YLo: 990_000}
+	store.ResetStats()
+	res, err := idx.Query3(nil, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := store.Stats()
+	fmt.Printf("query %v -> %d points in %d page reads (t = %d blocks)\n",
+		q, len(res), st.Reads, (len(res)+255)/256)
+
+	// Updates are first-class: insert a point that dominates the query
+	// and remove another.
+	if err := idx.Insert(geom.Point{X: 500_000, Y: 999_999}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := idx.Delete(res[0]); err != nil {
+		log.Fatal(err)
+	}
+	res2, err := idx.Query3(nil, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after one insert and one delete the query returns %d points\n", len(res2))
+
+	// The structure audits itself: every Y-set invariant of Section 3.3.
+	if err := idx.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("structural invariants: OK")
+}

@@ -1,0 +1,109 @@
+// Spatial: general 4-sided window queries (Theorem 7) against the k-d-tree
+// heuristic the paper's introduction surveys.
+//
+// A map service stores points of interest in clustered "cities" and
+// answers viewport (window) queries. The paper's layered structure pays a
+// space premium — one replica of every point per level — to guarantee
+// output-sensitive reporting on every viewport; the k-d tree is smaller
+// but has no worst-case guarantee, which thin viewports expose.
+//
+//	go run ./examples/spatial
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rangesearch/internal/baseline"
+	"rangesearch/internal/bench"
+	"rangesearch/internal/core"
+	"rangesearch/internal/eio"
+	"rangesearch/internal/geom"
+	"rangesearch/internal/range4"
+)
+
+func main() {
+	const (
+		n        = 50_000
+		domain   = 1 << 20
+		pageSize = 1024 // B = 64
+	)
+	pois := bench.Clustered(5, n, domain, 12)
+
+	// The paper's 4-sided structure.
+	optStore := eio.NewMemStore(pageSize)
+	opt, err := core.BuildFourSided(optStore, range4.Options{}, pois)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The k-d tree baseline.
+	kdStore := eio.NewMemStore(pageSize)
+	kd, err := baseline.NewKDTree(kdStore, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pois {
+		if err := kd.Insert(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// The STR-packed R-tree baseline.
+	rtStore := eio.NewMemStore(pageSize)
+	rt, err := baseline.BuildRTree(rtStore, 0, pois)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d points of interest; structure sizes: optimal %d pages, k-d tree %d, R-tree %d\n",
+		n, optStore.Pages(), kdStore.Pages(), rtStore.Pages())
+
+	type view struct {
+		name string
+		q    geom.Rect
+	}
+	views := []view{
+		{"city block (square)", geom.Rect{XLo: 400_000, XHi: 420_000, YLo: 400_000, YHi: 420_000}},
+		{"whole map", geom.Rect{XLo: 0, XHi: domain, YLo: 0, YHi: domain}},
+		{"east-west corridor (x-wide, y-thin)", geom.Rect{XLo: 0, XHi: domain, YLo: 524_000, YHi: 526_000}},
+		{"north-south corridor (x-thin, y-wide)", geom.Rect{XLo: 524_000, XHi: 526_000, YLo: 0, YHi: domain}},
+	}
+	fmt.Printf("\n%-40s %10s %12s %12s %12s\n", "viewport", "results", "optimal I/O", "k-d tree I/O", "R-tree I/O")
+	for _, v := range views {
+		optStore.ResetStats()
+		a, err := opt.Query(nil, v.q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kdStore.ResetStats()
+		b, err := kd.Query(nil, v.q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rtStore.ResetStats()
+		c, err := rt.Query(nil, v.q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(a) != len(b) || len(a) != len(c) {
+			log.Fatalf("viewport %q: %d vs %d vs %d results", v.name, len(a), len(b), len(c))
+		}
+		fmt.Printf("%-40s %10d %12d %12d %12d\n", v.name, len(a),
+			optStore.Stats().Reads, kdStore.Stats().Reads, rtStore.Stats().Reads)
+	}
+
+	// Updates are symmetrical: move a POI.
+	old := pois[0]
+	moved := geom.Point{X: old.X + 1, Y: old.Y + 1}
+	for _, idx := range []core.Index{opt, kd, rt} {
+		if _, err := idx.Delete(old); err != nil {
+			log.Fatal(err)
+		}
+		if err := idx.Insert(moved); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\nmoved POI %v -> %v in both structures\n", old, moved)
+	if err := opt.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("structural invariants: OK")
+}

@@ -1,0 +1,3 @@
+module rangesearch
+
+go 1.22

@@ -1,0 +1,38 @@
+// Package baseline implements the comparison structures for the benchmark
+// suite — representatives of the "practical" families the paper's
+// introduction surveys (grid files, k-d-B-trees, R-trees, space-filling
+// curves) whose worst-case behaviour the optimal structures of the paper
+// are designed to beat:
+//
+//   - Scan: points packed into blocks with no index; every query reads
+//     all n blocks. The floor for space, the ceiling for query cost.
+//   - XTree: a B-tree on x-order with y-filtering; optimal for x-narrow
+//     queries, Θ(n) for x-wide, y-thin ones.
+//   - KDTree: an external k-d tree with alternating split axes —
+//     a simplified stand-in for the k-d-B-tree family: linear space, good
+//     average-case behaviour, no worst-case reporting guarantee.
+//
+// All three live on eio stores so their measured I/O counts are directly
+// comparable to the paper's structures.
+package baseline
+
+import (
+	"rangesearch/internal/geom"
+)
+
+// Index is the query interface shared by baselines (and implemented by the
+// adapters in internal/core for the paper's structures): a dynamic set of
+// distinct points under 4-sided queries. 3-sided queries are the special
+// case YHi = geom.MaxCoord.
+type Index interface {
+	// Insert adds p; inserting a present point is an error.
+	Insert(p geom.Point) error
+	// Delete removes p, reporting whether it was present.
+	Delete(p geom.Point) (bool, error)
+	// Query appends the stored points inside q to dst.
+	Query(dst []geom.Point, q geom.Rect) ([]geom.Point, error)
+	// Len returns the number of stored points.
+	Len() (int, error)
+	// Destroy frees all storage owned by the index.
+	Destroy() error
+}

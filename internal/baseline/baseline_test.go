@@ -1,0 +1,236 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"rangesearch/internal/eio"
+	"rangesearch/internal/geom"
+)
+
+func distinctPoints(rng *rand.Rand, n int, coordRange int64) []geom.Point {
+	seen := make(map[geom.Point]bool)
+	var pts []geom.Point
+	for len(pts) < n {
+		p := geom.Point{X: rng.Int63n(coordRange), Y: rng.Int63n(coordRange)}
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func sorted(pts []geom.Point) []geom.Point {
+	out := append([]geom.Point(nil), pts...)
+	geom.SortByX(out)
+	return out
+}
+
+func equalPts(a, b []geom.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// conformance runs the shared Index contract test against an
+// implementation.
+func conformance(t *testing.T, name string, mk func(store eio.Store) (Index, error)) {
+	t.Run(name, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(42))
+		store := eio.NewMemStore(128)
+		idx, err := mk(store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := map[geom.Point]bool{}
+		universe := distinctPoints(rng, 400, 800)
+
+		for op := 0; op < 3000; op++ {
+			p := universe[rng.Intn(len(universe))]
+			switch rng.Intn(3) {
+			case 0, 1:
+				err := idx.Insert(p)
+				if model[p] {
+					if !errors.Is(err, ErrDuplicate) {
+						t.Fatalf("op %d: duplicate insert: %v", op, err)
+					}
+				} else if err != nil {
+					t.Fatalf("op %d: insert: %v", op, err)
+				}
+				model[p] = true
+			case 2:
+				found, err := idx.Delete(p)
+				if err != nil {
+					t.Fatalf("op %d: delete: %v", op, err)
+				}
+				if found != model[p] {
+					t.Fatalf("op %d: delete %v found=%v want=%v", op, p, found, model[p])
+				}
+				delete(model, p)
+			}
+			if op%127 == 0 {
+				a := rng.Int63n(800)
+				b := a + rng.Int63n(800-a+1)
+				c := rng.Int63n(800)
+				d := c + rng.Int63n(800-c+1)
+				q := geom.Rect{XLo: a, XHi: b, YLo: c, YHi: d}
+				got, err := idx.Query(nil, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var want []geom.Point
+				for p := range model {
+					if q.Contains(p) {
+						want = append(want, p)
+					}
+				}
+				if !equalPts(sorted(got), sorted(want)) {
+					t.Fatalf("op %d: query %v: got %d want %d", op, q, len(got), len(want))
+				}
+				n, err := idx.Len()
+				if err != nil || n != len(model) {
+					t.Fatalf("op %d: Len=%d want %d (%v)", op, n, len(model), err)
+				}
+			}
+		}
+		// 3-sided special case.
+		q := geom.Rect{XLo: 100, XHi: 600, YLo: 400, YHi: geom.MaxCoord}
+		got, err := idx.Query(nil, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []geom.Point
+		for p := range model {
+			if q.Contains(p) {
+				want = append(want, p)
+			}
+		}
+		if !equalPts(sorted(got), sorted(want)) {
+			t.Fatalf("3-sided query mismatch: %d vs %d", len(got), len(want))
+		}
+		if err := idx.Destroy(); err != nil {
+			t.Fatal(err)
+		}
+		if got := store.Pages(); got != 0 {
+			t.Fatalf("%d pages leaked after Destroy", got)
+		}
+	})
+}
+
+func TestConformance(t *testing.T) {
+	conformance(t, "scan", func(s eio.Store) (Index, error) { return NewScan(s) })
+	conformance(t, "xtree", func(s eio.Store) (Index, error) { return NewXTree(s) })
+	conformance(t, "kdtree", func(s eio.Store) (Index, error) { return NewKDTree(s, 4) })
+}
+
+func TestScanReopen(t *testing.T) {
+	store := eio.NewMemStore(128)
+	s, err := NewScan(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	pts := distinctPoints(rng, 50, 100)
+	for _, p := range pts {
+		if err := s.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := OpenScan(store, s.HeaderID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s2.Len()
+	if err != nil || n != 50 {
+		t.Fatalf("Len=%d, %v", n, err)
+	}
+}
+
+func TestXTreeBulkAndReopen(t *testing.T) {
+	store := eio.NewMemStore(128)
+	rng := rand.New(rand.NewSource(2))
+	pts := distinctPoints(rng, 300, 1000)
+	x, err := BuildXTree(store, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := OpenXTree(store, x.HeaderID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := x2.Query(nil, geom.Rect{XLo: 0, XHi: 1000, YLo: 0, YHi: 1000})
+	if err != nil || len(got) != 300 {
+		t.Fatalf("full query: %d, %v", len(got), err)
+	}
+}
+
+func TestKDTreeReopen(t *testing.T) {
+	store := eio.NewMemStore(128)
+	kd, err := NewKDTree(store, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	pts := distinctPoints(rng, 200, 500)
+	for _, p := range pts {
+		if err := kd.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kd2, err := OpenKDTree(store, kd.HeaderID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := kd2.Query(nil, geom.Rect{XLo: 0, XHi: 500, YLo: 0, YHi: 500})
+	if err != nil || len(got) != 200 {
+		t.Fatalf("full query: %d, %v", len(got), err)
+	}
+}
+
+// TestQueryCostOrdering demonstrates the E11 story on an x-wide, y-thin
+// query: the scan reads everything, the x-tree reads the whole x-slab.
+func TestQueryCostOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := distinctPoints(rng, 4000, 1<<20)
+	thin := geom.Rect{XLo: 0, XHi: 1 << 20, YLo: 0, YHi: 1 << 8} // selective in y only
+
+	measure := func(mk func(store eio.Store) (Index, error)) (int, uint64) {
+		store := eio.NewMemStore(256)
+		idx, err := mk(store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pts {
+			if err := idx.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		store.ResetStats()
+		got, err := idx.Query(nil, thin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(got), store.Stats().Reads
+	}
+
+	nScan, costScan := measure(func(s eio.Store) (Index, error) { return NewScan(s) })
+	nX, costX := measure(func(s eio.Store) (Index, error) { return NewXTree(s) })
+	if nScan != nX {
+		t.Fatalf("result mismatch: %d vs %d", nScan, nX)
+	}
+	// Both degrade to reading Ω(n) blocks on this query.
+	if costScan < 4000/16 {
+		t.Errorf("scan cost %d suspiciously low", costScan)
+	}
+	if costX < 4000/32 {
+		t.Errorf("xtree cost %d suspiciously low for an x-wide query", costX)
+	}
+}

@@ -1,0 +1,115 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"rangesearch/internal/eio"
+	"rangesearch/internal/geom"
+)
+
+func TestRTreeConformance(t *testing.T) {
+	conformance(t, "rtree", func(s eio.Store) (Index, error) { return NewRTree(s, 8) })
+}
+
+func TestRTreeBulkLoadAndQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 50, 2000} {
+		store := eio.NewMemStore(256)
+		pts := distinctPoints(rng, n, 5000)
+		tr, err := BuildRTree(store, 16, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tr.Len()
+		if err != nil || got != n {
+			t.Fatalf("Len = %d want %d (%v)", got, n, err)
+		}
+		for trial := 0; trial < 60; trial++ {
+			a := rng.Int63n(5000)
+			b := a + rng.Int63n(5000-a+1)
+			c := rng.Int63n(5000)
+			d := c + rng.Int63n(5000-c+1)
+			q := geom.Rect{XLo: a, XHi: b, YLo: c, YHi: d}
+			res, err := tr.Query(nil, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []geom.Point
+			for _, p := range pts {
+				if q.Contains(p) {
+					want = append(want, p)
+				}
+			}
+			if !equalPts(sorted(res), sorted(want)) {
+				t.Fatalf("n=%d query %v: got %d want %d", n, q, len(res), len(want))
+			}
+		}
+	}
+}
+
+func TestRTreeBulkThenMutate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	store := eio.NewMemStore(256)
+	pts := distinctPoints(rng, 1000, 4000)
+	tr, err := BuildRTree(store, 8, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete a third, insert fresh points.
+	live := map[geom.Point]bool{}
+	for _, p := range pts {
+		live[p] = true
+	}
+	for _, p := range pts[:300] {
+		found, err := tr.Delete(p)
+		if err != nil || !found {
+			t.Fatalf("delete %v: %v %v", p, found, err)
+		}
+		delete(live, p)
+	}
+	fresh := distinctPoints(rng, 500, 4000)
+	added := 0
+	for _, p := range fresh {
+		if live[p] {
+			continue
+		}
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		live[p] = true
+		if added++; added == 200 {
+			break
+		}
+	}
+	q := geom.Rect{XLo: 0, XHi: 4000, YLo: 0, YHi: 4000}
+	res, err := tr.Query(nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(live) {
+		t.Fatalf("full query: %d of %d points", len(res), len(live))
+	}
+	n, err := tr.Len()
+	if err != nil || n != len(live) {
+		t.Fatalf("Len = %d want %d", n, len(live))
+	}
+}
+
+func TestRTreeReopen(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	store := eio.NewMemStore(256)
+	pts := distinctPoints(rng, 300, 2000)
+	tr, err := BuildRTree(store, 8, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := OpenRTree(store, tr.HeaderID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr2.Query(nil, geom.Rect{XLo: 0, XHi: 2000, YLo: 0, YHi: 2000})
+	if err != nil || len(res) != 300 {
+		t.Fatalf("reopened full query: %d (%v)", len(res), err)
+	}
+}

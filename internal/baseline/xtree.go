@@ -1,0 +1,91 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"rangesearch/internal/eio"
+	"rangesearch/internal/geom"
+	"rangesearch/internal/wbtree"
+)
+
+// XTree is a one-dimensional B-tree over the points' x-order with
+// y-filtering at query time — what a plain relational index on the x column
+// gives you. It reads every point in the query's x-slab regardless of the
+// y-range, so x-wide/y-thin queries degrade to Θ(n) I/Os.
+type XTree struct {
+	t *wbtree.Tree
+}
+
+var _ Index = (*XTree)(nil)
+
+// NewXTree creates an empty x-ordered B-tree index on store.
+func NewXTree(store eio.Store) (*XTree, error) {
+	t, err := wbtree.Create(store, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &XTree{t: t}, nil
+}
+
+// BuildXTree bulk-loads an index over pts (distinct).
+func BuildXTree(store eio.Store, pts []geom.Point) (*XTree, error) {
+	t, err := wbtree.Create(store, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	sorted := make([]geom.Point, len(pts))
+	copy(sorted, pts)
+	geom.SortByX(sorted)
+	if err := t.BulkLoad(sorted); err != nil {
+		return nil, err
+	}
+	return &XTree{t: t}, nil
+}
+
+// OpenXTree re-attaches to an index.
+func OpenXTree(store eio.Store, hdr eio.PageID) (*XTree, error) {
+	t, err := wbtree.Open(store, hdr)
+	if err != nil {
+		return nil, err
+	}
+	return &XTree{t: t}, nil
+}
+
+// HeaderID identifies the index on its store.
+func (x *XTree) HeaderID() eio.PageID { return x.t.HeaderID() }
+
+// Insert implements Index.
+func (x *XTree) Insert(p geom.Point) error {
+	err := x.t.Insert(p)
+	if errors.Is(err, wbtree.ErrDuplicate) {
+		return fmt.Errorf("baseline: insert %v: %w", p, ErrDuplicate)
+	}
+	return err
+}
+
+// Delete implements Index.
+func (x *XTree) Delete(p geom.Point) (bool, error) { return x.t.Delete(p) }
+
+// Query implements Index: range-scan the x-slab, filter on y.
+func (x *XTree) Query(dst []geom.Point, q geom.Rect) ([]geom.Point, error) {
+	if q.Empty() {
+		return dst, nil
+	}
+	err := x.t.Range(
+		geom.Point{X: q.XLo, Y: geom.MinCoord},
+		geom.Point{X: q.XHi, Y: geom.MaxCoord},
+		func(p geom.Point) bool {
+			if p.Y >= q.YLo && p.Y <= q.YHi {
+				dst = append(dst, p)
+			}
+			return true
+		})
+	return dst, err
+}
+
+// Len implements Index.
+func (x *XTree) Len() (int, error) { return x.t.Len() }
+
+// Destroy implements Index.
+func (x *XTree) Destroy() error { return x.t.Destroy() }

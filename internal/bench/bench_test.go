@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every experiment in quick mode and sanity
+// checks the produced tables. This keeps the harness itself under test —
+// an experiment that errors or emits an empty table is a regression.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.Name, func(t *testing.T) {
+			tables, err := exp.Run(true)
+			if err != nil {
+				t.Fatalf("%s: %v", exp.Name, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", exp.Name)
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Fatalf("%s: table %q has no rows", exp.Name, tb.Title)
+				}
+				out := tb.Render()
+				if !strings.Contains(out, tb.Title) {
+					t.Fatalf("%s: render missing title", exp.Name)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Header) {
+						t.Fatalf("%s: row width %d != header %d", exp.Name, len(row), len(tb.Header))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	u := Uniform(1, 1000, 5000)
+	if len(u) != 1000 {
+		t.Fatalf("Uniform returned %d", len(u))
+	}
+	seen := map[[2]int64]bool{}
+	for _, p := range u {
+		k := [2]int64{p.X, p.Y}
+		if seen[k] {
+			t.Fatal("Uniform produced duplicates")
+		}
+		seen[k] = true
+	}
+	d := Diagonal(2, 500, 10000)
+	for _, p := range d {
+		if p.Y < p.X {
+			t.Fatalf("Diagonal point below diagonal: %v", p)
+		}
+	}
+	c := Clustered(3, 500, 10000, 5)
+	if len(c) != 500 {
+		t.Fatalf("Clustered returned %d", len(c))
+	}
+	if len(Lattice(15)) != 610 {
+		t.Fatal("Lattice(15) wrong size")
+	}
+	qs := Queries3(4, 50, 1000, 0.1)
+	for _, q := range qs {
+		if q.XLo > q.XHi {
+			t.Fatalf("bad query %v", q)
+		}
+	}
+	q4 := Queries4(5, 50, 1000, 0.1, 0.2)
+	for _, q := range q4 {
+		if q.Empty() {
+			t.Fatalf("empty query %v", q)
+		}
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	ps := Percentiles(xs, 0, 0.5, 1.0)
+	if ps[0] != 1 || ps[1] != 3 || ps[2] != 5 {
+		t.Fatalf("percentiles %v", ps)
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("mean")
+	}
+	if Max([]float64{2, 9, 4}) != 9 {
+		t.Fatal("max")
+	}
+	if len(Percentiles(nil, 0.5)) != 1 {
+		t.Fatal("empty percentiles")
+	}
+}

@@ -1,0 +1,140 @@
+// Package bench is the experiment harness: workload generators, I/O
+// measurement helpers, and the experiments (E1–E13) listed in
+// DESIGN.md that reproduce every quantitative claim of the paper. The
+// cmd/rsbench binary prints their tables; the repository-root benchmarks
+// wrap them as testing.B targets.
+package bench
+
+import (
+	"math/rand"
+
+	"rangesearch/internal/geom"
+	"rangesearch/internal/indexability"
+)
+
+// Uniform returns n distinct points uniform over [0, coordRange)².
+func Uniform(seed int64, n int, coordRange int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[geom.Point]bool, n)
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		p := geom.Point{X: rng.Int63n(coordRange), Y: rng.Int63n(coordRange)}
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+// Diagonal returns n distinct points hugging the main diagonal — the
+// shape of interval-management data ((lo, hi) points with hi ≥ lo close to
+// lo), adversarial for x-ordered and grid-style partitioning.
+func Diagonal(seed int64, n int, coordRange int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[geom.Point]bool, n)
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		x := rng.Int63n(coordRange)
+		off := rng.Int63n(coordRange/64 + 1)
+		y := x + off
+		if y >= coordRange {
+			y = coordRange - 1
+		}
+		p := geom.Point{X: x, Y: y}
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+// Clustered returns n distinct points in c Gaussian-ish clusters.
+func Clustered(seed int64, n int, coordRange int64, c int) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	type center struct{ x, y int64 }
+	centers := make([]center, c)
+	for i := range centers {
+		centers[i] = center{rng.Int63n(coordRange), rng.Int63n(coordRange)}
+	}
+	spread := coordRange / int64(c*4)
+	if spread < 1 {
+		spread = 1
+	}
+	seen := make(map[geom.Point]bool, n)
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		ct := centers[rng.Intn(c)]
+		p := geom.Point{
+			X: clamp(ct.x+rng.Int63n(2*spread)-spread, 0, coordRange-1),
+			Y: clamp(ct.y+rng.Int63n(2*spread)-spread, 0, coordRange-1),
+		}
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+// Lattice returns the Fibonacci lattice for N = Fib(k) — the paper's
+// worst-case distribution.
+func Lattice(k int) []geom.Point { return indexability.FibonacciLattice(k) }
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Queries3 returns nq random 3-sided queries over the domain with x-window
+// width ~frac of the domain.
+func Queries3(seed int64, nq int, coordRange int64, frac float64) []geom.Query3 {
+	rng := rand.New(rand.NewSource(seed))
+	w := int64(float64(coordRange) * frac)
+	if w < 1 {
+		w = 1
+	}
+	out := make([]geom.Query3, nq)
+	for i := range out {
+		a := rng.Int63n(coordRange)
+		out[i] = geom.Query3{XLo: a, XHi: min64(a+w, coordRange-1), YLo: rng.Int63n(coordRange)}
+	}
+	return out
+}
+
+// Queries4 returns nq random window queries with side lengths ~xfrac and
+// ~yfrac of the domain.
+func Queries4(seed int64, nq int, coordRange int64, xfrac, yfrac float64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	xw := int64(float64(coordRange) * xfrac)
+	yw := int64(float64(coordRange) * yfrac)
+	if xw < 1 {
+		xw = 1
+	}
+	if yw < 1 {
+		yw = 1
+	}
+	out := make([]geom.Rect, nq)
+	for i := range out {
+		a := rng.Int63n(coordRange)
+		c := rng.Int63n(coordRange)
+		out[i] = geom.Rect{
+			XLo: a, XHi: min64(a+xw, coordRange-1),
+			YLo: c, YHi: min64(c+yw, coordRange-1),
+		}
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"rangesearch/internal/eio"
+	"rangesearch/internal/epst"
+	"rangesearch/internal/geom"
+	"rangesearch/internal/range4"
+)
+
+func distinctPoints(rng *rand.Rand, n int, coordRange int64) []geom.Point {
+	seen := make(map[geom.Point]bool)
+	var pts []geom.Point
+	for len(pts) < n {
+		p := geom.Point{X: rng.Int63n(coordRange), Y: rng.Int63n(coordRange)}
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func sorted(pts []geom.Point) []geom.Point {
+	out := append([]geom.Point(nil), pts...)
+	geom.SortByX(out)
+	return out
+}
+
+func equalPts(a, b []geom.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// contract runs the Index behaviour test shared by both facades.
+func contract(t *testing.T, name string, mk func(store eio.Store) (Index, error)) {
+	t.Run(name, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(5))
+		store := eio.NewMemStore(128)
+		idx, err := mk(store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := map[geom.Point]bool{}
+		universe := distinctPoints(rng, 250, 600)
+		for op := 0; op < 1200; op++ {
+			p := universe[rng.Intn(len(universe))]
+			if rng.Intn(3) != 0 {
+				err := idx.Insert(p)
+				if model[p] {
+					if !errors.Is(err, ErrDuplicate) {
+						t.Fatalf("op %d: duplicate insert: %v", op, err)
+					}
+				} else if err != nil {
+					t.Fatalf("op %d: insert: %v", op, err)
+				}
+				model[p] = true
+			} else {
+				found, err := idx.Delete(p)
+				if err != nil {
+					t.Fatalf("op %d: delete: %v", op, err)
+				}
+				if found != model[p] {
+					t.Fatalf("op %d: delete mismatch", op)
+				}
+				delete(model, p)
+			}
+			if op%173 == 0 {
+				a := rng.Int63n(600)
+				b := a + rng.Int63n(600-a+1)
+				c := rng.Int63n(600)
+				d := c + rng.Int63n(600-c+1)
+				q := geom.Rect{XLo: a, XHi: b, YLo: c, YHi: d}
+				got, err := idx.Query(nil, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var want []geom.Point
+				for p := range model {
+					if q.Contains(p) {
+						want = append(want, p)
+					}
+				}
+				if !equalPts(sorted(got), sorted(want)) {
+					t.Fatalf("op %d: query %v mismatch", op, q)
+				}
+			}
+		}
+		// Sentinel coordinates rejected.
+		if err := idx.Insert(geom.Point{X: geom.MaxCoord, Y: 0}); err == nil {
+			t.Fatal("sentinel coordinate accepted")
+		}
+		if err := idx.Destroy(); err != nil {
+			t.Fatal(err)
+		}
+		if got := store.Pages(); got != 0 {
+			t.Fatalf("%d pages leaked", got)
+		}
+	})
+}
+
+func TestIndexContract(t *testing.T) {
+	contract(t, "three-sided", func(s eio.Store) (Index, error) {
+		return NewThreeSided(s, epst.Options{A: 2, K: 4})
+	})
+	contract(t, "four-sided", func(s eio.Store) (Index, error) {
+		return NewFourSided(s, range4.Options{Rho: 3, K: 4})
+	})
+}
+
+func TestBuildAndReopen(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := distinctPoints(rng, 300, 1000)
+
+	store := eio.NewMemStore(128)
+	s3, err := BuildThreeSided(store, epst.Options{A: 2, K: 4}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3b, err := OpenThreeSided(store, s3.HeaderID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s3b.Len()
+	if err != nil || n != len(pts) {
+		t.Fatalf("three-sided reopen Len=%d, %v", n, err)
+	}
+	if err := s3b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	store4 := eio.NewMemStore(128)
+	s4, err := BuildFourSided(store4, range4.Options{Rho: 3, K: 4}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4b, err := OpenFourSided(store4, s4.HeaderID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err = s4b.Len()
+	if err != nil || n != len(pts) {
+		t.Fatalf("four-sided reopen Len=%d, %v", n, err)
+	}
+	if err := s4b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreeSidedNativeQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	store := eio.NewMemStore(128)
+	pts := distinctPoints(rng, 200, 400)
+	s, err := BuildThreeSided(store, epst.Options{A: 2, K: 4}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q3 := geom.Query3{XLo: 50, XHi: 350, YLo: 200}
+	native, err := s.Query3(nil, q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRect, err := s.Query(nil, geom.Rect{XLo: 50, XHi: 350, YLo: 200, YHi: geom.MaxCoord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalPts(sorted(native), sorted(viaRect)) {
+		t.Fatal("native and rect query disagree")
+	}
+	// MaxY.
+	top, ok, err := s.MaxY()
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if top.YLess(p) {
+			t.Fatalf("MaxY %v below %v", top, p)
+		}
+	}
+	// Bounded-top filtering stays correct.
+	rect := geom.Rect{XLo: 0, XHi: 400, YLo: 100, YHi: 300}
+	got, err := s.Query(nil, rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []geom.Point
+	for _, p := range pts {
+		if rect.Contains(p) {
+			want = append(want, p)
+		}
+	}
+	if !equalPts(sorted(got), sorted(want)) {
+		t.Fatal("bounded-top query mismatch")
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	store := eio.NewMemStore(128)
+	if _, err := BuildThreeSided(store, epst.Options{}, []geom.Point{{X: 1, Y: 1}, {X: 1, Y: 1}}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if _, err := BuildThreeSided(store, epst.Options{}, []geom.Point{{X: geom.MinCoord, Y: 1}}); !errors.Is(err, ErrCoordRange) {
+		t.Fatalf("sentinel: %v", err)
+	}
+	if _, err := BuildFourSided(store, range4.Options{}, []geom.Point{{X: 2, Y: 2}, {X: 2, Y: 2}}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate 4-sided: %v", err)
+	}
+}

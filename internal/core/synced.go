@@ -1,0 +1,60 @@
+package core
+
+import (
+	"sync"
+
+	"rangesearch/internal/geom"
+)
+
+// Synced wraps an Index with a reader-writer lock, making it safe for
+// concurrent use by multiple goroutines. Queries run under the read lock
+// and may proceed in parallel; updates serialize under the write lock.
+//
+// The underlying structures are single-writer by design (their update
+// algorithms mutate multi-page node records non-atomically), so this
+// wrapper is the supported way to share an index. The eio stores are
+// themselves thread-safe, so read-only parallelism is sound.
+type Synced struct {
+	mu  sync.RWMutex
+	idx Index
+}
+
+var _ Index = (*Synced)(nil)
+
+// NewSynced wraps idx.
+func NewSynced(idx Index) *Synced { return &Synced{idx: idx} }
+
+// Insert implements Index.
+func (s *Synced) Insert(p geom.Point) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idx.Insert(p)
+}
+
+// Delete implements Index.
+func (s *Synced) Delete(p geom.Point) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idx.Delete(p)
+}
+
+// Query implements Index; concurrent queries proceed in parallel.
+func (s *Synced) Query(dst []geom.Point, q geom.Rect) ([]geom.Point, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.Query(dst, q)
+}
+
+// Len implements Index.
+func (s *Synced) Len() (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.Len()
+}
+
+// Destroy implements Index.
+func (s *Synced) Destroy() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idx.Destroy()
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rangesearch/internal/eio"
+	"rangesearch/internal/epst"
+	"rangesearch/internal/geom"
+)
+
+func errorsIsDuplicate(err error) bool { return errors.Is(err, ErrDuplicate) }
+
+// TestSyncedConcurrent hammers a shared index from multiple goroutines.
+// Run with -race to verify the locking discipline.
+func TestSyncedConcurrent(t *testing.T) {
+	store := eio.NewMemStore(256)
+	inner, err := NewThreeSided(store, epst.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewSynced(inner)
+
+	const (
+		writers = 3
+		readers = 4
+		ops     = 300
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < ops; i++ {
+				p := geom.Point{X: seed*100000 + rng.Int63n(10000), Y: rng.Int63n(10000)}
+				if rng.Intn(4) == 0 {
+					if _, err := idx.Delete(p); err != nil {
+						errs <- err
+						return
+					}
+				} else if err := idx.Insert(p); err != nil {
+					// Writers use disjoint x-bands, so only genuine
+					// duplicates from a writer's own reinserts occur.
+					if !errorsIsDuplicate(err) {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(int64(w + 1))
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < ops; i++ {
+				a := rng.Int63n(400000)
+				q := geom.Rect{XLo: a, XHi: a + 50000, YLo: rng.Int63n(10000), YHi: geom.MaxCoord}
+				if _, err := idx.Query(nil, q); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := idx.Len(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(100 + r))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The structure must still be valid after the storm.
+	if err := inner.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+// Package eio implements the external-memory (I/O) model of Aggarwal and
+// Vitter that the paper's bounds are stated in: data is stored in disk
+// blocks ("pages") holding B items each, and the cost of an algorithm is the
+// number of block transfers it performs.
+//
+// The package provides:
+//
+//   - Store: the block-device abstraction — fixed-size pages with explicit
+//     allocation, exact I/O accounting, and page reuse via a free list.
+//   - MemStore: a RAM-backed store, the default substrate for benchmarks.
+//   - FileStore: an os.File-backed store, so the same structures run
+//     against a real file system.
+//   - Pool: an LRU buffer pool modelling a main memory of M pages; hits are
+//     free, misses and dirty evictions cost I/Os on the underlying store.
+//   - FaultStore: deterministic fault injection for failure testing.
+//   - RecordStore: variable-length records stored as page chains, so a
+//     logical node that occupies k blocks costs exactly k I/Os to load.
+//
+// All index structures in this repository keep their point data exclusively
+// in eio pages; reported I/O counts are genuine block-transfer counts.
+package eio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageID identifies an allocated page. The zero PageID is never allocated
+// and acts as a nil reference.
+type PageID uint64
+
+// NilPage is the reserved "no page" identifier.
+const NilPage PageID = 0
+
+// Stats counts block-level operations. Reads and Writes are the I/Os of the
+// external-memory model; Allocs and Frees track space management.
+type Stats struct {
+	Reads  uint64
+	Writes uint64
+	Allocs uint64
+	Frees  uint64
+}
+
+// IOs returns the total number of block transfers (reads + writes).
+func (s Stats) IOs() uint64 { return s.Reads + s.Writes }
+
+// Sub returns the counter deltas s - t.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Reads:  s.Reads - t.Reads,
+		Writes: s.Writes - t.Writes,
+		Allocs: s.Allocs - t.Allocs,
+		Frees:  s.Frees - t.Frees,
+	}
+}
+
+// Add returns the counter sums s + t.
+func (s Stats) Add(t Stats) Stats {
+	return Stats{
+		Reads:  s.Reads + t.Reads,
+		Writes: s.Writes + t.Writes,
+		Allocs: s.Allocs + t.Allocs,
+		Frees:  s.Frees + t.Frees,
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d allocs=%d frees=%d", s.Reads, s.Writes, s.Allocs, s.Frees)
+}
+
+// Errors returned by stores.
+var (
+	// ErrBadPage reports access to a page that was never allocated or has
+	// been freed.
+	ErrBadPage = errors.New("eio: access to unallocated page")
+	// ErrPageSize reports a Write whose buffer is not exactly one page.
+	ErrPageSize = errors.New("eio: buffer size does not match page size")
+	// ErrInjected is the base error produced by FaultStore.
+	ErrInjected = errors.New("eio: injected fault")
+	// ErrBadRecord reports a corrupt or dangling record chain.
+	ErrBadRecord = errors.New("eio: bad record chain")
+)
+
+// Store is a simulated block device. Pages are fixed-size; Read and Write
+// transfer whole pages and each counts as one I/O. Implementations must be
+// safe for concurrent use.
+type Store interface {
+	// PageSize returns the size of every page in bytes.
+	PageSize() int
+	// Alloc reserves a new zeroed page and returns its id (never NilPage).
+	Alloc() (PageID, error)
+	// Free releases a page for reuse. Freeing NilPage is a no-op.
+	Free(id PageID) error
+	// Read copies page id into buf, which must be at least one page long.
+	Read(id PageID, buf []byte) error
+	// Write replaces the contents of page id with buf (exactly one page).
+	Write(id PageID, buf []byte) error
+	// Stats returns the operation counters accumulated since creation or
+	// the last ResetStats.
+	Stats() Stats
+	// ResetStats zeroes the operation counters.
+	ResetStats()
+	// Pages returns the number of currently allocated (live) pages.
+	Pages() int
+	// Close releases resources held by the store. The store must not be
+	// used afterwards.
+	Close() error
+}
+
+// PointSize is the serialized size of one point (two int64 coordinates).
+const PointSize = 16
+
+// BlockCapacity returns B, the number of points that fit in one page of the
+// given size.
+func BlockCapacity(pageSize int) int { return pageSize / PointSize }

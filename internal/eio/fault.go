@@ -1,0 +1,133 @@
+package eio
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Op identifies a store operation for fault injection.
+type Op int
+
+// Store operations that FaultStore can fail.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpAlloc
+	OpFree
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpAlloc:
+		return "alloc"
+	case OpFree:
+		return "free"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// FaultStore wraps a Store and injects deterministic failures, for testing
+// that structures surface (rather than swallow) I/O errors. A fault is
+// armed with FailAfter: the n-th subsequent operation of the given kind
+// fails with an error wrapping ErrInjected.
+type FaultStore struct {
+	mu        sync.Mutex
+	inner     Store
+	countdown map[Op]int // 1 = fail next op of this kind
+}
+
+var _ Store = (*FaultStore)(nil)
+
+// NewFaultStore wraps inner with fault injection (initially disarmed).
+func NewFaultStore(inner Store) *FaultStore {
+	return &FaultStore{inner: inner, countdown: make(map[Op]int)}
+}
+
+// FailAfter arms the injector: the n-th next operation of kind op fails
+// (n = 1 fails the very next one). n ≤ 0 disarms the kind.
+func (f *FaultStore) FailAfter(op Op, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 0 {
+		delete(f.countdown, op)
+		return
+	}
+	f.countdown[op] = n
+}
+
+// Disarm clears all armed faults.
+func (f *FaultStore) Disarm() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	clear(f.countdown)
+}
+
+// trip decrements the countdown for op and reports whether it must fail.
+func (f *FaultStore) trip(op Op) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, ok := f.countdown[op]
+	if !ok {
+		return nil
+	}
+	n--
+	if n > 0 {
+		f.countdown[op] = n
+		return nil
+	}
+	delete(f.countdown, op)
+	return fmt.Errorf("eio: %s fault: %w", op, ErrInjected)
+}
+
+// PageSize implements Store.
+func (f *FaultStore) PageSize() int { return f.inner.PageSize() }
+
+// Alloc implements Store.
+func (f *FaultStore) Alloc() (PageID, error) {
+	if err := f.trip(OpAlloc); err != nil {
+		return NilPage, err
+	}
+	return f.inner.Alloc()
+}
+
+// Free implements Store.
+func (f *FaultStore) Free(id PageID) error {
+	if err := f.trip(OpFree); err != nil {
+		return err
+	}
+	return f.inner.Free(id)
+}
+
+// Read implements Store.
+func (f *FaultStore) Read(id PageID, buf []byte) error {
+	if err := f.trip(OpRead); err != nil {
+		return err
+	}
+	return f.inner.Read(id, buf)
+}
+
+// Write implements Store.
+func (f *FaultStore) Write(id PageID, buf []byte) error {
+	if err := f.trip(OpWrite); err != nil {
+		return err
+	}
+	return f.inner.Write(id, buf)
+}
+
+// Stats implements Store.
+func (f *FaultStore) Stats() Stats { return f.inner.Stats() }
+
+// ResetStats implements Store.
+func (f *FaultStore) ResetStats() { f.inner.ResetStats() }
+
+// Pages implements Store.
+func (f *FaultStore) Pages() int { return f.inner.Pages() }
+
+// Close implements Store.
+func (f *FaultStore) Close() error { return f.inner.Close() }

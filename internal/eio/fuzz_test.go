@@ -1,0 +1,54 @@
+package eio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRecordRoundTrip feeds arbitrary payloads and page sizes through the
+// record store. Run with `go test -fuzz=FuzzRecordRoundTrip ./internal/eio`
+// to explore; the seed corpus runs as an ordinary test.
+func FuzzRecordRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint16(32))
+	f.Add([]byte("hello"), uint16(32))
+	f.Add(bytes.Repeat([]byte{0xAA}, 1000), uint16(48))
+	f.Add([]byte{1, 2, 3}, uint16(4096))
+	f.Fuzz(func(t *testing.T, data []byte, pageSize16 uint16) {
+		pageSize := int(pageSize16)
+		if pageSize < 24 || pageSize > 1<<16 {
+			t.Skip()
+		}
+		if len(data) > 1<<16 {
+			t.Skip()
+		}
+		store := NewMemStore(pageSize)
+		defer store.Close()
+		rs := NewRecordStore(store)
+		id, err := rs.Put(data)
+		if err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		got, err := rs.Get(id)
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(data))
+		}
+		// Update to a mutated payload, then delete; nothing may leak.
+		mutated := append(append([]byte{0x42}, data...), 0x17)
+		if err := rs.Update(id, mutated); err != nil {
+			t.Fatalf("update: %v", err)
+		}
+		got, err = rs.Get(id)
+		if err != nil || !bytes.Equal(got, mutated) {
+			t.Fatalf("update round trip: %v", err)
+		}
+		if err := rs.Delete(id); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+		if store.Pages() != 0 {
+			t.Fatalf("%d pages leaked", store.Pages())
+		}
+	})
+}

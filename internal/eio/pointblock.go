@@ -1,0 +1,77 @@
+package eio
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rangesearch/internal/geom"
+)
+
+// Point-block helpers. A point block is a page holding up to
+// B = PageSize/PointSize points, packed as little-endian (x, y) int64
+// pairs with no header: the owning structure's catalog tracks the count,
+// exactly as the paper's catalog blocks track x-ranges and y-intervals.
+
+// PutPoint serializes p at offset off of buf.
+func PutPoint(buf []byte, off int, p geom.Point) {
+	binary.LittleEndian.PutUint64(buf[off:], uint64(p.X))
+	binary.LittleEndian.PutUint64(buf[off+8:], uint64(p.Y))
+}
+
+// GetPoint deserializes the point at offset off of buf.
+func GetPoint(buf []byte, off int) geom.Point {
+	return geom.Point{
+		X: int64(binary.LittleEndian.Uint64(buf[off:])),
+		Y: int64(binary.LittleEndian.Uint64(buf[off+8:])),
+	}
+}
+
+// EncodePoints packs pts into buf starting at offset 0 and returns the
+// number of bytes used. It panics if pts does not fit.
+func EncodePoints(buf []byte, pts []geom.Point) int {
+	if len(pts)*PointSize > len(buf) {
+		panic(fmt.Sprintf("eio: %d points do not fit in %d bytes", len(pts), len(buf)))
+	}
+	for i, p := range pts {
+		PutPoint(buf, i*PointSize, p)
+	}
+	return len(pts) * PointSize
+}
+
+// DecodePoints unpacks n points from buf, appending to dst.
+func DecodePoints(dst []geom.Point, buf []byte, n int) []geom.Point {
+	for i := 0; i < n; i++ {
+		dst = append(dst, GetPoint(buf, i*PointSize))
+	}
+	return dst
+}
+
+// WritePointBlock allocates (if id is NilPage) or overwrites a page with
+// pts and returns the page id. len(pts) must be at most BlockCapacity.
+func WritePointBlock(s Store, id PageID, pts []geom.Point) (PageID, error) {
+	if len(pts) > BlockCapacity(s.PageSize()) {
+		return NilPage, fmt.Errorf("eio: %d points exceed block capacity %d", len(pts), BlockCapacity(s.PageSize()))
+	}
+	if id == NilPage {
+		var err error
+		id, err = s.Alloc()
+		if err != nil {
+			return NilPage, err
+		}
+	}
+	buf := make([]byte, s.PageSize())
+	EncodePoints(buf, pts)
+	if err := s.Write(id, buf); err != nil {
+		return NilPage, err
+	}
+	return id, nil
+}
+
+// ReadPointBlock reads n points from page id, appending to dst.
+func ReadPointBlock(dst []geom.Point, s Store, id PageID, n int) ([]geom.Point, error) {
+	buf := make([]byte, s.PageSize())
+	if err := s.Read(id, buf); err != nil {
+		return dst, err
+	}
+	return DecodePoints(dst, buf, n), nil
+}

@@ -1,0 +1,210 @@
+package eio
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// PoolStats counts buffer-pool events. Hits cost nothing; every miss is one
+// read on the backing store, and every dirty eviction or flush is one write.
+type PoolStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Writeback uint64
+}
+
+// Pool is an LRU buffer pool over a backing Store. It models a main memory
+// of M pages, the "internal memory" of the I/O model: accesses served from
+// the pool are free, and only traffic to the backing store counts as I/O.
+//
+// Writes are buffered (write-back): a page is written to the backing store
+// only when it is evicted or on Flush/Close.
+type Pool struct {
+	mu      sync.Mutex
+	backing Store
+	cap     int
+	frames  map[PageID]*list.Element
+	lru     *list.List // front = most recent; values are *frame
+	pstats  PoolStats
+	closed  bool
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	dirty bool
+}
+
+var _ Store = (*Pool)(nil)
+
+// NewPool wraps backing with an LRU pool of capacity pages (capacity ≥ 1).
+func NewPool(backing Store, capacity int) *Pool {
+	if capacity < 1 {
+		panic("eio: pool capacity must be at least 1")
+	}
+	return &Pool{
+		backing: backing,
+		cap:     capacity,
+		frames:  make(map[PageID]*list.Element, capacity),
+		lru:     list.New(),
+	}
+}
+
+// PageSize implements Store.
+func (p *Pool) PageSize() int { return p.backing.PageSize() }
+
+// Alloc implements Store. The new page enters the pool dirty, so creating
+// and immediately writing a page costs a single backing write when it is
+// eventually evicted.
+func (p *Pool) Alloc() (PageID, error) {
+	id, err := p.backing.Alloc()
+	if err != nil {
+		return NilPage, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.insertLocked(&frame{id: id, data: make([]byte, p.backing.PageSize()), dirty: true}); err != nil {
+		return NilPage, err
+	}
+	return id, nil
+}
+
+// Free implements Store. A pooled copy is dropped without write-back.
+func (p *Pool) Free(id PageID) error {
+	p.mu.Lock()
+	if el, ok := p.frames[id]; ok {
+		p.lru.Remove(el)
+		delete(p.frames, id)
+	}
+	p.mu.Unlock()
+	return p.backing.Free(id)
+}
+
+// Read implements Store.
+func (p *Pool) Read(id PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("eio: read on closed pool")
+	}
+	if el, ok := p.frames[id]; ok {
+		p.pstats.Hits++
+		p.lru.MoveToFront(el)
+		copy(buf, el.Value.(*frame).data)
+		return nil
+	}
+	p.pstats.Misses++
+	fr := &frame{id: id, data: make([]byte, p.backing.PageSize())}
+	if err := p.backing.Read(id, fr.data); err != nil {
+		return err
+	}
+	if err := p.insertLocked(fr); err != nil {
+		return err
+	}
+	copy(buf, fr.data)
+	return nil
+}
+
+// Write implements Store.
+func (p *Pool) Write(id PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("eio: write on closed pool")
+	}
+	if len(buf) != p.backing.PageSize() {
+		return fmt.Errorf("eio: write buffer %d bytes: %w", len(buf), ErrPageSize)
+	}
+	if el, ok := p.frames[id]; ok {
+		p.pstats.Hits++
+		fr := el.Value.(*frame)
+		copy(fr.data, buf)
+		fr.dirty = true
+		p.lru.MoveToFront(el)
+		return nil
+	}
+	p.pstats.Misses++
+	fr := &frame{id: id, data: make([]byte, p.backing.PageSize()), dirty: true}
+	copy(fr.data, buf)
+	return p.insertLocked(fr)
+}
+
+// insertLocked adds fr to the pool, evicting the LRU frame if full.
+func (p *Pool) insertLocked(fr *frame) error {
+	for p.lru.Len() >= p.cap {
+		tail := p.lru.Back()
+		victim := tail.Value.(*frame)
+		if victim.dirty {
+			p.pstats.Writeback++
+			if err := p.backing.Write(victim.id, victim.data); err != nil {
+				return fmt.Errorf("eio: evict page %d: %w", victim.id, err)
+			}
+		}
+		p.pstats.Evictions++
+		p.lru.Remove(tail)
+		delete(p.frames, victim.id)
+	}
+	p.frames[fr.id] = p.lru.PushFront(fr)
+	return nil
+}
+
+// Flush writes every dirty pooled page to the backing store.
+func (p *Pool) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushLocked()
+}
+
+func (p *Pool) flushLocked() error {
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*frame)
+		if fr.dirty {
+			p.pstats.Writeback++
+			if err := p.backing.Write(fr.id, fr.data); err != nil {
+				return fmt.Errorf("eio: flush page %d: %w", fr.id, err)
+			}
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// Stats implements Store, reporting the backing store's counters — i.e. the
+// true I/O cost after caching.
+func (p *Pool) Stats() Stats { return p.backing.Stats() }
+
+// ResetStats implements Store; it clears both backing and pool counters.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	p.pstats = PoolStats{}
+	p.mu.Unlock()
+	p.backing.ResetStats()
+}
+
+// PoolStats returns hit/miss/eviction counters.
+func (p *Pool) PoolStats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pstats
+}
+
+// Pages implements Store.
+func (p *Pool) Pages() int { return p.backing.Pages() }
+
+// Close flushes dirty pages and closes the backing store.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	err := p.flushLocked()
+	p.closed = true
+	p.mu.Unlock()
+	if cerr := p.backing.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

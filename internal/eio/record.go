@@ -1,0 +1,178 @@
+package eio
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// RecordStore stores variable-length byte records on a Store as chains of
+// pages. A record that needs k pages costs exactly k I/Os to read and Θ(k)
+// to write, matching the paper's accounting for logical nodes that occupy
+// "O(1) catalog blocks" or "O(B) index blocks".
+//
+// Chain layout: every page starts with an 8-byte next-page id; the first
+// page additionally carries the record length as 8 bytes. The record id is
+// the id of its first page.
+type RecordStore struct {
+	s Store
+}
+
+const (
+	chainNextOff  = 0
+	chainHdrFirst = 16 // next + length
+	chainHdrRest  = 8  // next only
+)
+
+// NewRecordStore returns a RecordStore over s.
+func NewRecordStore(s Store) *RecordStore { return &RecordStore{s: s} }
+
+// Store returns the underlying page store.
+func (r *RecordStore) Store() Store { return r.s }
+
+// PagesFor returns the number of pages a record of n bytes occupies.
+func (r *RecordStore) PagesFor(n int) int {
+	ps := r.s.PageSize()
+	first := ps - chainHdrFirst
+	if n <= first {
+		return 1
+	}
+	rest := ps - chainHdrRest
+	return 1 + (n-first+rest-1)/rest
+}
+
+// Put writes data as a new record and returns its id.
+func (r *RecordStore) Put(data []byte) (PageID, error) {
+	return r.write(NilPage, data)
+}
+
+// Update rewrites the record id with data, reusing the existing chain's
+// pages and allocating or freeing pages as the length changes. The record
+// keeps its id.
+func (r *RecordStore) Update(id PageID, data []byte) error {
+	if id == NilPage {
+		return fmt.Errorf("eio: update of nil record: %w", ErrBadRecord)
+	}
+	_, err := r.write(id, data)
+	return err
+}
+
+// write stores data in a chain starting at reuse (NilPage to allocate a
+// fresh chain) and returns the chain head.
+func (r *RecordStore) write(reuse PageID, data []byte) (PageID, error) {
+	ps := r.s.PageSize()
+	buf := make([]byte, ps)
+
+	// Collect reusable pages from the old chain.
+	var reusable []PageID
+	if reuse != NilPage {
+		var err error
+		reusable, err = r.chain(reuse)
+		if err != nil {
+			return NilPage, err
+		}
+	}
+	need := r.PagesFor(len(data))
+	pages := make([]PageID, 0, need)
+	pages = append(pages, reusable...)
+	if len(pages) > need {
+		for _, id := range pages[need:] {
+			if err := r.s.Free(id); err != nil {
+				return NilPage, fmt.Errorf("eio: shrink record: %w", err)
+			}
+		}
+		pages = pages[:need]
+	}
+	for len(pages) < need {
+		id, err := r.s.Alloc()
+		if err != nil {
+			return NilPage, fmt.Errorf("eio: grow record: %w", err)
+		}
+		pages = append(pages, id)
+	}
+
+	rest := data
+	for i, id := range pages {
+		clear(buf)
+		next := NilPage
+		if i+1 < len(pages) {
+			next = pages[i+1]
+		}
+		binary.LittleEndian.PutUint64(buf[chainNextOff:], uint64(next))
+		hdr := chainHdrRest
+		if i == 0 {
+			binary.LittleEndian.PutUint64(buf[8:], uint64(len(data)))
+			hdr = chainHdrFirst
+		}
+		n := copy(buf[hdr:], rest)
+		rest = rest[n:]
+		if err := r.s.Write(id, buf); err != nil {
+			return NilPage, fmt.Errorf("eio: write record page: %w", err)
+		}
+	}
+	return pages[0], nil
+}
+
+// Get reads the record id in full.
+func (r *RecordStore) Get(id PageID) ([]byte, error) {
+	if id == NilPage {
+		return nil, fmt.Errorf("eio: get of nil record: %w", ErrBadRecord)
+	}
+	ps := r.s.PageSize()
+	buf := make([]byte, ps)
+	if err := r.s.Read(id, buf); err != nil {
+		return nil, err
+	}
+	next := PageID(binary.LittleEndian.Uint64(buf[chainNextOff:]))
+	length := int(binary.LittleEndian.Uint64(buf[8:]))
+	if length < 0 || length > 1<<40 {
+		return nil, fmt.Errorf("eio: record %d length %d: %w", id, length, ErrBadRecord)
+	}
+	out := make([]byte, 0, length)
+	out = append(out, buf[chainHdrFirst:min(ps, chainHdrFirst+length)]...)
+	for next != NilPage && len(out) < length {
+		if err := r.s.Read(next, buf); err != nil {
+			return nil, err
+		}
+		next = PageID(binary.LittleEndian.Uint64(buf[chainNextOff:]))
+		out = append(out, buf[chainHdrRest:min(ps, chainHdrRest+length-len(out))]...)
+	}
+	if len(out) != length {
+		return nil, fmt.Errorf("eio: record %d truncated (%d of %d bytes): %w", id, len(out), length, ErrBadRecord)
+	}
+	return out, nil
+}
+
+// Delete frees every page of the record id.
+func (r *RecordStore) Delete(id PageID) error {
+	if id == NilPage {
+		return nil
+	}
+	pages, err := r.chain(id)
+	if err != nil {
+		return err
+	}
+	for _, p := range pages {
+		if err := r.s.Free(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chain returns the page ids of record id in order.
+func (r *RecordStore) chain(id PageID) ([]PageID, error) {
+	ps := r.s.PageSize()
+	buf := make([]byte, ps)
+	var pages []PageID
+	for cur := id; cur != NilPage; {
+		if err := r.s.Read(cur, buf); err != nil {
+			return nil, err
+		}
+		pages = append(pages, cur)
+		cur = PageID(binary.LittleEndian.Uint64(buf[chainNextOff:]))
+		if len(pages) > 1<<24 {
+			return nil, fmt.Errorf("eio: record %d: cycle in chain: %w", id, ErrBadRecord)
+		}
+	}
+	return pages, nil
+}

@@ -1,0 +1,164 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointOrdering(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		less bool
+	}{
+		{Point{1, 5}, Point{2, 0}, true},
+		{Point{2, 0}, Point{1, 5}, false},
+		{Point{1, 1}, Point{1, 2}, true},
+		{Point{1, 2}, Point{1, 2}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Less(c.q); got != c.less {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.p, c.q, got, c.less)
+		}
+	}
+}
+
+func TestCompareConsistentWithLess(t *testing.T) {
+	err := quick.Check(func(ax, ay, bx, by int64) bool {
+		p, q := Point{ax, ay}, Point{bx, by}
+		cmp := p.Compare(q)
+		switch {
+		case p.Less(q):
+			return cmp == -1
+		case q.Less(p):
+			return cmp == 1
+		default:
+			return cmp == 0 && p == q
+		}
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{XLo: 0, XHi: 10, YLo: 5, YHi: 15}
+	for _, p := range []Point{{0, 5}, {10, 15}, {5, 10}} {
+		if !r.Contains(p) {
+			t.Errorf("%v should contain %v", r, p)
+		}
+	}
+	for _, p := range []Point{{-1, 5}, {11, 5}, {5, 4}, {5, 16}} {
+		if r.Contains(p) {
+			t.Errorf("%v should not contain %v", r, p)
+		}
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := Rect{XLo: 0, XHi: 10, YLo: 0, YHi: 10}
+	b := Rect{XLo: 5, XHi: 15, YLo: 5, YHi: 15}
+	got := a.Intersect(b)
+	want := Rect{XLo: 5, XHi: 10, YLo: 5, YHi: 10}
+	if got != want {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("Intersects should be true")
+	}
+	c := Rect{XLo: 11, XHi: 12, YLo: 0, YHi: 10}
+	if a.Intersects(c) {
+		t.Error("disjoint rects reported intersecting")
+	}
+	if !a.Intersect(c).Empty() {
+		t.Error("intersection of disjoint rects should be empty")
+	}
+}
+
+func TestIntersectionMembershipProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a := randRect(rng)
+		b := randRect(rng)
+		p := Point{rng.Int63n(100), rng.Int63n(100)}
+		inBoth := a.Contains(p) && b.Contains(p)
+		if inBoth != a.Intersect(b).Contains(p) {
+			t.Fatalf("intersection membership mismatch: %v %v %v", a, b, p)
+		}
+	}
+}
+
+func randRect(rng *rand.Rand) Rect {
+	x1, x2 := rng.Int63n(100), rng.Int63n(100)
+	y1, y2 := rng.Int63n(100), rng.Int63n(100)
+	if x1 > x2 {
+		x1, x2 = x2, x1
+	}
+	if y1 > y2 {
+		y1, y2 = y2, y1
+	}
+	return Rect{XLo: x1, XHi: x2, YLo: y1, YHi: y2}
+}
+
+func TestQuery3Semantics(t *testing.T) {
+	q := Query3{XLo: 2, XHi: 8, YLo: 10}
+	if !q.Contains(Point{2, 10}) || !q.Contains(Point{8, MaxCoord}) {
+		t.Error("boundary points must satisfy 3-sided query")
+	}
+	if q.Contains(Point{1, 100}) || q.Contains(Point{5, 9}) {
+		t.Error("points outside sides must not satisfy query")
+	}
+	if !q.Rect().Contains(Point{5, MaxCoord}) {
+		t.Error("Rect() must be open-topped")
+	}
+}
+
+func TestDiagonalCornerIsStabbing(t *testing.T) {
+	ivs := []Interval{{0, 5}, {3, 9}, {6, 7}, {-2, -1}}
+	for q := int64(-3); q <= 10; q++ {
+		dq := DiagonalCorner(q)
+		for _, iv := range ivs {
+			if iv.Contains(q) != dq.Contains(iv.Point()) {
+				t.Fatalf("stabbing/diagonal mismatch at q=%d iv=%v", q, iv)
+			}
+		}
+	}
+}
+
+func TestIntervalPointRoundTrip(t *testing.T) {
+	err := quick.Check(func(lo, hi int64) bool {
+		iv := Interval{Lo: lo, Hi: hi}
+		return IntervalFromPoint(iv.Point()) == iv
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSorts(t *testing.T) {
+	pts := []Point{{3, 1}, {1, 2}, {1, 1}, {2, 9}}
+	SortByX(pts)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Less(pts[i-1]) {
+			t.Fatalf("SortByX out of order at %d: %v", i, pts)
+		}
+	}
+	SortByY(pts)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].YLess(pts[i-1]) {
+			t.Fatalf("SortByY out of order at %d: %v", i, pts)
+		}
+	}
+}
+
+func TestFilters(t *testing.T) {
+	pts := []Point{{0, 0}, {5, 5}, {10, 10}}
+	got := Filter3(nil, pts, Query3{XLo: 0, XHi: 10, YLo: 5})
+	if len(got) != 2 {
+		t.Fatalf("Filter3: got %d points", len(got))
+	}
+	got = Filter4(nil, pts, Rect{XLo: 0, XHi: 10, YLo: 0, YHi: 5})
+	if len(got) != 2 {
+		t.Fatalf("Filter4: got %d points", len(got))
+	}
+}

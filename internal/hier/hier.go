@@ -1,0 +1,245 @@
+// Package hier implements the 4-sided indexing scheme of Section 2.2.2 of
+// Arge, Samoladas & Vitter (PODS 1999), based on Chazelle's filtering
+// technique: a ρ-ary hierarchy over the x-order of the points in which
+// every set carries two 3-sided sweep schemes (one answering subqueries
+// unbounded to the left, one unbounded to the right).
+//
+// With ⌈log_ρ n⌉ levels and two constant-redundancy schemes per level, the
+// redundancy is r = O(log n / log ρ), and every 4-sided query is covered by
+// O(ρ + t) blocks (Theorem 5) — matching the Section 2.1 lower bound.
+//
+// Orientation bookkeeping: the sweep scheme of internal/sweep answers
+// top-open queries (y ≥ c). A subquery on an x-partial child is bounded on
+// both y sides and one x side, so points are stored rotated:
+//
+//	right-open (x ≥ a):  (x, y) → (y, x);   query (c, d, a)
+//	left-open  (x ≤ b):  (x, y) → (y, −x);  query (c, d, −b)
+package hier
+
+import (
+	"fmt"
+	"sort"
+
+	"rangesearch/internal/geom"
+	"rangesearch/internal/sweep"
+)
+
+// Scheme is a constructed 4-sided indexing scheme.
+type Scheme struct {
+	b, rho int
+	alpha  int
+	pts    []geom.Point // sorted by (x, y)
+	root   *node
+	levels int
+	blocks int
+}
+
+type node struct {
+	start, end int // covered range of Scheme.pts
+	children   []*node
+	right      *sweep.Scheme  // right-open: stored as (y, x)
+	left       *sweep.Scheme  // left-open: stored as (y, −x)
+	leafBlocks [][]geom.Point // x-partition into ≤ρ blocks; leaves only
+}
+
+// Build constructs the scheme with block size b ≥ 2, fan-out rho ≥ 2 and
+// sweep coalescing parameter alpha ≥ 2. The input slice is not modified.
+func Build(points []geom.Point, b, rho, alpha int) (*Scheme, error) {
+	if b < 2 || rho < 2 || alpha < 2 {
+		return nil, fmt.Errorf("hier: invalid parameters b=%d rho=%d alpha=%d", b, rho, alpha)
+	}
+	s := &Scheme{b: b, rho: rho, alpha: alpha}
+	if len(points) == 0 {
+		return s, nil
+	}
+	s.pts = make([]geom.Point, len(points))
+	copy(s.pts, points)
+	geom.SortByX(s.pts)
+
+	// Level 0: leaves of ρ·B consecutive points.
+	setSize := rho * b
+	var level []*node
+	for lo := 0; lo < len(s.pts); lo += setSize {
+		hi := min(lo+setSize, len(s.pts))
+		level = append(level, &node{start: lo, end: hi})
+	}
+	s.levels = 1
+	// Upper levels: union ρ consecutive sets until one remains.
+	for len(level) > 1 {
+		var up []*node
+		for lo := 0; lo < len(level); lo += rho {
+			hi := min(lo+rho, len(level))
+			kids := level[lo:hi]
+			up = append(up, &node{
+				start:    kids[0].start,
+				end:      kids[len(kids)-1].end,
+				children: append([]*node(nil), kids...),
+			})
+		}
+		level = up
+		s.levels++
+	}
+	s.root = level[0]
+	if err := s.buildNode(s.root); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Scheme) buildNode(v *node) error {
+	span := s.pts[v.start:v.end]
+	rot := make([]geom.Point, len(span))
+	for i, p := range span {
+		rot[i] = rightRot(p)
+	}
+	var err error
+	if v.right, err = sweep.Build(rot, s.b, s.alpha); err != nil {
+		return fmt.Errorf("hier: right-open scheme: %w", err)
+	}
+	for i, p := range span {
+		rot[i] = leftRot(p)
+	}
+	if v.left, err = sweep.Build(rot, s.b, s.alpha); err != nil {
+		return fmt.Errorf("hier: left-open scheme: %w", err)
+	}
+	s.blocks += v.right.NumBlocks() + v.left.NumBlocks()
+	if len(v.children) == 0 {
+		// Leaf: keep the raw x-partition, loaded whole when a query's
+		// x-interval falls entirely inside this set.
+		for lo := v.start; lo < v.end; lo += s.b {
+			hi := min(lo+s.b, v.end)
+			v.leafBlocks = append(v.leafBlocks, s.pts[lo:hi])
+			s.blocks++
+		}
+		return nil
+	}
+	for _, c := range v.children {
+		if err := s.buildNode(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rightRot maps a point for the right-open scheme; query (c,d,a) then
+// selects y ∈ [c,d] ∧ x ≥ a.
+func rightRot(p geom.Point) geom.Point { return geom.Point{X: p.Y, Y: p.X} }
+
+func rightUnrot(p geom.Point) geom.Point { return geom.Point{X: p.Y, Y: p.X} }
+
+// leftRot maps a point for the left-open scheme; query (c,d,−b) then
+// selects y ∈ [c,d] ∧ x ≤ b.
+func leftRot(p geom.Point) geom.Point { return geom.Point{X: p.Y, Y: -p.X} }
+
+func leftUnrot(p geom.Point) geom.Point { return geom.Point{X: -p.Y, Y: p.X} }
+
+// B returns the block size.
+func (s *Scheme) B() int { return s.b }
+
+// Rho returns the fan-out.
+func (s *Scheme) Rho() int { return s.rho }
+
+// Levels returns the number of levels in the hierarchy.
+func (s *Scheme) Levels() int { return s.levels }
+
+// BlockSize implements indexability.Scheme.
+func (s *Scheme) BlockSize() int { return s.b }
+
+// NumBlocks returns the total number of blocks across all levels.
+func (s *Scheme) NumBlocks() int { return s.blocks }
+
+// NumPoints returns N.
+func (s *Scheme) NumPoints() int { return len(s.pts) }
+
+// Redundancy returns r = B·|blocks|/N.
+func (s *Scheme) Redundancy() float64 {
+	if len(s.pts) == 0 {
+		return 0
+	}
+	return float64(s.b*s.blocks) / float64(len(s.pts))
+}
+
+// cover accumulates the blocks answering q. Blocks from rotated schemes are
+// mapped back to original coordinates.
+func (s *Scheme) cover(q geom.Rect) [][]geom.Point {
+	if s.root == nil || q.Empty() {
+		return nil
+	}
+	// Index range of matching x-interval in the sorted point array.
+	iLo := sort.Search(len(s.pts), func(i int) bool { return s.pts[i].X >= q.XLo })
+	iHi := sort.Search(len(s.pts), func(i int) bool { return s.pts[i].X > q.XHi })
+	if iLo >= iHi {
+		return nil
+	}
+	// Descend to the lowest set containing [iLo, iHi).
+	v := s.root
+descend:
+	for len(v.children) > 0 {
+		for _, c := range v.children {
+			if c.start <= iLo && iHi <= c.end {
+				v = c
+				continue descend
+			}
+		}
+		break
+	}
+	if len(v.children) == 0 {
+		// Leaf: load its raw blocks.
+		return v.leafBlocks
+	}
+	var out [][]geom.Point
+	for _, c := range v.children {
+		if c.end <= iLo || c.start >= iHi {
+			continue
+		}
+		switch {
+		case c.start <= iLo && iHi <= c.end:
+			// Cannot happen: we would have descended.
+			panic("hier: unreachable full containment")
+		case c.start <= iLo:
+			// Leftmost partial child: bounded left at XLo, open right.
+			out = appendCover(out, c.right, geom.Query3{XLo: q.YLo, XHi: q.YHi, YLo: q.XLo}, rightUnrot)
+		case iHi <= c.end:
+			// Rightmost partial child: bounded right at XHi, open left.
+			out = appendCover(out, c.left, geom.Query3{XLo: q.YLo, XHi: q.YHi, YLo: negHi(q.XHi)}, leftUnrot)
+		default:
+			// Fully spanned: only the y-bounds matter.
+			out = appendCover(out, c.right, geom.Query3{XLo: q.YLo, XHi: q.YHi, YLo: geom.MinCoord}, rightUnrot)
+		}
+	}
+	return out
+}
+
+// negHi negates a right x-bound for the left-open transform, saturating so
+// that −MaxCoord does not overflow into the MinCoord sentinel.
+func negHi(b int64) int64 {
+	if b == geom.MaxCoord {
+		return geom.MinCoord
+	}
+	return -b
+}
+
+func appendCover(dst [][]geom.Point, sch *sweep.Scheme, q geom.Query3, unrot func(geom.Point) geom.Point) [][]geom.Point {
+	for _, bi := range sch.CoverIndexes(q) {
+		blk := sch.Blocks()[bi].Points
+		orig := make([]geom.Point, len(blk))
+		for i, p := range blk {
+			orig[i] = unrot(p)
+		}
+		dst = append(dst, orig)
+	}
+	return dst
+}
+
+// Cover implements indexability.Scheme.
+func (s *Scheme) Cover(q geom.Rect) ([][]geom.Point, error) { return s.cover(q), nil }
+
+// Query4 returns all indexed points inside q, appended to dst, along with
+// the number of blocks read.
+func (s *Scheme) Query4(dst []geom.Point, q geom.Rect) ([]geom.Point, int) {
+	cov := s.cover(q)
+	for _, blk := range cov {
+		dst = geom.Filter4(dst, blk, q)
+	}
+	return dst, len(cov)
+}

@@ -1,0 +1,144 @@
+package hier
+
+import (
+	"math/rand"
+	"testing"
+
+	"rangesearch/internal/geom"
+	"rangesearch/internal/indexability"
+)
+
+func randPoints(rng *rand.Rand, n int, coordRange int64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Int63n(coordRange), Y: rng.Int63n(coordRange)}
+	}
+	return pts
+}
+
+func brute4(pts []geom.Point, q geom.Rect) []geom.Point {
+	var out []geom.Point
+	for _, p := range pts {
+		if q.Contains(p) {
+			out = append(out, p)
+		}
+	}
+	geom.SortByX(out)
+	return out
+}
+
+func TestQuery4CorrectnessRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{0, 1, 10, 200, 1500} {
+		for _, rho := range []int{2, 4, 8} {
+			pts := randPoints(rng, n, 800)
+			s, err := Build(pts, 8, rho, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 60; trial++ {
+				a := rng.Int63n(800)
+				b := a + rng.Int63n(800-a+1)
+				c := rng.Int63n(800)
+				d := c + rng.Int63n(800-c+1)
+				q := geom.Rect{XLo: a, XHi: b, YLo: c, YHi: d}
+				got, _ := s.Query4(nil, q)
+				geom.SortByX(got)
+				want := brute4(pts, q)
+				if len(got) != len(want) {
+					t.Fatalf("n=%d rho=%d query %v: got %d points want %d", n, rho, q, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d rho=%d query %v: point %d mismatch", n, rho, q, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestQuery4FullAndEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pts := randPoints(rng, 300, 100)
+	s, err := Build(pts, 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Query4(nil, geom.Rect{XLo: geom.MinCoord, XHi: geom.MaxCoord, YLo: geom.MinCoord, YHi: geom.MaxCoord})
+	if len(got) != len(pts) {
+		t.Fatalf("full query: %d of %d points", len(got), len(pts))
+	}
+	got, nb := s.Query4(nil, geom.Rect{XLo: 500, XHi: 600, YLo: 0, YHi: 100})
+	if len(got) != 0 || nb != 0 {
+		t.Fatalf("out-of-range query returned %d points, %d blocks", len(got), nb)
+	}
+}
+
+func TestRedundancyScalesWithRho(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randPoints(rng, 4096, 1<<20)
+	var prev float64 = 1e18
+	for _, rho := range []int{2, 4, 16} {
+		s, err := Build(pts, 8, rho, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := s.Redundancy()
+		if r >= prev {
+			t.Errorf("rho=%d: redundancy %.2f did not drop from %.2f", rho, r, prev)
+		}
+		prev = r
+	}
+}
+
+// TestTheorem5CoverBound checks that every query is covered by O(ρ + t)
+// blocks, with the constant implied by the construction: partial children
+// cost ≤ α²t+α+1 blocks each, spanned children ≤ ρ−2 base costs plus
+// output-proportional blocks.
+func TestTheorem5CoverBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pts := randPoints(rng, 3000, 5000)
+	b, rho, alpha := 8, 4, 2
+	s, err := Build(pts, b, rho, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		a := rng.Int63n(5000)
+		bb := a + rng.Int63n(5000-a+1)
+		c := rng.Int63n(5000)
+		d := c + rng.Int63n(5000-c+1)
+		q := geom.Rect{XLo: a, XHi: bb, YLo: c, YHi: d}
+		got, k := s.Query4(nil, q)
+		tb := (len(got) + b - 1) / b
+		limit := alpha*alpha*tb + rho*(alpha+1) + rho
+		if k > limit {
+			t.Errorf("query %v: %d blocks for t=%d (limit %d)", q, k, tb, limit)
+		}
+	}
+}
+
+func TestImplementsIndexabilityScheme(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	pts := randPoints(rng, 500, 400)
+	s, err := Build(pts, 8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &indexability.Workload{Points: pts}
+	for trial := 0; trial < 40; trial++ {
+		a := rng.Int63n(400)
+		b := a + rng.Int63n(400-a+1)
+		c := rng.Int63n(400)
+		d := c + rng.Int63n(400-c+1)
+		w.Queries = append(w.Queries, geom.Rect{XLo: a, XHi: b, YLo: c, YHi: d})
+	}
+	rep, err := indexability.MeasureAccess(s, w)
+	if err != nil {
+		t.Fatalf("cover verification failed: %v", err)
+	}
+	if rep.Queries != len(w.Queries) {
+		t.Fatalf("measured %d of %d queries", rep.Queries, len(w.Queries))
+	}
+}

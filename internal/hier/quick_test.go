@@ -1,0 +1,84 @@
+package hier
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"rangesearch/internal/geom"
+)
+
+// Property: the hierarchical scheme answers any window query exactly, for
+// arbitrary point sets and parameters, and its redundancy never exceeds
+// 2·(levels)·(1 + 1/(α−1)) plus the leaf partition.
+func TestQuickSchemeCorrect(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			n := rng.Intn(400)
+			pts := make([]geom.Point, n)
+			for i := range pts {
+				pts[i] = geom.Point{X: rng.Int63n(96), Y: rng.Int63n(96)}
+			}
+			vals[0] = reflect.ValueOf(pts)
+			vals[1] = reflect.ValueOf(2 + rng.Intn(6)) // B
+			vals[2] = reflect.ValueOf(2 + rng.Intn(6)) // rho
+			vals[3] = reflect.ValueOf(rng.Int63())
+		},
+	}
+	err := quick.Check(func(pts []geom.Point, b, rho int, qseed int64) bool {
+		s, err := Build(pts, b, rho, 2)
+		if err != nil {
+			return false
+		}
+		if len(pts) > 0 {
+			// 2 sweep schemes (r ≤ 2 each at α=2) per level + leaf blocks,
+			// plus per-set partial-block slack.
+			sets := 0
+			for lvl, cnt := 1, (len(pts)+rho*b-1)/(rho*b); ; lvl++ {
+				sets += cnt
+				if cnt <= 1 {
+					break
+				}
+				cnt = (cnt + rho - 1) / rho
+			}
+			slack := float64(5*sets*b) / float64(len(pts))
+			bound := float64(2*s.Levels())*2 + 1 + slack
+			if s.Redundancy() > bound+1e-9 {
+				return false
+			}
+		}
+		rng := rand.New(rand.NewSource(qseed))
+		for trial := 0; trial < 8; trial++ {
+			a := rng.Int63n(100) - 2
+			bb := a + rng.Int63n(100)
+			c := rng.Int63n(100) - 2
+			d := c + rng.Int63n(100)
+			q := geom.Rect{XLo: a, XHi: bb, YLo: c, YHi: d}
+			got, _ := s.Query4(nil, q)
+			want := map[geom.Point]int{}
+			for _, p := range pts {
+				if q.Contains(p) {
+					want[p]++
+				}
+			}
+			gotCnt := map[geom.Point]int{}
+			for _, p := range got {
+				gotCnt[p]++
+			}
+			if len(gotCnt) != len(want) {
+				return false
+			}
+			for p, c := range want {
+				if gotCnt[p] != c {
+					return false
+				}
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+package indexability
+
+import (
+	"fmt"
+	"math"
+
+	"rangesearch/internal/geom"
+)
+
+// The Fibonacci workload of Koutsoupias and Taylor, the worst-case workload
+// for two-dimensional range search indexability (Section 2.1 of the paper).
+//
+// For N = f_k (the k-th Fibonacci number), the Fibonacci lattice is
+//
+//	F_N = { (i, i·f_{k-1} mod N) : i = 0, …, N−1 }.
+//
+// Its key property (Proposition 1): every rectangle of area ℓBN contains
+// Θ(ℓB) points — at least ℓB/c₁ and at most ℓB/c₂ with c₁ ≈ 1.9 and
+// c₂ ≈ 0.45 — so rectangles of every aspect ratio are equally "dense".
+
+// Proposition 1 constants.
+const (
+	FibC1 = 1.9
+	FibC2 = 0.45
+)
+
+// Fib returns the k-th Fibonacci number with f_1 = f_2 = 1. It panics for
+// k < 1 or k > 90 (overflow).
+func Fib(k int) int64 {
+	if k < 1 || k > 90 {
+		panic(fmt.Sprintf("indexability: Fib(%d) out of range", k))
+	}
+	a, b := int64(1), int64(1)
+	for i := 3; i <= k; i++ {
+		a, b = b, a+b
+	}
+	return b
+}
+
+// FibonacciLattice returns the N-point Fibonacci lattice for N = Fib(k),
+// k ≥ 3. Points are returned in x order (x = i).
+func FibonacciLattice(k int) []geom.Point {
+	n := Fib(k)
+	step := Fib(k - 1)
+	pts := make([]geom.Point, n)
+	y := int64(0)
+	for i := int64(0); i < n; i++ {
+		pts[i] = geom.Point{X: i, Y: y}
+		y += step
+		if y >= n {
+			y -= n
+		}
+	}
+	return pts
+}
+
+// LatticeCount returns the number of lattice points of FibonacciLattice(k)
+// inside the closed rectangle r, computed directly from the lattice
+// definition in O(width) time without materializing the point set.
+func LatticeCount(k int, r geom.Rect) int {
+	n := Fib(k)
+	step := Fib(k - 1)
+	lo := max64(0, r.XLo)
+	hi := min64(n-1, r.XHi)
+	if lo > hi || r.YLo > r.YHi {
+		return 0
+	}
+	cnt := 0
+	y := mod64(lo*step, n)
+	for i := lo; i <= hi; i++ {
+		if y >= r.YLo && y <= r.YHi {
+			cnt++
+		}
+		y += step
+		if y >= n {
+			y -= n
+		}
+	}
+	return cnt
+}
+
+// TilingQueries returns the Section 2.1 query set: for each admissible
+// aspect-ratio exponent i, a tiling of the N×N domain by w×h rectangles
+// with w ≈ c^i and h ≈ a/w, where a = c₁·kq·B·N is the common area (kq ≥ 1
+// scales the target output size to kq·B points). Only exponents with both
+// sides at most N are used, giving ≈ log_c(N/(c₁·kq·B)) distinct ratios.
+func TilingQueries(k int, B int, kq int, c float64) []geom.Rect {
+	if c <= 1 {
+		panic("indexability: tiling parameter c must exceed 1")
+	}
+	n := Fib(k)
+	area := FibC1 * float64(kq) * float64(B) * float64(n)
+	var queries []geom.Rect
+	for w := area / float64(n); w <= float64(n); w *= c {
+		wi := int64(math.Round(w))
+		if wi < 1 {
+			wi = 1
+		}
+		hi := int64(math.Round(area / float64(wi)))
+		if hi < 1 || hi > n {
+			continue
+		}
+		for x := int64(0); x < n; x += wi {
+			for y := int64(0); y < n; y += hi {
+				queries = append(queries, geom.Rect{
+					XLo: x, XHi: min64(x+wi-1, n-1),
+					YLo: y, YHi: min64(y+hi-1, n-1),
+				})
+			}
+		}
+	}
+	return queries
+}
+
+// FibonacciWorkload returns the full Fibonacci workload for N = Fib(k):
+// lattice instances and the tiling query set for output size ≈ kq·B.
+func FibonacciWorkload(k, B, kq int, c float64) *Workload {
+	return &Workload{
+		Points:  FibonacciLattice(k),
+		Queries: TilingQueries(k, B, kq, c),
+	}
+}
+
+// DensityReport summarizes how rectangle point counts compare to
+// Proposition 1 over a set of rectangles of common area.
+type DensityReport struct {
+	Area     float64 // common rectangle area
+	Expected float64 // area/N, the "ideal" count
+	Min, Max int     // observed counts
+	// C1 and C2 are the observed constants: Expected/Min and Expected/Max.
+	// Proposition 1 predicts C1 ≤ ~1.9 and C2 ≥ ~0.45.
+	C1, C2 float64
+	Rects  int
+}
+
+// MeasureDensity evaluates Proposition 1 on the Fibonacci lattice of
+// N = Fib(k), over tilings of rectangles with area ≈ ell·B·N.
+func MeasureDensity(k, B int, ell int, c float64) DensityReport {
+	n := Fib(k)
+	area := float64(ell) * float64(B) * float64(n)
+	rep := DensityReport{Area: area, Expected: area / float64(n), Min: math.MaxInt}
+	for w := area / float64(n); w <= float64(n); w *= c {
+		wi := int64(math.Round(w))
+		if wi < 1 {
+			wi = 1
+		}
+		hi := int64(math.Round(area / float64(wi)))
+		if hi < 1 || hi > n {
+			continue
+		}
+		for x := int64(0); x+wi <= n; x += wi {
+			for y := int64(0); y+hi <= n; y += hi {
+				cnt := LatticeCount(k, geom.Rect{XLo: x, XHi: x + wi - 1, YLo: y, YHi: y + hi - 1})
+				if cnt < rep.Min {
+					rep.Min = cnt
+				}
+				if cnt > rep.Max {
+					rep.Max = cnt
+				}
+				rep.Rects++
+			}
+		}
+	}
+	if rep.Rects == 0 {
+		rep.Min = 0
+		return rep
+	}
+	if rep.Min > 0 {
+		rep.C1 = rep.Expected / float64(rep.Min)
+	} else {
+		rep.C1 = math.Inf(1)
+	}
+	if rep.Max > 0 {
+		rep.C2 = rep.Expected / float64(rep.Max)
+	}
+	return rep
+}
+
+func mod64(a, n int64) int64 {
+	m := a % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

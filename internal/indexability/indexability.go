@@ -1,0 +1,161 @@
+// Package indexability implements the indexability framework of
+// Hellerstein, Koutsoupias and Papadimitriou as used in Section 2 of Arge,
+// Samoladas & Vitter (PODS 1999): workloads, indexing schemes, and the two
+// quality measures — redundancy r and access overhead A — together with the
+// Fibonacci workload and the Redundancy-Theorem lower bound on the r/A
+// trade-off (Theorems 1–3 of the paper).
+//
+// An indexing scheme places the N instances (points) on blocks of at most B
+// points, possibly with duplication. Its redundancy is r = B·|blocks|/N,
+// and its access overhead is the least A such that every query q is covered
+// by at most A·⌈|q|/B⌉ blocks. Search cost is deliberately ignored: the
+// framework isolates the combinatorial placement problem.
+package indexability
+
+import (
+	"fmt"
+	"math"
+
+	"rangesearch/internal/geom"
+)
+
+// Workload is a simple hypergraph (I, Q): a set of instances (points) and a
+// set of queries (orthogonal rectangles whose point subsets are the
+// hyperedges).
+type Workload struct {
+	Points  []geom.Point
+	Queries []geom.Rect
+}
+
+// ResultSize returns |q|: the number of workload points satisfying q.
+func (w *Workload) ResultSize(q geom.Rect) int {
+	n := 0
+	for _, p := range w.Points {
+		if q.Contains(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// Scheme is the measured view of an indexing scheme: a set of blocks over a
+// point set, plus a cover procedure that names the blocks needed to answer
+// a query. Concrete constructions (internal/sweep, internal/hier) implement
+// it; the functions in this package compute r and A for any implementation.
+type Scheme interface {
+	// BlockSize returns B.
+	BlockSize() int
+	// NumBlocks returns the total number of blocks in the scheme.
+	NumBlocks() int
+	// NumPoints returns N, the number of distinct instances indexed.
+	NumPoints() int
+	// Cover returns the contents of the blocks the scheme uses to answer q.
+	// The union of the returned blocks must contain every indexed point
+	// satisfying q.
+	Cover(q geom.Rect) ([][]geom.Point, error)
+}
+
+// Redundancy returns r = B·|blocks| / N for the scheme.
+func Redundancy(s Scheme) float64 {
+	n := s.NumPoints()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.BlockSize()*s.NumBlocks()) / float64(n)
+}
+
+// AccessReport is the result of measuring a scheme against a query set.
+type AccessReport struct {
+	// Overhead is the measured access overhead: the maximum over queries of
+	// blocksUsed / ⌈|q|/B⌉ (queries with empty results use ⌈·⌉ = 1).
+	Overhead float64
+	// WorstQuery attains Overhead.
+	WorstQuery geom.Rect
+	// MaxBlocks is the largest cover used by any query.
+	MaxBlocks int
+	// MeanBlocks is the average cover size.
+	MeanBlocks float64
+	// Queries is the number of queries measured.
+	Queries int
+}
+
+// MeasureAccess computes the access overhead of s over the workload's
+// queries, verifying along the way that every cover is correct (contains
+// all matching points) and that no block exceeds B points. It returns an
+// error on the first violation: a failed cover is a bug in the scheme, not
+// a measurement.
+func MeasureAccess(s Scheme, w *Workload) (AccessReport, error) {
+	rep := AccessReport{Queries: len(w.Queries)}
+	b := s.BlockSize()
+	totalBlocks := 0
+	for _, q := range w.Queries {
+		cover, err := s.Cover(q)
+		if err != nil {
+			return rep, fmt.Errorf("indexability: cover %v: %w", q, err)
+		}
+		if err := verifyCover(cover, w.Points, q, b); err != nil {
+			return rep, err
+		}
+		used := len(cover)
+		totalBlocks += used
+		if used > rep.MaxBlocks {
+			rep.MaxBlocks = used
+		}
+		res := w.ResultSize(q)
+		denom := (res + b - 1) / b
+		if denom == 0 {
+			denom = 1
+		}
+		if ov := float64(used) / float64(denom); ov > rep.Overhead {
+			rep.Overhead = ov
+			rep.WorstQuery = q
+		}
+	}
+	if len(w.Queries) > 0 {
+		rep.MeanBlocks = float64(totalBlocks) / float64(len(w.Queries))
+	}
+	return rep, nil
+}
+
+// verifyCover checks that the union of the cover's blocks contains every
+// point of pts matching q and that every block holds at most b points.
+func verifyCover(cover [][]geom.Point, pts []geom.Point, q geom.Rect, b int) error {
+	want := 0
+	for _, p := range pts {
+		if q.Contains(p) {
+			want++
+		}
+	}
+	if want == 0 {
+		return nil
+	}
+	seen := make(map[geom.Point]bool, want)
+	for _, blk := range cover {
+		if len(blk) > b {
+			return fmt.Errorf("indexability: block of %d points exceeds B=%d", len(blk), b)
+		}
+		for _, p := range blk {
+			if q.Contains(p) {
+				seen[p] = true
+			}
+		}
+	}
+	// Duplicate points in the input collapse in the map; recount matches
+	// over distinct points for a fair comparison.
+	distinct := make(map[geom.Point]bool, want)
+	for _, p := range pts {
+		if q.Contains(p) {
+			distinct[p] = true
+		}
+	}
+	if len(seen) != len(distinct) {
+		return fmt.Errorf("indexability: cover of %v misses %d of %d matching points", q, len(distinct)-len(seen), len(distinct))
+	}
+	return nil
+}
+
+// CeilDiv returns ⌈a/b⌉ for positive b.
+func CeilDiv(a, b int) int { return (a + b - 1) / b }
+
+// Log returns log base `base` of x (both > 1).
+func Log(base, x float64) float64 { return math.Log(x) / math.Log(base) }

@@ -1,0 +1,240 @@
+package indexability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rangesearch/internal/geom"
+)
+
+func TestFib(t *testing.T) {
+	want := []int64{1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	for i, w := range want {
+		if got := Fib(i + 1); got != w {
+			t.Errorf("Fib(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+	if Fib(90) <= 0 {
+		t.Error("Fib(90) overflowed")
+	}
+}
+
+func TestFibonacciLattice(t *testing.T) {
+	k := 12 // N = 144
+	pts := FibonacciLattice(k)
+	n := Fib(k)
+	if int64(len(pts)) != n {
+		t.Fatalf("lattice size %d, want %d", len(pts), n)
+	}
+	seenX := make(map[int64]bool)
+	seenY := make(map[int64]bool)
+	step := Fib(k - 1)
+	for i, p := range pts {
+		if p.X != int64(i) {
+			t.Fatalf("point %d has x=%d", i, p.X)
+		}
+		if want := (int64(i) * step) % n; p.Y != want {
+			t.Fatalf("point %d has y=%d, want %d", i, p.Y, want)
+		}
+		seenX[p.X] = true
+		seenY[p.Y] = true
+	}
+	// gcd(f_{k-1}, f_k) = 1, so the y-values are a permutation of 0..N-1.
+	if len(seenX) != int(n) || len(seenY) != int(n) {
+		t.Fatalf("lattice is not a permutation: %d x, %d y", len(seenX), len(seenY))
+	}
+}
+
+func TestLatticeCountMatchesBruteForce(t *testing.T) {
+	k := 13
+	pts := FibonacciLattice(k)
+	rng := rand.New(rand.NewSource(2))
+	n := Fib(k)
+	for i := 0; i < 200; i++ {
+		x1, x2 := rng.Int63n(n), rng.Int63n(n)
+		y1, y2 := rng.Int63n(n), rng.Int63n(n)
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		if y1 > y2 {
+			y1, y2 = y2, y1
+		}
+		r := geom.Rect{XLo: x1, XHi: x2, YLo: y1, YHi: y2}
+		want := 0
+		for _, p := range pts {
+			if r.Contains(p) {
+				want++
+			}
+		}
+		if got := LatticeCount(k, r); got != want {
+			t.Fatalf("LatticeCount(%v) = %d, want %d", r, got, want)
+		}
+	}
+}
+
+// TestProposition1 verifies the density property the whole Section 2.1
+// analysis rests on: rectangles of area ℓBN on the lattice hold Θ(ℓB)
+// points, with constants close to the paper's c₁ ≈ 1.9 and c₂ ≈ 0.45.
+func TestProposition1(t *testing.T) {
+	rep := MeasureDensity(21, 16, 1, 2.0) // N = 10946
+	if rep.Rects == 0 {
+		t.Fatal("no rectangles measured")
+	}
+	// Measured constants: Expected/Min ≤ c₁ and Expected/Max ≥ c₂
+	// (generous margins; the proposition's constants are asymptotic).
+	if rep.C1 > FibC1*1.35 {
+		t.Errorf("observed c1 = %.3f far above %v (min=%d expected=%.1f)", rep.C1, FibC1, rep.Min, rep.Expected)
+	}
+	if rep.C2 < FibC2*0.75 {
+		t.Errorf("observed c2 = %.3f far below %v (max=%d expected=%.1f)", rep.C2, FibC2, rep.Max, rep.Expected)
+	}
+}
+
+func TestTilingQueriesCoverLattice(t *testing.T) {
+	k, B := 16, 8
+	qs := TilingQueries(k, B, 1, 4.0)
+	if len(qs) == 0 {
+		t.Fatal("no tiling queries generated")
+	}
+	n := Fib(k)
+	for _, q := range qs {
+		if q.XLo < 0 || q.XHi >= n || q.YLo < 0 || q.YHi >= n || q.Empty() {
+			t.Fatalf("query %v out of domain", q)
+		}
+	}
+}
+
+// unitScheme is a trivial scheme: one block per ⌈N/B⌉ x-consecutive points.
+type unitScheme struct {
+	b      int
+	blocks [][]geom.Point
+	n      int
+}
+
+func (u *unitScheme) BlockSize() int { return u.b }
+func (u *unitScheme) NumBlocks() int { return len(u.blocks) }
+func (u *unitScheme) NumPoints() int { return u.n }
+func (u *unitScheme) Cover(q geom.Rect) ([][]geom.Point, error) {
+	var out [][]geom.Point
+	for _, blk := range u.blocks {
+		for _, p := range blk {
+			if q.Contains(p) {
+				out = append(out, blk)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+func TestMeasureAccess(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3}}
+	u := &unitScheme{b: 2, n: 4, blocks: [][]geom.Point{{{X: 0, Y: 0}, {X: 1, Y: 1}}, {{X: 2, Y: 2}, {X: 3, Y: 3}}}}
+	if r := Redundancy(u); r != 1.0 {
+		t.Fatalf("redundancy %v", r)
+	}
+	w := &Workload{
+		Points: pts,
+		Queries: []geom.Rect{
+			{XLo: 0, XHi: 3, YLo: 0, YHi: 3}, // all points: 2 blocks / ⌈4/2⌉ = 1
+			{XLo: 1, XHi: 2, YLo: 0, YHi: 3}, // 2 points spanning both blocks: 2/1 = 2
+		},
+	}
+	rep, err := MeasureAccess(u, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overhead != 2 {
+		t.Fatalf("overhead %v, want 2", rep.Overhead)
+	}
+	if rep.MaxBlocks != 2 || rep.MeanBlocks != 2 {
+		t.Fatalf("blocks: max=%d mean=%v", rep.MaxBlocks, rep.MeanBlocks)
+	}
+}
+
+func TestMeasureAccessDetectsBadCover(t *testing.T) {
+	// A scheme that "forgets" a block.
+	u := &unitScheme{b: 2, n: 2, blocks: [][]geom.Point{{{X: 0, Y: 0}, {X: 1, Y: 1}}}}
+	bad := &missingCover{u}
+	w := &Workload{
+		Points:  []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}},
+		Queries: []geom.Rect{{XLo: 0, XHi: 1, YLo: 0, YHi: 1}},
+	}
+	if _, err := MeasureAccess(bad, w); err == nil {
+		t.Fatal("verification accepted an incomplete cover")
+	}
+}
+
+type missingCover struct{ *unitScheme }
+
+func (m *missingCover) Cover(geom.Rect) ([][]geom.Point, error) { return nil, nil }
+
+func TestFibonacciLowerBound(t *testing.T) {
+	lb, err := FibonacciLowerBound(LowerBoundParams{N: Fib(40), B: 1024, A: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lb.Applicable {
+		t.Fatalf("bound should apply: %+v", lb)
+	}
+	if lb.R <= 0 {
+		t.Fatalf("bound %v not positive", lb.R)
+	}
+	// Larger A must weaken (not strengthen) the bound.
+	lb2, err := FibonacciLowerBound(LowerBoundParams{N: Fib(40), B: 1024, A: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb2.Applicable && lb2.R > lb.R {
+		t.Errorf("bound grew with A: %v -> %v", lb.R, lb2.R)
+	}
+	// Larger N must strengthen it.
+	lb3, err := FibonacciLowerBound(LowerBoundParams{N: Fib(60), B: 1024, A: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb3.R <= lb.R {
+		t.Errorf("bound did not grow with N: %v -> %v", lb.R, lb3.R)
+	}
+	// Theorem 3 form: bigger L weakens the bound.
+	lb4, err := FibonacciLowerBound(LowerBoundParams{N: Fib(60), B: 1024, A: 2, L: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb4.Applicable && lb4.R >= lb3.R {
+		t.Errorf("Theorem 3 bound with L=32 (%v) should be below Theorem 2 bound (%v)", lb4.R, lb3.R)
+	}
+	// Invalid parameters are rejected.
+	if _, err := FibonacciLowerBound(LowerBoundParams{N: 0, B: 8, A: 1}); err == nil {
+		t.Error("invalid N accepted")
+	}
+	// Vacuous when B < 4(εA)².
+	lb5, err := FibonacciLowerBound(LowerBoundParams{N: Fib(40), B: 64, A: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb5.Applicable {
+		t.Error("bound should be vacuous for small B")
+	}
+}
+
+func TestTradeoffShape(t *testing.T) {
+	if TradeoffShape(1, 2) != 0 || TradeoffShape(100, 1) != 0 {
+		t.Error("degenerate shapes should be 0")
+	}
+	got := TradeoffShape(1024, 4)
+	want := math.Log(1024) / math.Log(4)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("shape %v want %v", got, want)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := [][3]int{{0, 5, 0}, {1, 5, 1}, {5, 5, 1}, {6, 5, 2}}
+	for _, c := range cases {
+		if got := CeilDiv(c[0], c[1]); got != c[2] {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}

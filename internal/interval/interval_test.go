@@ -1,0 +1,233 @@
+package interval
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rangesearch/internal/eio"
+	"rangesearch/internal/epst"
+	"rangesearch/internal/geom"
+)
+
+func randIntervals(rng *rand.Rand, n int, coordRange int64) []geom.Interval {
+	seen := map[geom.Interval]bool{}
+	var out []geom.Interval
+	for len(out) < n {
+		a, b := rng.Int63n(coordRange), rng.Int63n(coordRange)
+		if a > b {
+			a, b = b, a
+		}
+		iv := geom.Interval{Lo: a, Hi: b}
+		if !seen[iv] {
+			seen[iv] = true
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+func sortIvs(ivs []geom.Interval) {
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].Lo != ivs[j].Lo {
+			return ivs[i].Lo < ivs[j].Lo
+		}
+		return ivs[i].Hi < ivs[j].Hi
+	})
+}
+
+func TestStabAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	store := eio.NewMemStore(128)
+	ivs := randIntervals(rng, 500, 1000)
+	s, err := Build(store, epst.Options{A: 2, K: 4}, ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		q := rng.Int63n(1100) - 50
+		got, err := s.Stab(nil, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []geom.Interval
+		for _, iv := range ivs {
+			if iv.Contains(q) {
+				want = append(want, iv)
+			}
+		}
+		sortIvs(got)
+		sortIvs(want)
+		if len(got) != len(want) {
+			t.Fatalf("stab %d: got %d want %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("stab %d: item %d differs", q, i)
+			}
+		}
+	}
+}
+
+func TestDynamicStab(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	store := eio.NewMemStore(128)
+	s, err := Create(store, epst.Options{A: 2, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[geom.Interval]bool{}
+	universe := randIntervals(rng, 300, 500)
+	for op := 0; op < 2500; op++ {
+		iv := universe[rng.Intn(len(universe))]
+		if rng.Intn(3) != 0 {
+			err := s.Insert(iv)
+			if model[iv] {
+				if !errors.Is(err, ErrDuplicate) {
+					t.Fatalf("op %d: duplicate insert: %v", op, err)
+				}
+			} else if err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			model[iv] = true
+		} else {
+			found, err := s.Delete(iv)
+			if err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			if found != model[iv] {
+				t.Fatalf("op %d: delete found=%v want=%v", op, found, model[iv])
+			}
+			delete(model, iv)
+		}
+		if op%97 == 0 {
+			q := rng.Int63n(500)
+			cnt, err := s.StabCount(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 0
+			for iv := range model {
+				if iv.Contains(q) {
+					want++
+				}
+			}
+			if cnt != want {
+				t.Fatalf("op %d: stab %d count %d want %d", op, q, cnt, want)
+			}
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Len()
+	if err != nil || n != len(model) {
+		t.Fatalf("Len = %d want %d (%v)", n, len(model), err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	store := eio.NewMemStore(128)
+	s, err := Create(store, epst.Options{A: 2, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(geom.Interval{Lo: 5, Hi: 3}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("inverted interval: %v", err)
+	}
+	if err := s.Insert(geom.Interval{Lo: geom.MinCoord, Hi: 3}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("sentinel Lo: %v", err)
+	}
+	if err := s.Insert(geom.Interval{Lo: 0, Hi: geom.MaxCoord}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("sentinel Hi: %v", err)
+	}
+	if _, err := Build(store, epst.Options{A: 2, K: 4}, []geom.Interval{{Lo: 1, Hi: 2}, {Lo: 1, Hi: 2}}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate build: %v", err)
+	}
+}
+
+func TestContainsAndBoundaries(t *testing.T) {
+	store := eio.NewMemStore(128)
+	s, err := Create(store, epst.Options{A: 2, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := geom.Interval{Lo: 10, Hi: 20}
+	if err := s.Insert(iv); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s.Contains(iv)
+	if err != nil || !ok {
+		t.Fatalf("Contains = %v, %v", ok, err)
+	}
+	// Closed-boundary stabbing.
+	for _, q := range []int64{10, 20, 15} {
+		cnt, err := s.StabCount(q)
+		if err != nil || cnt != 1 {
+			t.Fatalf("stab %d: %d, %v", q, cnt, err)
+		}
+	}
+	for _, q := range []int64{9, 21} {
+		cnt, err := s.StabCount(q)
+		if err != nil || cnt != 0 {
+			t.Fatalf("stab %d: %d, %v", q, cnt, err)
+		}
+	}
+	// Point intervals.
+	if err := s.Insert(geom.Interval{Lo: 15, Hi: 15}); err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := s.StabCount(15)
+	if err != nil || cnt != 2 {
+		t.Fatalf("stab 15 after point interval: %d, %v", cnt, err)
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	store := eio.NewMemStore(128)
+	ivs := randIntervals(rng, 100, 300)
+	s, err := Build(store, epst.Options{A: 2, K: 4}, ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(store, s.HeaderID(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s2.Len()
+	if err != nil || n != len(ivs) {
+		t.Fatalf("reopened Len = %d, %v", n, err)
+	}
+	if err := s2.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Pages(); got != 0 {
+		t.Fatalf("%d pages leaked", got)
+	}
+}
+
+// TestStabIOBound: stabbing cost O(log_B N + t) in real page reads.
+func TestStabIOBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	store := eio.NewMemStore(256) // B = 16
+	ivs := randIntervals(rng, 10000, 1<<30)
+	s, err := Build(store, epst.Options{}, ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 40; trial++ {
+		q := rng.Int63n(1 << 30)
+		store.ResetStats()
+		got, err := s.Stab(nil, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reads := int(store.Stats().Reads)
+		tb := (len(got) + 15) / 16
+		if limit := 150 + 40*tb; reads > limit {
+			t.Errorf("stab %d: %d reads for t=%d", q, reads, tb)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package interval
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"rangesearch/internal/eio"
+	"rangesearch/internal/epst"
+	"rangesearch/internal/geom"
+)
+
+func TestSlabTreeAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 10, 200, 3000} {
+		store := eio.NewMemStore(256) // B = 16, fan-out 4
+		ivs := randIntervals(rng, n, 2000)
+		tr, err := BuildSlabTree(store, ivs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("Len = %d want %d", tr.Len(), n)
+		}
+		for trial := 0; trial < 150; trial++ {
+			q := rng.Int63n(2200) - 100
+			got, err := tr.Stab(nil, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []geom.Interval
+			for _, iv := range ivs {
+				if iv.Contains(q) {
+					want = append(want, iv)
+				}
+			}
+			sortIvs(got)
+			sortIvs(want)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d stab %d: got %d want %d", n, q, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d stab %d: item %d differs", n, q, i)
+				}
+			}
+		}
+	}
+}
+
+// Property: for arbitrary interval sets (including heavy nesting and
+// duplication-prone shapes), the slab tree reports each stabbed interval
+// exactly once.
+func TestQuickSlabTreeExactlyOnce(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			n := rng.Intn(400)
+			seen := map[geom.Interval]bool{}
+			ivs := make([]geom.Interval, 0, n)
+			for len(ivs) < n {
+				lo := rng.Int63n(100)
+				iv := geom.Interval{Lo: lo, Hi: lo + rng.Int63n(100)}
+				if !seen[iv] {
+					seen[iv] = true
+					ivs = append(ivs, iv)
+				}
+			}
+			vals[0] = reflect.ValueOf(ivs)
+			vals[1] = reflect.ValueOf(rng.Int63())
+		},
+	}
+	err := quick.Check(func(ivs []geom.Interval, qseed int64) bool {
+		store := eio.NewMemStore(128) // B = 8, fan-out 2
+		tr, err := BuildSlabTree(store, ivs)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(qseed))
+		for trial := 0; trial < 15; trial++ {
+			q := rng.Int63n(220) - 10
+			got, err := tr.Stab(nil, q)
+			if err != nil {
+				return false
+			}
+			seen := map[geom.Interval]bool{}
+			for _, iv := range got {
+				if seen[iv] || !iv.Contains(q) {
+					return false // duplicate or wrong report
+				}
+				seen[iv] = true
+			}
+			for _, iv := range ivs {
+				if iv.Contains(q) && !seen[iv] {
+					return false // missed
+				}
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlabTreeNestedIntervals(t *testing.T) {
+	// Deep nesting: every interval contains the next — all stab queries at
+	// the center return everything, exercising multislabs and underflow.
+	var ivs []geom.Interval
+	for i := int64(0); i < 500; i++ {
+		ivs = append(ivs, geom.Interval{Lo: i, Hi: 2000 - i})
+	}
+	store := eio.NewMemStore(256)
+	tr, err := BuildSlabTree(store, ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Stab(nil, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 500 {
+		t.Fatalf("center stab returned %d of 500", len(got))
+	}
+	got, err = tr.Stab(nil, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 251 {
+		t.Fatalf("stab(250) returned %d, want 251", len(got))
+	}
+}
+
+func TestSlabTreeDestroy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	store := eio.NewMemStore(256)
+	tr, err := BuildSlabTree(store, randIntervals(rng, 800, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Pages(); got != 0 {
+		t.Fatalf("%d pages leaked", got)
+	}
+}
+
+func TestSlabTreeRejectsBadInput(t *testing.T) {
+	store := eio.NewMemStore(256)
+	if _, err := BuildSlabTree(store, []geom.Interval{{Lo: 5, Hi: 1}}); err == nil {
+		t.Fatal("inverted interval accepted")
+	}
+	if _, err := BuildSlabTree(store, []geom.Interval{{Lo: 1, Hi: 2}, {Lo: 1, Hi: 2}}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+// TestSlabTreeIOBound: stabbing cost O(log_B N + t) in page reads, and
+// comparable to the dynamic Set on the same workload.
+func TestSlabTreeIOBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ivs := randIntervals(rng, 20000, 1<<30)
+
+	slabStore := eio.NewMemStore(1024) // B = 64
+	slab, err := BuildSlabTree(slabStore, ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setStore := eio.NewMemStore(1024)
+	set, err := Build(setStore, epst.Options{}, ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 40; trial++ {
+		q := rng.Int63n(1 << 30)
+		slabStore.ResetStats()
+		a, err := slab.Stab(nil, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slabReads := int(slabStore.Stats().Reads)
+		setStore.ResetStats()
+		b, err := set.Stab(nil, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("stab %d: slab %d vs set %d results", q, len(a), len(b))
+		}
+		tb := (len(a) + 63) / 64
+		if limit := 200 + 30*tb; slabReads > limit {
+			t.Errorf("stab %d: slab tree used %d reads for t=%d", q, slabReads, tb)
+		}
+	}
+}

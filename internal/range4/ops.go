@@ -1,0 +1,709 @@
+package range4
+
+import (
+	"fmt"
+
+	"rangesearch/internal/eio"
+	"rangesearch/internal/geom"
+)
+
+// bulkBuild writes a tree over pts (sorted by (x, y), distinct, validated).
+func (t *Tree) bulkBuild(pts []geom.Point) (eio.PageID, int, error) {
+	type built struct {
+		id     eio.PageID
+		maxKey geom.Point
+		weight int64
+		lo, hi int // slice of pts covered
+	}
+	if len(pts) == 0 {
+		id, err := t.writeNode(eio.NilPage, &node{level: 0})
+		return id, 0, err
+	}
+	g := (len(pts) + (t.k + t.k/2) - 1) / (t.k + t.k/2)
+	if g < 1 {
+		g = 1
+	}
+	for len(pts) > g*(2*t.k-1) {
+		g++
+	}
+	var level []built
+	for i := 0; i < g; i++ {
+		lo := i * len(pts) / g
+		hi := (i + 1) * len(pts) / g
+		if lo == hi {
+			continue
+		}
+		n := &node{level: 0, pts: append([]geom.Point(nil), pts[lo:hi]...)}
+		id, err := t.writeNode(eio.NilPage, n)
+		if err != nil {
+			return eio.NilPage, 0, err
+		}
+		level = append(level, built{id: id, maxKey: pts[hi-1], weight: int64(hi - lo), lo: lo, hi: hi})
+	}
+	height := 0
+	for len(level) > 1 {
+		height++
+		target := t.levelCap(height)
+		var up []built
+		var cur []built
+		var curW int64
+		flush := func() error {
+			if len(cur) == 0 {
+				return nil
+			}
+			n := &node{level: height}
+			for _, c := range cur {
+				n.entries = append(n.entries, entry{maxKey: c.maxKey, child: c.id, weight: c.weight})
+			}
+			lo, hi := cur[0].lo, cur[len(cur)-1].hi
+			if err := t.buildAux(n, pts[lo:hi]); err != nil {
+				return err
+			}
+			id, err := t.writeNode(eio.NilPage, n)
+			if err != nil {
+				return err
+			}
+			up = append(up, built{id: id, maxKey: cur[len(cur)-1].maxKey, weight: curW, lo: lo, hi: hi})
+			cur = nil
+			curW = 0
+			return nil
+		}
+		for _, c := range level {
+			if curW+c.weight > target && len(cur) > 0 {
+				if err := flush(); err != nil {
+					return eio.NilPage, 0, err
+				}
+			}
+			cur = append(cur, c)
+			curW += c.weight
+		}
+		if err := flush(); err != nil {
+			return eio.NilPage, 0, err
+		}
+		level = up
+	}
+	return level[0].id, height, nil
+}
+
+// levelCap returns ρ^ℓ·k, saturating.
+func (t *Tree) levelCap(level int) int64 {
+	cap := int64(t.k)
+	for i := 0; i < level; i++ {
+		if cap > (1<<62)/int64(t.rho) {
+			return 1 << 62
+		}
+		cap *= int64(t.rho)
+	}
+	return cap
+}
+
+// Query4 appends every stored point inside q to dst.
+func (t *Tree) Query4(dst []geom.Point, q geom.Rect) ([]geom.Point, error) {
+	if q.Empty() {
+		return dst, nil
+	}
+	m, err := t.loadMeta()
+	if err != nil {
+		return dst, err
+	}
+	// Descend to the lowest node whose x-range covers [a, b].
+	id := m.root
+	var n *node
+	for {
+		n, err = t.readNode(id)
+		if err != nil {
+			return dst, err
+		}
+		if n.level == 0 {
+			for _, p := range n.pts {
+				if q.Contains(p) {
+					dst = append(dst, p)
+				}
+			}
+			return dst, nil
+		}
+		i := routeChild(n, geom.Point{X: q.XLo, Y: geom.MinCoord})
+		j := routeChild(n, geom.Point{X: q.XHi, Y: geom.MaxCoord})
+		if i != j {
+			return t.answerAt(n, dst, q, i, j)
+		}
+		id = n.entries[i].child
+	}
+}
+
+// answerAt decomposes q across children i..j of the answering node
+// (Section 4's three-part decomposition).
+func (t *Tree) answerAt(n *node, dst []geom.Point, q geom.Rect, i, j int) ([]geom.Point, error) {
+	var err error
+	// Boundary children: 3-sided subqueries through their own structures.
+	dst, err = t.queryBoundary(n.entries[i].child, dst, q, false)
+	if err != nil {
+		return dst, err
+	}
+	dst, err = t.queryBoundary(n.entries[j].child, dst, q, true)
+	if err != nil {
+		return dst, err
+	}
+	// Spanned children: y-slab reporting from their y-sorted lists.
+	for k := i + 1; k < j; k++ {
+		dst, err = t.querySpanned(n.entries[k].child, dst, q)
+		if err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// queryBoundary answers the query part inside a boundary child: a 3-sided
+// subquery (the x-constraint toward the interior of the query is implied by
+// the child's position). leftOpen selects which structure answers.
+func (t *Tree) queryBoundary(id eio.PageID, dst []geom.Point, q geom.Rect, leftOpen bool) ([]geom.Point, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return dst, err
+	}
+	if n.level == 0 {
+		for _, p := range n.pts {
+			if q.Contains(p) {
+				dst = append(dst, p)
+			}
+		}
+		return dst, nil
+	}
+	ax, err := t.openAux(n)
+	if err != nil {
+		return dst, err
+	}
+	if leftOpen {
+		// x ≤ XHi ∧ y ∈ [YLo, YHi]; stored as (y, −x).
+		res, err := ax.left.Query3(nil, geom.Query3{XLo: q.YLo, XHi: q.YHi, YLo: negHi(q.XHi)})
+		if err != nil {
+			return dst, err
+		}
+		for _, r := range res {
+			dst = append(dst, fromLeft(r))
+		}
+		return dst, nil
+	}
+	// x ≥ XLo ∧ y ∈ [YLo, YHi]; stored as (y, x).
+	res, err := ax.right.Query3(nil, geom.Query3{XLo: q.YLo, XHi: q.YHi, YLo: q.XLo})
+	if err != nil {
+		return dst, err
+	}
+	for _, r := range res {
+		dst = append(dst, fromRight(r))
+	}
+	return dst, nil
+}
+
+// negHi negates a right x-bound for the left-open transform without
+// colliding with the MinCoord sentinel.
+func negHi(b int64) int64 {
+	if b == geom.MaxCoord {
+		return geom.MinCoord
+	}
+	return -b
+}
+
+// querySpanned reports every point of a fully-spanned child with
+// y ∈ [YLo, YHi] from its y-sorted list.
+func (t *Tree) querySpanned(id eio.PageID, dst []geom.Point, q geom.Rect) ([]geom.Point, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return dst, err
+	}
+	if n.level == 0 {
+		for _, p := range n.pts {
+			if q.YLo <= p.Y && p.Y <= q.YHi {
+				dst = append(dst, p)
+			}
+		}
+		return dst, nil
+	}
+	ax, err := t.openAux(n)
+	if err != nil {
+		return dst, err
+	}
+	err = ax.ylist.Range(
+		geom.Point{X: q.YLo, Y: geom.MinCoord},
+		geom.Point{X: q.YHi, Y: geom.MaxCoord},
+		func(r geom.Point) bool {
+			dst = append(dst, fromRight(r))
+			return true
+		})
+	return dst, err
+}
+
+// Contains reports whether p is stored.
+func (t *Tree) Contains(p geom.Point) (bool, error) {
+	if err := checkCoord(p); err != nil {
+		return false, err
+	}
+	m, err := t.loadMeta()
+	if err != nil {
+		return false, err
+	}
+	id := m.root
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return false, err
+		}
+		if n.level == 0 {
+			i := lowerBoundPts(n.pts, p)
+			return i < len(n.pts) && n.pts[i] == p, nil
+		}
+		id = n.entries[routeChild(n, p)].child
+	}
+}
+
+// Insert adds p. Cost: O(log_B N) per level, O(log_B N · log n / log ρ)
+// total, amortized.
+func (t *Tree) Insert(p geom.Point) error {
+	if err := checkCoord(p); err != nil {
+		return err
+	}
+	ok, err := t.Contains(p)
+	if err != nil {
+		return err
+	}
+	if ok {
+		return fmt.Errorf("range4: insert %v: %w", p, ErrDuplicate)
+	}
+	m, err := t.loadMeta()
+	if err != nil {
+		return err
+	}
+
+	type pathEl struct {
+		id  eio.PageID
+		n   *node
+		idx int
+	}
+	var path []pathEl
+	id := m.root
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		if n.level == 0 {
+			path = append(path, pathEl{id: id, n: n})
+			break
+		}
+		// Every internal node on the path absorbs p into its auxiliaries.
+		ax, err := t.openAux(n)
+		if err != nil {
+			return err
+		}
+		if err := ax.left.Insert(toLeft(p)); err != nil {
+			return err
+		}
+		if err := ax.right.Insert(toRight(p)); err != nil {
+			return err
+		}
+		if err := ax.ylist.Insert(toRight(p)); err != nil {
+			return err
+		}
+		idx := routeChild(n, p)
+		path = append(path, pathEl{id: id, n: n, idx: idx})
+		id = n.entries[idx].child
+	}
+
+	leaf := path[len(path)-1].n
+	pos := lowerBoundPts(leaf.pts, p)
+	leaf.pts = append(leaf.pts, geom.Point{})
+	copy(leaf.pts[pos+1:], leaf.pts[pos:])
+	leaf.pts[pos] = p
+
+	// Bottom-up weight updates and splits.
+	type carryT struct {
+		leftWeight  int64
+		leftMax     geom.Point
+		rightID     eio.PageID
+		rightWeight int64
+		rightMax    geom.Point
+	}
+	var carry *carryT
+	for i := len(path) - 1; i >= 0; i-- {
+		el := path[i]
+		n := el.n
+		if n.level > 0 {
+			e := &n.entries[el.idx]
+			if carry != nil {
+				e.weight = carry.leftWeight
+				e.maxKey = carry.leftMax
+				n.entries = append(n.entries, entry{})
+				copy(n.entries[el.idx+2:], n.entries[el.idx+1:])
+				n.entries[el.idx+1] = entry{maxKey: carry.rightMax, child: carry.rightID, weight: carry.rightWeight}
+				carry = nil
+			} else {
+				e.weight++
+				if e.maxKey.Less(p) {
+					e.maxKey = p
+				}
+			}
+		}
+
+		var right *node
+		switch {
+		case n.level == 0 && len(n.pts) >= 2*t.k:
+			right = &node{level: 0, pts: append([]geom.Point(nil), n.pts[t.k:]...)}
+			n.pts = n.pts[:t.k]
+		case n.level > 0 && nodeWeight(n) >= 2*t.levelCap(n.level):
+			right = t.splitEntries(n)
+		}
+		if right == nil {
+			if err := t.writeBack(el.id, n); err != nil {
+				return err
+			}
+			continue
+		}
+
+		if n.level > 0 {
+			// Both halves get freshly built auxiliaries over their own
+			// subtree points; the old ones are destroyed. Amortized by the
+			// Ω(weight) inserts between splits (Lemma 2).
+			if err := t.destroyAux(n); err != nil {
+				return err
+			}
+			var leftPts, rightPts []geom.Point
+			for ci := range n.entries {
+				if err := t.collect(n.entries[ci].child, &leftPts); err != nil {
+					return err
+				}
+			}
+			for ci := range right.entries {
+				if err := t.collect(right.entries[ci].child, &rightPts); err != nil {
+					return err
+				}
+			}
+			geom.SortByX(leftPts)
+			geom.SortByX(rightPts)
+			if err := t.buildAux(n, leftPts); err != nil {
+				return err
+			}
+			if err := t.buildAux(right, rightPts); err != nil {
+				return err
+			}
+		}
+		rightID, err := t.writeNode(eio.NilPage, right)
+		if err != nil {
+			return err
+		}
+		if err := t.writeBack(el.id, n); err != nil {
+			return err
+		}
+		if i > 0 {
+			carry = &carryT{
+				leftWeight:  nodeWeight(n),
+				leftMax:     nodeMaxKey(n),
+				rightID:     rightID,
+				rightWeight: nodeWeight(right),
+				rightMax:    nodeMaxKey(right),
+			}
+			continue
+		}
+		// Root split: the new root covers the same point set as the old
+		// root did, so for an internal old root its auxiliaries transfer
+		// upward; for an old leaf root they are built fresh.
+		newRoot := &node{
+			level: n.level + 1,
+			entries: []entry{
+				{maxKey: nodeMaxKey(n), child: el.id, weight: nodeWeight(n)},
+				{maxKey: nodeMaxKey(right), child: rightID, weight: nodeWeight(right)},
+			},
+		}
+		var all []geom.Point
+		if err := t.collect(el.id, &all); err != nil {
+			return err
+		}
+		if err := t.collect(rightID, &all); err != nil {
+			return err
+		}
+		geom.SortByX(all)
+		if err := t.buildAux(newRoot, all); err != nil {
+			return err
+		}
+		rootID, err := t.writeNode(eio.NilPage, newRoot)
+		if err != nil {
+			return err
+		}
+		m.root = rootID
+		m.height = newRoot.level
+	}
+
+	m.live++
+	if m.live > m.basis {
+		m.basis = m.live
+	}
+	return t.storeMeta(m)
+}
+
+// splitEntries splits an internal node's children by weight.
+func (t *Tree) splitEntries(n *node) *node {
+	total := nodeWeight(n)
+	half := total / 2
+	acc := int64(0)
+	cut := 1
+	bestDiff := int64(1) << 62
+	for i := 0; i < len(n.entries)-1; i++ {
+		acc += n.entries[i].weight
+		diff := acc - half
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < bestDiff {
+			bestDiff = diff
+			cut = i + 1
+		}
+	}
+	right := &node{level: n.level, entries: append([]entry(nil), n.entries[cut:]...)}
+	n.entries = n.entries[:cut]
+	return right
+}
+
+// collect appends the points stored in id's subtree leaves to out.
+func (t *Tree) collect(id eio.PageID, out *[]geom.Point) error {
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	if n.level == 0 {
+		*out = append(*out, n.pts...)
+		return nil
+	}
+	for i := range n.entries {
+		if err := t.collect(n.entries[i].child, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes p, reporting whether it was present.
+func (t *Tree) Delete(p geom.Point) (bool, error) {
+	if err := checkCoord(p); err != nil {
+		return false, err
+	}
+	ok, err := t.Contains(p)
+	if err != nil || !ok {
+		return false, err
+	}
+	m, err := t.loadMeta()
+	if err != nil {
+		return false, err
+	}
+	id := m.root
+	type pathEl struct {
+		id  eio.PageID
+		n   *node
+		idx int
+	}
+	var path []pathEl
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return false, err
+		}
+		if n.level == 0 {
+			path = append(path, pathEl{id: id, n: n})
+			break
+		}
+		ax, err := t.openAux(n)
+		if err != nil {
+			return false, err
+		}
+		if _, err := ax.left.Delete(toLeft(p)); err != nil {
+			return false, err
+		}
+		if _, err := ax.right.Delete(toRight(p)); err != nil {
+			return false, err
+		}
+		if _, err := ax.ylist.Delete(toRight(p)); err != nil {
+			return false, err
+		}
+		idx := routeChild(n, p)
+		path = append(path, pathEl{id: id, n: n, idx: idx})
+		id = n.entries[idx].child
+	}
+	leaf := path[len(path)-1]
+	pos := lowerBoundPts(leaf.n.pts, p)
+	leaf.n.pts = append(leaf.n.pts[:pos], leaf.n.pts[pos+1:]...)
+	for i := len(path) - 1; i >= 0; i-- {
+		el := path[i]
+		if el.n.level > 0 {
+			el.n.entries[el.idx].weight--
+		}
+		if err := t.writeBack(el.id, el.n); err != nil {
+			return false, err
+		}
+	}
+	m.live--
+	if m.live*2 < m.basis {
+		if err := t.rebuild(m); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return true, t.storeMeta(m)
+}
+
+// rebuild reconstructs the whole tree from its live points.
+func (t *Tree) rebuild(m *meta) error {
+	var pts []geom.Point
+	if err := t.collect(m.root, &pts); err != nil {
+		return err
+	}
+	if err := t.freeSubtree(m.root); err != nil {
+		return err
+	}
+	geom.SortByX(pts)
+	root, height, err := t.bulkBuild(pts)
+	if err != nil {
+		return err
+	}
+	m.root = root
+	m.height = height
+	m.live = int64(len(pts))
+	m.basis = m.live
+	return t.storeMeta(m)
+}
+
+// freeSubtree releases all records and auxiliary structures under id.
+func (t *Tree) freeSubtree(id eio.PageID) error {
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	if n.level > 0 {
+		if err := t.destroyAux(n); err != nil {
+			return err
+		}
+		for i := range n.entries {
+			if err := t.freeSubtree(n.entries[i].child); err != nil {
+				return err
+			}
+		}
+	}
+	return t.rs.Delete(id)
+}
+
+// Destroy frees the whole tree including its header.
+func (t *Tree) Destroy() error {
+	m, err := t.loadMeta()
+	if err != nil {
+		return err
+	}
+	if err := t.freeSubtree(m.root); err != nil {
+		return err
+	}
+	return t.rs.Delete(t.hdr)
+}
+
+// CheckInvariants audits base-tree weights/ordering and verifies that every
+// internal node's three auxiliary structures hold exactly its subtree's
+// points (in their respective orientations).
+func (t *Tree) CheckInvariants() error {
+	m, err := t.loadMeta()
+	if err != nil {
+		return err
+	}
+	pts, err := t.checkNode(m.root, m.height)
+	if err != nil {
+		return err
+	}
+	if int64(len(pts)) != m.live {
+		return fmt.Errorf("range4: header live=%d, tree holds %d", m.live, len(pts))
+	}
+	return nil
+}
+
+func (t *Tree) checkNode(id eio.PageID, level int) ([]geom.Point, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return nil, err
+	}
+	if n.level != level {
+		return nil, fmt.Errorf("range4: node level %d, expected %d", n.level, level)
+	}
+	if n.level == 0 {
+		for i := 1; i < len(n.pts); i++ {
+			if !n.pts[i-1].Less(n.pts[i]) {
+				return nil, fmt.Errorf("range4: leaf points out of order")
+			}
+		}
+		if len(n.pts) > 2*t.k-1 {
+			return nil, fmt.Errorf("range4: leaf holds %d points (max %d)", len(n.pts), 2*t.k-1)
+		}
+		return n.pts, nil
+	}
+	var all []geom.Point
+	for i := range n.entries {
+		sub, err := t.checkNode(n.entries[i].child, level-1)
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(sub)) != n.entries[i].weight {
+			return nil, fmt.Errorf("range4: entry %d weight %d, subtree holds %d", i, n.entries[i].weight, len(sub))
+		}
+		for _, p := range sub {
+			if n.entries[i].maxKey.Less(p) {
+				return nil, fmt.Errorf("range4: point %v above child %d maxKey", p, i)
+			}
+		}
+		all = append(all, sub...)
+	}
+	ax, err := t.openAux(n)
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[geom.Point]bool, len(all))
+	for _, p := range all {
+		want[p] = true
+	}
+	lAll, err := ax.left.All()
+	if err != nil {
+		return nil, err
+	}
+	if len(lAll) != len(all) {
+		return nil, fmt.Errorf("range4: left structure holds %d of %d points", len(lAll), len(all))
+	}
+	for _, r := range lAll {
+		if !want[fromLeft(r)] {
+			return nil, fmt.Errorf("range4: left structure holds foreign point %v", fromLeft(r))
+		}
+	}
+	rAll, err := ax.right.All()
+	if err != nil {
+		return nil, err
+	}
+	if len(rAll) != len(all) {
+		return nil, fmt.Errorf("range4: right structure holds %d of %d points", len(rAll), len(all))
+	}
+	yn, err := ax.ylist.Len()
+	if err != nil {
+		return nil, err
+	}
+	if yn != len(all) {
+		return nil, fmt.Errorf("range4: y-list holds %d of %d points", yn, len(all))
+	}
+	return all, nil
+}
+
+// SpaceStats reports the structure's disk footprint.
+type SpaceStats struct {
+	Points int
+	Pages  int
+	Levels int
+	B      int
+}
+
+// Space returns the current footprint (Pages counts the whole store).
+func (t *Tree) Space() (SpaceStats, error) {
+	m, err := t.loadMeta()
+	if err != nil {
+		return SpaceStats{}, err
+	}
+	return SpaceStats{Points: int(m.live), Pages: t.store.Pages(), Levels: m.height + 1, B: t.b}, nil
+}

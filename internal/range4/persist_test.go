@@ -1,0 +1,62 @@
+package range4
+
+import (
+	"math/rand"
+	"testing"
+
+	"rangesearch/internal/eio"
+	"rangesearch/internal/geom"
+)
+
+// TestFileStoreRoundTrip persists a 4-sided structure (and all the nested
+// priority search trees and y-lists inside its nodes) to a real file,
+// reopens it, queries it, and mutates it.
+func TestFileStoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	path := t.TempDir() + "/range4.db"
+	fs, err := eio.CreateFileStore(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := distinctPoints(rng, 700, 4000)
+	tr, err := Build(fs, Options{Rho: 4, K: 8}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := tr.HeaderID()
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := eio.OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	tr2, err := Open(fs2, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[geom.Point]bool{}
+	for _, p := range pts {
+		m[p] = true
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := randRect(rng, 4000)
+		checkQuery(t, tr2, m, q)
+	}
+	// Mutations after reopen.
+	if _, err := tr2.Delete(pts[0]); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, pts[0])
+	np := geom.Point{X: -3, Y: -3}
+	if err := tr2.Insert(np); err != nil {
+		t.Fatal(err)
+	}
+	m[np] = true
+	checkQuery(t, tr2, m, geom.Rect{XLo: -10, XHi: 4000, YLo: -10, YHi: 4000})
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

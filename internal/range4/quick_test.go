@@ -1,0 +1,84 @@
+package range4
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"rangesearch/internal/eio"
+	"rangesearch/internal/geom"
+)
+
+// Property: arbitrary operation sequences keep the 4-sided structure equal
+// to a set under window queries, with all per-level replica invariants
+// intact.
+func TestQuickOpSequence(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 12, // each case builds three structures per node; keep small
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			vals[0] = reflect.ValueOf(rng.Int63())
+			vals[1] = reflect.ValueOf(60 + rng.Intn(200))
+		},
+	}
+	err := quick.Check(func(seed int64, ops int) bool {
+		rng := rand.New(rand.NewSource(seed))
+		store := eio.NewMemStore(128)
+		tr, err := Create(store, Options{Rho: 3, K: 4})
+		if err != nil {
+			return false
+		}
+		model := map[geom.Point]bool{}
+		for i := 0; i < ops; i++ {
+			p := geom.Point{X: rng.Int63n(64), Y: rng.Int63n(64)}
+			if rng.Intn(3) != 0 {
+				err := tr.Insert(p)
+				if model[p] {
+					if !errors.Is(err, ErrDuplicate) {
+						return false
+					}
+				} else if err != nil {
+					return false
+				}
+				model[p] = true
+			} else {
+				found, err := tr.Delete(p)
+				if err != nil || found != model[p] {
+					return false
+				}
+				delete(model, p)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			a := rng.Int63n(70) - 3
+			b := a + rng.Int63n(70)
+			c := rng.Int63n(70) - 3
+			d := c + rng.Int63n(70)
+			q := geom.Rect{XLo: a, XHi: b, YLo: c, YHi: d}
+			got, err := tr.Query4(nil, q)
+			if err != nil {
+				return false
+			}
+			seen := map[geom.Point]bool{}
+			for _, p := range got {
+				if seen[p] || !model[p] || !q.Contains(p) {
+					return false
+				}
+				seen[p] = true
+			}
+			for p := range model {
+				if q.Contains(p) && !seen[p] {
+					return false
+				}
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,309 @@
+package range4
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"rangesearch/internal/eio"
+	"rangesearch/internal/geom"
+)
+
+func distinctPoints(rng *rand.Rand, n int, coordRange int64) []geom.Point {
+	seen := make(map[geom.Point]bool)
+	var pts []geom.Point
+	for len(pts) < n {
+		p := geom.Point{X: rng.Int63n(coordRange), Y: rng.Int63n(coordRange)}
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func sorted(pts []geom.Point) []geom.Point {
+	out := append([]geom.Point(nil), pts...)
+	geom.SortByX(out)
+	return out
+}
+
+func equalPts(a, b []geom.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func brute4(m map[geom.Point]bool, q geom.Rect) []geom.Point {
+	var out []geom.Point
+	for p := range m {
+		if q.Contains(p) {
+			out = append(out, p)
+		}
+	}
+	geom.SortByX(out)
+	return out
+}
+
+func checkQuery(t *testing.T, tr *Tree, m map[geom.Point]bool, q geom.Rect) {
+	t.Helper()
+	got, err := tr.Query4(nil, q)
+	if err != nil {
+		t.Fatalf("query %v: %v", q, err)
+	}
+	want := brute4(m, q)
+	if !equalPts(sorted(got), want) {
+		t.Fatalf("query %v: got %d points, want %d", q, len(got), len(want))
+	}
+}
+
+func randRect(rng *rand.Rand, coordRange int64) geom.Rect {
+	a := rng.Int63n(coordRange)
+	b := a + rng.Int63n(coordRange-a+1)
+	c := rng.Int63n(coordRange)
+	d := c + rng.Int63n(coordRange-c+1)
+	return geom.Rect{XLo: a, XHi: b, YLo: c, YHi: d}
+}
+
+func TestBuildAndQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 30, 300, 1500} {
+		store := eio.NewMemStore(128) // B = 8
+		pts := distinctPoints(rng, n, 1200)
+		tr, err := Build(store, Options{Rho: 3, K: 4}, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		m := map[geom.Point]bool{}
+		for _, p := range pts {
+			m[p] = true
+		}
+		for trial := 0; trial < 40; trial++ {
+			checkQuery(t, tr, m, randRect(rng, 1200))
+		}
+		checkQuery(t, tr, m, geom.Rect{XLo: 0, XHi: 1200, YLo: 0, YHi: 1200})
+		checkQuery(t, tr, m, geom.Rect{XLo: 10, XHi: 5, YLo: 0, YHi: 10})
+	}
+}
+
+func TestInsertIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	store := eio.NewMemStore(128)
+	tr, err := Create(store, Options{Rho: 3, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[geom.Point]bool{}
+	pts := distinctPoints(rng, 600, 1500)
+	for i, p := range pts {
+		if err := tr.Insert(p); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		m[p] = true
+		if i%120 == 119 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+			for trial := 0; trial < 5; trial++ {
+				checkQuery(t, tr, m, randRect(rng, 1500))
+			}
+		}
+	}
+	if err := tr.Insert(pts[0]); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate: %v", err)
+	}
+}
+
+func TestDeleteIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	store := eio.NewMemStore(128)
+	pts := distinctPoints(rng, 500, 1000)
+	tr, err := Build(store, Options{Rho: 3, K: 4}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[geom.Point]bool{}
+	for _, p := range pts {
+		m[p] = true
+	}
+	perm := rng.Perm(len(pts))
+	for i, pi := range perm {
+		found, err := tr.Delete(pts[pi])
+		if err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+		if !found {
+			t.Fatalf("delete %d: not found", i)
+		}
+		delete(m, pts[pi])
+		if i%90 == 89 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d deletes: %v", i+1, err)
+			}
+			checkQuery(t, tr, m, randRect(rng, 1000))
+		}
+	}
+	if n, err := tr.Len(); err != nil || n != 0 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+	found, err := tr.Delete(pts[0])
+	if err != nil || found {
+		t.Fatalf("delete from empty: %v %v", found, err)
+	}
+}
+
+func TestMixedAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	store := eio.NewMemStore(128)
+	tr, err := Create(store, Options{Rho: 3, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[geom.Point]bool{}
+	universe := distinctPoints(rng, 300, 700)
+	for op := 0; op < 1500; op++ {
+		p := universe[rng.Intn(len(universe))]
+		if rng.Intn(3) != 0 {
+			err := tr.Insert(p)
+			if m[p] {
+				if !errors.Is(err, ErrDuplicate) {
+					t.Fatalf("op %d: %v", op, err)
+				}
+			} else if err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			m[p] = true
+		} else {
+			found, err := tr.Delete(p)
+			if err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			if found != m[p] {
+				t.Fatalf("op %d: found=%v want=%v", op, found, m[p])
+			}
+			delete(m, p)
+		}
+		if op%151 == 0 {
+			checkQuery(t, tr, m, randRect(rng, 700))
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordValidation(t *testing.T) {
+	store := eio.NewMemStore(128)
+	tr, err := Create(store, Options{Rho: 2, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []geom.Point{
+		{X: geom.MinCoord, Y: 0},
+		{X: geom.MaxCoord, Y: 0},
+		{X: 0, Y: geom.MinCoord},
+		{X: 0, Y: geom.MaxCoord},
+	} {
+		if err := tr.Insert(p); !errors.Is(err, ErrCoordRange) {
+			t.Errorf("insert %v: %v", p, err)
+		}
+	}
+	if _, err := Build(store, Options{}, []geom.Point{{X: geom.MaxCoord, Y: 1}}); !errors.Is(err, ErrCoordRange) {
+		t.Errorf("build: %v", err)
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	store := eio.NewMemStore(128)
+	pts := distinctPoints(rng, 200, 500)
+	tr, err := Build(store, Options{Rho: 3, K: 4}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Open(store, tr.HeaderID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, k := tr2.Params()
+	if rho != 3 || k != 4 {
+		t.Fatalf("params %d %d", rho, k)
+	}
+	m := map[geom.Point]bool{}
+	for _, p := range pts {
+		m[p] = true
+	}
+	checkQuery(t, tr2, m, geom.Rect{XLo: 100, XHi: 400, YLo: 100, YHi: 400})
+}
+
+func TestDestroyFreesEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	store := eio.NewMemStore(128)
+	pts := distinctPoints(rng, 300, 600)
+	tr, err := Build(store, Options{Rho: 3, K: 4}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Pages(); got != 0 {
+		t.Fatalf("%d pages leaked", got)
+	}
+}
+
+// TestTheorem7QueryIO: reporting cost scales with t and the additive term
+// stays polylogarithmic — never linear in N.
+func TestTheorem7QueryIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	store := eio.NewMemStore(256) // B = 16
+	pts := distinctPoints(rng, 8000, 1<<30)
+	tr, err := Build(store, Options{}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := randRect(rng, 1<<30)
+		store.ResetStats()
+		got, err := tr.Query4(nil, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reads := int(store.Stats().Reads)
+		tb := (len(got) + 15) / 16
+		// Additive budget: ρ spanned children × EPST search depth, plus
+		// boundary 3-sided queries; all far below N/B = 500 blocks.
+		if limit := 400 + 40*tb; reads > limit {
+			t.Errorf("query %v: %d reads for t=%d", q, reads, tb)
+		}
+	}
+}
+
+// TestSpaceFactor: the structure stores each point once per level.
+func TestSpaceFactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	store := eio.NewMemStore(256) // B = 16
+	pts := distinctPoints(rng, 6000, 1<<30)
+	tr, err := Build(store, Options{}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := tr.Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	factor := float64(st.Pages*st.B) / float64(st.Points)
+	// ≈ (levels−1) internal replicas × 3 structures × constant + leaves.
+	if maxFactor := float64(st.Levels*3*8 + 8); factor > maxFactor {
+		t.Errorf("space factor %.1f exceeds %v (levels=%d)", factor, maxFactor, st.Levels)
+	}
+}

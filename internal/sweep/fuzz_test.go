@@ -1,0 +1,62 @@
+package sweep
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"rangesearch/internal/geom"
+)
+
+// FuzzSchemeQuery decodes an arbitrary byte string into a point set and a
+// 3-sided query, builds the sweep scheme, and checks the answer against
+// brute force. Run with `go test -fuzz=FuzzSchemeQuery ./internal/sweep`.
+func FuzzSchemeQuery(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(4), uint8(2))
+	f.Add(make([]byte, 64), uint8(2), uint8(3))
+	f.Fuzz(func(t *testing.T, raw []byte, b8, alpha8 uint8) {
+		b := 2 + int(b8)%14
+		alpha := 2 + int(alpha8)%4
+		// Decode up to 200 points of 2 bytes each (tiny coordinates make
+		// duplicates and ties common — the interesting cases).
+		var pts []geom.Point
+		for i := 0; i+2 <= len(raw) && len(pts) < 200; i += 2 {
+			pts = append(pts, geom.Point{X: int64(raw[i] % 32), Y: int64(raw[i+1] % 32)})
+		}
+		var qa, qb, qc int64
+		if len(raw) >= 6 {
+			qa = int64(binary.LittleEndian.Uint16(raw[0:]) % 40)
+			qb = qa + int64(raw[2]%16)
+			qc = int64(raw[4] % 40)
+		}
+		s, err := Build(pts, b, alpha)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		q := geom.Query3{XLo: qa, XHi: qb, YLo: qc}
+		got, k := s.Query3(nil, q)
+		want := map[geom.Point]int{}
+		total := 0
+		for _, p := range pts {
+			if q.Contains(p) {
+				want[p]++
+				total++
+			}
+		}
+		gotCnt := map[geom.Point]int{}
+		for _, p := range got {
+			gotCnt[p]++
+		}
+		if len(gotCnt) != len(want) {
+			t.Fatalf("query %v: distinct %d vs %d", q, len(gotCnt), len(want))
+		}
+		for p, c := range want {
+			if gotCnt[p] != c {
+				t.Fatalf("query %v: point %v count %d vs %d", q, p, gotCnt[p], c)
+			}
+		}
+		tb := (total + b - 1) / b
+		if k > alpha*alpha*tb+alpha+1 {
+			t.Fatalf("query %v: %d blocks exceeds Theorem 4 bound", q, k)
+		}
+	})
+}

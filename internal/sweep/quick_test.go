@@ -1,0 +1,129 @@
+package sweep
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"rangesearch/internal/geom"
+)
+
+// Property: for any point set, B, α, and any 3-sided query, the scheme
+// reports exactly the matching points and never exceeds the Theorem 4
+// cover bound.
+func TestQuickSchemeCorrectAndBounded(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 120,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			n := rng.Intn(300)
+			pts := make([]geom.Point, n)
+			for i := range pts {
+				pts[i] = geom.Point{X: rng.Int63n(64), Y: rng.Int63n(64)}
+			}
+			vals[0] = reflect.ValueOf(pts)
+			vals[1] = reflect.ValueOf(2 + rng.Intn(10)) // B
+			vals[2] = reflect.ValueOf(2 + rng.Intn(4))  // alpha
+			vals[3] = reflect.ValueOf(rng.Int63())
+		},
+	}
+	err := quick.Check(func(pts []geom.Point, b, alpha int, qseed int64) bool {
+		s, err := Build(pts, b, alpha)
+		if err != nil {
+			return false
+		}
+		// Redundancy bound (+ slack for the final short initial block).
+		if s.NumPoints() > 0 {
+			bound := 1 + 1/float64(alpha-1) + float64(b)/float64(s.NumPoints())
+			if s.Redundancy() > bound+1e-9 {
+				return false
+			}
+		}
+		rng := rand.New(rand.NewSource(qseed))
+		for trial := 0; trial < 10; trial++ {
+			a := rng.Int63n(70) - 3
+			bb := a + rng.Int63n(70)
+			c := rng.Int63n(70) - 3
+			q := geom.Query3{XLo: a, XHi: bb, YLo: c}
+			got, k := s.Query3(nil, q)
+			// Exact multiset equality via counting.
+			want := map[geom.Point]int{}
+			for _, p := range pts {
+				if q.Contains(p) {
+					want[p]++
+				}
+			}
+			gotCnt := map[geom.Point]int{}
+			for _, p := range got {
+				gotCnt[p]++
+			}
+			if len(gotCnt) != len(want) {
+				return false
+			}
+			total := 0
+			for p, c := range want {
+				if gotCnt[p] != c {
+					return false
+				}
+				total += c
+			}
+			tb := (total + b - 1) / b
+			if k > alpha*alpha*tb+alpha+1 {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: block metadata is internally consistent — activity intervals
+// are well-formed and stored points lie inside the block's x-range.
+func TestQuickBlockMetadata(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 80,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			n := 1 + rng.Intn(400)
+			pts := make([]geom.Point, n)
+			for i := range pts {
+				pts[i] = geom.Point{X: rng.Int63n(128), Y: rng.Int63n(128)}
+			}
+			vals[0] = reflect.ValueOf(pts)
+			vals[1] = reflect.ValueOf(2 + rng.Intn(8))
+		},
+	}
+	err := quick.Check(func(pts []geom.Point, b int) bool {
+		s, err := Build(pts, b, 2)
+		if err != nil {
+			return false
+		}
+		for i := range s.Blocks() {
+			blk := &s.Blocks()[i]
+			if len(blk.Points) > b {
+				return false
+			}
+			for _, p := range blk.Points {
+				if p.X < blk.XLo || p.X > blk.XHi {
+					return false
+				}
+			}
+			if blk.RetiredAt && !blk.Initial && blk.YRet < blk.YAct {
+				return false
+			}
+			// Points must be y-sorted within a block (the storage order
+			// smallstruct relies on for nothing, but the construction
+			// promises it).
+			for j := 1; j < len(blk.Points); j++ {
+				if blk.Points[j].YLess(blk.Points[j-1]) {
+					return false
+				}
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

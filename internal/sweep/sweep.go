@@ -1,0 +1,369 @@
+// Package sweep implements the 3-sided indexing scheme of Section 2.2.1 of
+// Arge, Samoladas & Vitter (PODS 1999): a sweep-line construction that
+// places N points into at most n + n/(α−1) blocks of B points (redundancy
+// r ≤ 1 + 1/(α−1)) such that every 3-sided query (a, b, c) — a ≤ x ≤ b,
+// y ≥ c — is covered by at most α²·t + α + 1 blocks, i.e. constant access
+// overhead A ≤ α² + α + 1.
+//
+// Construction: points are first partitioned by x into n initial blocks. A
+// horizontal sweep line rises through the points; a block is "active" while
+// it still has points above the line, and the invariant is maintained that
+// among any α consecutive active blocks at least one holds ≥ B/α points
+// above the line. When α consecutive active blocks all fall below B/α live
+// points, they are coalesced: a new block is created holding exactly their
+// live points (< B in total), the α old blocks are retired, and the new
+// block takes their place in the linear order.
+//
+// Each block is annotated with its x-range and activity y-interval — the
+// "catalog" information which internal/smallstruct packs into O(1) catalog
+// blocks to answer queries in O(t + 1) I/Os (Lemma 1 of the paper).
+package sweep
+
+import (
+	"fmt"
+	"sort"
+
+	"rangesearch/internal/geom"
+)
+
+// Block is one block of the scheme together with its catalog metadata.
+type Block struct {
+	// Points is the block's full contents (at most B points), sorted by
+	// ascending y. Blocks retain their contents forever; queries filter.
+	Points []geom.Point
+	// XLo, XHi is the block's x-range.
+	XLo, XHi int64
+	// Initial marks the blocks of the starting x-partition, which are
+	// active from the beginning of the sweep.
+	Initial bool
+	// YAct is the sweep position at which the block was created; the block
+	// is active for query thresholds c > YAct. Meaningless if Initial.
+	YAct int64
+	// Retired y-position; the block is active for thresholds c ≤ YRet.
+	// Meaningless unless RetiredAt is true.
+	YRet      int64
+	RetiredAt bool
+}
+
+// ActiveFor reports whether the block was active when the sweep line stood
+// at threshold c (i.e. exactly the points with y ≥ c were above the line).
+func (b *Block) ActiveFor(c int64) bool {
+	if !b.Initial && c <= b.YAct {
+		return false
+	}
+	return !b.RetiredAt || c <= b.YRet
+}
+
+// Scheme is a constructed 3-sided indexing scheme.
+type Scheme struct {
+	b      int
+	alpha  int
+	n      int // number of points
+	maxY   int64
+	blocks []Block
+}
+
+// Build constructs the scheme for the given points with block size b ≥ 2
+// and coalescing parameter alpha ≥ 2. The input slice is not modified.
+func Build(points []geom.Point, b, alpha int) (*Scheme, error) {
+	if b < 2 {
+		return nil, fmt.Errorf("sweep: block size %d < 2", b)
+	}
+	if alpha < 2 {
+		return nil, fmt.Errorf("sweep: alpha %d < 2", alpha)
+	}
+	s := &Scheme{b: b, alpha: alpha, n: len(points)}
+	if len(points) == 0 {
+		return s, nil
+	}
+
+	pts := make([]geom.Point, len(points))
+	copy(pts, points)
+	geom.SortByX(pts)
+	s.maxY = pts[0].Y
+	for _, p := range pts {
+		if p.Y > s.maxY {
+			s.maxY = p.Y
+		}
+	}
+
+	// Initial x-partition into blocks of b points.
+	var head, tail *entry
+	ptEntry := make([]*entry, len(pts))
+	for lo := 0; lo < len(pts); lo += b {
+		hi := min(lo+b, len(pts))
+		blk := pts[lo:hi]
+		byY := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			byY = append(byY, i)
+		}
+		sort.Slice(byY, func(i, j int) bool { return pts[byY[i]].YLess(pts[byY[j]]) })
+		stored := make([]geom.Point, len(byY))
+		for i, pid := range byY {
+			stored[i] = pts[pid]
+		}
+		s.blocks = append(s.blocks, Block{
+			Points:  stored,
+			XLo:     blk[0].X,
+			XHi:     blk[len(blk)-1].X,
+			Initial: true,
+		})
+		e := &entry{
+			blockIdx: len(s.blocks) - 1,
+			pids:     byY,
+			live:     len(byY),
+			xlo:      blk[0].X,
+			xhi:      blk[len(blk)-1].X,
+		}
+		for _, pid := range byY {
+			ptEntry[pid] = e
+		}
+		if tail == nil {
+			head, tail = e, e
+		} else {
+			tail.next, e.prev = e, tail
+			tail = e
+		}
+	}
+
+	// Sweep: process points in ascending y, whole y-groups at a time.
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return pts[order[i]].YLess(pts[order[j]]) })
+
+	for gi := 0; gi < len(order); {
+		y := pts[order[gi]].Y
+		var touched []*entry
+		for ; gi < len(order) && pts[order[gi]].Y == y; gi++ {
+			e := ptEntry[order[gi]]
+			e.live--
+			if !e.queued {
+				e.queued = true
+				touched = append(touched, e)
+			}
+		}
+		if gi == len(order) {
+			// Final group: no threshold above it is meaningful, skip
+			// invariant restoration (it would only create empty blocks).
+			break
+		}
+		queue := touched
+		for len(queue) > 0 {
+			e := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			e.queued = false
+			if e.retired {
+				continue
+			}
+			if e.live == 0 {
+				// A block with no points above the line is no longer
+				// active: retire it and splice it out. Its neighbours may
+				// now form a light run, so re-examine them.
+				s.retire(e, y, &head)
+				for _, nb := range []*entry{e.prev, e.next} {
+					if nb != nil && !nb.retired && !nb.queued {
+						nb.queued = true
+						queue = append(queue, nb)
+					}
+				}
+				continue
+			}
+			if !s.light(e) {
+				continue
+			}
+			run := s.lightRun(e)
+			for len(run) >= alpha {
+				ne := s.coalesce(run[:alpha], y, pts, ptEntry, &head)
+				rest := run[alpha:]
+				switch {
+				case s.light(ne):
+					run = s.lightRun(ne)
+				case len(rest) > 0:
+					// The merged block is heavy but the tail of the run is
+					// still light and consecutive; keep restoring there.
+					run = s.lightRun(rest[0])
+				default:
+					run = nil
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// retire marks e inactive as of sweep position y and splices it out of the
+// active list.
+func (s *Scheme) retire(e *entry, y int64, head **entry) {
+	e.retired = true
+	blk := &s.blocks[e.blockIdx]
+	blk.RetiredAt = true
+	blk.YRet = y
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		*head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+}
+
+// entry is an active block during construction.
+type entry struct {
+	prev, next *entry
+	blockIdx   int
+	pids       []int // point ids sorted by ascending y (live = suffix with y > sweep)
+	live       int
+	xlo, xhi   int64
+	retired    bool
+	queued     bool
+}
+
+// light reports whether e has fewer than B/α live points.
+func (s *Scheme) light(e *entry) bool { return e.live*s.alpha < s.b }
+
+// lightRun returns the maximal run of consecutive light active entries
+// containing e, in linear order.
+func (s *Scheme) lightRun(e *entry) []*entry {
+	start := e
+	for start.prev != nil && s.light(start.prev) {
+		start = start.prev
+	}
+	var run []*entry
+	for cur := start; cur != nil && s.light(cur); cur = cur.next {
+		run = append(run, cur)
+	}
+	return run
+}
+
+// coalesce merges the given consecutive light entries (processed through
+// sweep position y) into a new active block and returns its entry.
+func (s *Scheme) coalesce(run []*entry, y int64, pts []geom.Point, ptEntry []*entry, head **entry) *entry {
+	var livePids []int
+	xlo, xhi := run[0].xlo, run[0].xhi
+	for _, e := range run {
+		for _, pid := range e.pids {
+			if pts[pid].Y > y {
+				livePids = append(livePids, pid)
+			}
+		}
+		if e.xlo < xlo {
+			xlo = e.xlo
+		}
+		if e.xhi > xhi {
+			xhi = e.xhi
+		}
+	}
+	sort.Slice(livePids, func(i, j int) bool { return pts[livePids[i]].YLess(pts[livePids[j]]) })
+	stored := make([]geom.Point, len(livePids))
+	for i, pid := range livePids {
+		stored[i] = pts[pid]
+	}
+	s.blocks = append(s.blocks, Block{
+		Points: stored,
+		XLo:    xlo,
+		XHi:    xhi,
+		YAct:   y,
+	})
+	ne := &entry{
+		blockIdx: len(s.blocks) - 1,
+		pids:     livePids,
+		live:     len(livePids),
+		xlo:      xlo,
+		xhi:      xhi,
+	}
+	for _, pid := range livePids {
+		ptEntry[pid] = ne
+	}
+	// Retire the run and splice in the new entry.
+	first, last := run[0], run[len(run)-1]
+	for _, e := range run {
+		e.retired = true
+		blk := &s.blocks[e.blockIdx]
+		blk.RetiredAt = true
+		blk.YRet = y
+	}
+	ne.prev = first.prev
+	ne.next = last.next
+	if ne.prev != nil {
+		ne.prev.next = ne
+	} else {
+		*head = ne
+	}
+	if ne.next != nil {
+		ne.next.prev = ne
+	}
+	return ne
+}
+
+// B returns the block size.
+func (s *Scheme) B() int { return s.b }
+
+// Alpha returns the coalescing parameter.
+func (s *Scheme) Alpha() int { return s.alpha }
+
+// NumPoints returns N.
+func (s *Scheme) NumPoints() int { return s.n }
+
+// NumBlocks returns the total number of blocks created.
+func (s *Scheme) NumBlocks() int { return len(s.blocks) }
+
+// BlockSize returns B (indexability.Scheme interface).
+func (s *Scheme) BlockSize() int { return s.b }
+
+// Blocks exposes the blocks with their catalog metadata.
+func (s *Scheme) Blocks() []Block { return s.blocks }
+
+// MaxY returns the largest y-coordinate indexed.
+func (s *Scheme) MaxY() int64 { return s.maxY }
+
+// Redundancy returns r = B·|blocks|/N.
+func (s *Scheme) Redundancy() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return float64(s.b*len(s.blocks)) / float64(s.n)
+}
+
+// CoverIndexes returns the indexes of the blocks covering the 3-sided query
+// q: the blocks active at threshold q.YLo whose x-ranges intersect
+// [q.XLo, q.XHi].
+func (s *Scheme) CoverIndexes(q geom.Query3) []int {
+	if q.Empty() || s.n == 0 || q.YLo > s.maxY {
+		return nil
+	}
+	var out []int
+	for i := range s.blocks {
+		b := &s.blocks[i]
+		if b.ActiveFor(q.YLo) && b.XLo <= q.XHi && b.XHi >= q.XLo {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Query3 returns all indexed points satisfying q, appended to dst, along
+// with the number of blocks read.
+func (s *Scheme) Query3(dst []geom.Point, q geom.Query3) ([]geom.Point, int) {
+	idx := s.CoverIndexes(q)
+	for _, i := range idx {
+		dst = geom.Filter3(dst, s.blocks[i].Points, q)
+	}
+	return dst, len(idx)
+}
+
+// Cover implements indexability.Scheme for 3-sided workloads: the rectangle
+// must be open-topped (YHi = MaxCoord).
+func (s *Scheme) Cover(q geom.Rect) ([][]geom.Point, error) {
+	if q.YHi != geom.MaxCoord {
+		return nil, fmt.Errorf("sweep: query %v is not 3-sided (YHi must be MaxCoord)", q)
+	}
+	idx := s.CoverIndexes(geom.Query3{XLo: q.XLo, XHi: q.XHi, YLo: q.YLo})
+	out := make([][]geom.Point, len(idx))
+	for i, bi := range idx {
+		out[i] = s.blocks[bi].Points
+	}
+	return out, nil
+}

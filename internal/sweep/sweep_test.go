@@ -1,0 +1,201 @@
+package sweep
+
+import (
+	"math/rand"
+	"testing"
+
+	"rangesearch/internal/geom"
+)
+
+// brute3 returns the points of pts satisfying q.
+func brute3(pts []geom.Point, q geom.Query3) []geom.Point {
+	var out []geom.Point
+	for _, p := range pts {
+		if q.Contains(p) {
+			out = append(out, p)
+		}
+	}
+	geom.SortByX(out)
+	return out
+}
+
+func randPoints(rng *rand.Rand, n int, coordRange int64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Int63n(coordRange), Y: rng.Int63n(coordRange)}
+	}
+	return pts
+}
+
+func checkQueries(t *testing.T, s *Scheme, pts []geom.Point, rng *rand.Rand, coordRange int64, trials int) {
+	t.Helper()
+	for i := 0; i < trials; i++ {
+		a := rng.Int63n(coordRange)
+		b := a + rng.Int63n(coordRange-a+1)
+		c := rng.Int63n(coordRange)
+		q := geom.Query3{XLo: a, XHi: b, YLo: c}
+		got, _ := s.Query3(nil, q)
+		geom.SortByX(got)
+		want := brute3(pts, q)
+		if len(got) != len(want) {
+			t.Fatalf("query %v: got %d points, want %d", q, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("query %v: point %d: got %v want %v", q, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	s, err := Build(nil, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumBlocks() != 0 {
+		t.Fatalf("empty scheme has %d blocks", s.NumBlocks())
+	}
+	got, nb := s.Query3(nil, geom.Query3{XLo: 0, XHi: 10, YLo: 0})
+	if len(got) != 0 || nb != 0 {
+		t.Fatalf("query on empty scheme returned %d points, %d blocks", len(got), nb)
+	}
+}
+
+func TestBuildRejectsBadParams(t *testing.T) {
+	if _, err := Build(nil, 1, 2); err == nil {
+		t.Error("B=1 accepted")
+	}
+	if _, err := Build(nil, 4, 1); err == nil {
+		t.Error("alpha=1 accepted")
+	}
+}
+
+func TestQueryCorrectnessRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 7, 64, 500, 2000} {
+		for _, b := range []int{4, 16} {
+			for _, alpha := range []int{2, 3, 4} {
+				pts := randPoints(rng, n, 1000)
+				s, err := Build(pts, b, alpha)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkQueries(t, s, pts, rng, 1000, 50)
+			}
+		}
+	}
+}
+
+func TestQueryCorrectnessDuplicateX(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Many duplicate x-coordinates (only 10 distinct x values).
+	pts := make([]geom.Point, 800)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Int63n(10), Y: rng.Int63n(500)}
+	}
+	s, err := Build(pts, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkQueries(t, s, pts, rng, 500, 100)
+}
+
+func TestQueryDegenerate(t *testing.T) {
+	pts := []geom.Point{{X: 5, Y: 5}, {X: 5, Y: 6}, {X: 6, Y: 5}}
+	s, err := Build(pts, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-range query.
+	got, _ := s.Query3(nil, geom.Query3{XLo: geom.MinCoord, XHi: geom.MaxCoord, YLo: geom.MinCoord})
+	if len(got) != 3 {
+		t.Fatalf("full query returned %d points", len(got))
+	}
+	// Empty x-range.
+	got, _ = s.Query3(nil, geom.Query3{XLo: 10, XHi: 5, YLo: 0})
+	if len(got) != 0 {
+		t.Fatalf("empty-range query returned %d points", len(got))
+	}
+	// Threshold above all points.
+	got, nb := s.Query3(nil, geom.Query3{XLo: 0, XHi: 10, YLo: 100})
+	if len(got) != 0 || nb != 0 {
+		t.Fatalf("above-max query returned %d points via %d blocks", len(got), nb)
+	}
+}
+
+func TestRedundancyBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, alpha := range []int{2, 3, 5, 8} {
+		pts := randPoints(rng, 4000, 100000)
+		s, err := Build(pts, 16, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := 1 + 1/float64(alpha-1)
+		// The paper's bound counts blocks against full occupancy; the final
+		// (short) initial block adds at most one extra block. Allow that.
+		slack := float64(s.B()) / float64(s.NumPoints())
+		if r := s.Redundancy(); r > bound+slack+1e-9 {
+			t.Errorf("alpha=%d: redundancy %.4f exceeds bound %.4f", alpha, r, bound)
+		}
+	}
+}
+
+func TestAccessOverheadBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := randPoints(rng, 3000, 10000)
+	b, alpha := 16, 2
+	s, err := Build(pts, b, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k blocks read must satisfy k ≤ α²t + α + 1 (Section 2.2.1).
+	for i := 0; i < 300; i++ {
+		a := rng.Int63n(10000)
+		bb := a + rng.Int63n(10000-a+1)
+		c := rng.Int63n(10000)
+		q := geom.Query3{XLo: a, XHi: bb, YLo: c}
+		got, k := s.Query3(nil, q)
+		tBlocks := (len(got) + b - 1) / b
+		if limit := alpha*alpha*tBlocks + alpha + 1; k > limit {
+			t.Errorf("query %v: read %d blocks for t=%d (limit %d)", q, k, tBlocks, limit)
+		}
+	}
+}
+
+// TestInvariantEveryLivePointCoveredOnce checks the core scheme property:
+// at every threshold c, each point with y ≥ c is live in exactly one active
+// block whose x-range contains it.
+func TestActiveBlocksPartitionLivePoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := randPoints(rng, 600, 300)
+	s, err := Build(pts, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 60; trial++ {
+		c := rng.Int63n(300)
+		// Count, for each live point, how many active blocks contain it
+		// among their stored points with y ≥ c.
+		counts := make(map[geom.Point]int)
+		for i := range s.Blocks() {
+			blk := &s.Blocks()[i]
+			if !blk.ActiveFor(c) {
+				continue
+			}
+			seen := make(map[geom.Point]bool)
+			for _, p := range blk.Points {
+				if p.Y >= c && !seen[p] {
+					seen[p] = true
+					counts[p]++
+				}
+			}
+		}
+		for _, p := range pts {
+			if p.Y >= c && counts[p] < 1 {
+				t.Fatalf("threshold %d: live point %v not in any active block", c, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package wbtree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"rangesearch/internal/eio"
+	"rangesearch/internal/geom"
+)
+
+// Property: an arbitrary insert/delete sequence leaves the tree
+// semantically equal to a set and structurally valid, and Range visits the
+// live items in exactly sorted order.
+func TestQuickSetSemantics(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 50,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			vals[0] = reflect.ValueOf(rng.Int63())
+			vals[1] = reflect.ValueOf(100 + rng.Intn(500))
+		},
+	}
+	err := quick.Check(func(seed int64, ops int) bool {
+		rng := rand.New(rand.NewSource(seed))
+		store := eio.NewMemStore(128)
+		tr, err := Create(store, 2, 3)
+		if err != nil {
+			return false
+		}
+		model := map[geom.Point]bool{}
+		for i := 0; i < ops; i++ {
+			p := geom.Point{X: rng.Int63n(64), Y: rng.Int63n(64)}
+			if rng.Intn(2) == 0 {
+				err := tr.Insert(p)
+				if model[p] != (err != nil) {
+					return false
+				}
+				model[p] = true
+			} else {
+				found, err := tr.Delete(p)
+				if err != nil || found != model[p] {
+					return false
+				}
+				delete(model, p)
+			}
+		}
+		if err := tr.CheckInvariants(false); err != nil {
+			return false
+		}
+		var walked []geom.Point
+		lo := geom.Point{X: geom.MinCoord, Y: geom.MinCoord}
+		hi := geom.Point{X: geom.MaxCoord, Y: geom.MaxCoord}
+		if err := tr.Range(lo, hi, func(p geom.Point) bool {
+			walked = append(walked, p)
+			return true
+		}); err != nil {
+			return false
+		}
+		if len(walked) != len(model) {
+			return false
+		}
+		for i, p := range walked {
+			if !model[p] {
+				return false
+			}
+			if i > 0 && !walked[i-1].Less(p) {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BulkLoad(sorted distinct) produces a tree equal to the input
+// under Range, for any size and parameters.
+func TestQuickBulkLoad(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			n := rng.Intn(800)
+			seen := map[geom.Point]bool{}
+			pts := make([]geom.Point, 0, n)
+			for len(pts) < n {
+				p := geom.Point{X: rng.Int63n(5000), Y: rng.Int63n(5000)}
+				if !seen[p] {
+					seen[p] = true
+					pts = append(pts, p)
+				}
+			}
+			geom.SortByX(pts)
+			vals[0] = reflect.ValueOf(pts)
+			vals[1] = reflect.ValueOf(2 + rng.Intn(6))
+			vals[2] = reflect.ValueOf(2 + rng.Intn(10))
+		},
+	}
+	err := quick.Check(func(pts []geom.Point, a, k int) bool {
+		store := eio.NewMemStore(256)
+		tr, err := Create(store, a, k)
+		if err != nil {
+			return false
+		}
+		if err := tr.BulkLoad(pts); err != nil {
+			return false
+		}
+		if err := tr.CheckInvariants(false); err != nil {
+			return false
+		}
+		var walked []geom.Point
+		lo := geom.Point{X: geom.MinCoord, Y: geom.MinCoord}
+		hi := geom.Point{X: geom.MaxCoord, Y: geom.MaxCoord}
+		if err := tr.Range(lo, hi, func(p geom.Point) bool {
+			walked = append(walked, p)
+			return true
+		}); err != nil {
+			return false
+		}
+		if len(walked) != len(pts) {
+			return false
+		}
+		for i := range walked {
+			if walked[i] != pts[i] {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,515 @@
+package wbtree
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rangesearch/internal/eio"
+	"rangesearch/internal/geom"
+)
+
+func distinctPoints(rng *rand.Rand, n int, coordRange int64) []geom.Point {
+	seen := make(map[geom.Point]bool)
+	var pts []geom.Point
+	for len(pts) < n {
+		p := geom.Point{X: rng.Int63n(coordRange), Y: rng.Int63n(coordRange)}
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	store := eio.NewMemStore(128)
+	tr, err := Create(store, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []geom.Point{{X: 3, Y: 1}, {X: 1, Y: 2}, {X: 7, Y: 0}, {X: 1, Y: 1}, {X: 5, Y: 9}}
+	for _, p := range pts {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		ok, err := tr.Contains(p)
+		if err != nil || !ok {
+			t.Fatalf("Contains(%v) = %v, %v", p, ok, err)
+		}
+	}
+	ok, err := tr.Contains(geom.Point{X: 100, Y: 100})
+	if err != nil || ok {
+		t.Fatalf("Contains(absent) = %v, %v", ok, err)
+	}
+	if err := tr.Insert(pts[0]); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+	n, err := tr.Len()
+	if err != nil || n != len(pts) {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+	if err := tr.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertManyInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, params := range [][2]int{{2, 2}, {3, 4}, {4, 8}} {
+		store := eio.NewMemStore(256)
+		tr, err := Create(store, params[0], params[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := distinctPoints(rng, 3000, 1<<20)
+		for i, p := range pts {
+			if err := tr.Insert(p); err != nil {
+				t.Fatalf("insert %d: %v", i, err)
+			}
+			if i%500 == 499 {
+				if err := tr.CheckInvariants(true); err != nil {
+					t.Fatalf("a=%d k=%d after %d inserts: %v", params[0], params[1], i+1, err)
+				}
+			}
+		}
+		if err := tr.CheckInvariants(true); err != nil {
+			t.Fatal(err)
+		}
+		// Height must be logarithmic.
+		h, err := tr.Height()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := int(math.Log(float64(len(pts)))/math.Log(float64(params[0]))) + 3
+		if h > bound {
+			t.Errorf("a=%d k=%d: height %d exceeds %d", params[0], params[1], h, bound)
+		}
+	}
+}
+
+func TestRangeAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	store := eio.NewMemStore(128)
+	tr, err := Create(store, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := distinctPoints(rng, 800, 500)
+	for _, p := range pts {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sorted := append([]geom.Point(nil), pts...)
+	geom.SortByX(sorted)
+	for trial := 0; trial < 100; trial++ {
+		lo := geom.Point{X: rng.Int63n(500), Y: rng.Int63n(500)}
+		hi := geom.Point{X: rng.Int63n(500), Y: rng.Int63n(500)}
+		if hi.Less(lo) {
+			lo, hi = hi, lo
+		}
+		var got []geom.Point
+		if err := tr.Range(lo, hi, func(p geom.Point) bool {
+			got = append(got, p)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var want []geom.Point
+		for _, p := range sorted {
+			if !p.Less(lo) && !hi.Less(p) {
+				want = append(want, p)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("range [%v,%v]: got %d want %d", lo, hi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("range [%v,%v]: item %d: %v vs %v", lo, hi, i, got[i], want[i])
+			}
+		}
+	}
+	// Early stop.
+	count := 0
+	if err := tr.Range(geom.Point{X: geom.MinCoord, Y: geom.MinCoord}, geom.Point{X: geom.MaxCoord, Y: geom.MaxCoord}, func(geom.Point) bool {
+		count++
+		return count < 10
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestDeleteAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	store := eio.NewMemStore(128)
+	tr, err := Create(store, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[geom.Point]bool{}
+	universe := distinctPoints(rng, 400, 300)
+	for op := 0; op < 4000; op++ {
+		p := universe[rng.Intn(len(universe))]
+		if rng.Intn(2) == 0 {
+			err := tr.Insert(p)
+			if model[p] {
+				if !errors.Is(err, ErrDuplicate) {
+					t.Fatalf("op %d: expected duplicate, got %v", op, err)
+				}
+			} else if err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			model[p] = true
+		} else {
+			found, err := tr.Delete(p)
+			if err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			if found != model[p] {
+				t.Fatalf("op %d: delete %v found=%v want=%v", op, p, found, model[p])
+			}
+			delete(model, p)
+		}
+		if op%211 == 0 {
+			n, err := tr.Len()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(model) {
+				t.Fatalf("op %d: len %d want %d", op, n, len(model))
+			}
+			if err := tr.CheckInvariants(false); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	// Everything still findable.
+	for p := range model {
+		ok, err := tr.Contains(p)
+		if err != nil || !ok {
+			t.Fatalf("lost %v", p)
+		}
+	}
+}
+
+func TestGlobalRebuildRestoresHeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	store := eio.NewMemStore(128)
+	tr, err := Create(store, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := distinctPoints(rng, 2000, 1<<20)
+	for _, p := range pts {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tall, err := tr.Height()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts[:1990] {
+		if _, err := tr.Delete(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	short, err := tr.Height()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short >= tall {
+		t.Errorf("height %d did not shrink from %d after mass deletion", short, tall)
+	}
+	n, err := tr.Len()
+	if err != nil || n != 10 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+	for _, p := range pts[1990:] {
+		ok, err := tr.Contains(p)
+		if err != nil || !ok {
+			t.Fatalf("lost %v across rebuild", p)
+		}
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	store := eio.NewMemStore(256)
+	tr, err := Create(store, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := distinctPoints(rng, 5000, 1<<30)
+	geom.SortByX(pts)
+	if err := tr.BulkLoad(pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(false); err != nil {
+		t.Fatal(err)
+	}
+	n, err := tr.Len()
+	if err != nil || n != len(pts) {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+	for _, i := range []int{0, 17, 4999} {
+		ok, err := tr.Contains(pts[i])
+		if err != nil || !ok {
+			t.Fatalf("bulk-loaded item %d missing", i)
+		}
+	}
+	// Unsorted input rejected.
+	if err := tr.BulkLoad([]geom.Point{{X: 2, Y: 0}, {X: 1, Y: 0}}); err == nil {
+		t.Fatal("unsorted bulk load accepted")
+	}
+	// Mutations after bulk load work.
+	if err := tr.Insert(geom.Point{X: -1, Y: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := tr.Contains(geom.Point{X: -1, Y: -1}); err != nil || !ok {
+		t.Fatal("insert after bulk load lost")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	store := eio.NewMemStore(128)
+	tr, err := Create(store, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := tr.Min(); err != nil || ok {
+		t.Fatalf("Min on empty: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := tr.Max(); err != nil || ok {
+		t.Fatalf("Max on empty: ok=%v err=%v", ok, err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	pts := distinctPoints(rng, 300, 1000)
+	for _, p := range pts {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sorted := append([]geom.Point(nil), pts...)
+	geom.SortByX(sorted)
+	mn, ok, err := tr.Min()
+	if err != nil || !ok || mn != sorted[0] {
+		t.Fatalf("Min = %v, want %v", mn, sorted[0])
+	}
+	mx, ok, err := tr.Max()
+	if err != nil || !ok || mx != sorted[len(sorted)-1] {
+		t.Fatalf("Max = %v, want %v", mx, sorted[len(sorted)-1])
+	}
+	// Delete the max; Max must follow.
+	if _, err := tr.Delete(mx); err != nil {
+		t.Fatal(err)
+	}
+	mx2, ok, err := tr.Max()
+	if err != nil || !ok || mx2 != sorted[len(sorted)-2] {
+		t.Fatalf("Max after delete = %v, want %v", mx2, sorted[len(sorted)-2])
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	store := eio.NewMemStore(128)
+	tr, err := Create(store, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := distinctPoints(rng, 200, 1000)
+	for _, p := range pts {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr2, err := Open(store, tr.HeaderID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, k := tr2.Params()
+	if a != 2 || k != 3 {
+		t.Fatalf("params %d,%d", a, k)
+	}
+	for _, p := range pts {
+		ok, err := tr2.Contains(p)
+		if err != nil || !ok {
+			t.Fatalf("reopened tree lost %v", p)
+		}
+	}
+}
+
+func TestDestroyFreesEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	store := eio.NewMemStore(128)
+	tr, err := Create(store, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range distinctPoints(rng, 500, 1<<20) {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Pages(); got != 0 {
+		t.Fatalf("%d pages leaked", got)
+	}
+}
+
+// TestLemma3IOBound: search and insert cost O(log_a N) node records.
+func TestLemma3IOBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	store := eio.NewMemStore(4096) // B = 256, defaults a=64, k=256
+	tr, err := Create(store, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := distinctPoints(rng, 30000, 1<<40)
+	geom.SortByX(pts)
+	if err := tr.BulkLoad(pts); err != nil {
+		t.Fatal(err)
+	}
+	h, err := tr.Height()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Search cost: ≤ (height+1) node records + header, each O(1) pages.
+	for i := 0; i < 50; i++ {
+		p := pts[rng.Intn(len(pts))]
+		store.ResetStats()
+		if ok, err := tr.Contains(p); err != nil || !ok {
+			t.Fatal(err)
+		}
+		reads := int(store.Stats().Reads)
+		// Each node ≤ 3 pages (leaf ≤ 2k·16/4096+1), header 1.
+		if limit := (h + 1) * 4 * 3; reads > limit {
+			t.Errorf("search cost %d reads for height %d", reads, h)
+		}
+	}
+	// Amortized insert cost stays small.
+	store.ResetStats()
+	extra := distinctPoints(rng, 2000, 1<<40)
+	inserted := 0
+	for _, p := range extra {
+		err := tr.Insert(p)
+		if errors.Is(err, ErrDuplicate) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		inserted++
+	}
+	perOp := float64(store.Stats().IOs()) / float64(inserted)
+	if perOp > float64((h+2)*20) {
+		t.Errorf("amortized insert cost %.1f I/Os at height %d", perOp, h)
+	}
+}
+
+// TestLemma2SplitSpacing: after a node splits, many inserts must pass
+// through it before it splits again — measured as: total splits over N
+// inserts is O(N/k) at the leaf level and decreasing geometrically above.
+func TestLemma2SplitSpacing(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	store := eio.NewMemStore(256)
+	a, k := 4, 4
+	tr, err := Create(store, a, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 4000
+	pts := distinctPoints(rng, n, 1<<30)
+	for _, p := range pts {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The record count after N inserts reflects total splits: each split
+	// creates one node. Nodes ≈ N/k leaves + N/(ak) level-1 + … ≤ 2N/k.
+	if err := tr.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+	h, err := tr.Height()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 2 {
+		t.Fatalf("tree too shallow (h=%d) for the test to be meaningful", h)
+	}
+}
+
+func TestSortSearchAssumption(t *testing.T) {
+	// lowerBound agrees with sort.Search on random data.
+	rng := rand.New(rand.NewSource(37))
+	pts := distinctPoints(rng, 100, 50)
+	geom.SortByX(pts)
+	for i := 0; i < 200; i++ {
+		p := geom.Point{X: rng.Int63n(50), Y: rng.Int63n(50)}
+		want := sort.Search(len(pts), func(i int) bool { return !pts[i].Less(p) })
+		if got := lowerBound(pts, p); got != want {
+			t.Fatalf("lowerBound(%v) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+// TestFileStoreRoundTrip persists a tree to a real file and reopens it.
+func TestFileStoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	path := t.TempDir() + "/wbtree.db"
+	fs, err := eio.CreateFileStore(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Create(fs, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := distinctPoints(rng, 1000, 1<<20)
+	for _, p := range pts {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hdr := tr.HeaderID()
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := eio.OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	tr2, err := Open(fs2, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts[:50] {
+		ok, err := tr2.Contains(p)
+		if err != nil || !ok {
+			t.Fatalf("lost %v across file reopen", p)
+		}
+	}
+	// Mutate after reopen.
+	if _, err := tr2.Delete(pts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := tr2.Contains(pts[0]); err != nil || ok {
+		t.Fatalf("delete after reopen failed: %v %v", ok, err)
+	}
+}
