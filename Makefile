@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench cover vet fmt experiments examples clean
+.PHONY: all build test race bench cover vet fmt sweep experiments examples clean
 
 all: build vet test
 
@@ -21,6 +21,11 @@ race:
 
 cover:
 	$(GO) test -cover ./...
+
+# Fault sweeps: fail every store operation of each structure's workload in
+# turn and assert errors surface, nothing panics, structures stay readable.
+sweep:
+	$(GO) test ./internal/... -run 'FaultSweep|CrashRecovery' -v
 
 # Operation-level + per-experiment benchmarks (quick instances).
 bench:

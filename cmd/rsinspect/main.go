@@ -9,6 +9,11 @@
 //	rsinspect -store points.db -kind epst   -hdr 12
 //	rsinspect -store points.db -kind range4 -hdr 7
 //	rsinspect -store points.db -kind wbtree -hdr 3
+//	rsinspect verify -store points.db
+//
+// The verify subcommand checks the file itself without attaching to any
+// structure: superblock slots, per-page checksums and the free list. It
+// exits non-zero if the file is damaged, so it can gate recovery scripts.
 package main
 
 import (
@@ -23,6 +28,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "verify" {
+		verifyMain(os.Args[2:])
+		return
+	}
 	var (
 		storePath = flag.String("store", "", "path to a file store created with eio.CreateFileStore")
 		kind      = flag.String("kind", "epst", "structure kind: epst | range4 | wbtree")
@@ -111,6 +120,32 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown kind %q", *kind))
 	}
+}
+
+// verifyMain implements `rsinspect verify -store FILE`: an offline scan of
+// the store file for superblock, checksum and free-list damage.
+func verifyMain(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	storePath := fs.String("store", "", "path to a file store to verify")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: rsinspect verify -store points.db")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if *storePath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	rep, err := eio.VerifyFile(*storePath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep)
+	if rep.Damaged() {
+		fmt.Println("verdict: DAMAGED")
+		os.Exit(1)
+	}
+	fmt.Println("verdict: OK")
 }
 
 func fatal(err error) {

@@ -1,0 +1,515 @@
+package eio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCrashRecoveryProperty drives a randomized alloc/write/free/sync
+// workload through CrashStore over FileStore, crashes at a random point
+// (with torn-write mode on), reopens the file and asserts the recovery
+// contract: the superblock is valid, every page committed by the last Sync
+// either reads back exactly or — only for the single torn page — fails
+// with ErrChecksum, and the store remains allocatable.
+func TestCrashRecoveryProperty(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			path := filepath.Join(t.TempDir(), "crash.db")
+			fs, err := CreateFileStore(path, 128)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs := NewCrashStore(fs, seed)
+			cs.SetTornWrites(true)
+
+			// current tracks live pages and their as-written content;
+			// durable snapshots current at every Sync.
+			current := make(map[PageID][]byte)
+			durable := make(map[PageID][]byte)
+			snapshot := func() {
+				durable = make(map[PageID][]byte, len(current))
+				for id, d := range current {
+					durable[id] = append([]byte(nil), d...)
+				}
+			}
+
+			nops := 40 + rng.Intn(120)
+			for i := 0; i < nops; i++ {
+				switch r := rng.Float64(); {
+				case r < 0.35 || len(current) == 0:
+					id, err := cs.Alloc()
+					if err != nil {
+						t.Fatal(err)
+					}
+					current[id] = make([]byte, 128)
+				case r < 0.75:
+					id := randLive(rng, current)
+					data := make([]byte, 128)
+					rng.Read(data)
+					if err := cs.Write(id, data); err != nil {
+						t.Fatal(err)
+					}
+					current[id] = data
+				case r < 0.85:
+					id := randLive(rng, current)
+					if err := cs.Free(id); err != nil {
+						t.Fatal(err)
+					}
+					delete(current, id)
+				default:
+					if err := cs.Sync(); err != nil {
+						t.Fatal(err)
+					}
+					snapshot()
+				}
+			}
+
+			torn, err := cs.Crash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.CloseCrash(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Recovery: the file must open and commit the last-synced state.
+			fs2, err := OpenFileStore(path)
+			if err != nil {
+				t.Fatalf("seed %d: reopen after crash: %v", seed, err)
+			}
+			defer fs2.Close()
+			buf := make([]byte, 128)
+			for id, want := range durable {
+				err := fs2.Read(id, buf)
+				if id == torn {
+					if err != nil && !errors.Is(err, ErrChecksum) {
+						t.Fatalf("seed %d: torn page %d: want ErrChecksum or clean read, got %v", seed, id, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("seed %d: synced page %d unreadable after crash: %v", seed, id, err)
+				}
+				if !bytes.Equal(buf, want) {
+					t.Fatalf("seed %d: synced page %d content diverged after crash", seed, id)
+				}
+			}
+
+			// Offline verification agrees: only the torn page may be bad.
+			rep, err := VerifyFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, bad := range rep.BadPages {
+				if bad != torn {
+					t.Fatalf("seed %d: verify flagged page %d, only %d may be torn\n%s", seed, bad, torn, rep)
+				}
+			}
+
+			// The recovered store must keep allocating (a truncated free
+			// list leaks pages but never blocks allocation).
+			for i := 0; i < 5; i++ {
+				if _, err := fs2.Alloc(); err != nil {
+					t.Fatalf("seed %d: alloc after recovery: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+func randLive(rng *rand.Rand, m map[PageID][]byte) PageID {
+	ids := make([]PageID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	// Map order is random; sort for determinism under a fixed seed.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids[rng.Intn(len(ids))]
+}
+
+// TestTornSuperblockRecovery corrupts the newest superblock slot and
+// checks that reopening falls back to the older valid slot; with both
+// slots corrupted the open must fail.
+func TestTornSuperblockRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "super.db")
+	fs, err := CreateFileStore(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := fs.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x5A}, 64)
+	if err := fs.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	// Two syncs so both slots commit the same allocation state.
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CloseCrash(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the slot with the higher sequence number.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [superRegionSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		t.Fatal(err)
+	}
+	seq0 := binary.LittleEndian.Uint64(hdr[40:])
+	seq1 := binary.LittleEndian.Uint64(hdr[superSlotSize+40:])
+	newest := int64(0)
+	if seq1 > seq0 {
+		newest = 1
+	}
+	if _, err := f.WriteAt([]byte{0xFF, 0xFF, 0xFF, 0xFF}, newest*superSlotSize+20); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("reopen with one torn superblock: %v", err)
+	}
+	buf := make([]byte, 64)
+	if err := fs2.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("data lost after superblock fallback")
+	}
+	if err := fs2.CloseCrash(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := VerifyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Super[newest].Valid {
+		t.Fatal("verify did not notice the torn slot")
+	}
+	if rep.Damaged() {
+		t.Fatalf("one valid superblock slot must be enough:\n%s", rep)
+	}
+
+	// Tear the surviving slot too: now the store is gone.
+	other := 1 - newest
+	if _, err := f.WriteAt([]byte{0xFF, 0xFF, 0xFF, 0xFF}, other*superSlotSize+20); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := OpenFileStore(path); err == nil {
+		t.Fatal("open succeeded with both superblocks torn")
+	}
+	rep, err = VerifyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Damaged() {
+		t.Fatal("verify must report both-slots-torn as damage")
+	}
+}
+
+// TestChecksumDetectsCorruption flips bytes inside a committed page and
+// checks that Read fails with ErrChecksum and VerifyFile pinpoints the
+// page.
+func TestChecksumDetectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rot.db")
+	fs, err := CreateFileStore(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, err := fs.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Write(id, bytes.Repeat([]byte{byte(i + 1)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt one byte in the middle of the third page's data.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := ids[2]
+	off := superRegionSize + int64(victim-1)*int64(64+pageTrailerSize) + 17
+	if _, err := f.WriteAt([]byte{0xEE}, off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rep, err := VerifyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.BadPages) != 1 || rep.BadPages[0] != victim {
+		t.Fatalf("verify bad pages = %v, want [%d]\n%s", rep.BadPages, victim, rep)
+	}
+	if !rep.Damaged() {
+		t.Fatal("corruption must count as damage")
+	}
+
+	fs2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	buf := make([]byte, 64)
+	if err := fs2.Read(victim, buf); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("read of corrupted page: want ErrChecksum, got %v", err)
+	}
+	for _, id := range ids {
+		if id == victim {
+			continue
+		}
+		if err := fs2.Read(id, buf); err != nil {
+			t.Fatalf("read of intact page %d: %v", id, err)
+		}
+	}
+}
+
+// TestCrashStoreSemantics checks the volatile-cache model against a
+// MemStore: buffered writes are invisible to the inner store until Sync,
+// reads see the buffer, frees are deferred, and Crash kills the wrapper.
+func TestCrashStoreSemantics(t *testing.T) {
+	mem := NewMemStore(64)
+	cs := NewCrashStore(mem, 1)
+	id, err := cs.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xAA}, 64)
+	if err := cs.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	// Read-your-writes through the cache.
+	buf := make([]byte, 64)
+	if err := cs.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("crash store does not serve its own buffered write")
+	}
+	// The inner store still sees zeroes.
+	if err := mem.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, make([]byte, 64)) {
+		t.Fatal("buffered write leaked to the inner store before Sync")
+	}
+	if cs.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", cs.Pending())
+	}
+	if err := cs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("Sync did not flush the buffered write")
+	}
+
+	// Deferred free: gone for the wrapper, present underneath until Sync.
+	if err := cs.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Read(id, buf); !errors.Is(err, ErrBadPage) {
+		t.Fatalf("read of freed page: want ErrBadPage, got %v", err)
+	}
+	if got := cs.Pages(); got != 0 {
+		t.Fatalf("Pages() = %d, want 0 after deferred free", got)
+	}
+	if got := mem.Pages(); got != 1 {
+		t.Fatalf("inner Pages() = %d, want 1 before Sync", got)
+	}
+
+	// Crash drops the deferred free; the wrapper is dead afterwards.
+	if _, err := cs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Alloc(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("alloc after crash: want ErrCrashed, got %v", err)
+	}
+	if err := cs.Write(id, data); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write after crash: want ErrCrashed, got %v", err)
+	}
+	if got := mem.Pages(); got != 1 {
+		t.Fatalf("inner Pages() = %d after crash, want 1 (free dropped)", got)
+	}
+	if err := mem.Read(id, buf); err != nil || !bytes.Equal(buf, data) {
+		t.Fatalf("inner page content changed by crash: %v", err)
+	}
+}
+
+// TestCrashStoreDropsUnsyncedWrites checks that writes after the last Sync
+// do not survive a crash.
+func TestCrashStoreDropsUnsyncedWrites(t *testing.T) {
+	mem := NewMemStore(64)
+	cs := NewCrashStore(mem, 2)
+	id, _ := cs.Alloc()
+	v1 := bytes.Repeat([]byte{1}, 64)
+	v2 := bytes.Repeat([]byte{2}, 64)
+	if err := cs.Write(id, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Write(id, v2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if err := mem.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, v1) {
+		t.Fatal("un-synced write survived the crash")
+	}
+}
+
+// TestFileStoreV1Compat handcrafts a v1-format file and checks that it
+// still opens, reads, writes and verifies.
+func TestFileStoreV1Compat(t *testing.T) {
+	const ps = 64
+	path := filepath.Join(t.TempDir(), "v1.db")
+	img := make([]byte, 2*ps)
+	binary.LittleEndian.PutUint64(img[0:], fileMagic)
+	binary.LittleEndian.PutUint64(img[8:], ps)
+	binary.LittleEndian.PutUint64(img[16:], 2) // npages: superblock + 1 data page
+	binary.LittleEndian.PutUint64(img[24:], 0) // free head
+	binary.LittleEndian.PutUint64(img[32:], 0) // nfree
+	for i := 0; i < ps; i++ {
+		img[ps+i] = byte(i)
+	}
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fs, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Version() != 1 {
+		t.Fatalf("Version() = %d, want 1", fs.Version())
+	}
+	buf := make([]byte, ps)
+	if err := fs.Read(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[10] != 10 {
+		t.Fatal("v1 page content wrong")
+	}
+	// Round-trip the v1 write/free/alloc paths.
+	if err := fs.Write(1, bytes.Repeat([]byte{9}, ps)); err != nil {
+		t.Fatal(err)
+	}
+	id, err := fs.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs2.Version() != 1 {
+		t.Fatal("v1 store silently changed format")
+	}
+	id2, err := fs2.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id {
+		t.Fatalf("v1 free list not reused: got %d want %d", id2, id)
+	}
+	if err := fs2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := VerifyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != 1 || rep.Damaged() {
+		t.Fatalf("v1 verify: %+v", rep)
+	}
+}
+
+// TestVerifyCleanStore checks the all-clear path on a freshly written v2
+// store with frees on the free list.
+func TestVerifyCleanStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "clean.db")
+	fs, err := CreateFileStore(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 6; i++ {
+		id, _ := fs.Alloc()
+		if err := fs.Write(id, bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids[:3] {
+		if err := fs.Free(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Damaged() {
+		t.Fatalf("clean store reported damaged:\n%s", rep)
+	}
+	if rep.FreeListNote != "" {
+		t.Fatalf("clean store free list note: %q", rep.FreeListNote)
+	}
+	if rep.FreePages != 3 || rep.FreeReachable != 3 || rep.NFree != 3 {
+		t.Fatalf("free accounting: %+v", rep)
+	}
+	if rep.Version != 2 {
+		t.Fatalf("Version = %d", rep.Version)
+	}
+}

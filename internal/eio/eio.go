@@ -74,17 +74,35 @@ var (
 	// ErrBadPage reports access to a page that was never allocated or has
 	// been freed.
 	ErrBadPage = errors.New("eio: access to unallocated page")
-	// ErrPageSize reports a Write whose buffer is not exactly one page.
+	// ErrPageSize reports a Read or Write whose buffer violates the length
+	// contract documented on Store.
 	ErrPageSize = errors.New("eio: buffer size does not match page size")
 	// ErrInjected is the base error produced by FaultStore.
 	ErrInjected = errors.New("eio: injected fault")
 	// ErrBadRecord reports a corrupt or dangling record chain.
 	ErrBadRecord = errors.New("eio: bad record chain")
+	// ErrChecksum reports a page whose on-disk checksum does not match its
+	// contents: the page was torn by a crash mid-write, corrupted by the
+	// medium, or overwritten out of band. The data is untrustworthy and is
+	// not returned.
+	ErrChecksum = errors.New("eio: page checksum mismatch")
+	// ErrCrashed reports an operation on a CrashStore after Crash().
+	ErrCrashed = errors.New("eio: store has crashed")
 )
 
 // Store is a simulated block device. Pages are fixed-size; Read and Write
 // transfer whole pages and each counts as one I/O. Implementations must be
 // safe for concurrent use.
+//
+// Buffer-length contract (enforced uniformly by every implementation in
+// this package and checked by the shared conformance test):
+//
+//   - Read requires len(buf) >= PageSize(). Exactly the first PageSize()
+//     bytes are overwritten; any longer tail is left untouched. A shorter
+//     buffer fails with ErrPageSize before any I/O is performed.
+//   - Write requires len(buf) == PageSize() — a page write is always a
+//     whole page, never a prefix or an extension. Any other length fails
+//     with ErrPageSize before any I/O is performed.
 type Store interface {
 	// PageSize returns the size of every page in bytes.
 	PageSize() int
@@ -92,9 +110,11 @@ type Store interface {
 	Alloc() (PageID, error)
 	// Free releases a page for reuse. Freeing NilPage is a no-op.
 	Free(id PageID) error
-	// Read copies page id into buf, which must be at least one page long.
+	// Read copies page id into buf[:PageSize()]. buf must be at least one
+	// page long (see the buffer-length contract above).
 	Read(id PageID, buf []byte) error
-	// Write replaces the contents of page id with buf (exactly one page).
+	// Write replaces the contents of page id with buf, which must be
+	// exactly one page long (see the buffer-length contract above).
 	Write(id PageID, buf []byte) error
 	// Stats returns the operation counters accumulated since creation or
 	// the last ResetStats.

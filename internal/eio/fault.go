@@ -2,6 +2,7 @@ package eio
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 )
 
@@ -32,25 +33,85 @@ func (o Op) String() string {
 	}
 }
 
+// TraceEntry records one operation seen by a FaultStore, for reproducing
+// and reporting fault-injection failures.
+type TraceEntry struct {
+	// N is the 1-based global operation number.
+	N uint64
+	// Op is the operation kind.
+	Op Op
+	// Page is the page operated on (the returned id for Alloc).
+	Page PageID
+	// Injected reports whether the fault injector failed this operation.
+	Injected bool
+}
+
+// String implements fmt.Stringer.
+func (e TraceEntry) String() string {
+	s := fmt.Sprintf("#%d %s p%d", e.N, e.Op, e.Page)
+	if e.Injected {
+		s += " [injected]"
+	}
+	return s
+}
+
 // FaultStore wraps a Store and injects deterministic failures, for testing
-// that structures surface (rather than swallow) I/O errors. A fault is
-// armed with FailAfter: the n-th subsequent operation of the given kind
-// fails with an error wrapping ErrInjected.
+// that structures surface (rather than swallow) I/O errors and survive
+// them. Faults can be armed several ways, combinable:
+//
+//   - FailAfter(op, n): one-shot — the n-th next operation of that kind
+//     fails, then the fault disarms.
+//   - FailAlways(op): persistent — every operation of that kind fails
+//     until Disarm.
+//   - FailProb(op, p): probabilistic — each operation of that kind fails
+//     with probability p, driven by the seeded RNG (see Seed) so runs
+//     reproduce exactly.
+//   - FailNth(n): one-shot by global operation index, counting operations
+//     of every kind — the unit the fault-sweep harness iterates over.
+//
+// Every injected error wraps ErrInjected. In torn-write mode an injected
+// write fault additionally applies a partial prefix of the page to the
+// inner store (when it supports raw writes) before failing, modelling a
+// write that died halfway rather than one that never started.
+//
+// The store keeps a bounded trace of recent operations (SetTraceSize,
+// Trace) so a failing sweep iteration can print exactly which I/Os led up
+// to the fault.
 type FaultStore struct {
 	mu        sync.Mutex
 	inner     Store
 	countdown map[Op]int // 1 = fail next op of this kind
+	always    map[Op]bool
+	prob      map[Op]float64
+	rng       *rand.Rand
+	nops      uint64 // global operation counter
+	failNth   uint64 // 0 = disarmed
+	tornWrite bool
+
+	trace     []TraceEntry // ring buffer
+	traceCap  int
+	traceNext int
 }
 
 var _ Store = (*FaultStore)(nil)
 
+// defaultTraceCap bounds the op trace unless SetTraceSize overrides it.
+const defaultTraceCap = 64
+
 // NewFaultStore wraps inner with fault injection (initially disarmed).
 func NewFaultStore(inner Store) *FaultStore {
-	return &FaultStore{inner: inner, countdown: make(map[Op]int)}
+	return &FaultStore{
+		inner:     inner,
+		countdown: make(map[Op]int),
+		always:    make(map[Op]bool),
+		prob:      make(map[Op]float64),
+		rng:       rand.New(rand.NewSource(1)),
+		traceCap:  defaultTraceCap,
+	}
 }
 
-// FailAfter arms the injector: the n-th next operation of kind op fails
-// (n = 1 fails the very next one). n ≤ 0 disarms the kind.
+// FailAfter arms a one-shot fault: the n-th next operation of kind op
+// fails (n = 1 fails the very next one). n ≤ 0 disarms the kind.
 func (f *FaultStore) FailAfter(op Op, n int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -61,28 +122,154 @@ func (f *FaultStore) FailAfter(op Op, n int) {
 	f.countdown[op] = n
 }
 
-// Disarm clears all armed faults.
+// FailAlways arms a persistent fault: every operation of kind op fails
+// until Disarm.
+func (f *FaultStore) FailAlways(op Op) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.always[op] = true
+}
+
+// FailProb arms a probabilistic fault: each operation of kind op fails
+// with probability p (clamped to [0, 1]), using the seeded RNG so a given
+// seed reproduces the same fault pattern. p ≤ 0 disarms the kind.
+func (f *FaultStore) FailProb(op Op, p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if p <= 0 {
+		delete(f.prob, op)
+		return
+	}
+	if p > 1 {
+		p = 1
+	}
+	f.prob[op] = p
+}
+
+// FailNth arms a one-shot fault on the n-th operation of any kind counted
+// from now (n = 1 fails the very next operation). n ≤ 0 disarms.
+func (f *FaultStore) FailNth(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 0 {
+		f.failNth = 0
+		return
+	}
+	f.failNth = f.nops + uint64(n)
+}
+
+// Seed reseeds the RNG behind FailProb and torn-write lengths.
+func (f *FaultStore) Seed(seed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rng = rand.New(rand.NewSource(seed))
+}
+
+// SetTornWrites toggles torn-write mode for injected write faults.
+func (f *FaultStore) SetTornWrites(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tornWrite = on
+}
+
+// Disarm clears all armed faults (one-shot, persistent, probabilistic and
+// global-index).
 func (f *FaultStore) Disarm() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	clear(f.countdown)
+	clear(f.always)
+	clear(f.prob)
+	f.failNth = 0
 }
 
-// trip decrements the countdown for op and reports whether it must fail.
-func (f *FaultStore) trip(op Op) error {
+// Ops returns the number of operations this store has seen.
+func (f *FaultStore) Ops() uint64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	n, ok := f.countdown[op]
-	if !ok {
+	return f.nops
+}
+
+// SetTraceSize sets the number of recent operations retained by Trace
+// (n ≤ 0 disables tracing).
+func (f *FaultStore) SetTraceSize(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.traceCap = n
+	f.trace = nil
+	f.traceNext = 0
+}
+
+// Trace returns the retained recent operations, oldest first.
+func (f *FaultStore) Trace() []TraceEntry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]TraceEntry, 0, len(f.trace))
+	for i := 0; i < len(f.trace); i++ {
+		out = append(out, f.trace[(f.traceNext+i)%len(f.trace)])
+	}
+	return out
+}
+
+// trip counts the operation, records it in the trace, and reports whether
+// it must fail.
+func (f *FaultStore) trip(op Op, page PageID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.nops++
+	inject := false
+	if f.failNth != 0 && f.nops >= f.failNth {
+		f.failNth = 0
+		inject = true
+	}
+	if f.always[op] {
+		inject = true
+	}
+	if p, ok := f.prob[op]; ok && f.rng.Float64() < p {
+		inject = true
+	}
+	if n, ok := f.countdown[op]; ok {
+		n--
+		if n > 0 {
+			f.countdown[op] = n
+		} else {
+			delete(f.countdown, op)
+			inject = true
+		}
+	}
+	f.record(TraceEntry{N: f.nops, Op: op, Page: page, Injected: inject})
+	if !inject {
 		return nil
 	}
-	n--
-	if n > 0 {
-		f.countdown[op] = n
-		return nil
+	return fmt.Errorf("eio: %s fault at op %d: %w", op, f.nops, ErrInjected)
+}
+
+// record appends e to the trace ring buffer. Callers hold mu.
+func (f *FaultStore) record(e TraceEntry) {
+	if f.traceCap <= 0 {
+		return
 	}
-	delete(f.countdown, op)
-	return fmt.Errorf("eio: %s fault: %w", op, ErrInjected)
+	if len(f.trace) < f.traceCap {
+		f.trace = append(f.trace, e)
+		return
+	}
+	f.trace[f.traceNext] = e
+	f.traceNext = (f.traceNext + 1) % f.traceCap
+}
+
+// tearLocked applies a torn prefix of buf to page id on the inner store,
+// best-effort. Callers must NOT hold mu.
+func (f *FaultStore) tear(id PageID, buf []byte) {
+	f.mu.Lock()
+	rw, ok := f.inner.(rawWriter)
+	var n int
+	if ok && len(buf) > 0 {
+		n = 1 + f.rng.Intn(len(buf))
+	}
+	f.mu.Unlock()
+	if ok && n > 0 {
+		_ = rw.writeRaw(id, buf[:n])
+	}
 }
 
 // PageSize implements Store.
@@ -90,7 +277,7 @@ func (f *FaultStore) PageSize() int { return f.inner.PageSize() }
 
 // Alloc implements Store.
 func (f *FaultStore) Alloc() (PageID, error) {
-	if err := f.trip(OpAlloc); err != nil {
+	if err := f.trip(OpAlloc, NilPage); err != nil {
 		return NilPage, err
 	}
 	return f.inner.Alloc()
@@ -98,7 +285,7 @@ func (f *FaultStore) Alloc() (PageID, error) {
 
 // Free implements Store.
 func (f *FaultStore) Free(id PageID) error {
-	if err := f.trip(OpFree); err != nil {
+	if err := f.trip(OpFree, id); err != nil {
 		return err
 	}
 	return f.inner.Free(id)
@@ -106,18 +293,43 @@ func (f *FaultStore) Free(id PageID) error {
 
 // Read implements Store.
 func (f *FaultStore) Read(id PageID, buf []byte) error {
-	if err := f.trip(OpRead); err != nil {
+	if err := f.trip(OpRead, id); err != nil {
 		return err
 	}
 	return f.inner.Read(id, buf)
 }
 
-// Write implements Store.
+// Write implements Store. With torn-write mode on, an injected fault
+// leaves a partial prefix of buf on the inner store before failing.
 func (f *FaultStore) Write(id PageID, buf []byte) error {
-	if err := f.trip(OpWrite); err != nil {
+	if err := f.trip(OpWrite, id); err != nil {
+		f.mu.Lock()
+		torn := f.tornWrite
+		f.mu.Unlock()
+		if torn && len(buf) == f.inner.PageSize() {
+			f.tear(id, buf)
+		}
 		return err
 	}
 	return f.inner.Write(id, buf)
+}
+
+// writeRaw delegates torn writes so a CrashStore can sit above a
+// FaultStore (or vice versa).
+func (f *FaultStore) writeRaw(id PageID, prefix []byte) error {
+	rw, ok := f.inner.(rawWriter)
+	if !ok {
+		return fmt.Errorf("eio: inner store does not support raw writes")
+	}
+	return rw.writeRaw(id, prefix)
+}
+
+// Sync delegates to the inner store's durability barrier, if any.
+func (f *FaultStore) Sync() error {
+	if s, ok := f.inner.(syncer); ok {
+		return s.Sync()
+	}
+	return nil
 }
 
 // Stats implements Store.

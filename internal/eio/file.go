@@ -3,34 +3,72 @@ package eio
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 )
 
-// FileStore is a Store backed by a real file: page id i occupies bytes
-// [i*PageSize, (i+1)*PageSize) of the file. It lets every structure in this
-// repository persist to and reopen from disk, exercising the exact code
-// path the simulator models.
+// FileStore is a Store backed by a real file. It lets every structure in
+// this repository persist to and reopen from disk, exercising the exact
+// code path the simulator models.
 //
-// Layout: page 0 (the NilPage slot) holds a small superblock — magic, page
-// size, and the head of an on-disk free list. Freed pages are chained
-// through their first 8 bytes.
+// Format v2 (the default for new stores) is crash-aware:
+//
+//   - The file starts with two fixed 64-byte superblock slots. Every flush
+//     writes one slot, alternating, with a monotonically increasing
+//     sequence number and a CRC-32C. Reopening picks the valid slot with
+//     the highest sequence number, so a crash that tears one superblock
+//     write never loses the store: the previous superblock still commits a
+//     consistent (if slightly older) state.
+//   - Every page is stored with an 8-byte trailer: a CRC-32C over the page
+//     id and contents (catching both bit rot and misdirected writes) plus a
+//     flag word distinguishing live data pages from free-list nodes. A
+//     mismatch surfaces as ErrChecksum on Read — torn or corrupted pages
+//     are detected, never silently returned.
+//   - Freed pages are rewritten as zeroed free-list nodes (next pointer in
+//     the first 8 bytes, free flag in the trailer), chained from the
+//     superblock's free-list head.
+//
+// Durability follows the classic write-ahead discipline at page
+// granularity: page writes go to the file immediately, but the superblock
+// — and therefore the committed allocation state — only advances on Sync
+// or Close. After a crash, reopening recovers the state as of the last
+// Sync; pages allocated later are unreferenced tail garbage and pages
+// freed later simply remain allocated.
+//
+// Format v1 (no checksums, single superblock in page slot 0) is still
+// detected and fully supported on open, so files created by older builds
+// keep working.
 type FileStore struct {
 	mu       sync.Mutex
 	f        *os.File
+	ver      int // format version: 1 or 2
 	pageSize int
-	npages   uint64 // total pages ever allocated, incl. superblock
+	npages   uint64 // total pages ever allocated, incl. reserved page 0
 	freeHead PageID
 	nfree    uint64
+	seq      uint64 // v2: superblock sequence number of the last flush
 	stats    Stats
 	closed   bool
 }
 
 var _ Store = (*FileStore)(nil)
 
-const fileMagic = uint64(0x41525356_50414745) // "ARSVPAGE"
+const (
+	fileMagic   = uint64(0x41525356_50414745) // "ARSVPAGE" — format v1
+	fileMagicV2 = uint64(0x41525356_50473032) // "ARSVPG02" — format v2
 
-// CreateFileStore creates (truncating) a file-backed store at path.
+	// Format v2 layout constants.
+	superSlotSize   = 64                // one superblock copy
+	superRegionSize = 2 * superSlotSize // slots A and B
+	pageTrailerSize = 8                 // 4-byte CRC-32C + 4-byte flags
+	superPayload    = 52                // bytes covered incl. CRC
+	pageFlagData    = uint32(0)         // trailer flag: live data page
+	pageFlagFree    = uint32(1)         // trailer flag: free-list node
+)
+
+// CreateFileStore creates (truncating) a file-backed store at path using
+// format v2.
 func CreateFileStore(path string, pageSize int) (*FileStore, error) {
 	if pageSize < 32 {
 		return nil, fmt.Errorf("eio: page size %d too small for file store", pageSize)
@@ -39,54 +77,196 @@ func CreateFileStore(path string, pageSize int) (*FileStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("eio: create file store: %w", err)
 	}
-	fs := &FileStore{f: f, pageSize: pageSize, npages: 1}
-	if err := fs.writeSuper(); err != nil {
+	fs := &FileStore{f: f, ver: 2, pageSize: pageSize, npages: 1}
+	// Write both superblock slots so a fresh store is recoverable even if
+	// the very first update tears one of them.
+	if err := fs.writeSuper(); err == nil {
+		err = fs.writeSuper()
+	} else {
+		f.Close()
+		return nil, err
+	}
+	if err := fs.f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("eio: sync new store: %w", err)
+	}
+	return fs, nil
+}
+
+// OpenFileStore opens an existing file-backed store created by
+// CreateFileStore, detecting the format version. For a v2 store it
+// recovers from the newest valid superblock slot, so a torn superblock
+// write rolls back to the previous committed state instead of failing.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("eio: open file store: %w", err)
+	}
+	fs, err := attachFile(f, path)
+	if err != nil {
 		f.Close()
 		return nil, err
 	}
 	return fs, nil
 }
 
-// OpenFileStore opens an existing file-backed store created by
-// CreateFileStore.
-func OpenFileStore(path string) (*FileStore, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
-	if err != nil {
-		return nil, fmt.Errorf("eio: open file store: %w", err)
-	}
-	var hdr [40]byte
-	if _, err := f.ReadAt(hdr[:], 0); err != nil {
-		f.Close()
+// attachFile parses the superblock region of f and builds the FileStore.
+func attachFile(f *os.File, path string) (*FileStore, error) {
+	var hdr [superRegionSize]byte
+	n, err := f.ReadAt(hdr[:], 0)
+	if err != nil && err != io.EOF {
 		return nil, fmt.Errorf("eio: read superblock: %w", err)
 	}
-	if binary.LittleEndian.Uint64(hdr[0:]) != fileMagic {
-		f.Close()
-		return nil, fmt.Errorf("eio: %s is not a page store", path)
+	if n >= 40 && binary.LittleEndian.Uint64(hdr[0:]) == fileMagic {
+		// Format v1: single superblock in page slot 0.
+		return &FileStore{
+			f:        f,
+			ver:      1,
+			pageSize: int(binary.LittleEndian.Uint64(hdr[8:])),
+			npages:   binary.LittleEndian.Uint64(hdr[16:]),
+			freeHead: PageID(binary.LittleEndian.Uint64(hdr[24:])),
+			nfree:    binary.LittleEndian.Uint64(hdr[32:]),
+		}, nil
 	}
-	fs := &FileStore{
+	if n < superRegionSize {
+		return nil, fmt.Errorf("eio: %s is not a page store (too short)", path)
+	}
+	best := -1
+	var bestSuper superState
+	for slot := 0; slot < 2; slot++ {
+		st, ok := parseSuperSlot(hdr[slot*superSlotSize : (slot+1)*superSlotSize])
+		if ok && (best < 0 || st.seq > bestSuper.seq) {
+			best, bestSuper = slot, st
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("eio: %s is not a page store (no valid superblock)", path)
+	}
+	return &FileStore{
 		f:        f,
-		pageSize: int(binary.LittleEndian.Uint64(hdr[8:])),
-		npages:   binary.LittleEndian.Uint64(hdr[16:]),
-		freeHead: PageID(binary.LittleEndian.Uint64(hdr[24:])),
-		nfree:    binary.LittleEndian.Uint64(hdr[32:]),
-	}
-	return fs, nil
+		ver:      2,
+		pageSize: bestSuper.pageSize,
+		npages:   bestSuper.npages,
+		freeHead: bestSuper.freeHead,
+		nfree:    bestSuper.nfree,
+		seq:      bestSuper.seq,
+	}, nil
 }
 
+// superState is one decoded superblock slot.
+type superState struct {
+	pageSize int
+	npages   uint64
+	freeHead PageID
+	nfree    uint64
+	seq      uint64
+}
+
+// parseSuperSlot decodes and validates one 64-byte v2 superblock slot.
+func parseSuperSlot(b []byte) (superState, bool) {
+	if binary.LittleEndian.Uint64(b[0:]) != fileMagicV2 {
+		return superState{}, false
+	}
+	if binary.LittleEndian.Uint32(b[48:]) != crc32c(b[:48]) {
+		return superState{}, false
+	}
+	st := superState{
+		pageSize: int(binary.LittleEndian.Uint64(b[8:])),
+		npages:   binary.LittleEndian.Uint64(b[16:]),
+		freeHead: PageID(binary.LittleEndian.Uint64(b[24:])),
+		nfree:    binary.LittleEndian.Uint64(b[32:]),
+		seq:      binary.LittleEndian.Uint64(b[40:]),
+	}
+	if st.pageSize < 32 || st.npages == 0 {
+		return superState{}, false
+	}
+	return st, true
+}
+
+// writeSuper flushes the current allocation state. v1 rewrites the single
+// page-0 superblock; v2 bumps the sequence number and writes the alternate
+// slot, leaving the previous superblock intact as a fallback.
 func (fs *FileStore) writeSuper() error {
-	buf := make([]byte, fs.pageSize)
-	binary.LittleEndian.PutUint64(buf[0:], fileMagic)
+	if fs.ver == 1 {
+		buf := make([]byte, fs.pageSize)
+		binary.LittleEndian.PutUint64(buf[0:], fileMagic)
+		binary.LittleEndian.PutUint64(buf[8:], uint64(fs.pageSize))
+		binary.LittleEndian.PutUint64(buf[16:], fs.npages)
+		binary.LittleEndian.PutUint64(buf[24:], uint64(fs.freeHead))
+		binary.LittleEndian.PutUint64(buf[32:], fs.nfree)
+		if _, err := fs.f.WriteAt(buf, 0); err != nil {
+			return fmt.Errorf("eio: write superblock: %w", err)
+		}
+		return nil
+	}
+	fs.seq++
+	var buf [superSlotSize]byte
+	binary.LittleEndian.PutUint64(buf[0:], fileMagicV2)
 	binary.LittleEndian.PutUint64(buf[8:], uint64(fs.pageSize))
 	binary.LittleEndian.PutUint64(buf[16:], fs.npages)
 	binary.LittleEndian.PutUint64(buf[24:], uint64(fs.freeHead))
 	binary.LittleEndian.PutUint64(buf[32:], fs.nfree)
-	if _, err := fs.f.WriteAt(buf, 0); err != nil {
+	binary.LittleEndian.PutUint64(buf[40:], fs.seq)
+	binary.LittleEndian.PutUint32(buf[48:], crc32c(buf[:48]))
+	off := int64(fs.seq%2) * superSlotSize
+	if _, err := fs.f.WriteAt(buf[:], off); err != nil {
 		return fmt.Errorf("eio: write superblock: %w", err)
 	}
 	return nil
 }
 
-func (fs *FileStore) off(id PageID) int64 { return int64(id) * int64(fs.pageSize) }
+// slotSize is the on-disk footprint of one page.
+func (fs *FileStore) slotSize() int {
+	if fs.ver == 1 {
+		return fs.pageSize
+	}
+	return fs.pageSize + pageTrailerSize
+}
+
+func (fs *FileStore) off(id PageID) int64 {
+	if fs.ver == 1 {
+		return int64(id) * int64(fs.pageSize)
+	}
+	return superRegionSize + int64(id-1)*int64(fs.slotSize())
+}
+
+// writePage writes data (one page) with a fresh trailer. Callers hold mu.
+func (fs *FileStore) writePage(id PageID, data []byte, flags uint32) error {
+	if fs.ver == 1 {
+		if _, err := fs.f.WriteAt(data, fs.off(id)); err != nil {
+			return fmt.Errorf("eio: write page %d: %w", id, err)
+		}
+		return nil
+	}
+	slot := make([]byte, fs.slotSize())
+	copy(slot, data)
+	binary.LittleEndian.PutUint32(slot[fs.pageSize:], pageCRC(id, slot[:fs.pageSize]))
+	binary.LittleEndian.PutUint32(slot[fs.pageSize+4:], flags)
+	if _, err := fs.f.WriteAt(slot, fs.off(id)); err != nil {
+		return fmt.Errorf("eio: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// readPage reads page id into buf[:pageSize], verifying the v2 trailer,
+// and returns the trailer flags (pageFlagData for v1). Callers hold mu.
+func (fs *FileStore) readPage(id PageID, buf []byte) (uint32, error) {
+	if fs.ver == 1 {
+		if _, err := fs.f.ReadAt(buf[:fs.pageSize], fs.off(id)); err != nil {
+			return 0, fmt.Errorf("eio: read page %d: %w", id, err)
+		}
+		return pageFlagData, nil
+	}
+	slot := make([]byte, fs.slotSize())
+	if _, err := fs.f.ReadAt(slot, fs.off(id)); err != nil {
+		return 0, fmt.Errorf("eio: read page %d: %w", id, err)
+	}
+	if binary.LittleEndian.Uint32(slot[fs.pageSize:]) != pageCRC(id, slot[:fs.pageSize]) {
+		return 0, fmt.Errorf("eio: page %d: %w", id, ErrChecksum)
+	}
+	copy(buf[:fs.pageSize], slot)
+	return binary.LittleEndian.Uint32(slot[fs.pageSize+4:]), nil
+}
 
 // PageSize implements Store.
 func (fs *FileStore) PageSize() int { return fs.pageSize }
@@ -102,26 +282,43 @@ func (fs *FileStore) Alloc() (PageID, error) {
 	zero := make([]byte, fs.pageSize)
 	if fs.freeHead != NilPage {
 		id := fs.freeHead
-		var next [8]byte
-		if _, err := fs.f.ReadAt(next[:], fs.off(id)); err != nil {
-			return NilPage, fmt.Errorf("eio: pop free list: %w", err)
+		var next PageID
+		if fs.ver == 1 {
+			var nb [8]byte
+			if _, err := fs.f.ReadAt(nb[:], fs.off(id)); err != nil {
+				return NilPage, fmt.Errorf("eio: pop free list: %w", err)
+			}
+			next = PageID(binary.LittleEndian.Uint64(nb[:]))
+		} else {
+			buf := make([]byte, fs.pageSize)
+			if _, err := fs.readPage(id, buf); err != nil {
+				return NilPage, fmt.Errorf("eio: pop free list: %w", err)
+			}
+			// The next pointer lives in the first 8 bytes. After a crash
+			// the head may be a page whose allocation was never committed
+			// (trailer says data, contents zeroed): its zero next pointer
+			// simply ends the list, which conservatively leaks the
+			// remainder — detected and reported by VerifyFile.
+			next = PageID(binary.LittleEndian.Uint64(buf[:8]))
 		}
-		fs.freeHead = PageID(binary.LittleEndian.Uint64(next[:]))
+		fs.freeHead = next
 		fs.nfree--
-		if _, err := fs.f.WriteAt(zero, fs.off(id)); err != nil {
+		if err := fs.writePage(id, zero, pageFlagData); err != nil {
 			return NilPage, fmt.Errorf("eio: zero reused page: %w", err)
 		}
 		return id, nil
 	}
 	id := PageID(fs.npages)
 	fs.npages++
-	if _, err := fs.f.WriteAt(zero, fs.off(id)); err != nil {
+	if err := fs.writePage(id, zero, pageFlagData); err != nil {
 		return NilPage, fmt.Errorf("eio: extend file: %w", err)
 	}
 	return id, nil
 }
 
-// Free implements Store.
+// Free implements Store. Under format v2 the page is rewritten as a zeroed
+// free-list node with a valid checksum, so a later verification scan can
+// tell freed pages from damaged ones.
 func (fs *FileStore) Free(id PageID) error {
 	if id == NilPage {
 		return nil
@@ -132,17 +329,26 @@ func (fs *FileStore) Free(id PageID) error {
 		return err
 	}
 	fs.stats.Frees++
-	var next [8]byte
-	binary.LittleEndian.PutUint64(next[:], uint64(fs.freeHead))
-	if _, err := fs.f.WriteAt(next[:], fs.off(id)); err != nil {
-		return fmt.Errorf("eio: push free list: %w", err)
+	if fs.ver == 1 {
+		var next [8]byte
+		binary.LittleEndian.PutUint64(next[:], uint64(fs.freeHead))
+		if _, err := fs.f.WriteAt(next[:], fs.off(id)); err != nil {
+			return fmt.Errorf("eio: push free list: %w", err)
+		}
+	} else {
+		node := make([]byte, fs.pageSize)
+		binary.LittleEndian.PutUint64(node[:8], uint64(fs.freeHead))
+		if err := fs.writePage(id, node, pageFlagFree); err != nil {
+			return fmt.Errorf("eio: push free list: %w", err)
+		}
 	}
 	fs.freeHead = id
 	fs.nfree++
 	return nil
 }
 
-// Read implements Store.
+// Read implements Store. Under format v2 a trailer mismatch fails with
+// ErrChecksum and reading a freed page fails with ErrBadPage.
 func (fs *FileStore) Read(id PageID, buf []byte) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -153,8 +359,12 @@ func (fs *FileStore) Read(id PageID, buf []byte) error {
 		return fmt.Errorf("eio: read buffer %d bytes: %w", len(buf), ErrPageSize)
 	}
 	fs.stats.Reads++
-	if _, err := fs.f.ReadAt(buf[:fs.pageSize], fs.off(id)); err != nil {
-		return fmt.Errorf("eio: read page %d: %w", id, err)
+	flags, err := fs.readPage(id, buf)
+	if err != nil {
+		return err
+	}
+	if flags == pageFlagFree {
+		return fmt.Errorf("eio: page %d is freed: %w", id, ErrBadPage)
 	}
 	return nil
 }
@@ -170,8 +380,24 @@ func (fs *FileStore) Write(id PageID, buf []byte) error {
 		return fmt.Errorf("eio: write buffer %d bytes: %w", len(buf), ErrPageSize)
 	}
 	fs.stats.Writes++
-	if _, err := fs.f.WriteAt(buf, fs.off(id)); err != nil {
-		return fmt.Errorf("eio: write page %d: %w", id, err)
+	return fs.writePage(id, buf, pageFlagData)
+}
+
+// writeRaw overwrites the first len(prefix) bytes of page id's on-disk slot
+// without touching the rest or updating the checksum trailer — exactly the
+// shape a torn write leaves behind. It is the simulation hook used by
+// CrashStore and FaultStore's torn-write mode.
+func (fs *FileStore) writeRaw(id PageID, prefix []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.check(id); err != nil {
+		return err
+	}
+	if len(prefix) > fs.slotSize() {
+		prefix = prefix[:fs.slotSize()]
+	}
+	if _, err := fs.f.WriteAt(prefix, fs.off(id)); err != nil {
+		return fmt.Errorf("eio: raw write page %d: %w", id, err)
 	}
 	return nil
 }
@@ -197,7 +423,11 @@ func (fs *FileStore) Pages() int {
 	return int(fs.npages - 1 - fs.nfree)
 }
 
-// Sync flushes the superblock and file contents to stable storage.
+// Version reports the on-disk format version (1 or 2).
+func (fs *FileStore) Version() int { return fs.ver }
+
+// Sync flushes the superblock and file contents to stable storage,
+// committing all allocation state written so far.
 func (fs *FileStore) Sync() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -224,6 +454,23 @@ func (fs *FileStore) Close() error {
 	}
 	if err := fs.f.Close(); err != nil {
 		return fmt.Errorf("eio: close: %w", err)
+	}
+	return nil
+}
+
+// CloseCrash closes the underlying file WITHOUT persisting the superblock
+// or syncing, leaving the on-disk image exactly as an abrupt process death
+// would. It exists for crash simulation (CrashStore) and recovery tests;
+// normal shutdown must use Close.
+func (fs *FileStore) CloseCrash() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil
+	}
+	fs.closed = true
+	if err := fs.f.Close(); err != nil {
+		return fmt.Errorf("eio: crash close: %w", err)
 	}
 	return nil
 }

@@ -104,6 +104,19 @@ func (m *MemStore) Write(id PageID, buf []byte) error {
 	return nil
 }
 
+// writeRaw overwrites a prefix of page id, modelling a torn write. A
+// MemStore has no checksums, so the tear is silent — tests that need
+// detection use a FileStore.
+func (m *MemStore) writeRaw(id PageID, prefix []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(id); err != nil {
+		return err
+	}
+	copy(m.pages[id], prefix)
+	return nil
+}
+
 // Stats implements Store.
 func (m *MemStore) Stats() Stats {
 	m.mu.Lock()

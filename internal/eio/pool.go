@@ -66,6 +66,10 @@ func (p *Pool) Alloc() (PageID, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if err := p.insertLocked(&frame{id: id, data: make([]byte, p.backing.PageSize()), dirty: true}); err != nil {
+		// The eviction write-back failed; release the page we just
+		// allocated so it is not leaked (best-effort — the insert error
+		// is the one worth reporting).
+		_ = p.backing.Free(id)
 		return NilPage, err
 	}
 	return id, nil
@@ -88,6 +92,12 @@ func (p *Pool) Read(id PageID, buf []byte) error {
 	defer p.mu.Unlock()
 	if p.closed {
 		return fmt.Errorf("eio: read on closed pool")
+	}
+	// Validate up front so behavior does not depend on cache state: the
+	// backing store would reject a short buffer on a miss, so a hit must
+	// reject it too rather than silently truncating.
+	if len(buf) < p.backing.PageSize() {
+		return fmt.Errorf("eio: read buffer %d bytes: %w", len(buf), ErrPageSize)
 	}
 	if el, ok := p.frames[id]; ok {
 		p.pstats.Hits++

@@ -58,6 +58,14 @@ func (r *RecordStore) Update(id PageID, data []byte) error {
 
 // write stores data in a chain starting at reuse (NilPage to allocate a
 // fresh chain) and returns the chain head.
+//
+// The operation order is chosen for failure atomicity of the chain
+// structure: tail pages are written first, the head page — which commits
+// the new length and the link into the rest of the chain — second, and
+// surplus pages of a shrinking record are freed only after the head no
+// longer references them. An I/O failure at any point therefore leaves a
+// walkable chain (never a link to a freed page); freshly allocated pages
+// are released best-effort so a failed grow does not leak.
 func (r *RecordStore) write(reuse PageID, data []byte) (PageID, error) {
 	ps := r.s.PageSize()
 	buf := make([]byte, ps)
@@ -72,44 +80,73 @@ func (r *RecordStore) write(reuse PageID, data []byte) (PageID, error) {
 		}
 	}
 	need := r.PagesFor(len(data))
-	pages := make([]PageID, 0, need)
-	pages = append(pages, reusable...)
+	var surplus []PageID
+	pages := reusable
 	if len(pages) > need {
-		for _, id := range pages[need:] {
-			if err := r.s.Free(id); err != nil {
-				return NilPage, fmt.Errorf("eio: shrink record: %w", err)
-			}
-		}
+		surplus = pages[need:]
 		pages = pages[:need]
 	}
+	var fresh []PageID
 	for len(pages) < need {
 		id, err := r.s.Alloc()
 		if err != nil {
+			freeAll(r.s, fresh)
 			return NilPage, fmt.Errorf("eio: grow record: %w", err)
 		}
+		fresh = append(fresh, id)
 		pages = append(pages, id)
 	}
 
-	rest := data
-	for i, id := range pages {
+	// Byte ranges: the first page holds firstCap bytes after its 16-byte
+	// header, every later page restCap bytes after its 8-byte header.
+	firstCap := ps - chainHdrFirst
+	restCap := ps - chainHdrRest
+	writePage := func(i int) error {
 		clear(buf)
 		next := NilPage
-		if i+1 < len(pages) {
+		if i+1 < need {
 			next = pages[i+1]
 		}
 		binary.LittleEndian.PutUint64(buf[chainNextOff:], uint64(next))
-		hdr := chainHdrRest
+		var chunk []byte
 		if i == 0 {
 			binary.LittleEndian.PutUint64(buf[8:], uint64(len(data)))
-			hdr = chainHdrFirst
+			chunk = data[:min(firstCap, len(data))]
+			copy(buf[chainHdrFirst:], chunk)
+		} else {
+			start := firstCap + (i-1)*restCap
+			chunk = data[start:min(start+restCap, len(data))]
+			copy(buf[chainHdrRest:], chunk)
 		}
-		n := copy(buf[hdr:], rest)
-		rest = rest[n:]
-		if err := r.s.Write(id, buf); err != nil {
-			return NilPage, fmt.Errorf("eio: write record page: %w", err)
+		if err := r.s.Write(pages[i], buf); err != nil {
+			return fmt.Errorf("eio: write record page: %w", err)
+		}
+		return nil
+	}
+	for i := 1; i < need; i++ {
+		if err := writePage(i); err != nil {
+			freeAll(r.s, fresh)
+			return NilPage, err
+		}
+	}
+	if err := writePage(0); err != nil {
+		freeAll(r.s, fresh)
+		return NilPage, err
+	}
+	for _, id := range surplus {
+		if err := r.s.Free(id); err != nil {
+			return NilPage, fmt.Errorf("eio: shrink record: %w", err)
 		}
 	}
 	return pages[0], nil
+}
+
+// freeAll releases ids best-effort (used for cleanup on a failed write,
+// where the original error is the one worth reporting).
+func freeAll(s Store, ids []PageID) {
+	for _, id := range ids {
+		_ = s.Free(id)
+	}
 }
 
 // Get reads the record id in full.

@@ -1,0 +1,55 @@
+package epst
+
+import (
+	"math/rand"
+	"testing"
+
+	"rangesearch/internal/eio"
+	"rangesearch/internal/eio/eiotest"
+	"rangesearch/internal/geom"
+)
+
+// TestFaultSweep fails every store operation of a build/insert/delete/query
+// workload in turn and asserts the external priority search tree surfaces
+// the injected error, never panics, and stays queryable afterwards.
+func TestFaultSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep re-runs the workload per operation")
+	}
+	rng := rand.New(rand.NewSource(17))
+	pts := distinctPoints(rng, 70, 1000)
+	base, extra := pts[:55], pts[55:]
+
+	eiotest.Sweep(t, eiotest.Workload{
+		Name:     "epst",
+		PageSize: 128,
+		Strict:   true,
+		Run: func(st eio.Store) (func() error, error) {
+			tr, err := Build(st, Options{A: 2, K: 4}, base)
+			if err != nil {
+				return nil, err
+			}
+			check := func() error {
+				if _, err := tr.Len(); err != nil {
+					return err
+				}
+				_, err := tr.Query3(nil, geom.Query3{XLo: 0, XHi: 1000, YLo: 0})
+				return err
+			}
+			for _, p := range extra {
+				if err := tr.Insert(p); err != nil {
+					return check, err
+				}
+			}
+			for _, p := range base[:12] {
+				if _, err := tr.Delete(p); err != nil {
+					return check, err
+				}
+			}
+			if _, err := tr.Query3(nil, geom.Query3{XLo: 100, XHi: 900, YLo: 200}); err != nil {
+				return check, err
+			}
+			return check, nil
+		},
+	})
+}

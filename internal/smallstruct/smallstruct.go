@@ -97,7 +97,7 @@ func Create(store eio.Store, alpha int, pts []geom.Point) (*Struct, error) {
 		}
 		seen[p] = true
 	}
-	cat, err := s.writeScheme(pts, nil)
+	cat, err := s.writeScheme(pts)
 	if err != nil {
 		return nil, err
 	}
@@ -154,16 +154,12 @@ func (s *Struct) SetBufferCap(n int) {
 	s.bufCap = n
 }
 
-// writeScheme runs the sweep construction over pts and writes the blocks,
-// freeing the pages listed in reuse. It returns the new catalog contents.
-func (s *Struct) writeScheme(pts []geom.Point, old *catalogData) (*catalogData, error) {
-	if old != nil {
-		for i := range old.blocks {
-			if err := s.store.Free(old.blocks[i].page); err != nil {
-				return nil, fmt.Errorf("smallstruct: free old block: %w", err)
-			}
-		}
-	}
+// writeScheme runs the sweep construction over pts and writes the blocks.
+// It returns the new catalog contents. It never touches existing blocks:
+// callers replacing a catalog must commit the new one first and free the
+// old blocks afterwards (see rebuild), so a failure mid-rewrite leaves the
+// committed catalog's pages intact.
+func (s *Struct) writeScheme(pts []geom.Point) (*catalogData, error) {
 	sch, err := sweep.Build(pts, s.b, s.alpha)
 	if err != nil {
 		return nil, fmt.Errorf("smallstruct: %w", err)
@@ -471,11 +467,22 @@ func (s *Struct) rebuild(cat *catalogData) error {
 	if err != nil {
 		return err
 	}
-	ncat, err := s.writeScheme(pts, cat)
+	// Shadow-paging order: write the new blocks and commit the catalog
+	// that references them before freeing the old blocks. A failure at any
+	// point leaves a readable structure (at worst leaking the new blocks).
+	ncat, err := s.writeScheme(pts)
 	if err != nil {
 		return err
 	}
-	return s.storeCatalog(ncat)
+	if err := s.storeCatalog(ncat); err != nil {
+		return err
+	}
+	for i := range cat.blocks {
+		if err := s.store.Free(cat.blocks[i].page); err != nil {
+			return fmt.Errorf("smallstruct: free old block: %w", err)
+		}
+	}
+	return nil
 }
 
 // Rebuild forces an immediate rebuild (used by tests and by the priority

@@ -1,0 +1,68 @@
+package wbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rangesearch/internal/eio"
+	"rangesearch/internal/eio/eiotest"
+	"rangesearch/internal/geom"
+)
+
+// TestFaultSweep fails every store operation of a build/insert/delete/query
+// workload in turn and asserts the tree surfaces the injected error,
+// never panics, and stays readable afterwards.
+func TestFaultSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := distinctPoints(rng, 80, 1000)
+	base, extra := pts[:60], pts[60:]
+	sort.Slice(base, func(i, j int) bool { return base[i].Less(base[j]) })
+
+	eiotest.Sweep(t, eiotest.Workload{
+		Name:     "wbtree",
+		PageSize: 128,
+		Strict:   true,
+		Run: func(st eio.Store) (func() error, error) {
+			tr, err := Create(st, 2, 4)
+			if err != nil {
+				return nil, err
+			}
+			check := func() error {
+				if _, err := tr.Len(); err != nil {
+					return err
+				}
+				return tr.Range(
+					geom.Point{X: geom.MinCoord, Y: geom.MinCoord},
+					geom.Point{X: geom.MaxCoord, Y: geom.MaxCoord},
+					func(geom.Point) bool { return true },
+				)
+			}
+			if err := tr.BulkLoad(base); err != nil {
+				return check, err
+			}
+			for _, p := range extra {
+				if err := tr.Insert(p); err != nil {
+					return check, err
+				}
+			}
+			for _, p := range base[:20] {
+				if _, err := tr.Delete(p); err != nil {
+					return check, err
+				}
+			}
+			n := 0
+			err = tr.Range(
+				geom.Point{X: 100, Y: 100}, geom.Point{X: 800, Y: 800},
+				func(geom.Point) bool { n++; return true },
+			)
+			if err != nil {
+				return check, err
+			}
+			if _, err := tr.Contains(extra[0]); err != nil {
+				return check, err
+			}
+			return check, nil
+		},
+	})
+}

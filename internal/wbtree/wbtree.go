@@ -437,9 +437,11 @@ func (t *Tree) rebuild(m *meta) error {
 	if err := t.scanSubtree(m.root, &items); err != nil {
 		return err
 	}
-	if err := t.freeSubtree(m.root); err != nil {
-		return err
-	}
+	// Shadow-paging order: build the replacement tree and commit the new
+	// root before freeing the old one. A failure mid-build then leaves the
+	// previous tree fully intact (the half-built pages leak, which is
+	// recoverable), instead of a committed root pointing at freed pages.
+	oldRoot := m.root
 	rootID, height, err := t.bulkBuild(items)
 	if err != nil {
 		return err
@@ -448,7 +450,10 @@ func (t *Tree) rebuild(m *meta) error {
 	m.height = height
 	m.live = int64(len(items))
 	m.basis = m.live
-	return t.storeMeta(m)
+	if err := t.storeMeta(m); err != nil {
+		return err
+	}
+	return t.freeSubtree(oldRoot)
 }
 
 // BulkLoad replaces the tree contents with items (which must be sorted by
@@ -463,9 +468,10 @@ func (t *Tree) BulkLoad(items []geom.Point) error {
 	if err != nil {
 		return err
 	}
-	if err := t.freeSubtree(m.root); err != nil {
-		return err
-	}
+	// Shadow-paging order (as in rebuild): build and commit the new tree
+	// before freeing the old one, so a failure mid-build cannot leave the
+	// committed root pointing at freed pages.
+	oldRoot := m.root
 	rootID, height, err := t.bulkBuild(items)
 	if err != nil {
 		return err
@@ -474,7 +480,10 @@ func (t *Tree) BulkLoad(items []geom.Point) error {
 	m.height = height
 	m.live = int64(len(items))
 	m.basis = m.live
-	return t.storeMeta(m)
+	if err := t.storeMeta(m); err != nil {
+		return err
+	}
+	return t.freeSubtree(oldRoot)
 }
 
 // bulkBuild writes a tree over sorted items and returns its root and
