@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench cover vet fmt sweep experiments examples clean
+.PHONY: all build test race bench cover vet fmt sweep bound experiments examples clean
 
 all: build vet test
 
@@ -26,6 +26,11 @@ cover:
 # turn and assert errors surface, nothing panics, structures stay readable.
 sweep:
 	$(GO) test ./internal/... -run 'FaultSweep|CrashRecovery' -v
+
+# Empirical bound check (e14): per-op I/O overhead vs the Theorem 6/7
+# allowances; exits 3 on violation. The same check gates CI.
+bound:
+	$(GO) run ./cmd/rsbench -quick -bound -json -outdir trajectory
 
 # Operation-level + per-experiment benchmarks (quick instances).
 bench:

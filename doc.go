@@ -8,9 +8,10 @@
 // the indexability framework and both indexing-scheme constructions
 // (indexability, sweep, hier), the external priority search tree and its
 // building blocks (smallstruct, wbtree, epst), interval management
-// (interval), the 4-sided structure (range4), baselines (baseline), and
-// the experiment harness (bench). See README.md, DESIGN.md and
-// EXPERIMENTS.md.
+// (interval), the 4-sided structure (range4), baselines (baseline), the
+// observability layer (obs: I/O tracing, per-operation metrics and the
+// empirical Theorem 6/7 bound checker), and the experiment harness
+// (bench). See README.md, DESIGN.md and EXPERIMENTS.md.
 //
 // The benchmarks in bench_test.go regenerate every experiment table; run
 //

@@ -41,6 +41,7 @@ func All() []Experiment {
 		{"e11", "Optimal structures vs baselines on adversarial queries", E11},
 		{"e12", "§3.3.2/3.3.3: update-cost tail (amortized spikes)", E12},
 		{"e13", "ablation: EPST parameters a, k, alpha", E13},
+		{"e14", "bound check: per-op overhead vs Thms 6-7 allowances", E14},
 	}
 }
 

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"rangesearch/internal/obs"
+)
+
+// Snapshot is the machine-readable result of one experiment run — the
+// unit of the performance trajectory. `rsbench -json` writes one
+// BENCH_<name>.json per experiment; successive snapshots committed over
+// time let a regression in any table cell be bisected instead of eyeballed
+// from prose tables.
+type Snapshot struct {
+	// Name is the experiment name ("e7", "bound", ...).
+	Name string `json:"name"`
+	// Claim is the paper claim the experiment tests.
+	Claim string `json:"claim,omitempty"`
+	// Quick reports whether the run used reduced instance sizes.
+	Quick bool `json:"quick"`
+	// When is the wall-clock time of the run (RFC 3339).
+	When time.Time `json:"when"`
+	// DurationMS is the experiment wall time in milliseconds.
+	DurationMS int64 `json:"duration_ms"`
+	// GoVersion and GOARCH identify the toolchain and machine class, the
+	// two biggest non-code sources of drift between snapshots.
+	GoVersion string `json:"go_version"`
+	GoArch    string `json:"goarch"`
+	// Tables are the rendered result tables, cell-exact.
+	Tables []TableSnapshot `json:"tables"`
+	// Bounds carries the bound-checker reports when the experiment ran
+	// one (e14).
+	Bounds []obs.BoundReport `json:"bounds,omitempty"`
+}
+
+// TableSnapshot is the JSON form of a Table.
+type TableSnapshot struct {
+	Title  string     `json:"title"`
+	Note   string     `json:"note,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// NewSnapshot assembles a Snapshot from an experiment's outputs.
+func NewSnapshot(name, claim string, quick bool, dur time.Duration, tables []*Table, bounds []obs.BoundReport) Snapshot {
+	s := Snapshot{
+		Name:       name,
+		Claim:      claim,
+		Quick:      quick,
+		When:       time.Now().UTC().Truncate(time.Second),
+		DurationMS: dur.Milliseconds(),
+		GoVersion:  runtime.Version(),
+		GoArch:     runtime.GOARCH,
+		Bounds:     bounds,
+	}
+	for _, t := range tables {
+		s.Tables = append(s.Tables, TableSnapshot{
+			Title:  t.Title,
+			Note:   t.Note,
+			Header: t.Header,
+			Rows:   t.Rows,
+		})
+	}
+	return s
+}
+
+// WriteSnapshot writes s as dir/BENCH_<name>.json (dir is created if
+// missing) and returns the path.
+func WriteSnapshot(dir string, s Snapshot) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", s.Name))
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadSnapshot loads a snapshot written by WriteSnapshot.
+func ReadSnapshot(path string) (Snapshot, error) {
+	var s Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rangesearch/internal/obs"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Note:   "note",
+		Header: []string{"a", "b"},
+	}
+	tbl.AddRow(1, 2.5)
+	bounds := []obs.BoundReport{{
+		Name:  "ThreeSided",
+		B:     64,
+		Query: obs.Summary{Count: 10, Mean: 1.5, P50: 1.2, P95: 2.5, Max: 3},
+	}}
+	snap := NewSnapshot("e14", "bound check", true, 1500*time.Millisecond, []*Table{tbl}, bounds)
+	dir := t.TempDir()
+	path, err := WriteSnapshot(dir, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(path, "BENCH_e14.json") {
+		t.Fatalf("path %q", path)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "e14" || !got.Quick || got.DurationMS != 1500 {
+		t.Fatalf("snapshot %+v", got)
+	}
+	if len(got.Tables) != 1 || got.Tables[0].Rows[0][1] != "2.50" {
+		t.Fatalf("tables %+v", got.Tables)
+	}
+	if len(got.Bounds) != 1 || got.Bounds[0].Query.P95 != 2.5 {
+		t.Fatalf("bounds %+v", got.Bounds)
+	}
+}
+
+func TestBoundCheckQuickMeetsGenerousLimits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bound check workload in -short mode")
+	}
+	tables, reports, err := BoundCheck(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(reports) != 2 {
+		t.Fatalf("tables=%d reports=%d", len(tables), len(reports))
+	}
+	for _, rep := range reports {
+		if rep.Query.Count == 0 || rep.Insert.Count == 0 || rep.Delete.Count == 0 {
+			t.Fatalf("%s: empty summaries %+v", rep.Name, rep)
+		}
+		// The CI smoke job thresholds p95; pin here that the quick
+		// workload passes with the same generous constant so the job
+		// cannot rot silently.
+		if err := rep.Exceeds(CIQueryP95Limit, CIUpdateP95Limit); err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -25,6 +25,11 @@ func contractFactories(t *testing.T) map[string]func() Store {
 		"pool":  func() Store { return NewPool(NewMemStore(128), 2) },
 		"fault": func() Store { return NewFaultStore(NewMemStore(128)) },
 		"crash": func() Store { return NewCrashStore(NewMemStore(128), 7) },
+		"trace": func() Store {
+			ts := NewTraceStore(NewMemStore(128))
+			ts.SetSink(discardSink{})
+			return ts
+		},
 	}
 }
 

@@ -248,7 +248,9 @@ func (c *CrashStore) Crash() (PageID, error) {
 // only when they are flushed by Sync.
 func (c *CrashStore) Stats() Stats { return c.inner.Stats() }
 
-// ResetStats implements Store.
+// ResetStats implements Store by delegating to the inner store. Pending
+// (unsynced) writes and the crashed flag are NOT reset — only accounting
+// is.
 func (c *CrashStore) ResetStats() { c.inner.ResetStats() }
 
 // Pages implements Store, counting deferred frees as already gone.

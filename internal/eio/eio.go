@@ -117,9 +117,16 @@ type Store interface {
 	// exactly one page long (see the buffer-length contract above).
 	Write(id PageID, buf []byte) error
 	// Stats returns the operation counters accumulated since creation or
-	// the last ResetStats.
+	// the last ResetStats. Wrapper stores (Pool, FaultStore, CrashStore,
+	// TraceStore) keep no Stats counters of their own: Stats reports the
+	// wrapped store's counters, i.e. genuine backing-store I/Os after any
+	// caching the wrapper performs.
 	Stats() Stats
-	// ResetStats zeroes the operation counters.
+	// ResetStats zeroes the operation counters. On wrapper stores this
+	// delegates to the wrapped store; Pool additionally clears its own
+	// hit/miss/eviction counters (PoolStats), while FaultStore fault
+	// arming, CrashStore pending writes and TraceStore event sequence
+	// numbers are deliberately NOT reset — only accounting is.
 	ResetStats()
 	// Pages returns the number of currently allocated (live) pages.
 	Pages() int

@@ -332,10 +332,13 @@ func (f *FaultStore) Sync() error {
 	return nil
 }
 
-// Stats implements Store.
+// Stats implements Store, reporting the inner store's counters (injected
+// faults that never reach the inner store are not counted as I/Os).
 func (f *FaultStore) Stats() Stats { return f.inner.Stats() }
 
-// ResetStats implements Store.
+// ResetStats implements Store by delegating to the inner store. Armed
+// faults, the global operation counter used by FailNth, and the bounded
+// operation trace are NOT reset — only accounting is.
 func (f *FaultStore) ResetStats() { f.inner.ResetStats() }
 
 // Pages implements Store.

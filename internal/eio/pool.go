@@ -181,11 +181,17 @@ func (p *Pool) flushLocked() error {
 	return nil
 }
 
-// Stats implements Store, reporting the backing store's counters — i.e. the
-// true I/O cost after caching.
+// Stats implements Store, reporting the backing store's counters only —
+// i.e. the true block-transfer cost after caching. Pool hits are free in
+// the I/O model and therefore never appear here; use PoolStats for the
+// cache-level view (hits, misses, evictions, dirty write-backs).
 func (p *Pool) Stats() Stats { return p.backing.Stats() }
 
-// ResetStats implements Store; it clears both backing and pool counters.
+// ResetStats implements Store; it clears both the backing store's I/O
+// counters and the pool's own PoolStats counters, so a measurement window
+// opened with ResetStats sees consistent zeroes at both levels. Pooled
+// page contents and dirty flags are untouched — resetting accounting never
+// changes caching behavior.
 func (p *Pool) ResetStats() {
 	p.mu.Lock()
 	p.pstats = PoolStats{}
@@ -193,11 +199,36 @@ func (p *Pool) ResetStats() {
 	p.backing.ResetStats()
 }
 
-// PoolStats returns hit/miss/eviction counters.
+// PoolStats returns the cache-event counters (hits, misses, evictions,
+// dirty write-backs) accumulated since creation or the last ResetStats.
 func (p *Pool) PoolStats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.pstats
+}
+
+// Dirty returns the number of pooled pages whose contents have not yet
+// been written back to the backing store.
+func (p *Pool) Dirty() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		if el.Value.(*frame).dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// Cap returns the pool capacity M in pages.
+func (p *Pool) Cap() int { return p.cap }
+
+// Resident returns the number of pages currently held in the pool.
+func (p *Pool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
 }
 
 // Pages implements Store.

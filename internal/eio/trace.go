@@ -1,0 +1,192 @@
+package eio
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// TraceEvent is one block-level operation observed by a TraceStore. Events
+// are the unit of the observability layer (internal/obs): sinks aggregate
+// them into histograms, spool them to JSONL files, or keep them in a ring
+// buffer for post-mortem inspection.
+type TraceEvent struct {
+	// Seq is the 1-based sequence number of the event within its
+	// TraceStore, assigned atomically across goroutines.
+	Seq uint64
+	// Op is the operation kind (OpRead, OpWrite, OpAlloc, OpFree).
+	Op Op
+	// Page is the page operated on (for Alloc, the id returned).
+	Page PageID
+	// Bytes is the number of payload bytes transferred: the page size for
+	// reads and writes, 0 for alloc/free.
+	Bytes int
+	// Latency is the wall-clock duration of the inner store call.
+	Latency time.Duration
+	// Scope is the logical operation this I/O belongs to ("insert",
+	// "query", ...), set via TraceStore.SetScope by higher layers. Empty
+	// when no scope is active.
+	Scope string
+	// Err reports whether the inner store returned an error.
+	Err bool
+}
+
+// TraceSink consumes trace events. Implementations must be safe for
+// concurrent use: a TraceStore calls Emit from whatever goroutine performs
+// the I/O, and queries may run in parallel.
+//
+// Emit must not call back into the emitting TraceStore (it would deadlock
+// on stores that serialize internally and would recurse on ones that do
+// not).
+type TraceSink interface {
+	Emit(TraceEvent)
+}
+
+// TraceStore wraps a Store and emits one TraceEvent per operation to an
+// attached TraceSink. With no sink attached the wrapper is a thin
+// pass-through: a single atomic load per operation and no clock reads, so
+// it can be left in place permanently and only pays when someone is
+// listening (see BenchmarkTraceStoreNilSink).
+//
+// Stats, ResetStats and Pages delegate to the inner store: a TraceStore
+// adds observation, never accounting of its own.
+type TraceStore struct {
+	inner Store
+	sink  atomic.Pointer[sinkBox]
+	scope atomic.Pointer[string]
+	seq   atomic.Uint64
+}
+
+// sinkBox wraps the interface value so it can live behind atomic.Pointer.
+type sinkBox struct{ s TraceSink }
+
+var _ Store = (*TraceStore)(nil)
+
+// NewTraceStore wraps inner with no sink attached.
+func NewTraceStore(inner Store) *TraceStore {
+	return &TraceStore{inner: inner}
+}
+
+// SetSink attaches sink (nil detaches). Safe to call at any time, including
+// while other goroutines are mid-operation; those operations keep the sink
+// they loaded.
+func (t *TraceStore) SetSink(sink TraceSink) {
+	if sink == nil {
+		t.sink.Store(nil)
+		return
+	}
+	t.sink.Store(&sinkBox{s: sink})
+}
+
+// Sink returns the attached sink, or nil.
+func (t *TraceStore) Sink() TraceSink {
+	if b := t.sink.Load(); b != nil {
+		return b.s
+	}
+	return nil
+}
+
+// SetScope labels subsequent events with the given logical operation name.
+// An empty string clears the label. The label is read atomically by
+// concurrent I/Os, so mixed concurrent scopes never race — but if two
+// logical operations overlap in time their events may carry either label;
+// callers that need exact per-operation attribution must serialize
+// (obs.Instrumented does).
+func (t *TraceStore) SetScope(name string) {
+	if name == "" {
+		t.scope.Store(nil)
+		return
+	}
+	t.scope.Store(&name)
+}
+
+// currentScope returns the active scope label, or "".
+func (t *TraceStore) currentScope() string {
+	if p := t.scope.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// emit builds and delivers one event. Callers pass the sink they loaded
+// before timing began so attach/detach races stay consistent.
+func (t *TraceStore) emit(sink TraceSink, op Op, page PageID, bytes int, start time.Time, err error) {
+	sink.Emit(TraceEvent{
+		Seq:     t.seq.Add(1),
+		Op:      op,
+		Page:    page,
+		Bytes:   bytes,
+		Latency: time.Since(start),
+		Scope:   t.currentScope(),
+		Err:     err != nil,
+	})
+}
+
+// PageSize implements Store.
+func (t *TraceStore) PageSize() int { return t.inner.PageSize() }
+
+// Alloc implements Store.
+func (t *TraceStore) Alloc() (PageID, error) {
+	b := t.sink.Load()
+	if b == nil {
+		return t.inner.Alloc()
+	}
+	start := time.Now()
+	id, err := t.inner.Alloc()
+	t.emit(b.s, OpAlloc, id, 0, start, err)
+	return id, err
+}
+
+// Free implements Store.
+func (t *TraceStore) Free(id PageID) error {
+	b := t.sink.Load()
+	if b == nil {
+		return t.inner.Free(id)
+	}
+	start := time.Now()
+	err := t.inner.Free(id)
+	t.emit(b.s, OpFree, id, 0, start, err)
+	return err
+}
+
+// Read implements Store.
+func (t *TraceStore) Read(id PageID, buf []byte) error {
+	b := t.sink.Load()
+	if b == nil {
+		return t.inner.Read(id, buf)
+	}
+	start := time.Now()
+	err := t.inner.Read(id, buf)
+	t.emit(b.s, OpRead, id, t.inner.PageSize(), start, err)
+	return err
+}
+
+// Write implements Store.
+func (t *TraceStore) Write(id PageID, buf []byte) error {
+	b := t.sink.Load()
+	if b == nil {
+		return t.inner.Write(id, buf)
+	}
+	start := time.Now()
+	err := t.inner.Write(id, buf)
+	t.emit(b.s, OpWrite, id, len(buf), start, err)
+	return err
+}
+
+// Stats implements Store, reporting the inner store's counters. Like every
+// wrapper in this package, a TraceStore keeps no counters of its own.
+func (t *TraceStore) Stats() Stats { return t.inner.Stats() }
+
+// ResetStats implements Store by delegating to the inner store. Event
+// sequence numbers are not reset — a trace is an append-only log.
+func (t *TraceStore) ResetStats() { t.inner.ResetStats() }
+
+// Pages implements Store.
+func (t *TraceStore) Pages() int { return t.inner.Pages() }
+
+// Close implements Store. The sink is detached first so a closing flurry
+// of inner-store activity is not observed half-torn; sinks with resources
+// of their own (files) are closed by their owner, not here.
+func (t *TraceStore) Close() error {
+	t.sink.Store(nil)
+	return t.inner.Close()
+}

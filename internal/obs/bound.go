@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// The empirical bound checker: Theorems 6 and 7 promise queries in
+// O(log_B N + t/B) I/Os and updates in O(log_B N) I/Os. For each measured
+// operation we divide observed I/Os by the theoretical allowance,
+//
+//	query overhead  = IOs / (log_B N + ⌈t/B⌉)
+//	update overhead = IOs / log_B N
+//
+// and summarize the ratios. If the implementation matches the theorems,
+// overhead is a bounded constant independent of N — so a p95 threshold on
+// it is a regression test for the constant factor itself.
+
+// Summary describes a set of overhead ratios.
+type Summary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	Max   float64 `json:"max"`
+}
+
+// Summarize computes a Summary (xs is sorted in place).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sort.Float64s(xs)
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	q := func(p float64) float64 { return xs[int(p*float64(len(xs)-1))] }
+	return Summary{
+		Count: len(xs),
+		Mean:  sum / float64(len(xs)),
+		P50:   q(0.50),
+		P95:   q(0.95),
+		Max:   xs[len(xs)-1],
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p95=%.2f max=%.2f",
+		s.Count, s.Mean, s.P50, s.P95, s.Max)
+}
+
+// BoundOptions configures allowances for one structure.
+type BoundOptions struct {
+	// B is the block capacity.
+	B int
+	// UpdateFactor scales the update allowance to UpdateFactor · log_B N.
+	// It is 1 for the EPST (Theorem 6 prices updates at O(log_B N)) and
+	// the level count O(log n / log log_B N) for the layered 4-sided
+	// structure (Theorem 7 updates touch every level). Zero means 1.
+	UpdateFactor float64
+}
+
+// BoundReport is the outcome of checking one structure's records against
+// its theoretical allowances.
+type BoundReport struct {
+	// Name identifies the structure checked (e.g. "ThreeSided").
+	Name string `json:"name"`
+	// B is the block capacity used for allowances.
+	B int `json:"b"`
+	// UpdateFactor is the multiplier applied to the update allowance
+	// (see BoundOptions.UpdateFactor).
+	UpdateFactor float64 `json:"update_factor"`
+	// Query, Insert and Delete summarize per-operation overhead ratios.
+	Query  Summary `json:"query"`
+	Insert Summary `json:"insert"`
+	Delete Summary `json:"delete"`
+	// Skipped counts records excluded from checking (errored operations,
+	// or operations on an empty structure where no allowance is defined).
+	Skipped int `json:"skipped,omitempty"`
+}
+
+// logB returns log_B N floored at 1: even a one-page structure is allowed
+// one I/O, and a sub-1 denominator would inflate ratios meaninglessly.
+func logB(n, b int) float64 {
+	if n < 2 {
+		n = 2
+	}
+	if b < 2 {
+		b = 2
+	}
+	l := math.Log(float64(n)) / math.Log(float64(b))
+	if l < 1 {
+		return 1
+	}
+	return l
+}
+
+// CheckBounds computes per-operation overhead ratios for recs against
+// block capacity b with the Theorem 6 allowances (update factor 1).
+func CheckBounds(name string, recs []OpRecord, b int) BoundReport {
+	return CheckBoundsOpt(name, recs, BoundOptions{B: b})
+}
+
+// CheckBoundsOpt computes per-operation overhead ratios for recs under o.
+func CheckBoundsOpt(name string, recs []OpRecord, o BoundOptions) BoundReport {
+	uf := o.UpdateFactor
+	if uf <= 0 {
+		uf = 1
+	}
+	rep := BoundReport{Name: name, B: o.B, UpdateFactor: uf}
+	var qs, ins, dels []float64
+	for _, r := range recs {
+		if r.Err {
+			rep.Skipped++
+			continue
+		}
+		allow := logB(r.N, o.B)
+		switch r.Kind {
+		case OpQuery:
+			tb := math.Ceil(float64(r.T) / float64(o.B))
+			qs = append(qs, float64(r.IOs())/(allow+tb))
+		case OpInsert:
+			ins = append(ins, float64(r.IOs())/(uf*allow))
+		case OpDelete:
+			dels = append(dels, float64(r.IOs())/(uf*allow))
+		default:
+			rep.Skipped++
+		}
+	}
+	rep.Query = Summarize(qs)
+	rep.Insert = Summarize(ins)
+	rep.Delete = Summarize(dels)
+	return rep
+}
+
+// Exceeds reports a non-nil error if any populated overhead summary's p95
+// is above its limit. Updates (insert and delete) share one limit because
+// they share one theorem bound; pass an infinite limit (math.Inf(1)) to
+// skip a dimension.
+func (r BoundReport) Exceeds(maxQueryP95, maxUpdateP95 float64) error {
+	var viol []string
+	if r.Query.Count > 0 && r.Query.P95 > maxQueryP95 {
+		viol = append(viol, fmt.Sprintf("query p95 overhead %.2f > %.2f", r.Query.P95, maxQueryP95))
+	}
+	if r.Insert.Count > 0 && r.Insert.P95 > maxUpdateP95 {
+		viol = append(viol, fmt.Sprintf("insert p95 overhead %.2f > %.2f", r.Insert.P95, maxUpdateP95))
+	}
+	if r.Delete.Count > 0 && r.Delete.P95 > maxUpdateP95 {
+		viol = append(viol, fmt.Sprintf("delete p95 overhead %.2f > %.2f", r.Delete.P95, maxUpdateP95))
+	}
+	if len(viol) == 0 {
+		return nil
+	}
+	return fmt.Errorf("obs: %s bound check failed: %s", r.Name, strings.Join(viol, "; "))
+}
+
+// String renders the report as aligned text.
+func (r BoundReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (B=%d, update factor %.2f):\n", r.Name, r.B, r.UpdateFactor)
+	fmt.Fprintf(&b, "  query  IOs/(log_B N + ceil(t/B)): %s\n", r.Query)
+	fmt.Fprintf(&b, "  insert IOs/(f*log_B N):           %s\n", r.Insert)
+	fmt.Fprintf(&b, "  delete IOs/(f*log_B N):           %s\n", r.Delete)
+	if r.Skipped > 0 {
+		fmt.Fprintf(&b, "  skipped records: %d\n", r.Skipped)
+	}
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %d", q)
+	}
+	if b := h.Buckets(); len(b) != 0 {
+		t.Fatalf("empty buckets = %v", b)
+	}
+}
+
+func TestHistogramZeroValue(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(0)
+	if h.Count() != 2 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if q := h.Quantile(p); q != 0 {
+			t.Fatalf("quantile(%v) = %d, want 0", p, q)
+		}
+	}
+	bs := h.Buckets()
+	if len(bs) != 1 || bs[0].Lo != 0 || bs[0].Hi != 0 || bs[0].Count != 2 {
+		t.Fatalf("buckets = %v", bs)
+	}
+}
+
+func TestHistogramMaxUint64(t *testing.T) {
+	var h Histogram
+	h.Observe(math.MaxUint64)
+	if h.Max() != math.MaxUint64 || h.Min() != math.MaxUint64 {
+		t.Fatalf("min=%d max=%d", h.Min(), h.Max())
+	}
+	if q := h.Quantile(0.5); q != math.MaxUint64 {
+		t.Fatalf("quantile = %d", q)
+	}
+	bs := h.Buckets()
+	if len(bs) != 1 || bs[0].Lo != uint64(1)<<63 || bs[0].Hi != math.MaxUint64 {
+		t.Fatalf("buckets = %v", bs)
+	}
+	// Mean uses float64 accumulation; one sample must round-trip close.
+	if h.Mean() < float64(math.MaxUint64)/2 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramSingleSampleExactQuantiles(t *testing.T) {
+	var h Histogram
+	h.Observe(37)
+	// A single sample must be reported exactly at every quantile even
+	// though its bucket [32, 63] is coarse.
+	for _, p := range []float64{0, 0.25, 0.5, 0.95, 1} {
+		if q := h.Quantile(p); q != 37 {
+			t.Fatalf("quantile(%v) = %d, want 37", p, q)
+		}
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		lo, hi uint64
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{2, 2, 3},
+		{3, 2, 3},
+		{4, 4, 7},
+		{1023, 512, 1023},
+		{1024, 1024, 2047},
+		{uint64(1) << 63, uint64(1) << 63, math.MaxUint64},
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Observe(c.v)
+		bs := h.Buckets()
+		if len(bs) != 1 || bs[0].Lo != c.lo || bs[0].Hi != c.hi {
+			t.Errorf("Observe(%d): bucket %v, want [%d,%d]", c.v, bs, c.lo, c.hi)
+		}
+	}
+}
+
+func TestHistogramQuantileOrder(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	p50, p95, p99 := h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99 && p99 <= h.Max()) {
+		t.Fatalf("quantiles out of order: p50=%d p95=%d p99=%d max=%d", p50, p95, p99, h.Max())
+	}
+	// Bucket-resolved error is at most one bucket: p50 of 1..1000 is 500,
+	// whose bucket tops out at 511.
+	if p50 < 500 || p50 > 1023 {
+		t.Fatalf("p50 = %d, want within one bucket of 500", p50)
+	}
+	if h.Max() != 1000 || h.Min() != 1 {
+		t.Fatalf("min=%d max=%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || len(h.Buckets()) != 0 {
+		t.Fatal("reset did not clear histogram")
+	}
+	h.Observe(9) // must still work after reset
+	if h.Count() != 1 || h.Max() != 9 {
+		t.Fatal("histogram unusable after reset")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 {
+		t.Fatalf("empty summary %v", s)
+	}
+	s = Summarize([]float64{3})
+	if s.Count != 1 || s.P50 != 3 || s.P95 != 3 || s.Max != 3 || s.Mean != 3 {
+		t.Fatalf("single summary %+v", s)
+	}
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	s = Summarize(xs)
+	if s.P50 != 50 || s.P95 != 95 || s.Max != 100 {
+		t.Fatalf("summary %+v", s)
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"rangesearch/internal/eio"
+)
+
+// expvar.Publish panics on duplicate names and offers no unpublish, so the
+// package keeps one published indirection per name and repoints it — a
+// bench process can publish a fresh store per experiment under a stable
+// name.
+var (
+	varMu  sync.Mutex
+	varFns = map[string]func() interface{}{}
+)
+
+func publish(name string, fn func() interface{}) {
+	varMu.Lock()
+	_, existed := varFns[name]
+	varFns[name] = fn
+	varMu.Unlock()
+	if !existed {
+		expvar.Publish(name, expvar.Func(func() interface{} {
+			varMu.Lock()
+			f := varFns[name]
+			varMu.Unlock()
+			if f == nil {
+				return nil
+			}
+			return f()
+		}))
+	}
+}
+
+// PublishStore exports s.Stats() and s.Pages() as the expvar
+// "rangesearch.store.<name>". Later calls with the same name repoint the
+// variable.
+func PublishStore(name string, s eio.Store) {
+	publish("rangesearch.store."+name, func() interface{} {
+		st := s.Stats()
+		return map[string]interface{}{
+			"reads":  st.Reads,
+			"writes": st.Writes,
+			"allocs": st.Allocs,
+			"frees":  st.Frees,
+			"ios":    st.IOs(),
+			"pages":  s.Pages(),
+		}
+	})
+}
+
+// PublishPool exports the buffer-pool counters (hits, misses, evictions,
+// dirty write-backs, residency) as "rangesearch.pool.<name>". Together
+// with PublishStore on the same Pool this gives both views: cache events
+// here, true backing-store I/Os there.
+func PublishPool(name string, p *eio.Pool) {
+	publish("rangesearch.pool."+name, func() interface{} {
+		ps := p.PoolStats()
+		return map[string]interface{}{
+			"hits":      ps.Hits,
+			"misses":    ps.Misses,
+			"evictions": ps.Evictions,
+			"writeback": ps.Writeback,
+			"cap":       p.Cap(),
+			"resident":  p.Resident(),
+			"dirty":     p.Dirty(),
+		}
+	})
+}
+
+// PublishCollector exports per-kind I/O and latency histogram snapshots as
+// "rangesearch.ops.<name>".
+func PublishCollector(name string, c *Collector) {
+	publish("rangesearch.ops."+name, func() interface{} {
+		out := map[string]interface{}{}
+		for _, k := range []OpKind{OpInsert, OpDelete, OpQuery} {
+			out[k.String()] = map[string]interface{}{
+				"ios":    c.IOHist(k).Snapshot(),
+				"lat_ns": c.LatencyHist(k).Snapshot(),
+			}
+		}
+		return out
+	})
+}
+
+// PublishHistSink exports a HistSink's per-op latency histograms as
+// "rangesearch.io.<name>".
+func PublishHistSink(name string, h *HistSink) {
+	publish("rangesearch.io."+name, func() interface{} {
+		out := map[string]interface{}{}
+		for _, op := range []eio.Op{eio.OpRead, eio.OpWrite, eio.OpAlloc, eio.OpFree} {
+			out[op.String()] = map[string]interface{}{
+				"lat_ns": h.Latency(op).Snapshot(),
+				"bytes":  h.Bytes(op).Snapshot(),
+			}
+		}
+		out["errors"] = h.Errors().Count()
+		return out
+	})
+}
+
+// MetricsServer is a running diagnostics HTTP server: expvar at
+// /debug/vars, pprof under /debug/pprof/.
+type MetricsServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeMetrics starts the diagnostics server on addr (e.g. ":6060" or
+// "127.0.0.1:0"). It returns once the listener is bound; serving happens
+// in a background goroutine.
+func ServeMetrics(addr string) (*MetricsServer, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "rangesearch metrics: /debug/vars (expvar), /debug/pprof/ (pprof)")
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ms := &MetricsServer{srv: &http.Server{Handler: mux}, ln: ln}
+	go func() { _ = ms.srv.Serve(ln) }()
+	return ms, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (m *MetricsServer) Addr() string { return m.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (m *MetricsServer) Close() error { return m.srv.Close() }

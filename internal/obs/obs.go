@@ -1,0 +1,140 @@
+// Package obs is the observability layer of the repository: it turns the
+// raw block transfers of the I/O model into per-operation evidence that
+// the paper's bounds (Theorems 6–7) hold continuously, not just in one-off
+// experiment tables.
+//
+// The layer has four parts, stacked bottom-up:
+//
+//   - eio.TraceStore (in package eio) emits one typed TraceEvent per
+//     block operation to a pluggable TraceSink.
+//   - Sinks: RingSink (bounded in-memory tail for post-mortems), JSONLSink
+//     (newline-delimited JSON to a file, replayable with `rsinspect
+//     trace`), HistSink (log₂-bucketed latency histograms per operation
+//     kind), and MultiSink (fan-out). All sinks are data-race free.
+//   - Instrumented, a core.Index decorator that scopes measurement per
+//     logical operation (Insert/Delete/Query), recording exact I/O counts,
+//     reported-point counts t, and wall latency into a Collector.
+//   - The bound checker (CheckBounds) that divides each operation's
+//     measured I/Os by its theoretical allowance — log_B N + ⌈t/B⌉ for
+//     queries, log_B N for updates — and summarizes the overhead ratios
+//     (p50/p95/max), making "O(log_B N + t) with small constants" a
+//     machine-checked invariant.
+//
+// Everything is opt-in: with no sink attached a TraceStore is a single
+// atomic load per operation, and nothing in this package is imported by
+// the index structures themselves.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// OpKind classifies logical index operations for per-operation accounting.
+type OpKind uint8
+
+// Logical operation kinds recorded by Instrumented.
+const (
+	OpInsert OpKind = iota
+	OpDelete
+	OpQuery
+	numOpKinds
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpQuery:
+		return "query"
+	default:
+		return "op(?)"
+	}
+}
+
+// OpRecord is the measured cost of one logical index operation.
+type OpRecord struct {
+	// Kind is the operation performed.
+	Kind OpKind `json:"kind"`
+	// Reads and Writes are the store-level I/Os attributed to the
+	// operation (Stats deltas on the measured store).
+	Reads  uint64 `json:"reads"`
+	Writes uint64 `json:"writes"`
+	// T is the number of points reported (queries only).
+	T int `json:"t,omitempty"`
+	// N is the number of points in the structure when the operation
+	// started — the N of the operation's own O(log_B N) allowance.
+	N int `json:"n"`
+	// Latency is the wall-clock duration of the operation.
+	Latency time.Duration `json:"lat_ns"`
+	// Err reports that the operation returned an error; errored records
+	// are kept for forensics but excluded from bound checking.
+	Err bool `json:"err,omitempty"`
+}
+
+// IOs returns the operation's total block transfers.
+func (r OpRecord) IOs() uint64 { return r.Reads + r.Writes }
+
+// Collector accumulates OpRecords from one or more Instrumented indexes.
+// It keeps every record (the bound checker needs exact per-op values, and
+// a bench run is bounded) plus always-on per-kind I/O-count and latency
+// histograms for cheap live export via expvar.
+type Collector struct {
+	mu      sync.Mutex
+	recs    []OpRecord
+	ioHist  [numOpKinds]Histogram
+	latHist [numOpKinds]Histogram
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add records one operation.
+func (c *Collector) Add(r OpRecord) {
+	if r.Kind < numOpKinds {
+		c.ioHist[r.Kind].Observe(r.IOs())
+		lat := r.Latency
+		if lat < 0 {
+			lat = 0
+		}
+		c.latHist[r.Kind].Observe(uint64(lat))
+	}
+	c.mu.Lock()
+	c.recs = append(c.recs, r)
+	c.mu.Unlock()
+}
+
+// Records returns a copy of every record added so far.
+func (c *Collector) Records() []OpRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]OpRecord(nil), c.recs...)
+}
+
+// Len returns the number of records.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.recs)
+}
+
+// Reset drops all records and clears the histograms.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.recs = nil
+	c.mu.Unlock()
+	for k := range c.ioHist {
+		c.ioHist[k].Reset()
+		c.latHist[k].Reset()
+	}
+}
+
+// IOHist returns the I/O-count histogram for kind (do not Reset it
+// directly; use Collector.Reset).
+func (c *Collector) IOHist(kind OpKind) *Histogram { return &c.ioHist[kind] }
+
+// LatencyHist returns the latency histogram (nanoseconds) for kind.
+func (c *Collector) LatencyHist(kind OpKind) *Histogram { return &c.latHist[kind] }

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"rangesearch/internal/core"
+	"rangesearch/internal/eio"
+	"rangesearch/internal/epst"
+	"rangesearch/internal/geom"
+)
+
+// TestConcurrentTracedSyncedIndex drives a core.Synced index over a
+// TraceStore with every sink attached at once, from many goroutines, so
+// `go test -race` proves the whole observation path — store, scope labels,
+// ring, JSONL, histograms — is data-race free while queries run in
+// parallel with updates.
+func TestConcurrentTracedSyncedIndex(t *testing.T) {
+	ts := eio.NewTraceStore(eio.NewMemStore(1024))
+	ring := NewRingSink(1024)
+	hist := NewHistSink()
+	jsonl := NewJSONLSink(io.Discard)
+	ts.SetSink(MultiSink{ring, hist, jsonl})
+
+	idx, err := core.NewThreeSided(ts, epst.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	synced := core.NewSynced(idx)
+
+	const (
+		writers = 4
+		readers = 4
+		perG    = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				p := geom.Point{X: int64(w*perG + i), Y: int64((w*perG + i) * 31 % 9973)}
+				if err := synced.Insert(p); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				if i%3 == 0 {
+					if _, err := synced.Delete(p); err != nil {
+						t.Errorf("delete: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				lo := int64(i * 4 % 800)
+				if _, err := synced.Query(nil, geom.Rect{XLo: lo, XHi: lo + 100, YLo: 0, YHi: geom.MaxCoord}); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				// Exercise sink churn while I/Os are in flight.
+				if i%50 == 0 && r == 0 {
+					ts.SetSink(MultiSink{ring, hist, jsonl})
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	if err := jsonl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Total() == 0 {
+		t.Fatal("no events reached the ring sink")
+	}
+	if hist.Latency(eio.OpRead).Count() == 0 {
+		t.Fatal("no read latencies aggregated")
+	}
+	n, err := synced.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each writer inserts perG points and deletes ceil(perG/3) of them.
+	want := writers * (perG - (perG+2)/3)
+	if n != want {
+		t.Fatalf("final size %d, want %d", n, want)
+	}
+}
+
+// TestConcurrentInstrumented exercises the Instrumented decorator itself
+// from many goroutines (it serializes internally) under -race.
+func TestConcurrentInstrumented(t *testing.T) {
+	ts := eio.NewTraceStore(eio.NewMemStore(1024))
+	ts.SetSink(NewHistSink())
+	idx, err := core.NewThreeSided(ts, epst.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	in, err := Instrument(idx, ts, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				switch g % 3 {
+				case 0:
+					_ = in.Insert(geom.Point{X: int64(g*1000 + i), Y: int64(i)})
+				case 1:
+					_, _ = in.Delete(geom.Point{X: int64(i), Y: int64(i)})
+				default:
+					_, _ = in.Query(nil, geom.Rect{XLo: 0, XHi: 50, YLo: 0, YHi: geom.MaxCoord})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if col.Len() != 600 {
+		t.Fatalf("collector has %d records, want 600", col.Len())
+	}
+}

@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"rangesearch/internal/eio"
+)
+
+// RingSink keeps the most recent events in a fixed-capacity ring buffer —
+// the "flight recorder" sink: always cheap, and after a failure the tail
+// of I/Os that led up to it can be dumped.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []eio.TraceEvent
+	next  int
+	total uint64
+}
+
+var _ eio.TraceSink = (*RingSink)(nil)
+
+// NewRingSink returns a ring holding the last capacity events
+// (capacity ≥ 1).
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		panic("obs: ring sink capacity must be at least 1")
+	}
+	return &RingSink{buf: make([]eio.TraceEvent, 0, capacity)}
+}
+
+// Emit implements eio.TraceSink.
+func (r *RingSink) Emit(e eio.TraceEvent) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns the number of events ever emitted (≥ len(Snapshot())).
+func (r *RingSink) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Cap returns the ring capacity.
+func (r *RingSink) Cap() int { return cap(r.buf) }
+
+// Snapshot returns the retained events, oldest first.
+func (r *RingSink) Snapshot() []eio.TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]eio.TraceEvent, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// jsonEvent is the on-disk schema of one traced operation — one JSON
+// object per line. The schema is part of the tool contract: `rsinspect
+// trace` replays these files, and external tooling may too.
+type jsonEvent struct {
+	Seq   uint64 `json:"seq"`
+	Op    string `json:"op"`
+	Page  uint64 `json:"page"`
+	Bytes int    `json:"bytes,omitempty"`
+	LatNS int64  `json:"lat_ns"`
+	Scope string `json:"scope,omitempty"`
+	Err   bool   `json:"err,omitempty"`
+}
+
+// JSONLSink spools events to a writer as newline-delimited JSON. Writes
+// are buffered; call Flush (or Close for file-backed sinks) before reading
+// the output. The first write error is sticky and reported by Err —
+// tracing must never turn a successful index operation into a failure, so
+// Emit itself cannot fail.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer // nil unless the sink owns the underlying file
+	err error
+}
+
+var _ eio.TraceSink = (*JSONLSink)(nil)
+
+// NewJSONLSink wraps w. The caller keeps ownership of w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// CreateJSONLFile creates (truncating) a trace file at path; Close the
+// sink to flush and release it.
+func CreateJSONLFile(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &JSONLSink{w: bufio.NewWriter(f), c: f}, nil
+}
+
+// Emit implements eio.TraceSink.
+func (s *JSONLSink) Emit(e eio.TraceEvent) {
+	line, _ := json.Marshal(jsonEvent{
+		Seq:   e.Seq,
+		Op:    e.Op.String(),
+		Page:  uint64(e.Page),
+		Bytes: e.Bytes,
+		LatNS: e.Latency.Nanoseconds(),
+		Scope: e.Scope,
+		Err:   e.Err,
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if _, err := s.w.Write(line); err != nil {
+		s.err = err
+		return
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		s.err = err
+	}
+}
+
+// Flush writes buffered events through to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.w.Flush()
+	return s.err
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close flushes and, for file-backed sinks, closes the file.
+func (s *JSONLSink) Close() error {
+	err := s.Flush()
+	s.mu.Lock()
+	c := s.c
+	s.c = nil
+	s.mu.Unlock()
+	if c != nil {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// parseOp inverts eio.Op.String.
+func parseOp(s string) (eio.Op, error) {
+	for _, op := range []eio.Op{eio.OpRead, eio.OpWrite, eio.OpAlloc, eio.OpFree} {
+		if op.String() == s {
+			return op, nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown trace op %q", s)
+}
+
+// ReadTrace parses a JSONL trace written by JSONLSink. It streams line by
+// line, so traces larger than memory still summarize via the callback
+// variant below; this variant collects everything.
+func ReadTrace(r io.Reader) ([]eio.TraceEvent, error) {
+	var out []eio.TraceEvent
+	err := ScanTrace(r, func(e eio.TraceEvent) error {
+		out = append(out, e)
+		return nil
+	})
+	return out, err
+}
+
+// ScanTrace parses a JSONL trace, calling fn for each event in order.
+func ScanTrace(r io.Reader, fn func(eio.TraceEvent) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(line, &je); err != nil {
+			return fmt.Errorf("obs: trace line %d: %w", lineNo, err)
+		}
+		op, err := parseOp(je.Op)
+		if err != nil {
+			return fmt.Errorf("obs: trace line %d: %w", lineNo, err)
+		}
+		if err := fn(eio.TraceEvent{
+			Seq:     je.Seq,
+			Op:      op,
+			Page:    eio.PageID(je.Page),
+			Bytes:   je.Bytes,
+			Latency: time.Duration(je.LatNS),
+			Scope:   je.Scope,
+			Err:     je.Err,
+		}); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// HistSink aggregates events into per-operation-kind latency histograms
+// and operation counters. It retains nothing per event, so it is the sink
+// to leave attached in long-running processes.
+type HistSink struct {
+	latency [4]Histogram // indexed by eio.Op
+	count   [4]Histogram // byte counts per op kind (reads/writes only)
+	errs    Histogram    // latency of failed operations, any kind
+}
+
+var _ eio.TraceSink = (*HistSink)(nil)
+
+// NewHistSink returns an empty histogram sink.
+func NewHistSink() *HistSink { return &HistSink{} }
+
+// Emit implements eio.TraceSink.
+func (h *HistSink) Emit(e eio.TraceEvent) {
+	lat := e.Latency
+	if lat < 0 {
+		lat = 0
+	}
+	if int(e.Op) < len(h.latency) {
+		h.latency[e.Op].Observe(uint64(lat))
+		if e.Bytes > 0 {
+			h.count[e.Op].Observe(uint64(e.Bytes))
+		}
+	}
+	if e.Err {
+		h.errs.Observe(uint64(lat))
+	}
+}
+
+// Latency returns the latency histogram (nanoseconds) for op.
+func (h *HistSink) Latency(op eio.Op) *Histogram { return &h.latency[op] }
+
+// Bytes returns the transfer-size histogram for op.
+func (h *HistSink) Bytes(op eio.Op) *Histogram { return &h.count[op] }
+
+// Errors returns the histogram of failed-operation latencies; its Count is
+// the total number of failed operations.
+func (h *HistSink) Errors() *Histogram { return &h.errs }
+
+// MultiSink fans each event out to every member sink, in order.
+type MultiSink []eio.TraceSink
+
+var _ eio.TraceSink = (MultiSink)(nil)
+
+// Emit implements eio.TraceSink.
+func (m MultiSink) Emit(e eio.TraceEvent) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
