@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench cover vet fmt sweep bound experiments examples clean
+.PHONY: all build test race bench cover vet fmt sweep recover-sweep fuzz-short bound experiments examples clean
 
 all: build vet test
 
@@ -26,6 +26,19 @@ cover:
 # turn and assert errors surface, nothing panics, structures stay readable.
 sweep:
 	$(GO) test ./internal/... -run 'FaultSweep|CrashRecovery' -v
+
+# Recovery sweeps: crash each structure's scripted update at EVERY mutating
+# backing-store operation, reopen, run WAL recovery, and assert the state
+# is exactly pre-op or post-op with invariants intact and a clean file.
+recover-sweep:
+	$(GO) test ./internal/... -run 'TestRecoverySweep|TestTxRecoverySweepRaw' -v
+
+# Short coverage-guided fuzz of the hostile-input parsers: WAL records,
+# anchors, and whole store files. CI runs this; longer runs are manual.
+fuzz-short:
+	$(GO) test ./internal/eio -run '^$$' -fuzz 'FuzzWALRecord' -fuzztime 10s
+	$(GO) test ./internal/eio -run '^$$' -fuzz 'FuzzAnchor' -fuzztime 10s
+	$(GO) test ./internal/eio -run '^$$' -fuzz 'FuzzVerifyFile' -fuzztime 10s
 
 # Empirical bound check (e14): per-op I/O overhead vs the Theorem 6/7
 # allowances; exits 3 on violation. The same check gates CI.

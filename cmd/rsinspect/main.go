@@ -9,12 +9,26 @@
 //	rsinspect -store points.db -kind epst   -hdr 12
 //	rsinspect -store points.db -kind range4 -hdr 7
 //	rsinspect -store points.db -kind wbtree -hdr 3
-//	rsinspect verify -store points.db
+//	rsinspect verify -store points.db [-json]
+//	rsinspect recover -store points.db -anchor 1
+//	rsinspect scrub -store points.db -kind epst -hdr 12 [-anchor 1] [-dry] [-json]
 //	rsinspect trace -f trace.jsonl
 //
 // The verify subcommand checks the file itself without attaching to any
-// structure: superblock slots, per-page checksums and the free list. It
-// exits non-zero if the file is damaged, so it can gate recovery scripts.
+// structure: superblock slots, per-page checksums and the free list. Its
+// exit code gates recovery scripts: 0 clean, 2 damaged, 1 usage or I/O
+// error. -json emits the machine-readable report instead of prose.
+//
+// The recover subcommand opens the store's transactional layer (created
+// with eio.NewTxStore; -anchor is the id TxStore.Anchor returned) and runs
+// WAL crash recovery: a committed-but-unapplied transaction is replayed,
+// a torn one is discarded, and torn WAL/anchor pages are repaired.
+//
+// The scrub subcommand walks a structure's exact page reachability set and
+// reclaims allocated-but-unreachable pages — the allocations a crash
+// between page allocation and commit strands. With -anchor it runs WAL
+// recovery first (scrubbing before recovery would reclaim pages a replay
+// is about to use); -dry only reports.
 //
 // The trace subcommand replays a JSONL I/O trace written by an
 // obs.JSONLSink and summarizes it: per-operation counts and latency
@@ -23,6 +37,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,19 +45,29 @@ import (
 
 	"rangesearch/internal/eio"
 	"rangesearch/internal/epst"
+	"rangesearch/internal/interval"
 	"rangesearch/internal/obs"
 	"rangesearch/internal/range4"
+	"rangesearch/internal/smallstruct"
 	"rangesearch/internal/wbtree"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "verify" {
-		verifyMain(os.Args[2:])
-		return
-	}
-	if len(os.Args) > 1 && os.Args[1] == "trace" {
-		traceMain(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "verify":
+			verifyMain(os.Args[2:])
+			return
+		case "recover":
+			recoverMain(os.Args[2:])
+			return
+		case "scrub":
+			scrubMain(os.Args[2:])
+			return
+		case "trace":
+			traceMain(os.Args[2:])
+			return
+		}
 	}
 	var (
 		storePath = flag.String("store", "", "path to a file store created with eio.CreateFileStore")
@@ -134,30 +159,194 @@ func main() {
 	}
 }
 
-// verifyMain implements `rsinspect verify -store FILE`: an offline scan of
-// the store file for superblock, checksum and free-list damage.
+// verifyMain implements `rsinspect verify -store FILE [-json]`: an offline
+// scan of the store file for superblock, checksum and free-list damage.
+// Exit codes: 0 clean, 2 damaged, 1 usage or I/O error — distinct codes so
+// scripts can tell "the file is corrupt" from "I could not check".
 func verifyMain(args []string) {
-	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
 	storePath := fs.String("store", "", "path to a file store to verify")
+	asJSON := fs.Bool("json", false, "emit the machine-readable report")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: rsinspect verify -store points.db")
+		fmt.Fprintln(os.Stderr, "usage: rsinspect verify -store points.db [-json]")
 		fs.PrintDefaults()
 	}
-	_ = fs.Parse(args)
-	if *storePath == "" {
-		fs.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil || *storePath == "" {
+		if err == nil {
+			fs.Usage()
+		}
+		os.Exit(1)
 	}
 	rep, err := eio.VerifyFile(*storePath)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Print(rep)
+	if *asJSON {
+		out := struct {
+			*eio.VerifyReport
+			Damaged bool `json:"damaged"`
+		}{rep, rep.Damaged()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Print(rep)
+	}
 	if rep.Damaged() {
-		fmt.Println("verdict: DAMAGED")
+		if !*asJSON {
+			fmt.Println("verdict: DAMAGED")
+		}
+		os.Exit(2)
+	}
+	if !*asJSON {
+		fmt.Println("verdict: OK")
+	}
+}
+
+// recoverMain implements `rsinspect recover -store FILE -anchor ID`: run
+// WAL crash recovery on a transactional store and report what it did.
+func recoverMain(args []string) {
+	fs := flag.NewFlagSet("recover", flag.ContinueOnError)
+	storePath := fs.String("store", "", "path to a file store with a transactional layer")
+	anchor := fs.Uint64("anchor", 0, "transaction directory id (eio.TxStore.Anchor)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: rsinspect recover -store points.db -anchor 1")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil || *storePath == "" || *anchor == 0 {
+		if err == nil {
+			fs.Usage()
+		}
 		os.Exit(1)
 	}
-	fmt.Println("verdict: OK")
+	store, err := eio.OpenFileStore(*storePath)
+	if err != nil {
+		fatal(err)
+	}
+	tx, err := eio.OpenTxStore(store, eio.PageID(*anchor))
+	if err != nil {
+		store.Close()
+		fatal(fmt.Errorf("recovery failed: %w", err))
+	}
+	fmt.Printf("recovery: %s\n", tx.Recovery())
+	if err := tx.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+// scrubMain implements `rsinspect scrub`: reclaim allocated pages no
+// structure can reach. With -anchor it runs WAL recovery first — scrubbing
+// a store with a pending redo record would reclaim pages the replay needs.
+func scrubMain(args []string) {
+	fs := flag.NewFlagSet("scrub", flag.ContinueOnError)
+	storePath := fs.String("store", "", "path to a file store")
+	kind := fs.String("kind", "epst", "structure kind: epst | range4 | wbtree | interval | smallstruct")
+	hdr := fs.Uint64("hdr", 0, "header record id of the structure")
+	anchor := fs.Uint64("anchor", 0, "transaction directory id; 0 for a non-transactional store")
+	dry := fs.Bool("dry", false, "report leaks without freeing them")
+	asJSON := fs.Bool("json", false, "emit the machine-readable report")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: rsinspect scrub -store points.db -kind epst -hdr 12 [-anchor 1] [-dry] [-json]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil || *storePath == "" || *hdr == 0 {
+		if err == nil {
+			fs.Usage()
+		}
+		os.Exit(1)
+	}
+	store, err := eio.OpenFileStore(*storePath)
+	if err != nil {
+		fatal(err)
+	}
+	defer store.Close()
+	var target eio.Store = store
+	reachable := []eio.PageID{}
+	if *anchor != 0 {
+		tx, err := eio.OpenTxStore(store, eio.PageID(*anchor))
+		if err != nil {
+			fatal(fmt.Errorf("recovery before scrub failed: %w", err))
+		}
+		if r := tx.Recovery(); r.Dirty() {
+			fmt.Fprintf(os.Stderr, "rsinspect: recovery: %s\n", r)
+		}
+		meta, err := tx.MetaPages()
+		if err != nil {
+			fatal(err)
+		}
+		reachable = append(reachable, meta...)
+		target = tx
+	}
+	id := eio.PageID(*hdr)
+	switch *kind {
+	case "epst":
+		t, err := epst.Open(target, id, 0)
+		if err != nil {
+			fatal(err)
+		}
+		reachable, err = t.AppendAllPages(reachable)
+		if err != nil {
+			fatal(err)
+		}
+	case "range4":
+		t, err := range4.Open(target, id)
+		if err != nil {
+			fatal(err)
+		}
+		reachable, err = t.AppendAllPages(reachable)
+		if err != nil {
+			fatal(err)
+		}
+	case "wbtree":
+		t, err := wbtree.Open(target, id)
+		if err != nil {
+			fatal(err)
+		}
+		reachable, err = t.AppendAllPages(reachable)
+		if err != nil {
+			fatal(err)
+		}
+	case "interval":
+		s, err := interval.Open(target, id, 0)
+		if err != nil {
+			fatal(err)
+		}
+		reachable, err = s.AppendAllPages(reachable)
+		if err != nil {
+			fatal(err)
+		}
+	case "smallstruct":
+		s, err := smallstruct.Open(target, id, 0)
+		if err != nil {
+			fatal(err)
+		}
+		reachable, err = s.AppendAllPages(reachable)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+	var rep *eio.ScrubReport
+	if *dry {
+		rep, err = eio.FindLeaks(target, reachable)
+	} else {
+		rep, err = eio.Scrub(target, reachable)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Println(rep)
+	}
 }
 
 // traceMain implements `rsinspect trace -f trace.jsonl`: stream the trace

@@ -30,6 +30,34 @@ func contractFactories(t *testing.T) map[string]func() Store {
 			ts.SetSink(discardSink{})
 			return ts
 		},
+		"tx-mem": func() Store {
+			tx, err := NewTxStore(NewMemStore(128), TxOptions{WALPages: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tx
+		},
+		"tx-file": func() Store {
+			fs, err := CreateFileStore(filepath.Join(dir, "tx-contract.db"), 128)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tx, err := NewTxStore(fs, TxOptions{WALPages: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tx
+		},
+		"tx-off": func() Store {
+			tx, err := NewTxStore(NewMemStore(128), TxOptions{Disabled: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tx
+		},
+		"retry": func() Store {
+			return NewRetryStore(NewMemStore(128), RetryPolicy{})
+		},
 	}
 }
 

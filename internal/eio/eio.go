@@ -88,6 +88,13 @@ var (
 	ErrChecksum = errors.New("eio: page checksum mismatch")
 	// ErrCrashed reports an operation on a CrashStore after Crash().
 	ErrCrashed = errors.New("eio: store has crashed")
+	// ErrTransient marks a fault that may succeed if retried (a momentary
+	// device or transport error rather than corruption). RetryStore retries
+	// exactly the errors wrapping it.
+	ErrTransient = errors.New("eio: transient fault")
+	// ErrTxOverflow reports a transaction writing more distinct pages than
+	// its TxStore's WAL region can hold in one redo record.
+	ErrTxOverflow = errors.New("eio: transaction exceeds WAL capacity")
 )
 
 // Store is a simulated block device. Pages are fixed-size; Read and Write

@@ -1,0 +1,369 @@
+package eiotest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sync"
+	"testing"
+
+	"rangesearch/internal/eio"
+)
+
+// RecoveryWorkload scripts one structure operation for the crash-recovery
+// sweep: RecoverySweep builds the structure once on a transactional
+// file-backed store, then crashes the backing store at EVERY mutating
+// operation the scripted op performs, reopens the file, runs recovery
+// (eio.OpenTxStore), and asserts that the structure's full state is
+// exactly the pre-op or the post-op state with invariants intact and a
+// clean eio.VerifyFile.
+type RecoveryWorkload struct {
+	// Name labels sweep sub-tests.
+	Name string
+	// PageSize is the page size of the fresh FileStore.
+	PageSize int
+	// WALPages sizes the TxStore redo log (0 = eio.DefaultWALPages). It
+	// must admit the largest single op the workload performs.
+	WALPages int
+	// Build creates the structure in its pre-op state on st and returns
+	// the header id Op and State are given. It runs outside a transaction.
+	Build func(st eio.Store) (eio.PageID, error)
+	// Op opens the structure identified by hdr on st and performs exactly
+	// one deterministic logical update (an Insert or a Delete). The
+	// harness runs it inside a single transaction; it must change State.
+	Op func(st eio.Store, hdr eio.PageID) error
+	// State opens the structure on st, audits its invariants, and returns
+	// a canonical dump of its full contents. Two calls returning the same
+	// string mean the same logical state.
+	State func(st eio.Store, hdr eio.PageID) (string, error)
+	// Reachable returns every page reachable from the structure (its exact
+	// page set, not a sample). When set, each recovered image is also
+	// scrubbed — leaked allocations reclaimed via eio.Scrub — and the
+	// state is re-audited afterwards.
+	Reachable func(st eio.Store, hdr eio.PageID) ([]eio.PageID, error)
+	// MaxRuns caps sweep iterations per stack variant, sampling evenly as
+	// in Sweep. 0 means the package default (400).
+	MaxRuns int
+}
+
+// RecoverySweep crashes w.Op at every backing-store mutating operation
+// (writes, allocs, frees and syncs) and asserts before-or-after recovery
+// semantics. Each crash point runs twice: against the bare FileStore
+// (writes reach the file immediately; the crash truncates the op) and
+// under an eio.CrashStore with torn writes (unsynced writes vanish and the
+// last in-flight one is torn — the worst image a power loss can leave).
+func RecoverySweep(t *testing.T, w RecoveryWorkload) {
+	t.Helper()
+	dir := t.TempDir()
+	pre := filepath.Join(dir, "preop.db")
+
+	// Build the pre-op image.
+	hdr, anchor, stateBefore := buildPreOp(t, w, pre)
+
+	// Baseline: run the op uncrashed on a copy, counting its mutating
+	// store operations and capturing the post-op state.
+	total, stateAfter := baselineOp(t, w, pre, dir, hdr, anchor)
+	if stateAfter == stateBefore {
+		t.Fatalf("%s: op did not change the structure state", w.Name)
+	}
+
+	ks := sampleOps(total, w.MaxRuns)
+	t.Logf("%s: recovery sweep over %d of %d mutating ops", w.Name, len(ks), total)
+	for _, k := range ks {
+		k := k
+		for _, cached := range []bool{false, true} {
+			cached := cached
+			variant := "direct"
+			if cached {
+				variant = "cached"
+			}
+			t.Run(fmt.Sprintf("%s/op%d/%s", w.Name, k, variant), func(t *testing.T) {
+				recoverOne(t, w, pre, dir, hdr, anchor, k, cached, stateBefore, stateAfter)
+			})
+		}
+	}
+}
+
+// buildPreOp creates the structure on a fresh transactional FileStore at
+// path and returns its header, the TxStore anchor, and the pre-op state.
+func buildPreOp(t *testing.T, w RecoveryWorkload, path string) (eio.PageID, eio.PageID, string) {
+	t.Helper()
+	fs, err := eio.CreateFileStore(path, w.PageSize)
+	if err != nil {
+		t.Fatalf("%s: create store: %v", w.Name, err)
+	}
+	tx, err := eio.NewTxStore(fs, eio.TxOptions{WALPages: w.WALPages})
+	if err != nil {
+		t.Fatalf("%s: create tx layer: %v", w.Name, err)
+	}
+	hdr, err := w.Build(tx)
+	if err != nil {
+		t.Fatalf("%s: build: %v", w.Name, err)
+	}
+	state, err := w.State(tx, hdr)
+	if err != nil {
+		t.Fatalf("%s: pre-op state: %v", w.Name, err)
+	}
+	anchor := tx.Anchor()
+	if err := tx.Close(); err != nil {
+		t.Fatalf("%s: close pre-op store: %v", w.Name, err)
+	}
+	rep, err := eio.VerifyFile(path)
+	if err != nil {
+		t.Fatalf("%s: verify pre-op file: %v", w.Name, err)
+	}
+	if rep.Damaged() {
+		t.Fatalf("%s: pre-op file damaged:\n%s", w.Name, rep)
+	}
+	return hdr, anchor, state
+}
+
+// baselineOp runs the op to completion on a copy of the pre-op image,
+// returning the number of mutating store ops it performed and the post-op
+// state.
+func baselineOp(t *testing.T, w RecoveryWorkload, pre, dir string, hdr, anchor eio.PageID) (int, string) {
+	t.Helper()
+	path := filepath.Join(dir, "baseline.db")
+	copyFile(t, pre, path)
+	fs, err := eio.OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("%s: open baseline copy: %v", w.Name, err)
+	}
+	cp := newCrashPoint(fs, 0)
+	tx, err := eio.OpenTxStore(cp, anchor)
+	if err != nil {
+		t.Fatalf("%s: open tx layer: %v", w.Name, err)
+	}
+	if r := tx.Recovery(); r.Dirty() {
+		t.Fatalf("%s: clean image needed recovery: %s", w.Name, r)
+	}
+	if err := tx.Update(func() error { return w.Op(tx, hdr) }); err != nil {
+		t.Fatalf("%s: baseline op failed: %v", w.Name, err)
+	}
+	total := cp.count()
+	state, err := w.State(tx, hdr)
+	if err != nil {
+		t.Fatalf("%s: post-op state: %v", w.Name, err)
+	}
+	if err := tx.Close(); err != nil {
+		t.Fatalf("%s: close baseline store: %v", w.Name, err)
+	}
+	if total == 0 {
+		t.Fatalf("%s: op performed no mutating store operations", w.Name)
+	}
+	return total, state
+}
+
+// recoverOne crashes the op at mutating operation k, recovers, and checks
+// before-or-after semantics.
+func recoverOne(t *testing.T, w RecoveryWorkload, pre, dir string, hdr, anchor eio.PageID, k int, cached bool, stateBefore, stateAfter string) {
+	t.Helper()
+	path := filepath.Join(dir, fmt.Sprintf("crash-%d-%v.db", k, cached))
+	copyFile(t, pre, path)
+	defer os.Remove(path)
+
+	fs, err := eio.OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("open copy: %v", err)
+	}
+	var base eio.Store = fs
+	var cs *eio.CrashStore
+	if cached {
+		cs = eio.NewCrashStore(fs, int64(1000+k))
+		cs.SetTornWrites(true)
+		base = cs
+	}
+	cp := newCrashPoint(base, k)
+	tx, err := eio.OpenTxStore(cp, anchor)
+	if err != nil {
+		t.Fatalf("open tx layer: %v", err)
+	}
+
+	err = updateGuarded(tx, func() error { return w.Op(tx, hdr) })
+	if err == nil {
+		t.Fatalf("crash at mutating op %d was not reached (op finished)", k)
+	}
+	var pe panicError
+	if errors.As(err, &pe) {
+		t.Fatalf("panic with crash at op %d: %v\n%s", k, pe.value, pe.stack)
+	}
+	if !errors.Is(err, eio.ErrCrashed) {
+		t.Fatalf("crash at op %d surfaced as a non-crash error: %v", k, err)
+	}
+	if cached {
+		if _, err := cs.Crash(); err != nil {
+			t.Fatalf("crash cache: %v", err)
+		}
+	}
+	if err := fs.CloseCrash(); err != nil {
+		t.Fatalf("close crashed file: %v", err)
+	}
+
+	// Recover: reopen the file and let OpenTxStore replay or discard.
+	fs2, err := eio.OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	tx2, err := eio.OpenTxStore(fs2, anchor)
+	if err != nil {
+		t.Fatalf("recovery failed (crash at op %d): %v", k, err)
+	}
+	state, err := w.State(tx2, hdr)
+	if err != nil {
+		t.Fatalf("post-recovery state audit failed (crash at op %d, recovery %s): %v", k, tx2.Recovery(), err)
+	}
+	switch state {
+	case stateBefore, stateAfter:
+	default:
+		t.Fatalf("crash at op %d recovered to a third state (recovery %s):\npre:  %s\npost: %s\ngot:  %s",
+			k, tx2.Recovery(), stateBefore, stateAfter, state)
+	}
+
+	// Scrub leaked allocations; the logical state must not move.
+	if w.Reachable != nil {
+		reach, err := w.Reachable(tx2, hdr)
+		if err != nil {
+			t.Fatalf("reachability walk failed (crash at op %d): %v", k, err)
+		}
+		meta, err := tx2.MetaPages()
+		if err != nil {
+			t.Fatalf("tx meta pages: %v", err)
+		}
+		rep, err := eio.Scrub(fs2, append(reach, meta...))
+		if err != nil {
+			t.Fatalf("scrub failed (crash at op %d): %v", k, err)
+		}
+		after, err := w.State(tx2, hdr)
+		if err != nil {
+			t.Fatalf("post-scrub state audit failed (crash at op %d, %s): %v", k, rep, err)
+		}
+		if after != state {
+			t.Fatalf("scrub changed the structure state (crash at op %d, %s)", k, rep)
+		}
+	}
+
+	if err := tx2.Close(); err != nil {
+		t.Fatalf("close recovered store: %v", err)
+	}
+	rep, err := eio.VerifyFile(path)
+	if err != nil {
+		t.Fatalf("verify recovered file: %v", err)
+	}
+	if rep.Damaged() {
+		t.Fatalf("recovered file damaged (crash at op %d):\n%s", k, rep)
+	}
+}
+
+// updateGuarded runs tx.Update(fn) converting panics into errors.
+func updateGuarded(tx *eio.TxStore, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = panicError{value: r, stack: debug.Stack()}
+		}
+	}()
+	return tx.Update(fn)
+}
+
+// copyFile clones the pre-op image for one sweep iteration.
+func copyFile(t *testing.T, src, dst string) {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatalf("read %s: %v", src, err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatalf("write %s: %v", dst, err)
+	}
+}
+
+// crashPoint wraps a store and simulates fail-stop process death at the
+// k-th mutating operation (Write, Alloc, Free or Sync): that operation and
+// every operation after it — reads included — fail with eio.ErrCrashed
+// without reaching the inner store. Unlike FaultStore's one-shot faults,
+// nothing executes past the crash, so the disk image is frozen exactly as
+// the crash left it.
+type crashPoint struct {
+	mu    sync.Mutex
+	inner eio.Store
+	n     int // mutating operations seen
+	k     int // crash at the k-th (0 = never, count only)
+	dead  bool
+}
+
+func newCrashPoint(inner eio.Store, k int) *crashPoint {
+	return &crashPoint{inner: inner, k: k}
+}
+
+func (c *crashPoint) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// trip counts a mutating operation and reports whether the store is dead.
+func (c *crashPoint) trip() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.dead {
+		c.n++
+		if c.k > 0 && c.n >= c.k {
+			c.dead = true
+		}
+	}
+	if c.dead {
+		return fmt.Errorf("eiotest: crash point: %w", eio.ErrCrashed)
+	}
+	return nil
+}
+
+func (c *crashPoint) PageSize() int { return c.inner.PageSize() }
+
+func (c *crashPoint) Alloc() (eio.PageID, error) {
+	if err := c.trip(); err != nil {
+		return eio.NilPage, err
+	}
+	return c.inner.Alloc()
+}
+
+func (c *crashPoint) Free(id eio.PageID) error {
+	if err := c.trip(); err != nil {
+		return err
+	}
+	return c.inner.Free(id)
+}
+
+func (c *crashPoint) Read(id eio.PageID, buf []byte) error {
+	c.mu.Lock()
+	dead := c.dead
+	c.mu.Unlock()
+	if dead {
+		return fmt.Errorf("eiotest: crash point: %w", eio.ErrCrashed)
+	}
+	return c.inner.Read(id, buf)
+}
+
+func (c *crashPoint) Write(id eio.PageID, buf []byte) error {
+	if err := c.trip(); err != nil {
+		return err
+	}
+	return c.inner.Write(id, buf)
+}
+
+// Sync is a mutating operation too: a crash can land exactly on the
+// durability barrier, the most interesting point of a commit.
+func (c *crashPoint) Sync() error {
+	if err := c.trip(); err != nil {
+		return err
+	}
+	if s, ok := c.inner.(interface{ Sync() error }); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+func (c *crashPoint) Stats() eio.Stats { return c.inner.Stats() }
+func (c *crashPoint) ResetStats()      { c.inner.ResetStats() }
+func (c *crashPoint) Pages() int       { return c.inner.Pages() }
+func (c *crashPoint) Close() error     { return c.inner.Close() }

@@ -86,7 +86,9 @@ type FaultStore struct {
 	rng       *rand.Rand
 	nops      uint64 // global operation counter
 	failNth   uint64 // 0 = disarmed
+	runLeft   map[Op]int
 	tornWrite bool
+	transient bool
 
 	trace     []TraceEntry // ring buffer
 	traceCap  int
@@ -105,6 +107,7 @@ func NewFaultStore(inner Store) *FaultStore {
 		countdown: make(map[Op]int),
 		always:    make(map[Op]bool),
 		prob:      make(map[Op]float64),
+		runLeft:   make(map[Op]int),
 		rng:       rand.New(rand.NewSource(1)),
 		traceCap:  defaultTraceCap,
 	}
@@ -158,6 +161,31 @@ func (f *FaultStore) FailNth(n int) {
 	f.failNth = f.nops + uint64(n)
 }
 
+// FailRun arms a burst fault: the next n operations of kind op all fail,
+// then the kind disarms. Combined with SetTransient this models a device
+// that is briefly unreachable — exactly what RetryStore's bounded backoff
+// must ride out (a run shorter than the retry budget succeeds; a longer
+// one surfaces the error). n ≤ 0 disarms the kind.
+func (f *FaultStore) FailRun(op Op, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 0 {
+		delete(f.runLeft, op)
+		return
+	}
+	f.runLeft[op] = n
+}
+
+// SetTransient marks every injected fault as retryable: injected errors
+// additionally wrap ErrTransient, so a RetryStore above this FaultStore
+// retries them while still passing genuine corruption through. Off by
+// default — historically every injected fault was fatal.
+func (f *FaultStore) SetTransient(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.transient = on
+}
+
 // Seed reseeds the RNG behind FailProb and torn-write lengths.
 func (f *FaultStore) Seed(seed int64) {
 	f.mu.Lock()
@@ -180,6 +208,7 @@ func (f *FaultStore) Disarm() {
 	clear(f.countdown)
 	clear(f.always)
 	clear(f.prob)
+	clear(f.runLeft)
 	f.failNth = 0
 }
 
@@ -237,9 +266,20 @@ func (f *FaultStore) trip(op Op, page PageID) error {
 			inject = true
 		}
 	}
+	if n, ok := f.runLeft[op]; ok {
+		inject = true
+		if n--; n > 0 {
+			f.runLeft[op] = n
+		} else {
+			delete(f.runLeft, op)
+		}
+	}
 	f.record(TraceEntry{N: f.nops, Op: op, Page: page, Injected: inject})
 	if !inject {
 		return nil
+	}
+	if f.transient {
+		return fmt.Errorf("eio: %s fault at op %d: %w (%w)", op, f.nops, ErrTransient, ErrInjected)
 	}
 	return fmt.Errorf("eio: %s fault at op %d: %w", op, f.nops, ErrInjected)
 }
@@ -343,6 +383,15 @@ func (f *FaultStore) ResetStats() { f.inner.ResetStats() }
 
 // Pages implements Store.
 func (f *FaultStore) Pages() int { return f.inner.Pages() }
+
+// LivePageIDs implements PageLister when the inner store does.
+func (f *FaultStore) LivePageIDs() ([]PageID, error) {
+	pl, ok := f.inner.(PageLister)
+	if !ok {
+		return nil, fmt.Errorf("eio: fault: inner store cannot enumerate pages")
+	}
+	return pl.LivePageIDs()
+}
 
 // Close implements Store.
 func (f *FaultStore) Close() error { return f.inner.Close() }

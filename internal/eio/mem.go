@@ -144,6 +144,23 @@ func (m *MemStore) Pages() int {
 	return n
 }
 
+// LivePageIDs implements PageLister, enumerating allocated pages in
+// ascending id order.
+func (m *MemStore) LivePageIDs() ([]PageID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("eio: access to closed store")
+	}
+	var ids []PageID
+	for id, l := range m.live {
+		if l {
+			ids = append(ids, PageID(id))
+		}
+	}
+	return ids, nil
+}
+
 // Close implements Store.
 func (m *MemStore) Close() error {
 	m.mu.Lock()

@@ -196,6 +196,11 @@ func (r *RecordStore) Delete(id PageID) error {
 	return nil
 }
 
+// Chain returns the page ids occupied by record id, head first. It is the
+// exact reachability primitive for Scrub: a structure's reachable page set
+// is the union of the chains of every record it can name.
+func (r *RecordStore) Chain(id PageID) ([]PageID, error) { return r.chain(id) }
+
 // chain returns the page ids of record id in order.
 func (r *RecordStore) chain(id PageID) ([]PageID, error) {
 	ps := r.s.PageSize()

@@ -1,0 +1,169 @@
+package eio
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RetryPolicy bounds the exponential backoff of a RetryStore.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per operation, including
+	// the first. Zero selects 4.
+	MaxAttempts int
+	// BaseDelay is the sleep before the first retry; it doubles on every
+	// subsequent one. Zero selects 1ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Zero selects 100ms.
+	MaxDelay time.Duration
+	// Sleep replaces time.Sleep, letting tests run the full backoff
+	// schedule without wall-clock cost. Nil selects time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (p RetryPolicy) filled() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 100 * time.Millisecond
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// RetryStore wraps a Store and retries operations that fail with an error
+// wrapping ErrTransient, under bounded exponential backoff. Permanent
+// errors (ErrBadPage, ErrChecksum, plain ErrInjected, …) pass through
+// immediately: retrying corruption only wastes the I/O budget.
+//
+// Like every wrapper it keeps no Stats of its own, so each physical retry
+// that reaches the backing store is honestly counted as an I/O.
+type RetryStore struct {
+	inner Store
+	pol   RetryPolicy
+
+	mu      sync.Mutex
+	retries uint64
+	gaveUp  uint64
+}
+
+var _ Store = (*RetryStore)(nil)
+
+// NewRetryStore wraps inner with transient-fault retry under pol.
+func NewRetryStore(inner Store, pol RetryPolicy) *RetryStore {
+	return &RetryStore{inner: inner, pol: pol.filled()}
+}
+
+// Retries returns the number of retried operations and the number that
+// exhausted every attempt.
+func (r *RetryStore) Retries() (retried, gaveUp uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retries, r.gaveUp
+}
+
+// do runs op under the retry policy.
+func (r *RetryStore) do(op func() error) error {
+	delay := r.pol.BaseDelay
+	var err error
+	for attempt := 0; attempt < r.pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			r.pol.Sleep(delay)
+			delay *= 2
+			if delay > r.pol.MaxDelay {
+				delay = r.pol.MaxDelay
+			}
+			r.mu.Lock()
+			r.retries++
+			r.mu.Unlock()
+		}
+		err = op()
+		if err == nil || !errors.Is(err, ErrTransient) {
+			return err
+		}
+	}
+	r.mu.Lock()
+	r.gaveUp++
+	r.mu.Unlock()
+	return fmt.Errorf("eio: retry: giving up after %d attempts: %w", r.pol.MaxAttempts, err)
+}
+
+// PageSize implements Store.
+func (r *RetryStore) PageSize() int { return r.inner.PageSize() }
+
+// Alloc implements Store.
+func (r *RetryStore) Alloc() (PageID, error) {
+	var id PageID
+	err := r.do(func() error {
+		var e error
+		id, e = r.inner.Alloc()
+		return e
+	})
+	if err != nil {
+		return NilPage, err
+	}
+	return id, nil
+}
+
+// Free implements Store.
+func (r *RetryStore) Free(id PageID) error {
+	return r.do(func() error { return r.inner.Free(id) })
+}
+
+// Read implements Store.
+func (r *RetryStore) Read(id PageID, buf []byte) error {
+	return r.do(func() error { return r.inner.Read(id, buf) })
+}
+
+// Write implements Store.
+func (r *RetryStore) Write(id PageID, buf []byte) error {
+	return r.do(func() error { return r.inner.Write(id, buf) })
+}
+
+// Sync delegates to the inner store's durability barrier under the same
+// retry policy.
+func (r *RetryStore) Sync() error {
+	s, ok := r.inner.(syncer)
+	if !ok {
+		return nil
+	}
+	return r.do(s.Sync)
+}
+
+// writeRaw delegates torn writes so crash simulators compose with retry.
+func (r *RetryStore) writeRaw(id PageID, prefix []byte) error {
+	rw, ok := r.inner.(rawWriter)
+	if !ok {
+		return fmt.Errorf("eio: inner store does not support raw writes")
+	}
+	return rw.writeRaw(id, prefix)
+}
+
+// Stats implements Store, reporting the inner store's counters.
+func (r *RetryStore) Stats() Stats { return r.inner.Stats() }
+
+// ResetStats implements Store by delegating to the inner store. Retry
+// counters are NOT reset — only accounting is.
+func (r *RetryStore) ResetStats() { r.inner.ResetStats() }
+
+// Pages implements Store.
+func (r *RetryStore) Pages() int { return r.inner.Pages() }
+
+// LivePageIDs implements PageLister when the inner store does.
+func (r *RetryStore) LivePageIDs() ([]PageID, error) {
+	pl, ok := r.inner.(PageLister)
+	if !ok {
+		return nil, fmt.Errorf("eio: retry: inner store cannot enumerate pages")
+	}
+	return pl.LivePageIDs()
+}
+
+// Close implements Store.
+func (r *RetryStore) Close() error { return r.inner.Close() }

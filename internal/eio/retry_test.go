@@ -1,0 +1,105 @@
+package eio
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRetryTransient checks that a transient-fault burst shorter than the
+// attempt budget is absorbed, a longer one surfaces the wrapped error, and
+// permanent faults pass through without any retry.
+func TestRetryTransient(t *testing.T) {
+	mem := NewMemStore(64)
+	f := NewFaultStore(mem)
+	f.SetTransient(true)
+	var slept []time.Duration
+	r := NewRetryStore(f, RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    4 * time.Millisecond,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	})
+	defer r.Close()
+
+	id, err := r.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x5A}, 64)
+
+	// Burst of 3 transient faults, budget of 4 attempts: succeeds.
+	f.FailRun(OpWrite, 3)
+	if err := r.Write(id, data); err != nil {
+		t.Fatalf("write under 3-fault burst: %v", err)
+	}
+	if want := []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond}; len(slept) != len(want) {
+		t.Fatalf("backoff schedule %v, want %v", slept, want)
+	} else {
+		for i := range want {
+			if slept[i] != want[i] {
+				t.Fatalf("backoff schedule %v, want %v", slept, want)
+			}
+		}
+	}
+	buf := make([]byte, 64)
+	if err := r.Read(id, buf); err != nil || !bytes.Equal(buf, data) {
+		t.Fatalf("data lost across retried write: %v", err)
+	}
+	retried, gaveUp := r.Retries()
+	if retried != 3 || gaveUp != 0 {
+		t.Fatalf("Retries() = (%d, %d), want (3, 0)", retried, gaveUp)
+	}
+
+	// Burst of 4: every attempt fails, the final error wraps both markers.
+	f.FailRun(OpWrite, 4)
+	err = r.Write(id, data)
+	if !errors.Is(err, ErrTransient) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("exhausted budget: want ErrTransient+ErrInjected, got %v", err)
+	}
+	if _, gaveUp = r.Retries(); gaveUp != 1 {
+		t.Fatalf("gaveUp = %d, want 1", gaveUp)
+	}
+
+	// The backoff delay caps at MaxDelay.
+	for _, d := range slept {
+		if d > 4*time.Millisecond {
+			t.Fatalf("delay %v exceeds MaxDelay", d)
+		}
+	}
+
+	// Permanent faults are not retried.
+	f.SetTransient(false)
+	slept = slept[:0]
+	f.FailRun(OpRead, 1)
+	if err := r.Read(id, buf); !errors.Is(err, ErrInjected) || errors.Is(err, ErrTransient) {
+		t.Fatalf("permanent fault: %v", err)
+	}
+	if len(slept) != 0 {
+		t.Fatalf("permanent fault triggered %d retries", len(slept))
+	}
+}
+
+// TestRetryStatsHonest pins the wrapper rule: every physical attempt that
+// reaches the backing store is counted, so retries are visible in Stats.
+func TestRetryStatsHonest(t *testing.T) {
+	mem := NewMemStore(64)
+	f := NewFaultStore(mem)
+	f.SetTransient(true)
+	r := NewRetryStore(f, RetryPolicy{Sleep: func(time.Duration) {}})
+	id, err := r.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.ResetStats()
+	f.FailRun(OpWrite, 2)
+	if err := r.Write(id, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	// FaultStore blocks the first two attempts before they reach mem, so the
+	// backing store saw exactly the one successful write.
+	if got := mem.Stats().Writes; got != 1 {
+		t.Fatalf("backing writes = %d, want 1", got)
+	}
+}

@@ -1,6 +1,7 @@
 package eio
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 )
@@ -182,6 +183,33 @@ func (t *TraceStore) ResetStats() { t.inner.ResetStats() }
 
 // Pages implements Store.
 func (t *TraceStore) Pages() int { return t.inner.Pages() }
+
+// Sync delegates to the inner store's durability barrier, if any, so
+// transactional commit points pass through a traced stack unweakened.
+func (t *TraceStore) Sync() error {
+	if s, ok := t.inner.(syncer); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// writeRaw delegates torn writes so crash simulators compose with tracing.
+func (t *TraceStore) writeRaw(id PageID, prefix []byte) error {
+	rw, ok := t.inner.(rawWriter)
+	if !ok {
+		return fmt.Errorf("eio: inner store does not support raw writes")
+	}
+	return rw.writeRaw(id, prefix)
+}
+
+// LivePageIDs implements PageLister when the inner store does.
+func (t *TraceStore) LivePageIDs() ([]PageID, error) {
+	pl, ok := t.inner.(PageLister)
+	if !ok {
+		return nil, fmt.Errorf("eio: trace: inner store cannot enumerate pages")
+	}
+	return pl.LivePageIDs()
+}
 
 // Close implements Store. The sink is detached first so a closing flurry
 // of inner-store activity is not observed half-torn; sinks with resources

@@ -11,37 +11,37 @@ import (
 // SuperSlotStatus describes one superblock copy found by VerifyFile.
 type SuperSlotStatus struct {
 	// Valid reports whether the slot's magic and checksum verify.
-	Valid bool
+	Valid bool `json:"valid"`
 	// Seq is the slot's sequence number (0 for v1 or invalid slots).
-	Seq uint64
+	Seq uint64 `json:"seq"`
 }
 
 // VerifyReport is the result of an offline integrity scan of a store file.
 type VerifyReport struct {
 	// Version is the detected format version (1 or 2).
-	Version int
+	Version int `json:"version"`
 	// PageSize is the committed page size.
-	PageSize int
+	PageSize int `json:"page_size"`
 	// NPages is the number of page slots the superblock commits to,
 	// including the reserved page 0.
-	NPages uint64
+	NPages uint64 `json:"npages"`
 	// Super describes both superblock slots (v1 stores fill only Super[0]).
-	Super [2]SuperSlotStatus
+	Super [2]SuperSlotStatus `json:"super"`
 	// ActiveSlot is the slot recovery would use (v2; 0 for v1).
-	ActiveSlot int
+	ActiveSlot int `json:"active_slot"`
 	// BadPages lists pages whose checksum failed (v2 only — v1 pages
 	// carry no checksums and cannot be verified).
-	BadPages []PageID
+	BadPages []PageID `json:"bad_pages,omitempty"`
 	// FreePages is the number of pages with the free flag set (v2).
-	FreePages uint64
+	FreePages uint64 `json:"free_pages"`
 	// NFree is the free-page count the superblock claims.
-	NFree uint64
+	NFree uint64 `json:"nfree"`
 	// FreeReachable is how many pages the free-list walk actually
 	// reached before terminating.
-	FreeReachable uint64
+	FreeReachable uint64 `json:"free_reachable"`
 	// FreeListNote is a human-readable description of free-list damage
 	// or drift, empty when the list is fully consistent.
-	FreeListNote string
+	FreeListNote string `json:"free_list_note,omitempty"`
 }
 
 // Damaged reports whether the scan found integrity problems serious

@@ -1,0 +1,27 @@
+package interval
+
+import (
+	"rangesearch/internal/eio"
+	"rangesearch/internal/geom"
+)
+
+// AppendAllPages appends every page the set owns to dst and returns the
+// extended slice, delegating to the underlying priority search tree. It is
+// the set's contribution to the reachability set consumed by eio.FindLeaks
+// and eio.Scrub.
+func (s *Set) AppendAllPages(dst []eio.PageID) ([]eio.PageID, error) {
+	return s.t.AppendAllPages(dst)
+}
+
+// All returns every stored interval (unordered).
+func (s *Set) All() ([]geom.Interval, error) {
+	pts, err := s.t.All()
+	if err != nil {
+		return nil, err
+	}
+	ivs := make([]geom.Interval, len(pts))
+	for i, p := range pts {
+		ivs[i] = geom.IntervalFromPoint(p)
+	}
+	return ivs, nil
+}

@@ -1,0 +1,24 @@
+package smallstruct
+
+import "rangesearch/internal/eio"
+
+// AppendAllPages appends every page the structure owns — the catalog record
+// and every block page, including retired and non-initial blocks that All()
+// never visits — to dst and returns the extended slice. It is the
+// structure's contribution to the reachability set consumed by
+// eio.FindLeaks and eio.Scrub.
+func (s *Struct) AppendAllPages(dst []eio.PageID) ([]eio.PageID, error) {
+	chain, err := s.rs.Chain(s.catalog)
+	if err != nil {
+		return nil, err
+	}
+	dst = append(dst, chain...)
+	cat, err := s.loadCatalog()
+	if err != nil {
+		return nil, err
+	}
+	for i := range cat.blocks {
+		dst = append(dst, cat.blocks[i].page)
+	}
+	return dst, nil
+}
