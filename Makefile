@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench cover vet fmt sweep recover-sweep fuzz-short bound experiments examples clean
+.PHONY: all build test race bench cover vet fmt sweep recover-sweep fuzz-short bound experiments examples clean soak model trajectory
 
 all: build vet test
 
@@ -40,10 +40,27 @@ fuzz-short:
 	$(GO) test ./internal/eio -run '^$$' -fuzz 'FuzzAnchor' -fuzztime 10s
 	$(GO) test ./internal/eio -run '^$$' -fuzz 'FuzzVerifyFile' -fuzztime 10s
 
+# Concurrency soak: snapshot readers vs a group-committing writer under
+# the race detector, with the single-writer linearizability checks
+# (epoch-prefix reads, monotone epochs, cross-reader agreement).
+soak:
+	$(GO) test -race ./internal/core -run 'TestConcurrentSoak|TestConcurrentGroupCommit|TestConcurrentDurableGroupCommit' -count=1 -v
+
+# Model-based differential harness: random op sequences replayed against a
+# naive O(N) model over every structure × wrapper config, with shrinking.
+# Set MODELTEST_ARTIFACTS=<dir> to keep shrunk failing sequences.
+model:
+	$(GO) test ./internal/core/modeltest -run TestDifferential -count=1 -v
+
 # Empirical bound check (e14): per-op I/O overhead vs the Theorem 6/7
 # allowances; exits 3 on violation. The same check gates CI.
 bound:
 	$(GO) run ./cmd/rsbench -quick -bound -json -outdir trajectory
+
+# Regenerate the committed trajectory snapshots that the I/O regression
+# guard (internal/bench/regression_test.go) replays with tolerance zero.
+trajectory:
+	$(GO) run ./cmd/rsbench -quick -exp e7,concurrent -workers 8 -json -outdir trajectory
 
 # Operation-level + per-experiment benchmarks (quick instances).
 bench:

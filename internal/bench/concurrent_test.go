@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestConcurrentReadScalingSpeedup asserts the serving layer's read path
+// actually scales: at 8 reader workers, snapshot-query throughput must be
+// ≥3× the single-worker rate. Parallel speedup needs parallel hardware,
+// so the assertion is gated on CPU count (on smaller machines the
+// experiment still runs — via the trajectory replay — and records the
+// curve; only the ratio assertion is skipped).
+func TestConcurrentReadScalingSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling measurement skipped in -short")
+	}
+	ncpu := runtime.NumCPU()
+	if ncpu < 4 {
+		t.Skipf("scaling assertion needs >= 4 CPUs, have %d (GOMAXPROCS=%d)", ncpu, runtime.GOMAXPROCS(0))
+	}
+	workers := 8
+	minSpeedup := 3.0
+	if ncpu < 8 {
+		workers = 4
+		minSpeedup = 2.0
+	}
+
+	tbl, err := concurrentReadScaling(100_000, 2_000, 1<<30, []int{1, workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(tbl.Rows))
+	}
+	last := tbl.Rows[1]
+	speedup, err := strconv.ParseFloat(strings.TrimSuffix(last[2], "x"), 64)
+	if err != nil {
+		t.Fatalf("cannot parse speedup cell %q: %v", last[2], err)
+	}
+	if speedup < minSpeedup {
+		t.Fatalf("read speedup at %d workers = %.2fx, want >= %.1fx (ncpu=%d)", workers, speedup, minSpeedup, ncpu)
+	}
+	// The I/O column must be byte-identical across worker counts: scaling
+	// must come from concurrency, never from doing less work per query.
+	if tbl.Rows[0][3] != tbl.Rows[1][3] {
+		t.Fatalf("per-query I/O changed with workers: %s vs %s", tbl.Rows[0][3], tbl.Rows[1][3])
+	}
+}

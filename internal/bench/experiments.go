@@ -42,6 +42,7 @@ func All() []Experiment {
 		{"e12", "§3.3.2/3.3.3: update-cost tail (amortized spikes)", E12},
 		{"e13", "ablation: EPST parameters a, k, alpha", E13},
 		{"e14", "bound check: per-op overhead vs Thms 6-7 allowances", E14},
+		{"concurrent", "serving layer: snapshot reads scale, group commits coalesce, per-query I/O unchanged", EConcurrent},
 	}
 }
 

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTrajectoryIORegression replays every committed trajectory snapshot
+// (trajectory/BENCH_*.json) whose tables carry I/O-count columns and
+// compares those cells against a fresh run — tolerance zero. I/O counts on
+// the memory store are exact and deterministic for fixed seeds, so any
+// drift is a real change in the algorithms' external-memory behavior and
+// must be accompanied by a regenerated snapshot (make trajectory).
+// Wall-clock columns (throughput, latency) are machine-dependent and are
+// deliberately not compared.
+func TestTrajectoryIORegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trajectory replay skipped in -short")
+	}
+	files, err := filepath.Glob(filepath.Join("..", "..", "trajectory", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Skip("no trajectory snapshots committed")
+	}
+	exps := map[string]Experiment{}
+	for _, e := range All() {
+		exps[e.Name] = e
+	}
+	for _, f := range files {
+		snap, err := ReadSnapshot(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasIOColumns(snap) {
+			continue // nothing deterministic to pin (e.g. pure latency tables)
+		}
+		e, ok := exps[snap.Name]
+		if !ok {
+			t.Errorf("%s: snapshot for unknown experiment %q", f, snap.Name)
+			continue
+		}
+		t.Run(snap.Name, func(t *testing.T) {
+			tables, err := e.Run(snap.Quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) != len(snap.Tables) {
+				t.Fatalf("experiment now emits %d tables, snapshot has %d — regenerate the snapshot if intended", len(tables), len(snap.Tables))
+			}
+			for i, tbl := range tables {
+				want := snap.Tables[i]
+				if strings.Join(tbl.Header, "|") != strings.Join(want.Header, "|") {
+					t.Fatalf("table %d header changed:\n  now:      %v\n  snapshot: %v\nregenerate the snapshot if intended", i, tbl.Header, want.Header)
+				}
+				if len(tbl.Rows) != len(want.Rows) {
+					t.Fatalf("table %d (%s): %d rows vs %d in snapshot", i, tbl.Title, len(tbl.Rows), len(want.Rows))
+				}
+				for col, h := range tbl.Header {
+					if !strings.Contains(h, "I/O") {
+						continue
+					}
+					for r := range tbl.Rows {
+						got, exp := tbl.Rows[r][col], want.Rows[r][col]
+						if got != exp {
+							t.Errorf("table %d (%s) row %d %q: I/O count %s, snapshot has %s (tolerance 0)",
+								i, tbl.Title, r, h, got, exp)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func hasIOColumns(s Snapshot) bool {
+	for _, tbl := range s.Tables {
+		for _, h := range tbl.Header {
+			if strings.Contains(h, "I/O") {
+				return true
+			}
+		}
+	}
+	return false
+}

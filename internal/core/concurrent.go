@@ -1,0 +1,414 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rangesearch/internal/eio"
+	"rangesearch/internal/geom"
+	"sync"
+)
+
+// ContentionRecorder receives the serving-layer contention signals emitted
+// by Concurrent: how long writers waited to join a group commit and how
+// large the committed batches were. obs.Contention implements it; the
+// interface lives here so core does not depend on the metrics package.
+type ContentionRecorder interface {
+	// RecordLockWait observes one writer's wait for commit leadership.
+	RecordLockWait(d time.Duration)
+	// RecordBatch observes one committed group: its size in logical
+	// operations and the time spent applying and committing it.
+	RecordBatch(size int, apply time.Duration)
+}
+
+// OpenFunc re-attaches an Index to its storage — the reader-side factory
+// Concurrent uses to open one Index per snapshot epoch. For the paper's
+// structures:
+//
+//	func(s eio.Store) (core.Index, error) { return core.OpenThreeSided(s, hdr) }
+//
+// The returned Index is only ever queried (never mutated), and must be safe
+// for concurrent queries, which all structures in this repository are: a
+// query keeps no mutable state in the Index value, only in the store.
+type OpenFunc func(eio.Store) (Index, error)
+
+// ConcurrentOptions configures NewConcurrent.
+type ConcurrentOptions struct {
+	// MaxBatch caps the number of logical operations coalesced into one
+	// group commit (default 64). With a Durable writer every batch is one
+	// WAL record, so MaxBatch times the per-op page footprint must fit the
+	// TxStore's WAL (eio.ErrTxOverflow fails the batch otherwise).
+	MaxBatch int
+	// Recorder, when non-nil, receives lock-wait and batch-size signals.
+	Recorder ContentionRecorder
+}
+
+// Concurrent is the single-writer / multi-reader serving layer over an
+// Index stored on an eio.SnapStore:
+//
+//   - Readers run Query/Len against an epoch-consistent snapshot and never
+//     block on writers (nor writers on readers). Query pins the current
+//     epoch for its duration; Snapshot hands out a longer-lived pinned
+//     view with a stable Epoch stamp.
+//   - Writers from any number of goroutines are coalesced into group
+//     commits: one leader drains the queue, applies up to MaxBatch
+//     operations, and publishes a single new epoch. When the writer Index
+//     is a *Durable, the batch runs inside Durable.Batch — one WAL record
+//     and one fsync schedule for the whole group.
+//
+// Per-operation I/O bounds are preserved: a snapshot query reads exactly
+// the pages the same query would read serially (version-chain hits cost no
+// inner I/O and are counted in eio.SnapStats.VersionReads), and a group
+// commit of k updates costs the k updates' page writes plus one commit.
+//
+// What is and is not linearizable: updates are (the single commit order is
+// the linearization); reads are serializable snapshots — a read may lag
+// the newest commit by the time it takes to open its view, but every read
+// observes some committed prefix of the update history, and epochs observed
+// by any single goroutine never go backwards.
+type Concurrent struct {
+	snap    *eio.SnapStore
+	writer  Index
+	durable *Durable // non-nil iff writer is a *Durable
+	open    OpenFunc
+
+	maxBatch int
+	rec      ContentionRecorder
+
+	qmu   sync.Mutex
+	queue []*pendingOp
+
+	wmu sync.Mutex // commit leadership: held while a batch is applied
+
+	vmu sync.Mutex
+	cur *epochView
+}
+
+var _ Index = (*Concurrent)(nil)
+
+type opKind uint8
+
+const (
+	opInsert opKind = iota
+	opDelete
+)
+
+type pendingOp struct {
+	kind  opKind
+	p     geom.Point
+	done  chan struct{}
+	found bool
+	err   error
+}
+
+// epochView is one reader-side Index instance fixed at a pinned epoch,
+// shared by every query that arrives while the epoch is current.
+type epochView struct {
+	epoch uint64
+	idx   Index
+	refs  int
+}
+
+// NewConcurrent builds the serving layer. writer must be an Index whose
+// pages live on snap (created or opened ON snap), or a *Durable wrapping
+// such an index — then group commits reuse Durable.Batch so one WAL record
+// covers the whole batch. open re-attaches read-only Index instances to
+// epoch views of snap.
+func NewConcurrent(writer Index, snap *eio.SnapStore, open OpenFunc, opts ConcurrentOptions) (*Concurrent, error) {
+	if writer == nil || snap == nil || open == nil {
+		return nil, fmt.Errorf("core: concurrent: writer, snap and open are all required")
+	}
+	maxBatch := opts.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	d, _ := writer.(*Durable)
+	return &Concurrent{
+		snap:     snap,
+		writer:   writer,
+		durable:  d,
+		open:     open,
+		maxBatch: maxBatch,
+		rec:      opts.Recorder,
+	}, nil
+}
+
+// Epoch returns the current committed epoch (the stamp new snapshots get).
+func (c *Concurrent) Epoch() uint64 { return c.snap.Epoch() }
+
+// --- write path: group commit ------------------------------------------
+
+// Insert implements Index: the point is committed as part of a group batch
+// before the call returns.
+func (c *Concurrent) Insert(p geom.Point) error {
+	op := &pendingOp{kind: opInsert, p: p, done: make(chan struct{})}
+	c.submit(op)
+	return op.err
+}
+
+// Delete implements Index, committed as part of a group batch.
+func (c *Concurrent) Delete(p geom.Point) (bool, error) {
+	op := &pendingOp{kind: opDelete, p: p, done: make(chan struct{})}
+	c.submit(op)
+	return op.found, op.err
+}
+
+// submit enqueues op and blocks until some leader commits it. The caller
+// that wins the leadership lock drains the queue and commits on behalf of
+// everyone waiting — classic group commit, no background goroutine.
+func (c *Concurrent) submit(op *pendingOp) {
+	c.qmu.Lock()
+	c.queue = append(c.queue, op)
+	c.qmu.Unlock()
+
+	start := time.Now()
+	c.wmu.Lock()
+	if c.rec != nil {
+		c.rec.RecordLockWait(time.Since(start))
+	}
+	for !done(op) {
+		batch := c.take()
+		if len(batch) == 0 {
+			break // op was committed by a previous leader
+		}
+		c.runBatch(batch)
+	}
+	c.wmu.Unlock()
+	<-op.done
+}
+
+func done(op *pendingOp) bool {
+	select {
+	case <-op.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// take removes up to MaxBatch operations from the head of the queue.
+func (c *Concurrent) take() []*pendingOp {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	n := len(c.queue)
+	if n > c.maxBatch {
+		n = c.maxBatch
+	}
+	batch := make([]*pendingOp, n)
+	copy(batch, c.queue[:n])
+	c.queue = c.queue[:copy(c.queue, c.queue[n:])]
+	return batch
+}
+
+// benign reports errors that are a legitimate per-operation outcome rather
+// than a failure of the batch: they leave the structure unchanged and are
+// returned to the one caller that caused them.
+func benign(err error) bool {
+	return errors.Is(err, ErrDuplicate) || errors.Is(err, ErrCoordRange)
+}
+
+// runBatch applies the batch through the writer index and publishes one
+// new epoch. Callers hold wmu.
+func (c *Concurrent) runBatch(batch []*pendingOp) {
+	start := time.Now()
+	apply := func(idx Index) error {
+		for _, op := range batch {
+			switch op.kind {
+			case opInsert:
+				op.err = idx.Insert(op.p)
+			case opDelete:
+				op.found, op.err = idx.Delete(op.p)
+			}
+			if op.err != nil && !benign(op.err) {
+				return op.err
+			}
+		}
+		return nil
+	}
+
+	var applyErr error
+	if c.durable != nil {
+		applyErr = c.durable.Batch(apply)
+	} else {
+		applyErr = apply(c.writer)
+	}
+
+	if applyErr != nil && c.durable != nil {
+		// Durable.Batch rolled the transaction back: the inner store holds
+		// the pre-batch image, so the captured versions are redundant and
+		// the epoch does not advance. Every operation in the batch fails.
+		c.snap.Abort()
+		c.fail(batch, applyErr)
+		return
+	}
+	// Publish the new epoch. On the non-durable path this happens even
+	// after an apply error: the inner store already holds the (possibly
+	// partial) new state, and readers must see a published epoch that
+	// matches it — the same torn-structure risk a serial caller of a
+	// non-durable index accepts.
+	if _, err := c.snap.Commit(); err != nil {
+		c.fail(batch, fmt.Errorf("core: concurrent: publish epoch: %w", err))
+		return
+	}
+	if applyErr != nil {
+		c.fail(batch, applyErr)
+		return
+	}
+	if c.rec != nil {
+		c.rec.RecordBatch(len(batch), time.Since(start))
+	}
+	for _, op := range batch {
+		close(op.done)
+	}
+}
+
+// fail marks every not-yet-benignly-resolved operation in the batch with
+// err and releases the waiters.
+func (c *Concurrent) fail(batch []*pendingOp, err error) {
+	for _, op := range batch {
+		if op.err == nil || benign(op.err) {
+			op.err = err
+			op.found = false
+		}
+		close(op.done)
+	}
+}
+
+// --- read path: epoch snapshots ----------------------------------------
+
+// Snapshot pins the current epoch and returns a consistent read-only view
+// of the index at that instant. The snapshot stays valid — and keeps its
+// version memory alive — until Close, so hold it only as long as needed.
+func (c *Concurrent) Snapshot() (*Snapshot, error) {
+	v, err := c.acquire()
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{c: c, v: v}, nil
+}
+
+// acquire returns the view for the current epoch, creating it on first use
+// after a commit. Opening reads the structure header once per epoch; every
+// query at that epoch shares the instance.
+func (c *Concurrent) acquire() (*epochView, error) {
+	c.vmu.Lock()
+	defer c.vmu.Unlock()
+	if c.cur != nil && c.cur.epoch == c.snap.Epoch() {
+		c.cur.refs++
+		return c.cur, nil
+	}
+	epoch := c.snap.Pin()
+	if c.cur != nil && c.cur.epoch == epoch {
+		// A commit between the Epoch check and Pin landed us back on the
+		// view's epoch; keep the existing instance and the new pin is
+		// redundant.
+		c.snap.Unpin(epoch)
+		c.cur.refs++
+		return c.cur, nil
+	}
+	idx, err := c.open(c.snap.View(epoch))
+	if err != nil {
+		c.snap.Unpin(epoch)
+		return nil, fmt.Errorf("core: concurrent: open snapshot at epoch %d: %w", epoch, err)
+	}
+	v := &epochView{epoch: epoch, idx: idx, refs: 1}
+	old := c.cur
+	c.cur = v
+	if old != nil && old.refs == 0 {
+		c.snap.Unpin(old.epoch)
+	}
+	return v, nil
+}
+
+// release drops one reference; the epoch unpins once the view is neither
+// current nor in use.
+func (c *Concurrent) release(v *epochView) {
+	c.vmu.Lock()
+	v.refs--
+	if v.refs == 0 && v != c.cur {
+		c.snap.Unpin(v.epoch)
+	}
+	c.vmu.Unlock()
+}
+
+// Query implements Index: one query against the current epoch's snapshot.
+// It costs the same store I/Os as the identical query on the underlying
+// index run serially.
+func (c *Concurrent) Query(dst []geom.Point, q geom.Rect) ([]geom.Point, error) {
+	v, err := c.acquire()
+	if err != nil {
+		return dst, err
+	}
+	defer c.release(v)
+	return v.idx.Query(dst, q)
+}
+
+// Len implements Index against the current snapshot.
+func (c *Concurrent) Len() (int, error) {
+	v, err := c.acquire()
+	if err != nil {
+		return 0, err
+	}
+	defer c.release(v)
+	return v.idx.Len()
+}
+
+// Destroy implements Index. It serializes with writers; readers holding
+// snapshots keep reading their epoch until they close (the page frees are
+// deferred behind their pins).
+func (c *Concurrent) Destroy() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	err := c.writer.Destroy()
+	if err != nil && c.durable != nil {
+		c.snap.Abort()
+		return err
+	}
+	if _, cerr := c.snap.Commit(); cerr != nil && err == nil {
+		err = cerr
+	}
+	c.vmu.Lock()
+	if c.cur != nil && c.cur.refs == 0 {
+		c.snap.Unpin(c.cur.epoch)
+	}
+	c.cur = nil
+	c.vmu.Unlock()
+	return err
+}
+
+// Snapshot is a pinned, epoch-stamped, read-only view of a Concurrent
+// index. It is safe for concurrent use by multiple goroutines and stays
+// consistent regardless of concurrent commits. Close releases the pin;
+// using a closed snapshot panics.
+type Snapshot struct {
+	c *Concurrent
+	v *epochView
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Epoch returns the committed epoch the snapshot is fixed at. Epochs are
+// assigned in commit order, so for any two snapshots the one with the
+// larger epoch observes a superset of the committed batches.
+func (s *Snapshot) Epoch() uint64 { return s.v.epoch }
+
+// Query reports the points inside q as of the snapshot's epoch.
+func (s *Snapshot) Query(dst []geom.Point, q geom.Rect) ([]geom.Point, error) {
+	return s.v.idx.Query(dst, q)
+}
+
+// Len returns the number of stored points as of the snapshot's epoch.
+func (s *Snapshot) Len() (int, error) { return s.v.idx.Len() }
+
+// Close releases the snapshot's epoch pin. Close is idempotent.
+func (s *Snapshot) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.c.release(s.v)
+}

@@ -1,0 +1,455 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rangesearch/internal/eio"
+	"rangesearch/internal/epst"
+	"rangesearch/internal/geom"
+)
+
+// newConcurrentThreeSided builds a ThreeSided on a fresh SnapStore over a
+// MemStore and wraps it in a Concurrent (volatile stack).
+func newConcurrentThreeSided(t *testing.T, opts ConcurrentOptions) (*Concurrent, *eio.SnapStore, *eio.MemStore) {
+	t.Helper()
+	mem := eio.NewMemStore(512)
+	snap := eio.NewSnapStore(mem, 0)
+	idx, err := NewThreeSided(snap, epst.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := idx.HeaderID()
+	if _, err := snap.Commit(); err != nil { // publish the empty structure
+		t.Fatal(err)
+	}
+	open := func(s eio.Store) (Index, error) { return OpenThreeSided(s, hdr) }
+	c, err := NewConcurrent(idx, snap, open, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, snap, mem
+}
+
+// newConcurrentDurableThreeSided builds the durable stack:
+// Concurrent(Durable(ThreeSided)) on SnapStore(TxStore(MemStore)).
+func newConcurrentDurableThreeSided(t *testing.T, walPages int) (*Concurrent, *eio.SnapStore, *eio.TxStore) {
+	t.Helper()
+	mem := eio.NewMemStore(512)
+	tx, err := eio.NewTxStore(mem, eio.TxOptions{WALPages: walPages})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := eio.NewSnapStore(tx, 0)
+	idx, err := NewThreeSided(snap, epst.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := idx.HeaderID()
+	if _, err := snap.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	open := func(s eio.Store) (Index, error) { return OpenThreeSided(s, hdr) }
+	c, err := NewConcurrent(NewDurable(idx, tx), snap, open, ConcurrentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, snap, tx
+}
+
+// TestConcurrentBasic exercises the Index surface serially: inserts,
+// benign duplicate errors, deletes, queries and Len through snapshots.
+func TestConcurrentBasic(t *testing.T) {
+	c, _, _ := newConcurrentThreeSided(t, ConcurrentOptions{})
+	for i := 0; i < 20; i++ {
+		if err := c.Insert(geom.Point{X: int64(i), Y: int64(i * 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Insert(geom.Point{X: 3, Y: 6}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+	if n, err := c.Len(); err != nil || n != 20 {
+		t.Fatalf("Len = (%d, %v), want 20", n, err)
+	}
+	found, err := c.Delete(geom.Point{X: 3, Y: 6})
+	if err != nil || !found {
+		t.Fatalf("delete: (%v, %v)", found, err)
+	}
+	if found, _ := c.Delete(geom.Point{X: 3, Y: 6}); found {
+		t.Fatal("second delete of same point reported found")
+	}
+	pts, err := c.Query(nil, geom.Rect{XLo: 0, XHi: 100, YLo: 0, YHi: geom.MaxCoord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 19 {
+		t.Fatalf("query returned %d points, want 19", len(pts))
+	}
+}
+
+// TestConcurrentSnapshotIsolation checks a held snapshot ignores later
+// commits while new snapshots see them, and that epochs advance.
+func TestConcurrentSnapshotIsolation(t *testing.T) {
+	c, _, _ := newConcurrentThreeSided(t, ConcurrentOptions{})
+	for i := 0; i < 10; i++ {
+		if err := c.Insert(geom.Point{X: int64(i), Y: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+
+	for i := 10; i < 30; i++ {
+		if err := c.Insert(geom.Point{X: int64(i), Y: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := old.Len(); n != 10 {
+		t.Fatalf("held snapshot Len = %d, want 10", n)
+	}
+	all := geom.Rect{XLo: 0, XHi: 100, YLo: 0, YHi: geom.MaxCoord}
+	if pts, _ := old.Query(nil, all); len(pts) != 10 {
+		t.Fatalf("held snapshot sees %d points, want 10", len(pts))
+	}
+	fresh, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if fresh.Epoch() <= old.Epoch() {
+		t.Fatalf("fresh epoch %d not after held epoch %d", fresh.Epoch(), old.Epoch())
+	}
+	if pts, _ := fresh.Query(nil, all); len(pts) != 30 {
+		t.Fatalf("fresh snapshot sees %d points, want 30", len(pts))
+	}
+}
+
+// TestConcurrentGroupCommit runs parallel writers and checks every insert
+// lands, the final state is complete, and at least one multi-op batch was
+// coalesced (under a recorder that counts batches).
+func TestConcurrentGroupCommit(t *testing.T) {
+	rec := &countingRecorder{}
+	c, _, _ := newConcurrentThreeSided(t, ConcurrentOptions{Recorder: rec})
+	const (
+		writers = 8
+		per     = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p := geom.Point{X: int64(w*per + i), Y: int64(w)}
+				if err := c.Insert(p); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n, err := c.Len(); err != nil || n != writers*per {
+		t.Fatalf("Len = (%d, %v), want %d", n, err, writers*per)
+	}
+	if got := rec.ops.Load(); got != writers*per {
+		t.Fatalf("recorder saw %d committed ops, want %d", got, writers*per)
+	}
+	if rec.batches.Load() == 0 {
+		t.Fatal("no batches recorded")
+	}
+	t.Logf("committed %d ops in %d batches (max batch %d)",
+		rec.ops.Load(), rec.batches.Load(), rec.maxBatch.Load())
+}
+
+type countingRecorder struct {
+	batches  atomic.Int64
+	ops      atomic.Int64
+	maxBatch atomic.Int64
+	waits    atomic.Int64
+}
+
+func (r *countingRecorder) RecordLockWait(d time.Duration) { r.waits.Add(1) }
+
+func (r *countingRecorder) RecordBatch(size int, apply time.Duration) {
+	r.batches.Add(1)
+	r.ops.Add(int64(size))
+	for {
+		cur := r.maxBatch.Load()
+		if int64(size) <= cur || r.maxBatch.CompareAndSwap(cur, int64(size)) {
+			return
+		}
+	}
+}
+
+// TestConcurrentDurableGroupCommit checks the durable stack: batches are
+// atomic WAL transactions, benign per-op errors do not poison the batch,
+// and a WAL-overflowing batch fails without corrupting the index.
+func TestConcurrentDurableGroupCommit(t *testing.T) {
+	c, _, tx := newConcurrentDurableThreeSided(t, 256)
+	const (
+		writers = 4
+		per     = 25
+	)
+	var wg sync.WaitGroup
+	var dups atomic.Int64
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				// Writers deliberately collide on every second point: the
+				// loser's ErrDuplicate must stay its own, not the batch's.
+				x := int64(w*per + i)
+				if i%2 == 1 {
+					x = int64(i)
+				}
+				err := c.Insert(geom.Point{X: x, Y: 7})
+				if errors.Is(err, ErrDuplicate) {
+					dups.Add(1)
+				} else if err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tx.InTx() {
+		t.Fatal("transaction left open after group commits")
+	}
+	n, err := c.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(n)+dups.Load() != writers*per {
+		t.Fatalf("Len %d + dups %d != %d submitted", n, dups.Load(), writers*per)
+	}
+}
+
+// TestConcurrentQueryIOParity pins the acceptance bound: a snapshot query
+// costs exactly the same store I/Os as the identical query on the same
+// structure queried serially.
+func TestConcurrentQueryIOParity(t *testing.T) {
+	pts := make([]geom.Point, 0, 4000)
+	for i := 0; i < 4000; i++ {
+		pts = append(pts, geom.Point{X: int64(i * 3), Y: int64((i * 7919) % 10000)})
+	}
+
+	// Serial twin.
+	serialMem := eio.NewMemStore(512)
+	serial, err := BuildThreeSided(serialMem, epst.Options{}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent stack over an identically-built tree.
+	mem := eio.NewMemStore(512)
+	snap := eio.NewSnapStore(mem, 0)
+	idx, err := BuildThreeSided(snap, epst.Options{}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := idx.HeaderID()
+	if _, err := snap.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewConcurrent(idx, snap, func(s eio.Store) (Index, error) { return OpenThreeSided(s, hdr) }, ConcurrentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := c.Snapshot() // open the view before measuring
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sn.Close()
+
+	queries := []geom.Rect{
+		{XLo: 0, XHi: 1000, YLo: 5000, YHi: geom.MaxCoord},
+		{XLo: 3000, XHi: 9000, YLo: 100, YHi: geom.MaxCoord},
+		{XLo: -50, XHi: -1, YLo: 0, YHi: geom.MaxCoord},
+		{XLo: 0, XHi: 12000, YLo: 9000, YHi: geom.MaxCoord},
+	}
+	for qi, q := range queries {
+		serialMem.ResetStats()
+		want, err := serial.Query(nil, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantIO := serialMem.Stats().Reads
+
+		mem.ResetStats()
+		got, err := sn.Query(nil, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotIO := mem.Stats().Reads + snap.SnapStats().VersionReads
+
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d points vs serial %d", qi, len(got), len(want))
+		}
+		if gotIO != wantIO {
+			t.Fatalf("query %d: snapshot read %d I/Os, serial %d", qi, gotIO, wantIO)
+		}
+	}
+}
+
+// TestConcurrentSoak is the concurrency soak: one writer inserting a known
+// monotone sequence, N reader goroutines querying snapshots, all under the
+// single-writer linearizability check — every read observes a state equal
+// to a prefix of the committed inserts, the epoch→prefix mapping is a
+// function (two reads at one epoch agree), prefixes are monotone in
+// epoch, and each reader's epochs never go backwards.
+func TestConcurrentSoak(t *testing.T) {
+	total := 2000
+	if testing.Short() {
+		total = 400
+	}
+	const readers = 4
+
+	c, _, _ := newConcurrentThreeSided(t, ConcurrentOptions{})
+	all := geom.Rect{XLo: 0, XHi: int64(total + 1), YLo: 0, YHi: geom.MaxCoord}
+
+	type obs struct {
+		epoch uint64
+		k     int
+	}
+	var (
+		wg       sync.WaitGroup
+		done     atomic.Bool
+		perR     = make([][]obs, readers)
+		readErrs = make(chan error, readers)
+	)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var last obs
+			for !done.Load() {
+				sn, err := c.Snapshot()
+				if err != nil {
+					readErrs <- err
+					return
+				}
+				e := sn.Epoch()
+				pts, err := sn.Query(nil, all)
+				sn.Close()
+				if err != nil {
+					readErrs <- err
+					return
+				}
+				// The observed state must be exactly the prefix {0..k-1}.
+				k := len(pts)
+				sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+				for i, p := range pts {
+					if p.X != int64(i) || p.Y != int64(i) {
+						readErrs <- fmt.Errorf("reader %d epoch %d: position %d holds %v, not a committed prefix", r, e, i, p)
+						return
+					}
+				}
+				if e < last.epoch {
+					readErrs <- fmt.Errorf("reader %d: epoch %d after %d", r, e, last.epoch)
+					return
+				}
+				if e == last.epoch && k != last.k {
+					readErrs <- fmt.Errorf("reader %d: epoch %d read %d then %d points", r, e, last.k, k)
+					return
+				}
+				if k < last.k {
+					readErrs <- fmt.Errorf("reader %d: prefix shrank %d -> %d (epochs %d -> %d)", r, last.k, k, last.epoch, e)
+					return
+				}
+				last = obs{epoch: e, k: k}
+				perR[r] = append(perR[r], last)
+			}
+		}(r)
+	}
+
+	for i := 0; i < total; i++ {
+		if err := c.Insert(geom.Point{X: int64(i), Y: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done.Store(true)
+	wg.Wait()
+	close(readErrs)
+	for err := range readErrs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Cross-reader agreement: the epoch→prefix mapping is one function.
+	global := map[uint64]int{}
+	reads := 0
+	for r := range perR {
+		reads += len(perR[r])
+		for _, o := range perR[r] {
+			if k, ok := global[o.epoch]; ok && k != o.k {
+				t.Fatalf("epoch %d observed as both %d and %d points", o.epoch, k, o.k)
+			}
+			global[o.epoch] = o.k
+		}
+	}
+	// Monotone in epoch across all readers.
+	epochs := make([]uint64, 0, len(global))
+	for e := range global {
+		epochs = append(epochs, e)
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	for i := 1; i < len(epochs); i++ {
+		if global[epochs[i]] < global[epochs[i-1]] {
+			t.Fatalf("prefix shrank between epochs %d (%d) and %d (%d)",
+				epochs[i-1], global[epochs[i-1]], epochs[i], global[epochs[i]])
+		}
+	}
+	if n, _ := c.Len(); n != total {
+		t.Fatalf("final Len = %d, want %d", n, total)
+	}
+	t.Logf("soak: %d inserts, %d reads across %d readers, %d distinct epochs observed",
+		total, reads, readers, len(global))
+}
+
+// TestConcurrentDestroyWithReaders checks a held snapshot survives Destroy
+// (deferred frees) while the writer-side structure is gone.
+func TestConcurrentDestroyWithReaders(t *testing.T) {
+	c, snap, _ := newConcurrentThreeSided(t, ConcurrentOptions{})
+	for i := 0; i < 50; i++ {
+		if err := c.Insert(geom.Point{X: int64(i), Y: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sn, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot still answers from its epoch.
+	pts, err := sn.Query(nil, geom.Rect{XLo: 0, XHi: 100, YLo: 0, YHi: geom.MaxCoord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 50 {
+		t.Fatalf("snapshot after destroy sees %d points, want 50", len(pts))
+	}
+	sn.Close()
+	// Once the pin drains, the deferred frees land on the inner store.
+	if _, err := snap.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st := snap.SnapStats(); st.PendingFrees != 0 {
+		t.Fatalf("deferred frees not reclaimed after close: %+v", st)
+	}
+}

@@ -1,0 +1,307 @@
+package modeltest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"rangesearch/internal/core"
+	"rangesearch/internal/geom"
+)
+
+// OpKind enumerates the operations the harness generates.
+type OpKind uint8
+
+const (
+	OpInsert OpKind = iota
+	OpDelete
+	OpQuery
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpQuery:
+		return "query"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op is one step of a differential run. Insert/Delete use P; Query uses Q.
+// The fields are exported so failing sequences serialize to JSON artifacts
+// and replay bit-identically.
+type Op struct {
+	Kind OpKind     `json:"kind"`
+	P    geom.Point `json:"p,omitempty"`
+	Q    geom.Rect  `json:"q,omitempty"`
+}
+
+// Factory builds a fresh, empty index under test. It is called once per
+// replay (the shrinker replays many times), so it must return an
+// independent instance each call; close tears the instance down.
+type Factory func() (idx core.Index, close func(), err error)
+
+// Config names one cell of the differential matrix.
+type Config struct {
+	Name string
+	New  Factory
+}
+
+// Generate produces a deterministic n-operation sequence from seed. The mix
+// is ~45% inserts (a few deliberately duplicate), ~20% deletes (biased
+// toward points that exist, so the found-path is exercised), ~35% queries
+// (bounded windows, 3-sided open-top windows, and occasional full scans).
+// Coordinates are drawn from [0, coordRange).
+func Generate(seed int64, n int, coordRange int64) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	present := make(map[geom.Point]struct{})
+	var live []geom.Point
+
+	randPoint := func() geom.Point {
+		return geom.Point{X: rng.Int63n(coordRange), Y: rng.Int63n(coordRange)}
+	}
+
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		switch r := rng.Float64(); {
+		case r < 0.45: // insert
+			p := randPoint()
+			if len(live) > 0 && rng.Float64() < 0.05 {
+				p = live[rng.Intn(len(live))] // deliberate duplicate
+			}
+			ops = append(ops, Op{Kind: OpInsert, P: p})
+			if _, dup := present[p]; !dup {
+				present[p] = struct{}{}
+				live = append(live, p)
+			}
+		case r < 0.65: // delete
+			var p geom.Point
+			if len(live) > 0 && rng.Float64() < 0.7 {
+				j := rng.Intn(len(live))
+				p = live[j]
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+				delete(present, p)
+			} else {
+				p = randPoint() // almost surely absent
+				if _, ok := present[p]; ok {
+					delete(present, p)
+					for j, q := range live {
+						if q == p {
+							live[j] = live[len(live)-1]
+							live = live[:len(live)-1]
+							break
+						}
+					}
+				}
+			}
+			ops = append(ops, Op{Kind: OpDelete, P: p})
+		default: // query
+			ops = append(ops, Op{Kind: OpQuery, Q: randRect(rng, coordRange)})
+		}
+	}
+	return ops
+}
+
+func randRect(rng *rand.Rand, coordRange int64) geom.Rect {
+	span := func(width int64) (int64, int64) {
+		lo := rng.Int63n(coordRange)
+		hi := lo + rng.Int63n(width+1)
+		if hi >= coordRange {
+			hi = coordRange - 1
+		}
+		return lo, hi
+	}
+	switch r := rng.Float64(); {
+	case r < 0.60: // bounded window, ~1/8th of the space per side
+		xlo, xhi := span(coordRange / 8)
+		ylo, yhi := span(coordRange / 8)
+		return geom.Rect{XLo: xlo, XHi: xhi, YLo: ylo, YHi: yhi}
+	case r < 0.85: // 3-sided: open top
+		xlo, xhi := span(coordRange / 4)
+		return geom.Rect{XLo: xlo, XHi: xhi, YLo: rng.Int63n(coordRange), YHi: geom.MaxCoord}
+	default: // full scan
+		return geom.Rect{XLo: 0, XHi: coordRange, YLo: 0, YHi: geom.MaxCoord}
+	}
+}
+
+// Divergence describes the first disagreement between the index under test
+// and the model during a replay.
+type Divergence struct {
+	Step   int    // index into the op sequence
+	Op     Op     // the operation that diverged
+	Detail string // human-readable disagreement
+}
+
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("step %d (%s): %s", d.Step, d.Op.Kind, d.Detail)
+}
+
+// Replay runs ops against a fresh index from mk and the model in lockstep.
+// It returns a *Divergence if the index disagrees with the model, a plain
+// error for infrastructure failures (store errors, factory errors), and
+// nil when the full sequence matches. Lengths are compared after every
+// mutation batch of lenEvery ops and at the end.
+func Replay(mk Factory, ops []Op) error {
+	idx, closeFn, err := mk()
+	if err != nil {
+		return fmt.Errorf("modeltest: factory: %w", err)
+	}
+	defer closeFn()
+
+	const lenEvery = 128
+	model := NewModel()
+	for i, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			wantDup := model.Has(op.P)
+			err := idx.Insert(op.P)
+			switch {
+			case wantDup && !errors.Is(err, core.ErrDuplicate):
+				return &Divergence{Step: i, Op: op, Detail: fmt.Sprintf("insert of existing %v: want ErrDuplicate, got %v", op.P, err)}
+			case !wantDup && err != nil:
+				return &Divergence{Step: i, Op: op, Detail: fmt.Sprintf("insert of new %v: %v", op.P, err)}
+			}
+			model.Insert(op.P)
+		case OpDelete:
+			want := model.Has(op.P)
+			found, err := idx.Delete(op.P)
+			if err != nil {
+				return &Divergence{Step: i, Op: op, Detail: fmt.Sprintf("delete %v: %v", op.P, err)}
+			}
+			if found != want {
+				return &Divergence{Step: i, Op: op, Detail: fmt.Sprintf("delete %v: found=%v, model=%v", op.P, found, want)}
+			}
+			model.Delete(op.P)
+		case OpQuery:
+			got, err := idx.Query(nil, op.Q)
+			if err != nil {
+				return &Divergence{Step: i, Op: op, Detail: fmt.Sprintf("query %+v: %v", op.Q, err)}
+			}
+			SortPoints(got)
+			want := model.Query(op.Q)
+			if d := diffPoints(got, want); d != "" {
+				return &Divergence{Step: i, Op: op, Detail: fmt.Sprintf("query %+v: %s", op.Q, d)}
+			}
+		}
+		if i%lenEvery == lenEvery-1 {
+			if err := compareLen(idx, model, i, op); err != nil {
+				return err
+			}
+		}
+	}
+	return compareLen(idx, model, len(ops)-1, Op{})
+}
+
+func compareLen(idx core.Index, model *Model, step int, op Op) error {
+	n, err := idx.Len()
+	if err != nil {
+		return &Divergence{Step: step, Op: op, Detail: fmt.Sprintf("Len: %v", err)}
+	}
+	if n != model.Len() {
+		return &Divergence{Step: step, Op: op, Detail: fmt.Sprintf("Len=%d, model=%d", n, model.Len())}
+	}
+	return nil
+}
+
+func diffPoints(got, want []geom.Point) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("%d points, model has %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Sprintf("result[%d]=%v, model has %v", i, got[i], want[i])
+		}
+	}
+	return ""
+}
+
+// Shrink reduces ops to a (locally) minimal sequence that still diverges,
+// using delta debugging: remove progressively smaller chunks, keeping any
+// removal under which Replay still reports a Divergence. Infrastructure
+// errors during shrinking are treated as "does not reproduce".
+func Shrink(mk Factory, ops []Op) []Op {
+	fails := func(o []Op) bool {
+		var d *Divergence
+		return errors.As(Replay(mk, o), &d)
+	}
+	if !fails(ops) {
+		return ops // not reproducible from a fresh instance; keep everything
+	}
+	chunk := len(ops) / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	for {
+		removed := false
+		for start := 0; start+chunk <= len(ops); {
+			cand := make([]Op, 0, len(ops)-chunk)
+			cand = append(cand, ops[:start]...)
+			cand = append(cand, ops[start+chunk:]...)
+			if fails(cand) {
+				ops = cand
+				removed = true
+				// Retry the same start: the next chunk slid into place.
+			} else {
+				start += chunk
+			}
+		}
+		if chunk == 1 {
+			if !removed {
+				return ops
+			}
+			continue // keep stripping single ops until a fixed point
+		}
+		chunk /= 2
+	}
+}
+
+// Artifact is the JSON shape of a persisted failing sequence.
+type Artifact struct {
+	Config string `json:"config"`
+	Seed   int64  `json:"seed"`
+	Detail string `json:"detail"`
+	Ops    []Op   `json:"ops"`
+}
+
+// WriteArtifact persists a shrunk failing sequence to the directory named
+// by the MODELTEST_ARTIFACTS environment variable (CI uploads it on
+// failure). It returns the path, or "" when the variable is unset.
+func WriteArtifact(config string, seed int64, detail string, ops []Op) (string, error) {
+	dir := os.Getenv("MODELTEST_ARTIFACTS")
+	if dir == "" {
+		return "", nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-seed%d.json", config, seed))
+	data, err := json.MarshalIndent(Artifact{Config: config, Seed: seed, Detail: detail, Ops: ops}, "", " ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadArtifact loads a sequence previously written by WriteArtifact, for
+// turning a CI failure into a local deterministic reproduction.
+func ReadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}

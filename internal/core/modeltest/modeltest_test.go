@@ -1,0 +1,277 @@
+package modeltest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"rangesearch/internal/core"
+	"rangesearch/internal/eio"
+	"rangesearch/internal/epst"
+	"rangesearch/internal/geom"
+	"rangesearch/internal/range4"
+)
+
+const coordRange = 1 << 20
+
+// epstFactory builds a plain ThreeSided on a fresh MemStore.
+func epstFactory() (core.Index, func(), error) {
+	mem := eio.NewMemStore(512)
+	idx, err := core.NewThreeSided(mem, epst.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return idx, func() { mem.Close() }, nil
+}
+
+// range4Factory builds a plain FourSided on a fresh MemStore.
+func range4Factory() (core.Index, func(), error) {
+	mem := eio.NewMemStore(512)
+	idx, err := core.NewFourSided(mem, range4.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return idx, func() { mem.Close() }, nil
+}
+
+// walPages sizes the TxStore WAL for the largest single-operation
+// transaction in the matrix: a range4 insert can trigger a global
+// substructure rebuild whose page footprint grows with N, far past what a
+// B-tree-like update would need (the harness itself found 256 overflowing
+// at ~1.7k live points).
+const walPages = 8192
+
+// durably wraps a factory's structure in Durable over a TxStore, so every
+// model-checked operation is one WAL transaction.
+func durably(mk func(eio.Store) (core.Index, error)) Factory {
+	return func() (core.Index, func(), error) {
+		mem := eio.NewMemStore(512)
+		tx, err := eio.NewTxStore(mem, eio.TxOptions{WALPages: walPages})
+		if err != nil {
+			return nil, nil, err
+		}
+		idx, err := mk(tx)
+		if err != nil {
+			return nil, nil, err
+		}
+		return core.NewDurable(idx, tx), func() { tx.Close() }, nil
+	}
+}
+
+// concurrently stacks Concurrent (group commit + snapshot reads) on a
+// structure living on a SnapStore; durable additionally routes batches
+// through Durable.Batch over a TxStore.
+func concurrently(
+	create func(eio.Store) (core.Index, eio.PageID, error),
+	open func(eio.Store, eio.PageID) (core.Index, error),
+	durable bool,
+) Factory {
+	return func() (core.Index, func(), error) {
+		var base eio.Store = eio.NewMemStore(512)
+		var tx *eio.TxStore
+		if durable {
+			var err error
+			tx, err = eio.NewTxStore(base, eio.TxOptions{WALPages: walPages})
+			if err != nil {
+				return nil, nil, err
+			}
+			base = tx
+		}
+		snap := eio.NewSnapStore(base, 0)
+		idx, hdr, err := create(snap)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := snap.Commit(); err != nil {
+			return nil, nil, err
+		}
+		writer := idx
+		if durable {
+			writer = core.NewDurable(idx, tx)
+		}
+		c, err := core.NewConcurrent(writer, snap, func(s eio.Store) (core.Index, error) { return open(s, hdr) }, core.ConcurrentOptions{})
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, func() { snap.Close() }, nil
+	}
+}
+
+func createThreeSided(s eio.Store) (core.Index, eio.PageID, error) {
+	idx, err := core.NewThreeSided(s, epst.Options{})
+	if err != nil {
+		return nil, eio.NilPage, err
+	}
+	return idx, idx.HeaderID(), nil
+}
+
+func openThreeSided(s eio.Store, hdr eio.PageID) (core.Index, error) {
+	return core.OpenThreeSided(s, hdr)
+}
+
+func createFourSided(s eio.Store) (core.Index, eio.PageID, error) {
+	idx, err := core.NewFourSided(s, range4.Options{})
+	if err != nil {
+		return nil, eio.NilPage, err
+	}
+	return idx, idx.HeaderID(), nil
+}
+
+func openFourSided(s eio.Store, hdr eio.PageID) (core.Index, error) {
+	return core.OpenFourSided(s, hdr)
+}
+
+// configs is the full differential matrix: both paper structures crossed
+// with every wrapper in the serving stack.
+func configs() []Config {
+	syncedly := func(mk Factory) Factory {
+		return func() (core.Index, func(), error) {
+			idx, closeFn, err := mk()
+			if err != nil {
+				return nil, nil, err
+			}
+			return core.NewSynced(idx), closeFn, nil
+		}
+	}
+	return []Config{
+		{Name: "epst-plain", New: epstFactory},
+		{Name: "epst-synced", New: syncedly(epstFactory)},
+		{Name: "epst-durable", New: durably(func(s eio.Store) (core.Index, error) { return core.NewThreeSided(s, epst.Options{}) })},
+		{Name: "epst-concurrent", New: concurrently(createThreeSided, openThreeSided, false)},
+		{Name: "epst-concurrent-durable", New: concurrently(createThreeSided, openThreeSided, true)},
+		{Name: "range4-plain", New: range4Factory},
+		{Name: "range4-synced", New: syncedly(range4Factory)},
+		{Name: "range4-durable", New: durably(func(s eio.Store) (core.Index, error) { return core.NewFourSided(s, range4.Options{}) })},
+		{Name: "range4-concurrent", New: concurrently(createFourSided, openFourSided, false)},
+		{Name: "range4-concurrent-durable", New: concurrently(createFourSided, openFourSided, true)},
+	}
+}
+
+// seeds is the fixed CI seed matrix. Adding a seed here reruns history;
+// a failure writes a shrunk artifact (see MODELTEST_ARTIFACTS).
+var seeds = []int64{1, 7}
+
+// TestDifferential replays the generated sequences over the full matrix:
+// ≥10k ops per config in a full run, trimmed under -short (the -race CI
+// job runs short; the plain job runs full).
+func TestDifferential(t *testing.T) {
+	nops := 10000
+	runSeeds := seeds
+	if testing.Short() {
+		nops = 1500
+		runSeeds = seeds[:1]
+	}
+	for _, cfg := range configs() {
+		for _, seed := range runSeeds {
+			t.Run(fmt.Sprintf("%s/seed%d", cfg.Name, seed), func(t *testing.T) {
+				ops := Generate(seed, nops, coordRange)
+				err := Replay(cfg.New, ops)
+				if err == nil {
+					return
+				}
+				var d *Divergence
+				if !errors.As(err, &d) {
+					t.Fatalf("seed %d: infrastructure failure: %v", seed, err)
+				}
+				small := Shrink(cfg.New, ops[:d.Step+1])
+				path, aerr := WriteArtifact(cfg.Name, seed, d.Detail, small)
+				if aerr != nil {
+					t.Logf("could not write artifact: %v", aerr)
+				} else if path != "" {
+					t.Logf("shrunk repro written to %s", path)
+				}
+				t.Fatalf("seed %d: %v (shrunk to %d ops)", seed, d, len(small))
+			})
+		}
+	}
+}
+
+// TestShrinkMinimizes plants a deterministic bug (an index wrapper that
+// silently drops inserts whose X is a multiple of 16) and checks the
+// shrinker reduces the sequence to a handful of ops that still reproduce,
+// and that the artifact round-trips.
+func TestShrinkMinimizes(t *testing.T) {
+	mk := func() (core.Index, func(), error) {
+		idx, closeFn, err := epstFactory()
+		if err != nil {
+			return nil, nil, err
+		}
+		return &dropModInsert{Index: idx}, closeFn, nil
+	}
+	ops := Generate(3, 4000, coordRange)
+	err := Replay(mk, ops)
+	var d *Divergence
+	if !errors.As(err, &d) {
+		t.Fatalf("planted bug not detected: %v", err)
+	}
+	small := Shrink(mk, ops[:d.Step+1])
+	if len(small) > 4 {
+		t.Fatalf("shrinker left %d of %d ops", len(small), d.Step+1)
+	}
+	if err := Replay(mk, small); !errors.As(err, &d) {
+		t.Fatalf("shrunk sequence no longer reproduces: %v", err)
+	}
+	// And the clean index passes the same shrunk sequence.
+	if err := Replay(epstFactory, small); err != nil {
+		t.Fatalf("shrunk sequence fails on the correct index: %v", err)
+	}
+
+	t.Setenv("MODELTEST_ARTIFACTS", t.TempDir())
+	path, err := WriteArtifact("planted", 3, d.Detail, small)
+	if err != nil || path == "" {
+		t.Fatalf("artifact write: (%q, %v)", path, err)
+	}
+	art, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Ops) != len(small) || art.Seed != 3 {
+		t.Fatalf("artifact round-trip mismatch: %d ops seed %d", len(art.Ops), art.Seed)
+	}
+	if err := Replay(mk, art.Ops); !errors.As(err, &d) {
+		t.Fatalf("artifact replay no longer reproduces: %v", err)
+	}
+}
+
+// dropModInsert silently swallows inserts of points whose X coordinate is
+// a multiple of 16 — a realistic lost-update bug for the harness to find,
+// and state-free so the minimal reproduction is a single operation.
+type dropModInsert struct {
+	core.Index
+}
+
+func (d *dropModInsert) Insert(p geom.Point) error {
+	if p.X%16 == 0 {
+		return nil // lie: claim success without inserting
+	}
+	return d.Index.Insert(p)
+}
+
+// TestGenerateDeterministic pins that a seed fully determines the
+// sequence — the property the CI seed matrix and artifacts rely on.
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, 500, coordRange)
+	b := Generate(42, 500, coordRange)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	var ins, del, q int
+	for _, op := range a {
+		switch op.Kind {
+		case OpInsert:
+			ins++
+		case OpDelete:
+			del++
+		case OpQuery:
+			q++
+		}
+	}
+	if ins == 0 || del == 0 || q == 0 {
+		t.Fatalf("degenerate mix: %d inserts, %d deletes, %d queries", ins, del, q)
+	}
+}

@@ -22,7 +22,16 @@ func contractFactories(t *testing.T) map[string]func() Store {
 			}
 			return fs
 		},
-		"pool":  func() Store { return NewPool(NewMemStore(128), 2) },
+		"pool":      func() Store { return NewPool(NewMemStore(128), 2) },
+		"shardpool": func() Store { return NewShardedPool(NewMemStore(128), 8, 4) },
+		"snap":      func() Store { return NewSnapStore(NewMemStore(128), 0) },
+		"snap-tx": func() Store {
+			tx, err := NewTxStore(NewMemStore(128), TxOptions{WALPages: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return NewSnapStore(tx, 0)
+		},
 		"fault": func() Store { return NewFaultStore(NewMemStore(128)) },
 		"crash": func() Store { return NewCrashStore(NewMemStore(128), 7) },
 		"trace": func() Store {

@@ -3,20 +3,30 @@ package eio
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // MemStore is a RAM-backed Store. It is the default substrate for tests and
 // benchmarks: every Read and Write still counts as one I/O, so measured
 // costs follow the external-memory model exactly while running at memory
 // speed.
+//
+// Reads take only a shared lock and count their I/O atomically, so
+// concurrent readers (the core.Concurrent serving path) scale across cores
+// instead of serializing on one mutex; mutations still take the exclusive
+// lock.
 type MemStore struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	pageSize int
 	pages    [][]byte // index 0 unused (NilPage)
 	live     []bool
-	free     []PageID
-	stats    Stats
 	closed   bool
+	free     []PageID
+
+	reads  atomic.Uint64
+	writes atomic.Uint64
+	allocs atomic.Uint64
+	frees  atomic.Uint64
 }
 
 var _ Store = (*MemStore)(nil)
@@ -44,7 +54,7 @@ func (m *MemStore) Alloc() (PageID, error) {
 	if m.closed {
 		return NilPage, fmt.Errorf("eio: alloc on closed store")
 	}
-	m.stats.Allocs++
+	m.allocs.Add(1)
 	if n := len(m.free); n > 0 {
 		id := m.free[n-1]
 		m.free = m.free[:n-1]
@@ -68,23 +78,24 @@ func (m *MemStore) Free(id PageID) error {
 	if err := m.check(id); err != nil {
 		return err
 	}
-	m.stats.Frees++
+	m.frees.Add(1)
 	m.live[id] = false
 	m.free = append(m.free, id)
 	return nil
 }
 
-// Read implements Store.
+// Read implements Store. Concurrent reads proceed in parallel under a
+// shared lock.
 func (m *MemStore) Read(id PageID, buf []byte) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if err := m.check(id); err != nil {
 		return err
 	}
 	if len(buf) < m.pageSize {
 		return fmt.Errorf("eio: read buffer %d bytes: %w", len(buf), ErrPageSize)
 	}
-	m.stats.Reads++
+	m.reads.Add(1)
 	copy(buf, m.pages[id])
 	return nil
 }
@@ -99,7 +110,7 @@ func (m *MemStore) Write(id PageID, buf []byte) error {
 	if len(buf) != m.pageSize {
 		return fmt.Errorf("eio: write buffer %d bytes: %w", len(buf), ErrPageSize)
 	}
-	m.stats.Writes++
+	m.writes.Add(1)
 	copy(m.pages[id], buf)
 	return nil
 }
@@ -117,24 +128,31 @@ func (m *MemStore) writeRaw(id PageID, prefix []byte) error {
 	return nil
 }
 
-// Stats implements Store.
+// Stats implements Store. Counters are read atomically; a snapshot taken
+// while operations are in flight is exact per counter but not a single
+// instant across all four (exact attribution requires exclusive use, as
+// obs.Instrumented arranges).
 func (m *MemStore) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Reads:  m.reads.Load(),
+		Writes: m.writes.Load(),
+		Allocs: m.allocs.Load(),
+		Frees:  m.frees.Load(),
+	}
 }
 
 // ResetStats implements Store.
 func (m *MemStore) ResetStats() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats = Stats{}
+	m.reads.Store(0)
+	m.writes.Store(0)
+	m.allocs.Store(0)
+	m.frees.Store(0)
 }
 
 // Pages implements Store.
 func (m *MemStore) Pages() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	n := 0
 	for _, l := range m.live {
 		if l {
@@ -147,8 +165,8 @@ func (m *MemStore) Pages() int {
 // LivePageIDs implements PageLister, enumerating allocated pages in
 // ascending id order.
 func (m *MemStore) LivePageIDs() ([]PageID, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if m.closed {
 		return nil, fmt.Errorf("eio: access to closed store")
 	}

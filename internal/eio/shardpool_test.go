@@ -1,0 +1,217 @@
+package eio
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestShardedPoolEquivalence runs a randomized workload through a
+// ShardedPool and an unpooled twin and checks byte-equivalence after a
+// flush, exercising write-back across alloc/free churn and shard routing.
+func TestShardedPoolEquivalence(t *testing.T) {
+	for _, cfg := range []struct{ cap, shards int }{{1, 1}, {4, 2}, {32, 4}, {64, 16}} {
+		rng := rand.New(rand.NewSource(int64(cfg.cap*100 + cfg.shards)))
+		backing := NewMemStore(64)
+		sp := NewShardedPool(backing, cfg.cap, cfg.shards)
+		twin := NewMemStore(64)
+
+		var ids, twinIDs []PageID
+		content := map[int]byte{}
+		for op := 0; op < 2000; op++ {
+			switch {
+			case len(ids) == 0 || rng.Intn(4) == 0: // alloc
+				id, err := sp.Alloc()
+				if err != nil {
+					t.Fatal(err)
+				}
+				tid, err := twin.Alloc()
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids = append(ids, id)
+				twinIDs = append(twinIDs, tid)
+				content[len(ids)-1] = 0
+			case rng.Intn(5) == 0: // free
+				i := rng.Intn(len(ids))
+				if err := sp.Free(ids[i]); err != nil {
+					t.Fatal(err)
+				}
+				if err := twin.Free(twinIDs[i]); err != nil {
+					t.Fatal(err)
+				}
+				ids = append(ids[:i], ids[i+1:]...)
+				twinIDs = append(twinIDs[:i], twinIDs[i+1:]...)
+				// reindex content
+				nc := map[int]byte{}
+				for j := range ids {
+					if j < i {
+						nc[j] = content[j]
+					} else {
+						nc[j] = content[j+1]
+					}
+				}
+				content = nc
+			case rng.Intn(2) == 0: // write
+				i := rng.Intn(len(ids))
+				b := byte(rng.Intn(256))
+				if err := sp.Write(ids[i], bytes.Repeat([]byte{b}, 64)); err != nil {
+					t.Fatal(err)
+				}
+				if err := twin.Write(twinIDs[i], bytes.Repeat([]byte{b}, 64)); err != nil {
+					t.Fatal(err)
+				}
+				content[i] = b
+			default: // read and compare
+				i := rng.Intn(len(ids))
+				a, b := make([]byte, 64), make([]byte, 64)
+				if err := sp.Read(ids[i], a); err != nil {
+					t.Fatal(err)
+				}
+				if err := twin.Read(twinIDs[i], b); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(a, b) {
+					t.Fatalf("cap=%d shards=%d op=%d: pooled read diverges from twin", cfg.cap, cfg.shards, op)
+				}
+			}
+		}
+		if err := sp.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		// After Flush the backing store holds every logical page verbatim.
+		for i, id := range ids {
+			buf := make([]byte, 64)
+			if err := backing.Read(id, buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf[0] != content[i] {
+				t.Fatalf("cap=%d shards=%d: page %d flushed %d, want %d", cfg.cap, cfg.shards, id, buf[0], content[i])
+			}
+		}
+		if sp.Dirty() != 0 {
+			t.Fatalf("Dirty after Flush = %d", sp.Dirty())
+		}
+		if err := sp.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardedPoolAccounting pins the aggregate accessor contract: Cap sums
+// shard capacities, PoolStats/Dirty/Resident sum losslessly over shards,
+// and Stats reports only backing I/Os.
+func TestShardedPoolAccounting(t *testing.T) {
+	backing := NewMemStore(64)
+	sp := NewShardedPool(backing, 8, 4)
+	defer sp.Close()
+	if got := sp.Cap(); got != 8 {
+		t.Fatalf("Cap = %d, want 8", got)
+	}
+	if got := sp.Shards(); got != 4 {
+		t.Fatalf("Shards = %d, want 4", got)
+	}
+	var ids []PageID
+	for i := 0; i < 6; i++ {
+		id, err := sp.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// All six pages are resident and dirty (Alloc pools them dirty), and
+	// nothing has touched the backing store beyond the allocations.
+	if got := sp.Resident(); got != 6 {
+		t.Fatalf("Resident = %d, want 6", got)
+	}
+	if got := sp.Dirty(); got != 6 {
+		t.Fatalf("Dirty = %d, want 6", got)
+	}
+	if st := sp.Stats(); st.Reads != 0 || st.Writes != 0 || st.Allocs != 6 {
+		t.Fatalf("backing stats = %+v, want only 6 allocs", st)
+	}
+	// Hits on pooled pages are free; the per-shard counters sum up.
+	buf := make([]byte, 64)
+	for _, id := range ids {
+		if err := sp.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps := sp.PoolStats()
+	if ps.Hits != 6 || ps.Misses != 0 {
+		t.Fatalf("PoolStats = %+v, want 6 hits 0 misses", ps)
+	}
+	var perShard uint64
+	for _, s := range sp.ShardPoolStats() {
+		perShard += s.Hits
+	}
+	if perShard != ps.Hits {
+		t.Fatalf("shard hit sum %d != aggregate %d", perShard, ps.Hits)
+	}
+	if st := sp.Stats(); st.Reads != 0 {
+		t.Fatalf("pool hits leaked into backing reads: %+v", st)
+	}
+	sp.ResetStats()
+	if ps := sp.PoolStats(); ps != (PoolStats{}) {
+		t.Fatalf("PoolStats after reset = %+v", ps)
+	}
+}
+
+// TestShardedPoolConcurrent hammers reads, writes and the stat accessors
+// (PoolStats, Dirty, Cap, Resident, Stats) from many goroutines — the
+// -race contract for the sharded pool and the PR 2 accessors on top of it.
+func TestShardedPoolConcurrent(t *testing.T) {
+	backing := NewMemStore(64)
+	sp := NewShardedPool(backing, 16, 4)
+	defer sp.Close()
+
+	const npages = 64
+	ids := make([]PageID, npages)
+	for i := range ids {
+		id, err := sp.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			buf := make([]byte, 64)
+			for i := 0; i < 1500; i++ {
+				id := ids[rng.Intn(npages)]
+				if rng.Intn(3) == 0 {
+					if err := sp.Write(id, bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					if err := sp.Read(id, buf); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Add(1)
+	go func() { // stat reader: must be race-free against the traffic
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			_ = sp.PoolStats()
+			_ = sp.Dirty()
+			_ = sp.Cap()
+			_ = sp.Resident()
+			_ = sp.Stats()
+		}
+	}()
+	wg.Wait()
+	if err := sp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -132,7 +132,7 @@ func (r RecoveryInfo) String() string {
 // not add multi-writer semantics: one logical updater at a time, as
 // documented on core.Synced.
 type TxStore struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex // reads share the lock so snapshot readers scale
 	inner Store
 	ps    int
 
@@ -655,8 +655,8 @@ func (t *TxStore) Update(fn func() error) error {
 
 // InTx reports whether a transaction is open.
 func (t *TxStore) InTx() bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.inTx
 }
 
@@ -719,10 +719,12 @@ func (t *TxStore) Free(id PageID) error {
 }
 
 // Read implements Store: buffered transaction writes win over the inner
-// store, so a transaction reads its own uncommitted data.
+// store, so a transaction reads its own uncommitted data. Reads take only
+// the shared lock (the transaction buffers are mutated exclusively), so
+// concurrent readers proceed in parallel.
 func (t *TxStore) Read(id PageID, buf []byte) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if !t.inTx || t.disabled {
 		return t.inner.Read(id, buf)
 	}
@@ -792,8 +794,8 @@ func (t *TxStore) ResetStats() { t.inner.ResetStats() }
 
 // Pages implements Store, counting deferred frees as already gone.
 func (t *TxStore) Pages() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n := t.inner.Pages()
 	if t.inTx && !t.disabled {
 		n -= len(t.frees)

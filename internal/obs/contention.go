@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rangesearch/internal/core"
+	"rangesearch/internal/eio"
+)
+
+// Contention aggregates the serving-layer contention signals emitted by
+// core.Concurrent: how long writers waited for commit leadership, how many
+// operations each group commit coalesced, and how long batches took to
+// apply. All three are log₂ histograms, cheap enough to record on every
+// commit; per-worker operation counters ride along for spotting skew.
+// A zero Contention is ready to use and safe for concurrent recording.
+type Contention struct {
+	lockWait  Histogram // writer wait for commit leadership, nanoseconds
+	batchSize Histogram // logical operations per committed group
+	applyNs   Histogram // time applying + committing one batch, nanoseconds
+
+	mu      sync.Mutex
+	workers map[string]*WorkerCounters
+}
+
+var _ core.ContentionRecorder = (*Contention)(nil)
+
+// RecordLockWait implements core.ContentionRecorder.
+func (c *Contention) RecordLockWait(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.lockWait.Observe(uint64(d))
+}
+
+// RecordBatch implements core.ContentionRecorder.
+func (c *Contention) RecordBatch(size int, apply time.Duration) {
+	if size < 0 {
+		size = 0
+	}
+	if apply < 0 {
+		apply = 0
+	}
+	c.batchSize.Observe(uint64(size))
+	c.applyNs.Observe(uint64(apply))
+}
+
+// LockWait is the distribution of writer waits for commit leadership.
+func (c *Contention) LockWait() *Histogram { return &c.lockWait }
+
+// BatchSize is the distribution of group-commit sizes. Mean > 1 means
+// coalescing is happening; max bounds WAL pressure per commit.
+func (c *Contention) BatchSize() *Histogram { return &c.batchSize }
+
+// Apply is the distribution of batch apply+commit times.
+func (c *Contention) Apply() *Histogram { return &c.applyNs }
+
+// Worker returns the named worker's counters, creating them on first use.
+// The returned value is stable: callers keep it and bump it lock-free.
+func (c *Contention) Worker(name string) *WorkerCounters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.workers == nil {
+		c.workers = make(map[string]*WorkerCounters)
+	}
+	w := c.workers[name]
+	if w == nil {
+		w = &WorkerCounters{}
+		c.workers[name] = w
+	}
+	return w
+}
+
+// Reset clears the histograms and every worker counter (worker identities
+// are kept, so held *WorkerCounters stay valid).
+func (c *Contention) Reset() {
+	c.lockWait.Reset()
+	c.batchSize.Reset()
+	c.applyNs.Reset()
+	c.mu.Lock()
+	for _, w := range c.workers {
+		w.Inserts.Store(0)
+		w.Deletes.Store(0)
+		w.Queries.Store(0)
+	}
+	c.mu.Unlock()
+}
+
+// Snapshot returns a plain-data copy for serialization.
+func (c *Contention) Snapshot() ContentionSnapshot {
+	s := ContentionSnapshot{
+		LockWaitNs: c.lockWait.Snapshot(),
+		BatchSize:  c.batchSize.Snapshot(),
+		ApplyNs:    c.applyNs.Snapshot(),
+	}
+	c.mu.Lock()
+	if len(c.workers) > 0 {
+		s.Workers = make(map[string]WorkerSnapshot, len(c.workers))
+		for name, w := range c.workers {
+			s.Workers[name] = WorkerSnapshot{
+				Inserts: w.Inserts.Load(),
+				Deletes: w.Deletes.Load(),
+				Queries: w.Queries.Load(),
+			}
+		}
+	}
+	c.mu.Unlock()
+	return s
+}
+
+// WorkerCounters are one worker goroutine's operation counts, bumped
+// lock-free by the worker itself.
+type WorkerCounters struct {
+	Inserts atomic.Uint64
+	Deletes atomic.Uint64
+	Queries atomic.Uint64
+}
+
+// WorkerSnapshot is the JSON-friendly view of WorkerCounters.
+type WorkerSnapshot struct {
+	Inserts uint64 `json:"inserts"`
+	Deletes uint64 `json:"deletes"`
+	Queries uint64 `json:"queries"`
+}
+
+// ContentionSnapshot is the JSON-friendly view of a Contention.
+type ContentionSnapshot struct {
+	LockWaitNs HistogramSnapshot         `json:"lock_wait_ns"`
+	BatchSize  HistogramSnapshot         `json:"batch_size"`
+	ApplyNs    HistogramSnapshot         `json:"apply_ns"`
+	Workers    map[string]WorkerSnapshot `json:"workers,omitempty"`
+}
+
+// PublishContention exports c.Snapshot() as the expvar
+// "rangesearch.contention.<name>". Later calls with the same name repoint
+// the variable.
+func PublishContention(name string, c *Contention) {
+	publish("rangesearch.contention."+name, func() interface{} {
+		return c.Snapshot()
+	})
+}
+
+// PublishShardedPool exports a sharded pool's aggregate and per-shard
+// counters as "rangesearch.shardpool.<name>", complementing PublishPool
+// for the unsharded case.
+func PublishShardedPool(name string, p *eio.ShardedPool) {
+	publish("rangesearch.shardpool."+name, func() interface{} {
+		ps := p.PoolStats()
+		shards := p.ShardPoolStats()
+		per := make([]map[string]interface{}, len(shards))
+		for i, s := range shards {
+			per[i] = map[string]interface{}{
+				"hits": s.Hits, "misses": s.Misses,
+				"evictions": s.Evictions, "writeback": s.Writeback,
+			}
+		}
+		return map[string]interface{}{
+			"hits":      ps.Hits,
+			"misses":    ps.Misses,
+			"evictions": ps.Evictions,
+			"writeback": ps.Writeback,
+			"cap":       p.Cap(),
+			"resident":  p.Resident(),
+			"dirty":     p.Dirty(),
+			"shards":    per,
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rangesearch/internal/core"
+	"rangesearch/internal/eio"
+	"rangesearch/internal/epst"
+	"rangesearch/internal/geom"
+)
+
+// TestContentionConcurrentRecording hammers a Contention from many
+// goroutines — recorders, worker counters and snapshot readers at once —
+// and checks nothing is lost (the -race contract plus exact counts).
+func TestContentionConcurrentRecording(t *testing.T) {
+	var c Contention
+	const (
+		workers = 8
+		per     = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wc := c.Worker(fmt.Sprintf("w%d", w))
+			for i := 0; i < per; i++ {
+				c.RecordLockWait(time.Duration(i))
+				c.RecordBatch(i%7+1, time.Duration(i)*time.Microsecond)
+				wc.Inserts.Add(1)
+				if i%2 == 0 {
+					wc.Queries.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() { // concurrent snapshot reader
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = c.Snapshot()
+		}
+	}()
+	wg.Wait()
+
+	if got := c.LockWait().Count(); got != workers*per {
+		t.Fatalf("lock-wait observations = %d, want %d", got, workers*per)
+	}
+	if got := c.BatchSize().Count(); got != workers*per {
+		t.Fatalf("batch observations = %d, want %d", got, workers*per)
+	}
+	if max := c.BatchSize().Max(); max != 7 {
+		t.Fatalf("max batch = %d, want 7", max)
+	}
+	s := c.Snapshot()
+	if len(s.Workers) != workers {
+		t.Fatalf("snapshot has %d workers, want %d", len(s.Workers), workers)
+	}
+	var ins, qs uint64
+	for _, w := range s.Workers {
+		ins += w.Inserts
+		qs += w.Queries
+	}
+	if ins != workers*per || qs != workers*per/2 {
+		t.Fatalf("worker sums = %d inserts %d queries, want %d and %d", ins, qs, workers*per, workers*per/2)
+	}
+
+	c.Reset()
+	if c.LockWait().Count() != 0 || c.BatchSize().Count() != 0 || c.Apply().Count() != 0 {
+		t.Fatal("histograms survived Reset")
+	}
+	if s := c.Snapshot(); s.Workers["w0"].Inserts != 0 {
+		t.Fatal("worker counters survived Reset")
+	}
+}
+
+// TestContentionNegativeInputsClamp pins the defensive clamping: negative
+// durations and sizes (clock skew, caller bugs) record as zero rather than
+// wrapping to 2^63.
+func TestContentionNegativeInputsClamp(t *testing.T) {
+	var c Contention
+	c.RecordLockWait(-time.Second)
+	c.RecordBatch(-3, -time.Second)
+	if got := c.LockWait().Max(); got != 0 {
+		t.Fatalf("negative wait recorded as %d", got)
+	}
+	if got := c.BatchSize().Max(); got != 0 {
+		t.Fatalf("negative size recorded as %d", got)
+	}
+	if got := c.Apply().Max(); got != 0 {
+		t.Fatalf("negative apply recorded as %d", got)
+	}
+}
+
+// TestContentionWiredToConcurrent runs a real core.Concurrent with a
+// Contention recorder and checks the committed-op count flows through
+// exactly, then round-trips the expvar export.
+func TestContentionWiredToConcurrent(t *testing.T) {
+	var rec Contention
+	mem := eio.NewMemStore(512)
+	snap := eio.NewSnapStore(mem, 0)
+	idx, err := core.NewThreeSided(snap, epst.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := idx.HeaderID()
+	if _, err := snap.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.NewConcurrent(idx, snap,
+		func(s eio.Store) (core.Index, error) { return core.OpenThreeSided(s, hdr) },
+		core.ConcurrentOptions{Recorder: &rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n/4; i++ {
+				if err := c.Insert(geom.Point{X: int64(w*n + i), Y: 1}); err != nil {
+					t.Error(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := rec.Snapshot()
+	if got := int(s.BatchSize.Mean*float64(s.BatchSize.Count) + 0.5); got != n {
+		t.Fatalf("recorder saw ~%d committed ops, want %d", got, n)
+	}
+	if s.LockWaitNs.Count != n {
+		t.Fatalf("lock-wait count = %d, want one per submitted op (%d)", s.LockWaitNs.Count, n)
+	}
+
+	PublishContention("test", &rec)
+	v := expvar.Get("rangesearch.contention.test")
+	if v == nil {
+		t.Fatal("expvar not published")
+	}
+	var back ContentionSnapshot
+	if err := json.Unmarshal([]byte(v.String()), &back); err != nil {
+		t.Fatalf("expvar JSON: %v", err)
+	}
+	if back.BatchSize.Count != s.BatchSize.Count {
+		t.Fatalf("expvar round-trip count = %d, want %d", back.BatchSize.Count, s.BatchSize.Count)
+	}
+}
