@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench cover vet fmt sweep recover-sweep fuzz-short bound experiments examples clean soak model trajectory
+.PHONY: all build test race bench cover vet fmt sweep recover-sweep fuzz-short bound experiments examples clean soak model trajectory serve load serve-smoke
 
 all: build vet test
 
@@ -34,11 +34,16 @@ recover-sweep:
 	$(GO) test ./internal/... -run 'TestRecoverySweep|TestTxRecoverySweepRaw' -v
 
 # Short coverage-guided fuzz of the hostile-input parsers: WAL records,
-# anchors, and whole store files. CI runs this; longer runs are manual.
+# anchors, whole store files, and the rsserve wire-protocol decoders.
+# CI runs this; longer runs are manual.
 fuzz-short:
 	$(GO) test ./internal/eio -run '^$$' -fuzz 'FuzzWALRecord' -fuzztime 10s
 	$(GO) test ./internal/eio -run '^$$' -fuzz 'FuzzAnchor' -fuzztime 10s
 	$(GO) test ./internal/eio -run '^$$' -fuzz 'FuzzVerifyFile' -fuzztime 10s
+	$(GO) test ./internal/server -run '^$$' -fuzz 'FuzzDecodeRequest' -fuzztime 10s
+	$(GO) test ./internal/server -run '^$$' -fuzz 'FuzzDecodeResponse' -fuzztime 10s
+	$(GO) test ./internal/server -run '^$$' -fuzz 'FuzzReadFrame' -fuzztime 10s
+	$(GO) test ./internal/server -run '^$$' -fuzz 'FuzzFrameSizeRejection' -fuzztime 10s
 
 # Concurrency soak: snapshot readers vs a group-committing writer under
 # the race detector, with the single-writer linearizability checks
@@ -61,6 +66,22 @@ bound:
 # guard (internal/bench/regression_test.go) replays with tolerance zero.
 trajectory:
 	$(GO) run ./cmd/rsbench -quick -exp e7,concurrent -workers 8 -json -outdir trajectory
+
+# Boot a durable file-backed rsserve on a throwaway store (Ctrl-C drains
+# and leak-checks it). STORE/ADDR are overridable.
+STORE ?= /tmp/rsserve.db
+ADDR  ?= 127.0.0.1:9035
+serve:
+	$(GO) run ./cmd/rsserve -store $(STORE) -addr $(ADDR) -metrics 127.0.0.1:9036
+
+# Drive a verified mixed workload against a running rsserve.
+load:
+	$(GO) run ./cmd/rsload -addr $(ADDR) -workers 8 -duration 5s -pipeline 8 -verify
+
+# End-to-end network smoke: boot rsserve on a temp store, run rsload with
+# verification, SIGTERM-drain, and scrub the store file. CI runs this.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Operation-level + per-experiment benchmarks (quick instances).
 bench:

@@ -1,0 +1,86 @@
+// Command rsload is a closed-loop load generator for rsserve: N worker
+// connections, each keeping a fixed pipeline of requests in flight, drawing
+// operations from a configurable read/write mix over a coordinate domain.
+// Every worker owns a disjoint x-stripe of the key space and (with -verify)
+// checks every query result against its own model of that stripe, so a run
+// doubles as an end-to-end consistency check: zero protocol errors and zero
+// consistency errors or the process exits nonzero.
+//
+// The report — throughput plus p50/p99/p999 latency per operation — is
+// printed as JSON and optionally written to a file (-json) in the same
+// shape internal/bench snapshots use, so trajectory tooling can ingest it.
+//
+// Usage:
+//
+//	rsload -addr 127.0.0.1:9035 -workers 8 -duration 10s -verify
+//	rsload -addr 127.0.0.1:9035 -read-frac 0.9 -pipeline 16 -json load.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rangesearch/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:9035", "rsserve address")
+		workers    = flag.Int("workers", 4, "concurrent connections")
+		duration   = flag.Duration("duration", 5*time.Second, "run length")
+		pipeline   = flag.Int("pipeline", 8, "requests in flight per connection")
+		readFrac   = flag.Float64("read-frac", 0.5, "fraction of ops that are queries (negative = none)")
+		deleteFrac = flag.Float64("delete-frac", 0.3, "fraction of writes that are deletes (negative = none)")
+		fourFrac   = flag.Float64("four-frac", 0.5, "fraction of queries that are 4-sided (negative = none)")
+		domain     = flag.Int64("domain", 1<<20, "coordinate domain [0, domain)")
+		batchEvery = flag.Int("batch-every", 0, "make every Nth write a BATCH (0 = never)")
+		batchSize  = flag.Int("batch-size", 16, "operations per BATCH request")
+		seed       = flag.Int64("seed", 1, "workload RNG seed")
+		verify     = flag.Bool("verify", false, "check query results against a per-stripe model")
+		jsonOut    = flag.String("json", "", "also write the report to this file")
+	)
+	flag.Parse()
+
+	rep, err := server.RunLoad(server.LoadConfig{
+		Addr:       *addr,
+		Workers:    *workers,
+		Duration:   *duration,
+		Pipeline:   *pipeline,
+		ReadFrac:   *readFrac,
+		DeleteFrac: *deleteFrac,
+		FourFrac:   *fourFrac,
+		Domain:     *domain,
+		BatchEvery: *batchEvery,
+		BatchSize:  *batchSize,
+		Seed:       *seed,
+		Verify:     *verify,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rsload: %v\n", err)
+		os.Exit(1)
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rsload: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(raw))
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "rsload: write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+	}
+
+	if rep.Failed() {
+		fmt.Fprintf(os.Stderr, "rsload: FAILED: proto=%d consistency=%d transport=%d first=%s\n",
+			rep.ProtoErrors, rep.ConsistencyErrors, rep.TransportErrors, rep.FirstError)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "rsload: ok: %d ops in %.1fs (%.0f ops/s), busy=%d\n",
+		rep.Ops, rep.DurationS, rep.OpsPerSec, rep.Busy)
+}

@@ -1,0 +1,334 @@
+// Command rsserve serves a range-search index over TCP, speaking the
+// length-prefixed binary protocol of internal/server. It is the
+// paper-to-production end of the repo: the same EPST that the analysis
+// bounds at O(log_B N + t) I/Os per query answers queries from sockets,
+// with group-committed durable writes, snapshot-isolated reads, admission
+// control, and a graceful SIGTERM drain that leaves the store scrub-clean.
+//
+// Store stacks:
+//
+//	-mem                volatile:  SnapStore(MemStore)
+//	-store X            durable:   SnapStore(TxStore(FileStore)), WAL
+//	                    group commits, crash-recoverable (default)
+//	-store X -durable=false -pool N
+//	                    volatile cache: SnapStore(ShardedPool(FileStore))
+//
+// A file-backed store is created on first use and reopened afterwards; the
+// structure's header id and the transactional anchor are remembered in a
+// JSON manifest next to the store (X.manifest.json), so a restart needs no
+// flags beyond -store. Reopening a durable store runs WAL crash recovery
+// first, exactly like rsinspect recover.
+//
+// On SIGTERM/SIGINT the server drains: the listener closes, in-flight
+// requests finish and flush, the last epoch commits, and the process exits
+// 0 only if the store is verifiably scrub-clean (no leaked pages) and
+// synced. `rsinspect scrub -dry` on the store afterwards must find
+// nothing — the CI smoke job asserts exactly that.
+//
+// Usage:
+//
+//	rsserve -addr :9035 -mem
+//	rsserve -addr :9035 -store points.db
+//	rsserve -addr :9035 -store points.db -metrics 127.0.0.1:6060
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rangesearch/internal/core"
+	"rangesearch/internal/eio"
+	"rangesearch/internal/epst"
+	"rangesearch/internal/obs"
+	"rangesearch/internal/server"
+)
+
+// manifest remembers, next to a file-backed store, everything needed to
+// reopen it: the page ids that anchor the structure and the transactional
+// layer, and the geometry the store was created with.
+type manifest struct {
+	PageSize int        `json:"page_size"`
+	Durable  bool       `json:"durable"`
+	WALPages int        `json:"wal_pages,omitempty"`
+	Hdr      eio.PageID `json:"hdr"`
+	Anchor   eio.PageID `json:"anchor,omitempty"`
+}
+
+func manifestPath(storePath string) string { return storePath + ".manifest.json" }
+
+func readManifest(storePath string) (*manifest, error) {
+	raw, err := os.ReadFile(manifestPath(storePath))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("manifest %s: %w", manifestPath(storePath), err)
+	}
+	return &m, nil
+}
+
+func writeManifest(storePath string, m *manifest) error {
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(manifestPath(storePath), append(raw, '\n'), 0o644)
+}
+
+// stack is the assembled storage and index pyramid rsserve serves from.
+type stack struct {
+	conc *core.Concurrent
+	idx  *core.ThreeSided
+	snap *eio.SnapStore
+	tx   *eio.TxStore // nil on non-durable stacks
+	m    *manifest
+}
+
+// buildMem assembles the volatile stack.
+func buildMem(pageSize int) (*stack, error) {
+	snap := eio.NewSnapStore(eio.NewMemStore(pageSize), 0)
+	idx, err := core.NewThreeSided(snap, epst.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return finish(snap, idx, nil, &manifest{PageSize: pageSize, Hdr: idx.HeaderID()})
+}
+
+// buildFile assembles (creating or reopening) a file-backed stack.
+func buildFile(path string, pageSize int, durable bool, walPages, poolCap, poolShards int) (*stack, error) {
+	_, statErr := os.Stat(path)
+	fresh := os.IsNotExist(statErr)
+
+	if fresh {
+		fs, err := eio.CreateFileStore(path, pageSize)
+		if err != nil {
+			return nil, err
+		}
+		m := &manifest{PageSize: pageSize, Durable: durable}
+		var base eio.Store = fs
+		var tx *eio.TxStore
+		if durable {
+			tx, err = eio.NewTxStore(fs, eio.TxOptions{WALPages: walPages})
+			if err != nil {
+				fs.Close()
+				return nil, err
+			}
+			m.WALPages = walPages
+			m.Anchor = tx.Anchor()
+			base = tx
+		} else if poolCap > 0 {
+			base = eio.NewShardedPool(fs, poolCap, poolShards)
+		}
+		snap := eio.NewSnapStore(base, 0)
+		idx, err := core.NewThreeSided(snap, epst.Options{})
+		if err != nil {
+			snap.Close()
+			return nil, err
+		}
+		m.Hdr = idx.HeaderID()
+		if err := writeManifest(path, m); err != nil {
+			snap.Close()
+			return nil, err
+		}
+		return finish(snap, idx, tx, m)
+	}
+
+	m, err := readManifest(path)
+	if err != nil {
+		return nil, fmt.Errorf("store %s exists but its manifest is unreadable: %w", path, err)
+	}
+	fs, err := eio.OpenFileStore(path)
+	if err != nil {
+		return nil, err
+	}
+	var base eio.Store = fs
+	var tx *eio.TxStore
+	if m.Durable {
+		tx, err = eio.OpenTxStore(fs, m.Anchor)
+		if err != nil {
+			fs.Close()
+			return nil, fmt.Errorf("WAL recovery: %w", err)
+		}
+		if ri := tx.Recovery(); ri.Replayed || ri.WALRepaired > 0 || ri.AnchorsRepaired > 0 {
+			fmt.Printf("rsserve: WAL recovery: replayed=%v pages_redone=%d wal_repaired=%d anchors_repaired=%d\n",
+				ri.Replayed, ri.PagesRedone, ri.WALRepaired, ri.AnchorsRepaired)
+		}
+		base = tx
+	} else if poolCap > 0 {
+		base = eio.NewShardedPool(fs, poolCap, poolShards)
+	}
+	snap := eio.NewSnapStore(base, 0)
+	idx, err := core.OpenThreeSided(snap, m.Hdr)
+	if err != nil {
+		snap.Close()
+		return nil, err
+	}
+	return finish(snap, idx, tx, m)
+}
+
+// finish publishes the base epoch and wraps the index in the serving
+// layer (a Durable writer when the stack has a WAL).
+func finish(snap *eio.SnapStore, idx *core.ThreeSided, tx *eio.TxStore, m *manifest) (*stack, error) {
+	hdr := idx.HeaderID()
+	if _, err := snap.Commit(); err != nil {
+		snap.Close()
+		return nil, err
+	}
+	var writer core.Index = idx
+	if tx != nil {
+		writer = core.NewDurable(idx, tx)
+	}
+	conc, err := core.NewConcurrent(writer, snap,
+		func(s eio.Store) (core.Index, error) { return core.OpenThreeSided(s, hdr) },
+		core.ConcurrentOptions{})
+	if err != nil {
+		snap.Close()
+		return nil, err
+	}
+	return &stack{conc: conc, idx: idx, snap: snap, tx: tx, m: m}, nil
+}
+
+// drainClean runs the shutdown storage protocol: unpin the serving view,
+// commit the final epoch (applying deferred frees), verify page-exact
+// reachability, sync, close. It returns the number of leaked pages.
+func (s *stack) drainClean() (int, error) {
+	s.conc.Close()
+	if _, err := s.snap.Commit(); err != nil {
+		return 0, fmt.Errorf("final commit: %w", err)
+	}
+	reachable, err := s.idx.Tree().AppendAllPages(nil)
+	if err != nil {
+		return 0, fmt.Errorf("reachability walk: %w", err)
+	}
+	if s.tx != nil {
+		meta, err := s.tx.MetaPages()
+		if err != nil {
+			return 0, fmt.Errorf("tx meta pages: %w", err)
+		}
+		reachable = append(reachable, meta...)
+	}
+	rep, err := eio.FindLeaks(s.snap, reachable)
+	if err != nil {
+		return 0, fmt.Errorf("leak check: %w", err)
+	}
+	if s.tx != nil {
+		if err := s.tx.Sync(); err != nil {
+			return len(rep.Leaked), fmt.Errorf("sync: %w", err)
+		}
+	}
+	if err := s.snap.Close(); err != nil {
+		return len(rep.Leaked), fmt.Errorf("close: %w", err)
+	}
+	return len(rep.Leaked), nil
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:9035", "TCP listen address")
+		store   = flag.String("store", "", "path to a file-backed store (created on first use)")
+		mem     = flag.Bool("mem", false, "serve from an in-memory store instead of a file")
+		page    = flag.Int("page", 4096, "page size in bytes when creating a store")
+		durable = flag.Bool("durable", true, "file stores: WAL-backed atomic commits (crash-recoverable)")
+		wal     = flag.Int("wal", eio.DefaultWALPages, "WAL capacity in pages for durable stores")
+		poolCap = flag.Int("pool", 0, "non-durable file stores: buffer-pool capacity in pages (0 = none)")
+		shards  = flag.Int("shards", eio.DefaultPoolShards, "buffer-pool shard count")
+
+		maxInFlight = flag.Int("max-inflight", 64, "admission gate: max RPCs in flight before BUSY")
+		maxBatch    = flag.Int("max-batch", server.DefaultMaxBatchOps, "max operations in one BATCH request")
+		idleT       = flag.Duration("idle-timeout", 2*time.Minute, "close connections idle longer than this")
+		writeT      = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline")
+		metricsAddr = flag.String("metrics", "", "serve expvar+pprof on this address (empty = off)")
+	)
+	flag.Parse()
+
+	if (*store == "") == !*mem {
+		fmt.Fprintln(os.Stderr, "rsserve: exactly one of -store or -mem is required")
+		os.Exit(2)
+	}
+
+	var (
+		st  *stack
+		err error
+	)
+	if *mem {
+		st, err = buildMem(*page)
+	} else {
+		st, err = buildFile(*store, *page, *durable, *wal, *poolCap, *shards)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rsserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	metrics := &server.Metrics{}
+	server.PublishMetrics("main", metrics)
+	if *metricsAddr != "" {
+		ms, err := obs.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rsserve: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("rsserve: metrics on http://%s/debug/vars\n", ms.Addr())
+	}
+
+	srv := server.New(st.conc, server.Config{
+		MaxInFlight:  *maxInFlight,
+		MaxBatchOps:  *maxBatch,
+		IdleTimeout:  *idleT,
+		WriteTimeout: *writeT,
+		Metrics:      metrics,
+		Logf: func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "rsserve: "+format+"\n", args...)
+		},
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rsserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("rsserve: listening on %s  hdr=%d anchor=%d durable=%v\n",
+		ln.Addr(), st.m.Hdr, st.m.Anchor, st.m.Durable)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigc:
+		fmt.Printf("rsserve: %v: draining\n", sig)
+	case err := <-serveDone:
+		fmt.Fprintf(os.Stderr, "rsserve: serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "rsserve: shutdown: %v\n", err)
+	}
+	<-serveDone
+
+	leaked, err := st.drainClean()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rsserve: drain: %v\n", err)
+		os.Exit(1)
+	}
+	if leaked != 0 {
+		fmt.Fprintf(os.Stderr, "rsserve: drain left %d leaked pages\n", leaked)
+		os.Exit(3)
+	}
+	snap := metrics.Snapshot()
+	fmt.Printf("rsserve: drained clean: %d conns accepted, busy=%d proto_errors=%d panics=%d\n",
+		snap.Accepted, snap.Busy, snap.ProtoErrors, snap.Panics)
+}

@@ -43,6 +43,7 @@ func All() []Experiment {
 		{"e13", "ablation: EPST parameters a, k, alpha", E13},
 		{"e14", "bound check: per-op overhead vs Thms 6-7 allowances", E14},
 		{"concurrent", "serving layer: snapshot reads scale, group commits coalesce, per-query I/O unchanged", EConcurrent},
+		{"serve", "network layer: end-to-end RPC throughput and latency under the rsload closed loop", EServe},
 	}
 }
 

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"rangesearch/internal/core"
+	"rangesearch/internal/eio"
+	"rangesearch/internal/epst"
+	"rangesearch/internal/server"
+)
+
+// EServe benchmarks the network serving subsystem end to end: an
+// in-process rsserve (EPST under core.Concurrent behind the wire
+// protocol) driven by the closed-loop load generator.
+//
+//   - table a: mixed read/write throughput and latency quantiles as client
+//     connections scale 1..MaxWorkers, with per-stripe verification on —
+//     every row is also a consistency check.
+//   - table b: the effect of client pipelining depth at a fixed connection
+//     count: deeper windows amortize round trips and feed the server's
+//     batched response flushing.
+//
+// All numbers are wall-clock (hardware- and scheduler-dependent); no
+// column is pinned by the trajectory regression guard.
+func EServe(quick bool) ([]*Table, error) {
+	dur := time.Second
+	if quick {
+		dur = 250 * time.Millisecond
+	}
+	workerCounts := scalePoints(MaxWorkers)
+
+	ta := &Table{
+		Title: "serve-a: end-to-end RPC throughput vs client connections",
+		Note: fmt.Sprintf("in-process rsserve on SnapStore(MemStore); %v per row, pipeline 8, 50/50 read/write, per-stripe verification on",
+			dur),
+		Header: []string{"conns", "ops/s", "speedup", "q3 p50 ms", "q3 p99 ms", "ins p99 ms", "busy"},
+	}
+	var base float64
+	for _, w := range workerCounts {
+		rep, err := runServeLoad(server.LoadConfig{
+			Workers:  w,
+			Duration: dur,
+			Pipeline: 8,
+			Verify:   true,
+			Domain:   1 << 18,
+			Seed:     int64(100 + w),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if rep.Failed() {
+			return nil, fmt.Errorf("serve-a workers=%d: %s", w, rep.FirstError)
+		}
+		if base == 0 {
+			base = rep.OpsPerSec
+		}
+		q3 := rep.PerOp["query3"]
+		ins := rep.PerOp["insert"]
+		ta.AddRow(w, fmt.Sprintf("%.0f", rep.OpsPerSec), fmt.Sprintf("%.2fx", rep.OpsPerSec/base),
+			fmt.Sprintf("%.3f", q3.P50Ms), fmt.Sprintf("%.3f", q3.P99Ms),
+			fmt.Sprintf("%.3f", ins.P99Ms), rep.Busy)
+	}
+
+	tb := &Table{
+		Title: "serve-b: client pipelining depth at fixed connections",
+		Note: fmt.Sprintf("%d connections, %v per row; depth 1 is strict request/response, deeper windows amortize round trips",
+			MaxWorkers, dur),
+		Header: []string{"pipeline", "ops/s", "speedup", "ins p50 ms", "ins p99 ms"},
+	}
+	base = 0
+	for _, depth := range []int{1, 4, 16} {
+		rep, err := runServeLoad(server.LoadConfig{
+			Workers:  MaxWorkers,
+			Duration: dur,
+			Pipeline: depth,
+			Verify:   true,
+			Domain:   1 << 18,
+			Seed:     int64(200 + depth),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if rep.Failed() {
+			return nil, fmt.Errorf("serve-b pipeline=%d: %s", depth, rep.FirstError)
+		}
+		if base == 0 {
+			base = rep.OpsPerSec
+		}
+		ins := rep.PerOp["insert"]
+		tb.AddRow(depth, fmt.Sprintf("%.0f", rep.OpsPerSec), fmt.Sprintf("%.2fx", rep.OpsPerSec/base),
+			fmt.Sprintf("%.3f", ins.P50Ms), fmt.Sprintf("%.3f", ins.P99Ms))
+	}
+	return []*Table{ta, tb}, nil
+}
+
+// runServeLoad boots a fresh in-process server, runs one load
+// configuration against it, and drains it clean.
+func runServeLoad(cfg server.LoadConfig) (*server.LoadReport, error) {
+	snap := eio.NewSnapStore(eio.NewMemStore(4096), 0)
+	idx, err := core.NewThreeSided(snap, epst.Options{})
+	if err != nil {
+		return nil, err
+	}
+	hdr := idx.HeaderID()
+	if _, err := snap.Commit(); err != nil {
+		return nil, err
+	}
+	conc, err := core.NewConcurrent(idx, snap,
+		func(s eio.Store) (core.Index, error) { return core.OpenThreeSided(s, hdr) },
+		core.ConcurrentOptions{})
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(conc, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+
+	cfg.Addr = ln.Addr().String()
+	rep, lerr := server.RunLoad(cfg)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return nil, err
+	}
+	if err := <-served; err != nil {
+		return nil, err
+	}
+	conc.Close()
+	if _, err := snap.Commit(); err != nil {
+		return nil, err
+	}
+	if err := snap.Close(); err != nil {
+		return nil, err
+	}
+	return rep, lerr
+}

@@ -158,24 +158,81 @@ func (c *Concurrent) Delete(p geom.Point) (bool, error) {
 // that wins the leadership lock drains the queue and commits on behalf of
 // everyone waiting — classic group commit, no background goroutine.
 func (c *Concurrent) submit(op *pendingOp) {
+	c.submitAll([]*pendingOp{op})
+}
+
+// submitAll enqueues ops (in order, as one contiguous run) and blocks until
+// every one of them has been committed or failed. The queue is FIFO and
+// leaders drain it from the head, so once the last op is done the earlier
+// ones are too.
+func (c *Concurrent) submitAll(ops []*pendingOp) {
+	if len(ops) == 0 {
+		return
+	}
 	c.qmu.Lock()
-	c.queue = append(c.queue, op)
+	c.queue = append(c.queue, ops...)
 	c.qmu.Unlock()
 
+	last := ops[len(ops)-1]
 	start := time.Now()
 	c.wmu.Lock()
 	if c.rec != nil {
 		c.rec.RecordLockWait(time.Since(start))
 	}
-	for !done(op) {
+	for !done(last) {
 		batch := c.take()
 		if len(batch) == 0 {
-			break // op was committed by a previous leader
+			break // ops were committed by a previous leader
 		}
 		c.runBatch(batch)
 	}
 	c.wmu.Unlock()
-	<-op.done
+	for _, op := range ops {
+		<-op.done
+	}
+}
+
+// BatchOp is one operation of a client-assembled write batch (see
+// ApplyBatch). Delete is false for an insert of P, true for a delete.
+type BatchOp struct {
+	Delete bool
+	P      geom.Point
+}
+
+// BatchResult is the per-operation outcome of an ApplyBatch entry: Found
+// mirrors Delete's return value, Err the operation's error (benign
+// per-operation outcomes such as ErrDuplicate stay per-entry; a failed
+// group commit fails every entry of its group).
+type BatchResult struct {
+	Found bool
+	Err   error
+}
+
+// ApplyBatch submits ops as one contiguous run of the group-commit queue
+// and blocks until all of them are committed (or failed). Compared with
+// calling Insert/Delete once per operation from the same goroutine, the
+// whole run is eligible for coalescing into as few as
+// ⌈len(ops)/MaxBatch⌉ group commits — the entry point network servers use
+// to turn one client BATCH request into few WAL records. Results are
+// positional.
+func (c *Concurrent) ApplyBatch(ops []BatchOp) []BatchResult {
+	if len(ops) == 0 {
+		return nil
+	}
+	pend := make([]*pendingOp, len(ops))
+	for i, op := range ops {
+		kind := opInsert
+		if op.Delete {
+			kind = opDelete
+		}
+		pend[i] = &pendingOp{kind: kind, p: op.P, done: make(chan struct{})}
+	}
+	c.submitAll(pend)
+	res := make([]BatchResult, len(ops))
+	for i, op := range pend {
+		res[i] = BatchResult{Found: op.found, Err: op.err}
+	}
+	return res
 }
 
 func done(op *pendingOp) bool {
@@ -375,6 +432,22 @@ func (c *Concurrent) Destroy() error {
 	c.cur = nil
 	c.vmu.Unlock()
 	return err
+}
+
+// Close releases the reader-side machinery: the cached epoch view's pin is
+// dropped so the SnapStore can garbage-collect version memory and apply
+// deferred frees at its next Commit or Close. Call it after the last query
+// and before scrubbing or closing the store — a Concurrent that is never
+// Closed keeps its current epoch pinned forever, which makes deferred
+// frees look like leaks to eio.FindLeaks. Queries after Close simply
+// re-open a view; Close is idempotent.
+func (c *Concurrent) Close() {
+	c.vmu.Lock()
+	if c.cur != nil && c.cur.refs == 0 {
+		c.snap.Unpin(c.cur.epoch)
+	}
+	c.cur = nil
+	c.vmu.Unlock()
 }
 
 // Snapshot is a pinned, epoch-stamped, read-only view of a Concurrent

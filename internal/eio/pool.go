@@ -234,6 +234,17 @@ func (p *Pool) Resident() int {
 // Pages implements Store.
 func (p *Pool) Pages() int { return p.backing.Pages() }
 
+// LivePageIDs implements PageLister when the backing store does.
+// Allocation state passes straight through the pool, so no flush is
+// needed for the listing to be exact.
+func (p *Pool) LivePageIDs() ([]PageID, error) {
+	pl, ok := p.backing.(PageLister)
+	if !ok {
+		return nil, fmt.Errorf("eio: pool: backing store cannot enumerate pages")
+	}
+	return pl.LivePageIDs()
+}
+
 // Close flushes dirty pages and closes the backing store.
 func (p *Pool) Close() error {
 	p.mu.Lock()

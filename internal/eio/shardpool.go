@@ -166,6 +166,15 @@ func (sp *ShardedPool) Resident() int {
 // Pages implements Store.
 func (sp *ShardedPool) Pages() int { return sp.backing.Pages() }
 
+// LivePageIDs implements PageLister when the backing store does.
+func (sp *ShardedPool) LivePageIDs() ([]PageID, error) {
+	pl, ok := sp.backing.(PageLister)
+	if !ok {
+		return nil, fmt.Errorf("eio: shardpool: backing store cannot enumerate pages")
+	}
+	return pl.LivePageIDs()
+}
+
 // Close flushes every shard and closes the backing store once.
 func (sp *ShardedPool) Close() error {
 	var err error

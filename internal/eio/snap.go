@@ -369,6 +369,21 @@ func (s *SnapStore) Pages() int {
 	return s.inner.Pages() - int(s.pendingFrees.Load())
 }
 
+// LivePageIDs implements PageLister when the inner store does. It reports
+// the inner store's live set, which matches the logical live set only when
+// the SnapStore is quiescent — no pinned epochs and no deferred frees
+// (a Commit with all readers drained reaches that state). A page whose
+// free is still deferred shows up as live here, so scrubbing a
+// non-quiescent SnapStore over-reports leaks rather than freeing anything
+// a pinned reader still needs.
+func (s *SnapStore) LivePageIDs() ([]PageID, error) {
+	pl, ok := s.inner.(PageLister)
+	if !ok {
+		return nil, fmt.Errorf("eio: snap: inner store cannot enumerate pages")
+	}
+	return pl.LivePageIDs()
+}
+
 // Close applies every still-deferred free whose pins have drained, then
 // closes the inner store. Frees still blocked by live pins are dropped
 // (the store is going away with its readers).

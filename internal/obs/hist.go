@@ -150,6 +150,32 @@ func (h *Histogram) Buckets() []Bucket {
 	return out
 }
 
+// Merge folds every observation recorded in other into h. The two locks
+// are taken in sequence, never together, so concurrent Observes on either
+// histogram stay safe.
+func (h *Histogram) Merge(other *Histogram) {
+	other.mu.Lock()
+	counts := other.counts
+	n, sum, mn, mx := other.n, other.sum, other.min, other.max
+	other.mu.Unlock()
+	if n == 0 {
+		return
+	}
+	h.mu.Lock()
+	for b, c := range counts {
+		h.counts[b] += c
+	}
+	if h.n == 0 || mn < h.min {
+		h.min = mn
+	}
+	if mx > h.max {
+		h.max = mx
+	}
+	h.n += n
+	h.sum += sum
+	h.mu.Unlock()
+}
+
 // Reset clears all observations.
 func (h *Histogram) Reset() {
 	h.mu.Lock()

@@ -38,6 +38,13 @@ func publish(name string, fn func() interface{}) {
 	}
 }
 
+// Publish exports fn() under name on the package's repointable expvar
+// surface: unlike expvar.Publish it may be called repeatedly with the same
+// name, each call repointing the variable at the new producer. It is the
+// hook other layers (e.g. internal/server) use to join the same
+// /debug/vars surface the store and contention metrics live on.
+func Publish(name string, fn func() interface{}) { publish(name, fn) }
+
 // PublishStore exports s.Stats() and s.Pages() as the expvar
 // "rangesearch.store.<name>". Later calls with the same name repoint the
 // variable.

@@ -1,0 +1,210 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"rangesearch/internal/geom"
+)
+
+// ClientOptions tunes a Client.
+type ClientOptions struct {
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// IOTimeout is the per-round-trip deadline: it covers writing one
+	// request (or pipeline burst) and reading its response(s)
+	// (default 30s; <0 disables).
+	IOTimeout time.Duration
+	// MaxFrame is the response-frame ceiling (default DefaultMaxFrame).
+	MaxFrame int
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.IOTimeout == 0 {
+		o.IOTimeout = 30 * time.Second
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+	return o
+}
+
+// Client is one connection speaking the wire protocol. It is NOT safe for
+// concurrent use — one goroutine per Client, the same discipline as a
+// bare net.Conn. Responses arrive in request order, so pipelining is just
+// "Send k, then Recv k".
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	opts ClientOptions
+
+	// pending holds the opcodes of sent-but-unanswered requests, so Recv
+	// knows how to decode each response.
+	pending []byte
+	buf     []byte
+}
+
+// Dial connects to a server at addr.
+func Dial(addr string, opts ClientOptions) (*Client, error) {
+	opts = opts.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 32*1024),
+		bw:   bufio.NewWriterSize(conn, 32*1024),
+		opts: opts,
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Send writes one request frame into the connection's write buffer
+// without flushing — the building block of pipelining. Call Flush (or any
+// Recv, which flushes first) to put buffered requests on the wire.
+func (c *Client) Send(r Request) error {
+	body, err := EncodeRequest(c.buf[:0], r)
+	if err != nil {
+		return err
+	}
+	c.buf = body[:0]
+	if c.opts.IOTimeout > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(c.opts.IOTimeout))
+	}
+	if err := WriteFrame(c.bw, body); err != nil {
+		return err
+	}
+	c.pending = append(c.pending, r.Op)
+	return nil
+}
+
+// Flush writes buffered request frames to the wire.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// Recv flushes buffered requests and reads the response to the oldest
+// unanswered one. The error is a transport or framing failure; an ERR or
+// BUSY response comes back as a Response, not an error.
+func (c *Client) Recv() (Response, error) {
+	if len(c.pending) == 0 {
+		return Response{}, fmt.Errorf("%w: Recv with no pending request", ErrProto)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Response{}, err
+	}
+	if c.opts.IOTimeout > 0 {
+		_ = c.conn.SetReadDeadline(time.Now().Add(c.opts.IOTimeout))
+	}
+	body, err := ReadFrame(c.br, c.opts.MaxFrame)
+	if err != nil {
+		return Response{}, err
+	}
+	op := c.pending[0]
+	c.pending = c.pending[:copy(c.pending, c.pending[1:])]
+	return DecodeResponse(body, op)
+}
+
+// Pending returns the number of sent-but-unanswered requests.
+func (c *Client) Pending() int { return len(c.pending) }
+
+// Do sends one request and waits for its response — the non-pipelined
+// convenience path.
+func (c *Client) Do(r Request) (Response, error) {
+	if err := c.Send(r); err != nil {
+		return Response{}, err
+	}
+	return c.Recv()
+}
+
+// statusErr converts a non-OK response into an error (BUSY → ErrBusy).
+func statusErr(r Response) error {
+	switch r.Status {
+	case StatusOK:
+		return nil
+	case StatusBusy:
+		return ErrBusy
+	default:
+		return fmt.Errorf("server: %s", r.Msg)
+	}
+}
+
+// Ping round-trips data and verifies the echo.
+func (c *Client) Ping(data []byte) error {
+	r, err := c.Do(Request{Op: OpPing, Data: data})
+	if err != nil {
+		return err
+	}
+	if err := statusErr(r); err != nil {
+		return err
+	}
+	if string(r.Data) != string(data) {
+		return fmt.Errorf("%w: ping echo mismatch", ErrProto)
+	}
+	return nil
+}
+
+// Insert inserts p. duplicate reports the point was already present.
+func (c *Client) Insert(p geom.Point) (duplicate bool, err error) {
+	r, err := c.Do(Request{Op: OpInsert, P: p})
+	if err != nil {
+		return false, err
+	}
+	return r.Duplicate, statusErr(r)
+}
+
+// Delete removes p, reporting whether it was present.
+func (c *Client) Delete(p geom.Point) (found bool, err error) {
+	r, err := c.Do(Request{Op: OpDelete, P: p})
+	if err != nil {
+		return false, err
+	}
+	return r.Found, statusErr(r)
+}
+
+// Query3 reports the points with x ∈ [xlo, xhi], y ≥ ylo.
+func (c *Client) Query3(xlo, xhi, ylo int64) ([]geom.Point, error) {
+	r, err := c.Do(Request{Op: OpQuery3, Rect: geom.Rect{XLo: xlo, XHi: xhi, YLo: ylo, YHi: geom.MaxCoord}})
+	if err != nil {
+		return nil, err
+	}
+	return r.Points, statusErr(r)
+}
+
+// Query4 reports the points inside rect.
+func (c *Client) Query4(rect geom.Rect) ([]geom.Point, error) {
+	r, err := c.Do(Request{Op: OpQuery4, Rect: rect})
+	if err != nil {
+		return nil, err
+	}
+	return r.Points, statusErr(r)
+}
+
+// Batch applies entries as one request (one admission-gate token, one
+// contiguous group-commit run server-side) and returns per-entry codes.
+func (c *Client) Batch(entries []BatchEntry) ([]byte, error) {
+	r, err := c.Do(Request{Op: OpBatch, Batch: entries})
+	if err != nil {
+		return nil, err
+	}
+	return r.Results, statusErr(r)
+}
+
+// Stats fetches the server's StatsSnapshot as raw JSON.
+func (c *Client) Stats() ([]byte, error) {
+	r, err := c.Do(Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	return r.Data, statusErr(r)
+}

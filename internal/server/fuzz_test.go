@@ -1,0 +1,151 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"rangesearch/internal/geom"
+)
+
+func pt(x, y int64) geom.Point { return geom.Point{X: x, Y: y} }
+
+func rect(xlo, xhi, ylo, yhi int64) geom.Rect {
+	return geom.Rect{XLo: xlo, XHi: xhi, YLo: ylo, YHi: yhi}
+}
+
+// FuzzDecodeRequest pins DecodeRequest's totality: arbitrary bytes decode
+// or fail with ErrProto — never panic — and everything that decodes
+// re-encodes to the identical body (a canonical-form round trip).
+func FuzzDecodeRequest(f *testing.F) {
+	// One valid seed per opcode, plus hostile shapes.
+	seed := func(r Request) []byte {
+		body, err := EncodeRequest(nil, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return body
+	}
+	f.Add(seed(Request{Op: OpPing, Data: []byte("hi")}))
+	f.Add(seed(Request{Op: OpInsert, P: pt(3, -4)}))
+	f.Add(seed(Request{Op: OpDelete, P: pt(0, 0)}))
+	f.Add(seed(Request{Op: OpQuery3, Rect: rect(-1, 1, 0, 0)}))
+	f.Add(seed(Request{Op: OpQuery4, Rect: rect(1, 2, 3, 4)}))
+	f.Add(seed(Request{Op: OpBatch, Batch: []BatchEntry{{Kind: BatchInsert, P: pt(9, 9)}, {Kind: BatchDelete, P: pt(1, 1)}}}))
+	f.Add(seed(Request{Op: OpStats}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+	f.Add([]byte{OpBatch, 0xFF, 0xFF, 0xFF, 0xFF})                        // huge count
+	f.Add([]byte{OpInsert, 1, 2, 3})                                      // truncated point
+	f.Add(append([]byte{OpBatch, 0, 0, 0, 1, 0x05}, make([]byte, 16)...)) // bad kind
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := DecodeRequest(body, 64)
+		if err != nil {
+			if !errors.Is(err, ErrProto) {
+				t.Fatalf("non-ErrProto failure: %v", err)
+			}
+			return
+		}
+		re, err := EncodeRequest(nil, req)
+		if err != nil {
+			t.Fatalf("decoded request does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, body) {
+			t.Fatalf("round trip not canonical:\n in %x\nout %x", body, re)
+		}
+	})
+}
+
+// FuzzDecodeResponse pins DecodeResponse the same way, across every
+// opcode a response can answer.
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add(EncodeResponse(nil, OpQuery3, Response{Status: StatusOK, Points: []geom.Point{pt(1, 2), pt(-3, 4)}}), OpQuery3)
+	f.Add(EncodeResponse(nil, OpInsert, Response{Status: StatusOK, Duplicate: true}), OpInsert)
+	f.Add(EncodeResponse(nil, OpBatch, Response{Status: StatusOK, Results: []byte{BatchOK, BatchDup}}), OpBatch)
+	f.Add(EncodeResponse(nil, OpDelete, Response{Status: StatusErr, Msg: "boom"}), OpDelete)
+	f.Add([]byte{StatusOK, 0xFF}, OpQuery4)
+	f.Add([]byte{}, OpPing)
+
+	f.Fuzz(func(t *testing.T, body []byte, op byte) {
+		resp, err := DecodeResponse(body, op)
+		if err != nil {
+			if !errors.Is(err, ErrProto) {
+				t.Fatalf("non-ErrProto failure: %v", err)
+			}
+			return
+		}
+		re := EncodeResponse(nil, op, resp)
+		if !bytes.Equal(re, body) {
+			t.Fatalf("round trip not canonical:\n in %x\nout %x", body, re)
+		}
+	})
+}
+
+// FuzzReadFrame pins the framing layer: arbitrary byte streams either
+// yield a frame within the limit or fail cleanly; a hostile length prefix
+// must not drive allocation.
+func FuzzReadFrame(f *testing.F) {
+	frame := func(body []byte) []byte {
+		var buf bytes.Buffer
+		WriteFrame(&buf, body)
+		return buf.Bytes()
+	}
+	f.Add(frame([]byte{OpStats}))
+	f.Add(frame(bytes.Repeat([]byte{1}, 100)))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0, 0})
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		const limit = 1 << 12
+		r := bytes.NewReader(stream)
+		for {
+			body, err := ReadFrame(r, limit)
+			if err != nil {
+				if errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrProto) ||
+					errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+					return
+				}
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			if len(body) == 0 || len(body) > limit {
+				t.Fatalf("frame of %d bytes escaped the limit %d", len(body), limit)
+			}
+		}
+	})
+}
+
+// FuzzFrameSizeRejection drives ReadFrame with an explicit length prefix
+// to pin that rejection happens before the body is read or allocated.
+func FuzzFrameSizeRejection(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(1))
+	f.Add(uint32(1 << 12))
+	f.Add(uint32(1<<12 + 1))
+	f.Add(^uint32(0))
+	f.Fuzz(func(t *testing.T, n uint32) {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], n)
+		// The reader holds ONLY the header: if ReadFrame tried to read a
+		// rejected body it would block forever on a net.Conn; against this
+		// reader it must fail with the right class instead.
+		_, err := ReadFrame(bytes.NewReader(hdr[:]), 1<<12)
+		switch {
+		case n == 0:
+			if !errors.Is(err, ErrProto) {
+				t.Fatalf("n=0: %v", err)
+			}
+		case n > 1<<12:
+			if !errors.Is(err, ErrFrameTooLarge) {
+				t.Fatalf("n=%d: %v, want ErrFrameTooLarge", n, err)
+			}
+		default:
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("n=%d: %v, want ErrUnexpectedEOF", n, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,563 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"rangesearch/internal/geom"
+	"rangesearch/internal/obs"
+)
+
+// LoadConfig drives RunLoad, the closed-loop load generator behind
+// cmd/rsload, the bench "serve" experiment, and the race-mode soak test.
+type LoadConfig struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Workers is the number of connections, each driven by one goroutine
+	// (default 4).
+	Workers int
+	// Duration is how long to run (default 2s).
+	Duration time.Duration
+	// Pipeline is the per-connection window: a worker keeps up to this
+	// many requests outstanding before reading a response (default 1,
+	// i.e. strict request/response).
+	Pipeline int
+	// ReadFrac is the fraction of operations that are queries, in [0, 1]
+	// (default 0.5).
+	ReadFrac float64
+	// DeleteFrac is the fraction of *write* operations that are deletes
+	// (default 0.3). Deletes target points the worker knows are live, so
+	// the index neither drains nor grows without bound.
+	DeleteFrac float64
+	// FourFrac is the fraction of queries that are 4-sided (default 0.5;
+	// the rest are 3-sided).
+	FourFrac float64
+	// Domain is the coordinate range: x and y are drawn from
+	// [0, Domain) (default 1 << 20). Each worker owns the x-stripe
+	// x ≡ worker (mod Workers), so workers never write each other's
+	// points and can verify reads against a local model.
+	Domain int64
+	// QuerySpan is the x-extent of generated query rectangles (default
+	// Domain/64).
+	QuerySpan int64
+	// Seed seeds the per-worker RNGs (default 1).
+	Seed int64
+	// Verify, when set, checks every query result against the worker's
+	// model of its own stripe: reported points in the stripe must exactly
+	// match the live set (read-your-writes per connection). Mismatches
+	// count as consistency errors.
+	Verify bool
+	// BatchEvery, when > 0, makes every Nth write a BATCH of BatchSize
+	// mixed inserts/deletes instead of a single op.
+	BatchEvery int
+	// BatchSize is the number of entries per BATCH request (default 16).
+	BatchSize int
+	// Client is passed to Dial.
+	Client ClientOptions
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 1
+	}
+	// For the fraction knobs, 0 means "default" and a negative value means
+	// "really zero", so a pure-write or pure-insert mix stays expressible.
+	c.ReadFrac = fracDefault(c.ReadFrac, 0.5)
+	c.DeleteFrac = fracDefault(c.DeleteFrac, 0.3)
+	c.FourFrac = fracDefault(c.FourFrac, 0.5)
+	if c.Domain <= 0 {
+		c.Domain = 1 << 20
+	}
+	if c.QuerySpan <= 0 {
+		c.QuerySpan = c.Domain / 64
+		if c.QuerySpan == 0 {
+			c.QuerySpan = 1
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	return c
+}
+
+func fracDefault(v, def float64) float64 {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	}
+	return v
+}
+
+// OpLoadStats summarizes one operation kind in a LoadReport.
+type OpLoadStats struct {
+	Count  uint64  `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// LoadReport is RunLoad's result: throughput, per-op latency quantiles,
+// and the three error classes the acceptance gate cares about. It is the
+// JSON payload cmd/rsload writes.
+type LoadReport struct {
+	Workers    int     `json:"workers"`
+	Pipeline   int     `json:"pipeline"`
+	DurationS  float64 `json:"duration_s"`
+	Ops        uint64  `json:"ops"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	Reads      uint64  `json:"reads"`
+	Writes     uint64  `json:"writes"`
+	PointsRead uint64  `json:"points_read"`
+
+	Busy              uint64 `json:"busy"`
+	ProtoErrors       uint64 `json:"proto_errors"`
+	ConsistencyErrors uint64 `json:"consistency_errors"`
+	TransportErrors   uint64 `json:"transport_errors"`
+
+	PerOp map[string]OpLoadStats `json:"per_op"`
+
+	// VerifyMode records how query results were checked: "exact" (the
+	// index started empty, so each worker's stripe model is the complete
+	// truth), "containment" (the index was pre-populated, so only
+	// this-run inserts and deletes are checked), or "" with Verify off.
+	VerifyMode string `json:"verify_mode,omitempty"`
+
+	// FirstError preserves one representative failure for diagnostics.
+	FirstError string `json:"first_error,omitempty"`
+}
+
+// Failed reports whether the run saw any error that should fail a gate
+// (BUSY shedding is backpressure, not failure, and is excluded).
+func (r *LoadReport) Failed() bool {
+	return r.ProtoErrors > 0 || r.ConsistencyErrors > 0 || r.TransportErrors > 0
+}
+
+// loadWorker is one closed-loop connection driver.
+type loadWorker struct {
+	id  int
+	cfg LoadConfig
+	rng *rand.Rand
+	cl  *Client
+
+	// live is the worker's model of its own x-stripe: the points it has
+	// inserted and not yet deleted. keys mirrors live for O(1) random
+	// victim selection.
+	live map[geom.Point]int // point -> index in keys
+	keys []geom.Point
+	// dead holds stripe points this worker deleted (and has not since
+	// re-inserted); in containment mode a query returning one is an error.
+	dead map[geom.Point]struct{}
+	// strict selects exact-match query verification (index started
+	// empty); otherwise only containment of this run's effects is checked.
+	strict bool
+
+	// window holds outstanding pipelined requests in send order.
+	window []sentOp
+
+	ops, reads, writes, pointsRead   uint64
+	busy, protoErr, consistency, txp uint64
+	firstErr                         error
+
+	hist map[byte]*obs.Histogram
+}
+
+// sentOp remembers enough about an in-flight request to apply its
+// response to the model and verify query results.
+type sentOp struct {
+	req   Request
+	start time.Time
+}
+
+func (w *loadWorker) fail(class *uint64, err error) {
+	*class++
+	if w.firstErr == nil {
+		w.firstErr = err
+	}
+}
+
+// stripePoint draws a random point in this worker's x-stripe.
+func (w *loadWorker) stripePoint() geom.Point {
+	n := int64(w.cfg.Workers)
+	x := w.rng.Int63n((w.cfg.Domain+n-1)/n)*n + int64(w.id)
+	return geom.Point{X: x, Y: w.rng.Int63n(w.cfg.Domain)}
+}
+
+// nextRequest draws the next operation from the configured mix.
+func (w *loadWorker) nextRequest() Request {
+	if w.rng.Float64() < w.cfg.ReadFrac {
+		xlo := w.rng.Int63n(w.cfg.Domain)
+		xhi := xlo + w.cfg.QuerySpan
+		ylo := w.rng.Int63n(w.cfg.Domain)
+		if w.rng.Float64() < w.cfg.FourFrac {
+			span := w.cfg.QuerySpan * 4
+			yhi := ylo + span
+			return Request{Op: OpQuery4, Rect: geom.Rect{XLo: xlo, XHi: xhi, YLo: ylo, YHi: yhi}}
+		}
+		return Request{Op: OpQuery3, Rect: geom.Rect{XLo: xlo, XHi: xhi, YLo: ylo, YHi: geom.MaxCoord}}
+	}
+	if w.cfg.BatchEvery > 0 && w.writes%uint64(w.cfg.BatchEvery) == 0 && w.writes > 0 {
+		entries := make([]BatchEntry, 0, w.cfg.BatchSize)
+		for i := 0; i < w.cfg.BatchSize; i++ {
+			if len(w.keys) > 0 && w.rng.Float64() < w.cfg.DeleteFrac {
+				entries = append(entries, BatchEntry{Kind: BatchDelete, P: w.keys[w.rng.Intn(len(w.keys))]})
+			} else {
+				entries = append(entries, BatchEntry{Kind: BatchInsert, P: w.stripePoint()})
+			}
+		}
+		return Request{Op: OpBatch, Batch: entries}
+	}
+	if len(w.keys) > 0 && w.rng.Float64() < w.cfg.DeleteFrac {
+		return Request{Op: OpDelete, P: w.keys[w.rng.Intn(len(w.keys))]}
+	}
+	return Request{Op: OpInsert, P: w.stripePoint()}
+}
+
+// modelInsert / modelDelete maintain the live and dead sets.
+func (w *loadWorker) modelInsert(p geom.Point) {
+	delete(w.dead, p)
+	if _, ok := w.live[p]; ok {
+		return
+	}
+	w.live[p] = len(w.keys)
+	w.keys = append(w.keys, p)
+}
+
+func (w *loadWorker) modelDelete(p geom.Point) {
+	i, ok := w.live[p]
+	if !ok {
+		return
+	}
+	last := len(w.keys) - 1
+	w.keys[i] = w.keys[last]
+	w.live[w.keys[i]] = i
+	w.keys = w.keys[:last]
+	delete(w.live, p)
+	w.dead[p] = struct{}{}
+}
+
+// inStripe reports whether p belongs to this worker's x-stripe.
+func (w *loadWorker) inStripe(p geom.Point) bool {
+	return p.X%int64(w.cfg.Workers) == int64(w.id) && p.X >= 0
+}
+
+// expectStripe returns the model's points inside rect that belong to this
+// worker's stripe, sorted for comparison.
+func (w *loadWorker) expectStripe(rect geom.Rect) []geom.Point {
+	var out []geom.Point
+	for p := range w.live {
+		if p.X >= rect.XLo && p.X <= rect.XHi && p.Y >= rect.YLo && p.Y <= rect.YHi {
+			out = append(out, p)
+		}
+	}
+	sortPoints(out)
+	return out
+}
+
+func sortPoints(ps []geom.Point) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].X != ps[j].X {
+			return ps[i].X < ps[j].X
+		}
+		return ps[i].Y < ps[j].Y
+	})
+}
+
+// applyResponse folds one response into the model and error counters.
+func (w *loadWorker) applyResponse(s sentOp, resp Response, err error) {
+	lat := time.Since(s.start)
+	if err != nil {
+		w.fail(&w.txp, err)
+		return
+	}
+	w.hist[s.req.Op].Observe(uint64(lat))
+	w.ops++
+	switch resp.Status {
+	case StatusBusy:
+		w.busy++
+		return
+	case StatusErr:
+		w.fail(&w.protoErr, fmt.Errorf("%s: server error: %s", OpName(s.req.Op), resp.Msg))
+		return
+	}
+	switch s.req.Op {
+	case OpInsert:
+		w.writes++
+		if w.cfg.Verify {
+			// The stripe is exclusive to this worker, so the server must
+			// report a duplicate exactly when the model already holds the
+			// point. In containment mode a duplicate of a point the model
+			// never saw is a pre-existing point — learn it instead.
+			_, wasLive := w.live[s.req.P]
+			if wasLive && !resp.Duplicate {
+				w.fail(&w.consistency, fmt.Errorf("insert %v: not a duplicate, but model holds it live", s.req.P))
+			}
+			_, wasDead := w.dead[s.req.P]
+			if resp.Duplicate && !wasLive && (w.strict || wasDead) {
+				w.fail(&w.consistency, fmt.Errorf("insert %v: unexpected duplicate (live=%v dead=%v)", s.req.P, wasLive, wasDead))
+			}
+		}
+		w.modelInsert(s.req.P)
+	case OpDelete:
+		w.writes++
+		if w.cfg.Verify {
+			_, wasLive := w.live[s.req.P]
+			if wasLive != resp.Found {
+				w.fail(&w.consistency, fmt.Errorf("delete %v: found=%v, model live=%v", s.req.P, resp.Found, wasLive))
+			}
+		}
+		w.modelDelete(s.req.P)
+	case OpBatch:
+		w.writes++
+		if len(resp.Results) != len(s.req.Batch) {
+			w.fail(&w.protoErr, fmt.Errorf("batch: %d results for %d entries", len(resp.Results), len(s.req.Batch)))
+			return
+		}
+		for i, e := range s.req.Batch {
+			if e.Kind == BatchDelete {
+				if w.cfg.Verify {
+					_, wasLive := w.live[e.P]
+					got := resp.Results[i] == BatchOK
+					if wasLive != got {
+						w.fail(&w.consistency, fmt.Errorf("batch delete %v: code=%d, model live=%v", e.P, resp.Results[i], wasLive))
+					}
+				}
+				w.modelDelete(e.P)
+			} else {
+				if w.cfg.Verify {
+					_, wasLive := w.live[e.P]
+					_, wasDead := w.dead[e.P]
+					dup := resp.Results[i] == BatchDup
+					if wasLive && !dup {
+						w.fail(&w.consistency, fmt.Errorf("batch insert %v: not a duplicate, but model holds it live", e.P))
+					}
+					if dup && !wasLive && (w.strict || wasDead) {
+						w.fail(&w.consistency, fmt.Errorf("batch insert %v: unexpected duplicate", e.P))
+					}
+				}
+				w.modelInsert(e.P)
+			}
+		}
+	case OpQuery3, OpQuery4:
+		w.reads++
+		w.pointsRead += uint64(len(resp.Points))
+		if w.cfg.Verify {
+			w.verifyQuery(s.req, resp.Points)
+		}
+	}
+}
+
+// verifyQuery checks a query result against the worker's stripe model.
+// In strict mode (index started empty) the result restricted to this
+// worker's stripe must equal the model's live set in the rectangle. In
+// containment mode (pre-populated index) only this run's effects are
+// checked: every model-live point in the rectangle must appear, and no
+// point this worker deleted may appear.
+func (w *loadWorker) verifyQuery(req Request, pts []geom.Point) {
+	if w.strict {
+		var got []geom.Point
+		for _, p := range pts {
+			if w.inStripe(p) {
+				got = append(got, p)
+			}
+		}
+		sortPoints(got)
+		want := w.expectStripe(req.Rect)
+		if !equalPoints(got, want) {
+			w.fail(&w.consistency, fmt.Errorf("%s %+v: got %d stripe points, want %d", OpName(req.Op), req.Rect, len(got), len(want)))
+		}
+		return
+	}
+	got := make(map[geom.Point]struct{}, len(pts))
+	for _, p := range pts {
+		got[p] = struct{}{}
+		if _, deleted := w.dead[p]; deleted {
+			w.fail(&w.consistency, fmt.Errorf("%s %+v: returned %v, which this worker deleted", OpName(req.Op), req.Rect, p))
+			return
+		}
+	}
+	for _, p := range w.expectStripe(req.Rect) {
+		if _, ok := got[p]; !ok {
+			w.fail(&w.consistency, fmt.Errorf("%s %+v: missing %v, which this worker inserted", OpName(req.Op), req.Rect, p))
+			return
+		}
+	}
+}
+
+func equalPoints(a, b []geom.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// run drives the closed loop until deadline, then drains the window.
+func (w *loadWorker) run(deadline time.Time) {
+	for time.Now().Before(deadline) && w.firstErr == nil {
+		// Fill the pipeline window.
+		for w.cl.Pending() < w.cfg.Pipeline {
+			req := w.nextRequest()
+			if err := w.cl.Send(req); err != nil {
+				w.fail(&w.txp, err)
+				return
+			}
+			w.window = append(w.window, sentOp{req: req, start: time.Now()})
+		}
+		resp, err := w.cl.Recv()
+		s := w.window[0]
+		w.window = w.window[:copy(w.window, w.window[1:])]
+		w.applyResponse(s, resp, err)
+		if err != nil {
+			return
+		}
+	}
+	// Drain outstanding responses so the connection closes cleanly.
+	for len(w.window) > 0 && w.firstErr == nil {
+		resp, err := w.cl.Recv()
+		s := w.window[0]
+		w.window = w.window[:copy(w.window, w.window[1:])]
+		w.applyResponse(s, resp, err)
+		if err != nil {
+			return
+		}
+	}
+}
+
+// RunLoad runs the closed-loop workload against the server at cfg.Addr and
+// aggregates every worker's counters and latency histograms into one
+// report. Each worker owns a disjoint x-stripe (x mod Workers), which is
+// what makes per-connection read-your-writes verification sound under
+// concurrency: no other connection ever writes the stripe a worker checks.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+
+	// Exact verification is sound only when the index starts empty (the
+	// stripe model then is the whole truth about the stripe); against a
+	// pre-populated store, fall back to checking containment of this
+	// run's own effects.
+	strict := true
+	if cfg.Verify {
+		probe, err := Dial(cfg.Addr, cfg.Client)
+		if err != nil {
+			return nil, fmt.Errorf("probe: %w", err)
+		}
+		raw, err := probe.Stats()
+		probe.Close()
+		if err != nil {
+			return nil, fmt.Errorf("probe stats: %w", err)
+		}
+		var st StatsSnapshot
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return nil, fmt.Errorf("probe stats: %w", err)
+		}
+		strict = st.Len == 0
+	}
+
+	workers := make([]*loadWorker, cfg.Workers)
+	for i := range workers {
+		cl, err := Dial(cfg.Addr, cfg.Client)
+		if err != nil {
+			for _, w := range workers[:i] {
+				w.cl.Close()
+			}
+			return nil, fmt.Errorf("dial worker %d: %w", i, err)
+		}
+		workers[i] = &loadWorker{
+			id:     i,
+			cfg:    cfg,
+			rng:    rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
+			cl:     cl,
+			live:   map[geom.Point]int{},
+			dead:   map[geom.Point]struct{}{},
+			strict: strict,
+			hist: map[byte]*obs.Histogram{
+				OpInsert: {}, OpDelete: {}, OpQuery3: {}, OpQuery4: {}, OpBatch: {},
+			},
+		}
+	}
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *loadWorker) {
+			defer wg.Done()
+			defer w.cl.Close()
+			w.run(deadline)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{
+		Workers:   cfg.Workers,
+		Pipeline:  cfg.Pipeline,
+		DurationS: elapsed.Seconds(),
+		PerOp:     map[string]OpLoadStats{},
+	}
+	if cfg.Verify {
+		rep.VerifyMode = "containment"
+		if strict {
+			rep.VerifyMode = "exact"
+		}
+	}
+	merged := map[byte]*obs.Histogram{
+		OpInsert: {}, OpDelete: {}, OpQuery3: {}, OpQuery4: {}, OpBatch: {},
+	}
+	for _, w := range workers {
+		rep.Ops += w.ops
+		rep.Reads += w.reads
+		rep.Writes += w.writes
+		rep.PointsRead += w.pointsRead
+		rep.Busy += w.busy
+		rep.ProtoErrors += w.protoErr
+		rep.ConsistencyErrors += w.consistency
+		rep.TransportErrors += w.txp
+		if w.firstErr != nil && rep.FirstError == "" {
+			rep.FirstError = fmt.Sprintf("worker %d: %v", w.id, w.firstErr)
+		}
+		for op, h := range w.hist {
+			merged[op].Merge(h)
+		}
+	}
+	if elapsed > 0 {
+		rep.OpsPerSec = float64(rep.Ops) / elapsed.Seconds()
+	}
+	for op, h := range merged {
+		snap := h.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		rep.PerOp[OpName(op)] = OpLoadStats{
+			Count:  snap.Count,
+			P50Ms:  float64(h.Quantile(0.50)) / 1e6,
+			P99Ms:  float64(h.Quantile(0.99)) / 1e6,
+			P999Ms: float64(h.Quantile(0.999)) / 1e6,
+			MeanMs: snap.Mean / 1e6,
+		}
+	}
+	return rep, nil
+}

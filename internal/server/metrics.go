@@ -1,0 +1,129 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"rangesearch/internal/obs"
+)
+
+// opSlots indexes the per-opcode metric arrays: opcodes are 0x01..0x07, so
+// slot = opcode works with one unused zero slot.
+const opSlots = 8
+
+// Metrics aggregates the serving layer's observability signals: per-RPC
+// latency and byte-size log₂ histograms, connection and in-flight gauges,
+// and the counters that distinguish "slow" from "shedding" from "broken"
+// (busy rejections, protocol errors, handler panics). A zero Metrics is
+// ready to use; all methods are safe for concurrent use from every
+// connection handler.
+type Metrics struct {
+	latency  [opSlots]obs.Histogram // wall ns per RPC, by opcode
+	bytesIn  [opSlots]obs.Histogram // request frame bytes, by opcode
+	bytesOut [opSlots]obs.Histogram // response frame bytes, by opcode
+	ops      [opSlots]atomic.Uint64 // completed RPCs, by opcode
+	errs     [opSlots]atomic.Uint64 // RPCs answered StatusErr, by opcode
+
+	conns    atomic.Int64  // open connections
+	inflight atomic.Int64  // RPCs past the admission gate, not yet answered
+	accepted atomic.Uint64 // connections ever accepted
+	busy     atomic.Uint64 // RPCs shed with StatusBusy
+	protoErr atomic.Uint64 // malformed frames / payloads received
+	panics   atomic.Uint64 // connection handlers killed by a panic
+}
+
+// observe records one completed RPC.
+func (m *Metrics) observe(op byte, lat time.Duration, in, out int, isErr bool) {
+	if lat < 0 {
+		lat = 0
+	}
+	if int(op) < opSlots {
+		m.latency[op].Observe(uint64(lat))
+		m.bytesIn[op].Observe(uint64(in))
+		m.bytesOut[op].Observe(uint64(out))
+		m.ops[op].Add(1)
+		if isErr {
+			m.errs[op].Add(1)
+		}
+	}
+}
+
+// Latency returns the latency histogram (nanoseconds) for opcode op.
+func (m *Metrics) Latency(op byte) *obs.Histogram { return &m.latency[op%opSlots] }
+
+// BytesIn returns the request-size histogram for opcode op.
+func (m *Metrics) BytesIn(op byte) *obs.Histogram { return &m.bytesIn[op%opSlots] }
+
+// BytesOut returns the response-size histogram for opcode op.
+func (m *Metrics) BytesOut(op byte) *obs.Histogram { return &m.bytesOut[op%opSlots] }
+
+// Conns returns the open-connection gauge value.
+func (m *Metrics) Conns() int64 { return m.conns.Load() }
+
+// InFlight returns the in-flight-RPC gauge value.
+func (m *Metrics) InFlight() int64 { return m.inflight.Load() }
+
+// Busy returns the number of RPCs shed with StatusBusy.
+func (m *Metrics) Busy() uint64 { return m.busy.Load() }
+
+// ProtoErrors returns the number of malformed frames received.
+func (m *Metrics) ProtoErrors() uint64 { return m.protoErr.Load() }
+
+// Panics returns the number of connection handlers killed by a panic.
+func (m *Metrics) Panics() uint64 { return m.panics.Load() }
+
+// OpMetricsSnapshot is the JSON-friendly per-opcode view.
+type OpMetricsSnapshot struct {
+	Count    uint64                `json:"count"`
+	Errors   uint64                `json:"errors,omitempty"`
+	LatNs    obs.HistogramSnapshot `json:"lat_ns"`
+	BytesIn  obs.HistogramSnapshot `json:"bytes_in"`
+	BytesOut obs.HistogramSnapshot `json:"bytes_out"`
+}
+
+// MetricsSnapshot is the JSON-friendly view of a Metrics, the payload both
+// the expvar variable and the STATS opcode serve.
+type MetricsSnapshot struct {
+	Conns       int64                        `json:"conns"`
+	InFlight    int64                        `json:"in_flight"`
+	Accepted    uint64                       `json:"accepted"`
+	Busy        uint64                       `json:"busy"`
+	ProtoErrors uint64                       `json:"proto_errors"`
+	Panics      uint64                       `json:"panics"`
+	Ops         map[string]OpMetricsSnapshot `json:"ops"`
+}
+
+// Snapshot returns a point-in-time copy of every counter and histogram.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Conns:       m.conns.Load(),
+		InFlight:    m.inflight.Load(),
+		Accepted:    m.accepted.Load(),
+		Busy:        m.busy.Load(),
+		ProtoErrors: m.protoErr.Load(),
+		Panics:      m.panics.Load(),
+		Ops:         map[string]OpMetricsSnapshot{},
+	}
+	for _, op := range []byte{OpPing, OpInsert, OpDelete, OpQuery3, OpQuery4, OpBatch, OpStats} {
+		if n := m.ops[op].Load(); n > 0 {
+			s.Ops[OpName(op)] = OpMetricsSnapshot{
+				Count:    n,
+				Errors:   m.errs[op].Load(),
+				LatNs:    m.latency[op].Snapshot(),
+				BytesIn:  m.bytesIn[op].Snapshot(),
+				BytesOut: m.bytesOut[op].Snapshot(),
+			}
+		}
+	}
+	return s
+}
+
+// PublishMetrics exports m.Snapshot() as the expvar
+// "rangesearch.server.<name>" on the same /debug/vars surface
+// obs.ServeMetrics serves. Later calls with the same name repoint the
+// variable.
+func PublishMetrics(name string, m *Metrics) {
+	obs.Publish("rangesearch.server."+name, func() interface{} {
+		return m.Snapshot()
+	})
+}

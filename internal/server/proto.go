@@ -1,0 +1,452 @@
+// Package server is the network serving subsystem: a TCP wire protocol
+// over core.Concurrent, so the paper's structures — and their
+// O(log_B N + t) query bounds — are reachable end-to-end over a socket
+// instead of only in-process.
+//
+// The wire format is deliberately minimal: length-prefixed binary frames,
+// one request frame in, one response frame out, responses in request
+// order per connection. Clients may pipeline freely (send many frames
+// before reading responses); the server handles frames sequentially per
+// connection and coalesces writes from concurrent connections into the
+// group commits core.Concurrent already performs, so pipelined writers on
+// many connections share WAL records and fsyncs.
+//
+//	frame    := len(u32 BE, body length) body
+//	request  := opcode(u8) payload
+//	response := status(u8) payload
+//
+// Requests:
+//
+//	PING   0x01  payload echoed back verbatim
+//	INSERT 0x02  point (16 B: x i64 BE, y i64 BE)
+//	DELETE 0x03  point (16 B)
+//	QUERY3 0x04  xlo, xhi, ylo (24 B) — 3-sided, y unbounded above
+//	QUERY4 0x05  xlo, xhi, ylo, yhi (32 B)
+//	BATCH  0x06  count(u32) then count × (kind u8: 0 insert / 1 delete, point 16 B)
+//	STATS  0x07  empty; response payload is a JSON StatsSnapshot
+//
+// Responses:
+//
+//	OK   0x00  payload depends on the opcode (see Response)
+//	ERR  0x01  payload is a UTF-8 error message; the operation failed
+//	BUSY 0x02  empty; the admission gate was full and the operation was
+//	           NOT executed — the client may retry, ideally after backoff
+//
+// A BUSY response is load shedding, not an error: the server refuses to
+// queue beyond its in-flight budget so that latency stays bounded and
+// memory cannot grow with offered load.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"rangesearch/internal/geom"
+)
+
+// Opcodes of the wire protocol.
+const (
+	OpPing   byte = 0x01
+	OpInsert byte = 0x02
+	OpDelete byte = 0x03
+	OpQuery3 byte = 0x04
+	OpQuery4 byte = 0x05
+	OpBatch  byte = 0x06
+	OpStats  byte = 0x07
+)
+
+// Response status bytes.
+const (
+	StatusOK   byte = 0x00
+	StatusErr  byte = 0x01
+	StatusBusy byte = 0x02
+)
+
+// Batch entry kinds.
+const (
+	BatchInsert byte = 0x00
+	BatchDelete byte = 0x01
+)
+
+// DefaultMaxFrame is the frame-size ceiling used when a config leaves
+// MaxFrame zero: large enough for a 64k-point query result, small enough
+// that a hostile length prefix cannot balloon allocation.
+const DefaultMaxFrame = 1 << 20
+
+// DefaultMaxBatchOps bounds the entries of one BATCH frame.
+const DefaultMaxBatchOps = 4096
+
+// pointSize is the wire size of one encoded point.
+const pointSize = 16
+
+// Protocol errors. ErrFrameTooLarge and ErrProto poison the connection
+// (framing is no longer trustworthy); sizes and shapes inside a
+// well-framed body are reported per-request instead.
+var (
+	// ErrFrameTooLarge reports a length prefix above the negotiated limit.
+	ErrFrameTooLarge = errors.New("server: frame exceeds size limit")
+	// ErrProto reports a malformed frame or payload.
+	ErrProto = errors.New("server: protocol error")
+	// ErrBusy is returned by the client when the server shed the request.
+	ErrBusy = errors.New("server: busy (admission gate full, request not executed)")
+)
+
+// OpName returns the human-readable opcode name ("insert", "query3", ...).
+func OpName(op byte) string {
+	switch op {
+	case OpPing:
+		return "ping"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpQuery3:
+		return "query3"
+	case OpQuery4:
+		return "query4"
+	case OpBatch:
+		return "batch"
+	case OpStats:
+		return "stats"
+	default:
+		return fmt.Sprintf("op(0x%02x)", op)
+	}
+}
+
+// --- framing ------------------------------------------------------------
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one frame body, enforcing the size limit BEFORE
+// allocating: a hostile 4 GiB length prefix costs nothing. An empty frame
+// (length 0) is a protocol error — every request and response carries at
+// least one byte.
+func ReadFrame(r io.Reader, maxFrame int) ([]byte, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty frame", ErrProto)
+	}
+	if n > uint32(maxFrame) {
+		return nil, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooLarge, n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return body, nil
+}
+
+// --- requests -----------------------------------------------------------
+
+// Request is one decoded client request.
+type Request struct {
+	// Op is the opcode (OpPing ... OpStats).
+	Op byte
+	// P is the point of an INSERT or DELETE.
+	P geom.Point
+	// Rect is the query window of a QUERY3 (YHi = geom.MaxCoord) or QUERY4.
+	Rect geom.Rect
+	// Batch holds the entries of a BATCH request.
+	Batch []BatchEntry
+	// Data is the opaque payload of a PING.
+	Data []byte
+}
+
+// BatchEntry is one operation of a BATCH request.
+type BatchEntry struct {
+	// Kind is BatchInsert or BatchDelete.
+	Kind byte
+	// P is the point operated on.
+	P geom.Point
+}
+
+func putPoint(dst []byte, p geom.Point) {
+	binary.BigEndian.PutUint64(dst[0:8], uint64(p.X))
+	binary.BigEndian.PutUint64(dst[8:16], uint64(p.Y))
+}
+
+func getPoint(src []byte) geom.Point {
+	return geom.Point{
+		X: int64(binary.BigEndian.Uint64(src[0:8])),
+		Y: int64(binary.BigEndian.Uint64(src[8:16])),
+	}
+}
+
+// EncodeRequest appends the wire form of r (opcode + payload, no length
+// prefix) to dst and returns the extended slice.
+func EncodeRequest(dst []byte, r Request) ([]byte, error) {
+	dst = append(dst, r.Op)
+	switch r.Op {
+	case OpPing:
+		dst = append(dst, r.Data...)
+	case OpInsert, OpDelete:
+		var buf [pointSize]byte
+		putPoint(buf[:], r.P)
+		dst = append(dst, buf[:]...)
+	case OpQuery3:
+		var buf [24]byte
+		binary.BigEndian.PutUint64(buf[0:8], uint64(r.Rect.XLo))
+		binary.BigEndian.PutUint64(buf[8:16], uint64(r.Rect.XHi))
+		binary.BigEndian.PutUint64(buf[16:24], uint64(r.Rect.YLo))
+		dst = append(dst, buf[:]...)
+	case OpQuery4:
+		var buf [32]byte
+		binary.BigEndian.PutUint64(buf[0:8], uint64(r.Rect.XLo))
+		binary.BigEndian.PutUint64(buf[8:16], uint64(r.Rect.XHi))
+		binary.BigEndian.PutUint64(buf[16:24], uint64(r.Rect.YLo))
+		binary.BigEndian.PutUint64(buf[24:32], uint64(r.Rect.YHi))
+		dst = append(dst, buf[:]...)
+	case OpBatch:
+		var cnt [4]byte
+		binary.BigEndian.PutUint32(cnt[:], uint32(len(r.Batch)))
+		dst = append(dst, cnt[:]...)
+		for _, e := range r.Batch {
+			if e.Kind != BatchInsert && e.Kind != BatchDelete {
+				return nil, fmt.Errorf("%w: batch entry kind 0x%02x", ErrProto, e.Kind)
+			}
+			var buf [1 + pointSize]byte
+			buf[0] = e.Kind
+			putPoint(buf[1:], e.P)
+			dst = append(dst, buf[:]...)
+		}
+	case OpStats:
+		// no payload
+	default:
+		return nil, fmt.Errorf("%w: unknown opcode 0x%02x", ErrProto, r.Op)
+	}
+	return dst, nil
+}
+
+// DecodeRequest parses a frame body into a Request. It is total over
+// arbitrary input: any malformed body yields an error wrapping ErrProto,
+// never a panic or a partially-valid request (the fuzz target pins this).
+func DecodeRequest(body []byte, maxBatchOps int) (Request, error) {
+	if maxBatchOps <= 0 {
+		maxBatchOps = DefaultMaxBatchOps
+	}
+	if len(body) == 0 {
+		return Request{}, fmt.Errorf("%w: empty request", ErrProto)
+	}
+	op, payload := body[0], body[1:]
+	r := Request{Op: op}
+	switch op {
+	case OpPing:
+		r.Data = payload
+	case OpInsert, OpDelete:
+		if len(payload) != pointSize {
+			return Request{}, fmt.Errorf("%w: %s payload %d bytes, want %d", ErrProto, OpName(op), len(payload), pointSize)
+		}
+		r.P = getPoint(payload)
+	case OpQuery3:
+		if len(payload) != 24 {
+			return Request{}, fmt.Errorf("%w: query3 payload %d bytes, want 24", ErrProto, len(payload))
+		}
+		r.Rect = geom.Rect{
+			XLo: int64(binary.BigEndian.Uint64(payload[0:8])),
+			XHi: int64(binary.BigEndian.Uint64(payload[8:16])),
+			YLo: int64(binary.BigEndian.Uint64(payload[16:24])),
+			YHi: geom.MaxCoord,
+		}
+	case OpQuery4:
+		if len(payload) != 32 {
+			return Request{}, fmt.Errorf("%w: query4 payload %d bytes, want 32", ErrProto, len(payload))
+		}
+		r.Rect = geom.Rect{
+			XLo: int64(binary.BigEndian.Uint64(payload[0:8])),
+			XHi: int64(binary.BigEndian.Uint64(payload[8:16])),
+			YLo: int64(binary.BigEndian.Uint64(payload[16:24])),
+			YHi: int64(binary.BigEndian.Uint64(payload[24:32])),
+		}
+	case OpBatch:
+		if len(payload) < 4 {
+			return Request{}, fmt.Errorf("%w: batch payload truncated", ErrProto)
+		}
+		n := binary.BigEndian.Uint32(payload[:4])
+		if n > uint32(maxBatchOps) {
+			return Request{}, fmt.Errorf("%w: batch of %d ops (limit %d)", ErrProto, n, maxBatchOps)
+		}
+		rest := payload[4:]
+		if len(rest) != int(n)*(1+pointSize) {
+			return Request{}, fmt.Errorf("%w: batch body %d bytes for %d ops", ErrProto, len(rest), n)
+		}
+		if n > 0 {
+			r.Batch = make([]BatchEntry, n)
+			for i := range r.Batch {
+				e := rest[i*(1+pointSize):]
+				if e[0] != BatchInsert && e[0] != BatchDelete {
+					return Request{}, fmt.Errorf("%w: batch entry %d kind 0x%02x", ErrProto, i, e[0])
+				}
+				r.Batch[i] = BatchEntry{Kind: e[0], P: getPoint(e[1:])}
+			}
+		}
+	case OpStats:
+		if len(payload) != 0 {
+			return Request{}, fmt.Errorf("%w: stats payload must be empty", ErrProto)
+		}
+	default:
+		return Request{}, fmt.Errorf("%w: unknown opcode 0x%02x", ErrProto, op)
+	}
+	return r, nil
+}
+
+// --- responses ----------------------------------------------------------
+
+// Response is one decoded server response. Which fields are meaningful
+// depends on the opcode of the request it answers.
+type Response struct {
+	// Status is StatusOK, StatusErr or StatusBusy.
+	Status byte
+	// Msg is the error message of a StatusErr response.
+	Msg string
+	// Duplicate reports an INSERT of an already-present point (a benign
+	// per-operation outcome, not an error).
+	Duplicate bool
+	// Found mirrors Index.Delete's found result for a DELETE.
+	Found bool
+	// Points is the result set of a QUERY3/QUERY4.
+	Points []geom.Point
+	// Results holds per-entry outcome codes of a BATCH (see BatchOK...).
+	Results []byte
+	// Data is the echoed payload of a PING or the JSON body of a STATS.
+	Data []byte
+}
+
+// Per-entry outcome codes of a BATCH response.
+const (
+	BatchOK       byte = 0x00 // insert applied / delete found
+	BatchDup      byte = 0x01 // insert of an already-present point
+	BatchNotFound byte = 0x02 // delete of an absent point
+)
+
+// EncodeResponse appends the wire form of the response to op (status byte
+// + payload) to dst and returns the extended slice.
+func EncodeResponse(dst []byte, op byte, r Response) []byte {
+	dst = append(dst, r.Status)
+	switch r.Status {
+	case StatusErr:
+		return append(dst, r.Msg...)
+	case StatusBusy:
+		return dst
+	}
+	switch op {
+	case OpPing, OpStats:
+		dst = append(dst, r.Data...)
+	case OpInsert:
+		if r.Duplicate {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case OpDelete:
+		if r.Found {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case OpQuery3, OpQuery4:
+		var cnt [4]byte
+		binary.BigEndian.PutUint32(cnt[:], uint32(len(r.Points)))
+		dst = append(dst, cnt[:]...)
+		for _, p := range r.Points {
+			var buf [pointSize]byte
+			putPoint(buf[:], p)
+			dst = append(dst, buf[:]...)
+		}
+	case OpBatch:
+		var cnt [4]byte
+		binary.BigEndian.PutUint32(cnt[:], uint32(len(r.Results)))
+		dst = append(dst, cnt[:]...)
+		dst = append(dst, r.Results...)
+	}
+	return dst
+}
+
+// DecodeResponse parses a frame body into the Response to a request with
+// opcode op. Like DecodeRequest it is total over arbitrary input.
+func DecodeResponse(body []byte, op byte) (Response, error) {
+	if len(body) == 0 {
+		return Response{}, fmt.Errorf("%w: empty response", ErrProto)
+	}
+	status, payload := body[0], body[1:]
+	switch status {
+	case StatusErr:
+		return Response{Status: status, Msg: string(payload)}, nil
+	case StatusBusy:
+		if len(payload) != 0 {
+			return Response{}, fmt.Errorf("%w: busy response carries payload", ErrProto)
+		}
+		return Response{Status: status}, nil
+	case StatusOK:
+	default:
+		return Response{}, fmt.Errorf("%w: unknown status 0x%02x", ErrProto, status)
+	}
+	r := Response{Status: StatusOK}
+	switch op {
+	case OpPing, OpStats:
+		r.Data = payload
+	case OpInsert:
+		if len(payload) != 1 || payload[0] > 1 {
+			return Response{}, fmt.Errorf("%w: insert response payload", ErrProto)
+		}
+		r.Duplicate = payload[0] == 1
+	case OpDelete:
+		if len(payload) != 1 || payload[0] > 1 {
+			return Response{}, fmt.Errorf("%w: delete response payload", ErrProto)
+		}
+		r.Found = payload[0] == 1
+	case OpQuery3, OpQuery4:
+		if len(payload) < 4 {
+			return Response{}, fmt.Errorf("%w: query response truncated", ErrProto)
+		}
+		n := binary.BigEndian.Uint32(payload[:4])
+		rest := payload[4:]
+		if len(rest) != int(n)*pointSize {
+			return Response{}, fmt.Errorf("%w: query response %d bytes for %d points", ErrProto, len(rest), n)
+		}
+		if n > 0 {
+			r.Points = make([]geom.Point, n)
+			for i := range r.Points {
+				r.Points[i] = getPoint(rest[i*pointSize:])
+			}
+		}
+	case OpBatch:
+		if len(payload) < 4 {
+			return Response{}, fmt.Errorf("%w: batch response truncated", ErrProto)
+		}
+		n := binary.BigEndian.Uint32(payload[:4])
+		rest := payload[4:]
+		if len(rest) != int(n) {
+			return Response{}, fmt.Errorf("%w: batch response %d bytes for %d results", ErrProto, len(rest), n)
+		}
+		for _, code := range rest {
+			if code > BatchNotFound {
+				return Response{}, fmt.Errorf("%w: batch result code 0x%02x", ErrProto, code)
+			}
+		}
+		r.Results = rest
+	default:
+		return Response{}, fmt.Errorf("%w: unknown opcode 0x%02x", ErrProto, op)
+	}
+	return r, nil
+}

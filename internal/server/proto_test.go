@@ -1,0 +1,209 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"rangesearch/internal/geom"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{{0x01}, []byte("hello"), bytes.Repeat([]byte{0xAB}, 1000)}
+	for _, b := range bodies {
+		if err := WriteFrame(&buf, b); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for i, want := range bodies {
+		got, err := ReadFrame(&buf, DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %x want %x", i, got, want)
+		}
+	}
+}
+
+func TestReadFrameHostile(t *testing.T) {
+	// Oversized length prefix must be rejected before allocation.
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.BigEndian, uint32(1<<31))
+	if _, err := ReadFrame(&buf, 1024); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized prefix: got %v, want ErrFrameTooLarge", err)
+	}
+
+	// Empty frame is a protocol error.
+	buf.Reset()
+	binary.Write(&buf, binary.BigEndian, uint32(0))
+	if _, err := ReadFrame(&buf, 1024); !errors.Is(err, ErrProto) {
+		t.Fatalf("empty frame: got %v, want ErrProto", err)
+	}
+
+	// Truncated header.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0}), 1024); err == nil {
+		t.Fatal("truncated header: want error")
+	}
+
+	// Truncated body.
+	buf.Reset()
+	binary.Write(&buf, binary.BigEndian, uint32(10))
+	buf.Write([]byte{1, 2, 3})
+	if _, err := ReadFrame(&buf, 1024); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated body: got %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpPing, Data: []byte("echo me")},
+		{Op: OpPing},
+		{Op: OpInsert, P: geom.Point{X: -5, Y: 1 << 40}},
+		{Op: OpDelete, P: geom.Point{X: geom.MinCoord, Y: geom.MaxCoord}},
+		{Op: OpQuery3, Rect: geom.Rect{XLo: -10, XHi: 10, YLo: 3, YHi: geom.MaxCoord}},
+		{Op: OpQuery4, Rect: geom.Rect{XLo: 1, XHi: 2, YLo: 3, YHi: 4}},
+		{Op: OpBatch, Batch: []BatchEntry{
+			{Kind: BatchInsert, P: geom.Point{X: 1, Y: 2}},
+			{Kind: BatchDelete, P: geom.Point{X: -3, Y: -4}},
+		}},
+		{Op: OpBatch},
+		{Op: OpStats},
+	}
+	for _, want := range reqs {
+		body, err := EncodeRequest(nil, want)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", OpName(want.Op), err)
+		}
+		got, err := DecodeRequest(body, 0)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", OpName(want.Op), err)
+		}
+		if got.Op != want.Op || got.P != want.P || got.Rect != want.Rect {
+			t.Fatalf("%s: got %+v want %+v", OpName(want.Op), got, want)
+		}
+		if string(got.Data) != string(want.Data) {
+			t.Fatalf("%s: data %q want %q", OpName(want.Op), got.Data, want.Data)
+		}
+		if len(got.Batch) != len(want.Batch) {
+			t.Fatalf("%s: batch len %d want %d", OpName(want.Op), len(got.Batch), len(want.Batch))
+		}
+		for i := range got.Batch {
+			if got.Batch[i] != want.Batch[i] {
+				t.Fatalf("%s: batch[%d] %+v want %+v", OpName(want.Op), i, got.Batch[i], want.Batch[i])
+			}
+		}
+	}
+}
+
+func TestDecodeRequestHostile(t *testing.T) {
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"empty", nil},
+		{"unknown opcode", []byte{0xFF, 1, 2, 3}},
+		{"zero opcode", []byte{0x00}},
+		{"insert short", []byte{OpInsert, 1, 2, 3}},
+		{"insert long", append([]byte{OpInsert}, make([]byte, 17)...)},
+		{"query3 short", append([]byte{OpQuery3}, make([]byte, 23)...)},
+		{"query4 long", append([]byte{OpQuery4}, make([]byte, 33)...)},
+		{"batch truncated count", []byte{OpBatch, 0, 0}},
+		{"batch count mismatch", []byte{OpBatch, 0, 0, 0, 2, 0}},
+		{"batch bad kind", append([]byte{OpBatch, 0, 0, 0, 1, 0x7}, make([]byte, 16)...)},
+		{"stats with payload", []byte{OpStats, 1}},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeRequest(tc.body, 0); !errors.Is(err, ErrProto) {
+			t.Errorf("%s: got %v, want ErrProto", tc.name, err)
+		}
+	}
+
+	// A batch above the ops limit is rejected by count, not by allocating.
+	var huge []byte
+	huge = append(huge, OpBatch)
+	var cnt [4]byte
+	binary.BigEndian.PutUint32(cnt[:], 1<<30)
+	huge = append(huge, cnt[:]...)
+	if _, err := DecodeRequest(huge, 64); !errors.Is(err, ErrProto) {
+		t.Fatalf("huge batch: got %v, want ErrProto", err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []struct {
+		op   byte
+		resp Response
+	}{
+		{OpPing, Response{Status: StatusOK, Data: []byte("pong")}},
+		{OpInsert, Response{Status: StatusOK, Duplicate: true}},
+		{OpInsert, Response{Status: StatusOK}},
+		{OpDelete, Response{Status: StatusOK, Found: true}},
+		{OpQuery3, Response{Status: StatusOK, Points: []geom.Point{{X: 1, Y: 2}, {X: -9, Y: 8}}}},
+		{OpQuery4, Response{Status: StatusOK}},
+		{OpBatch, Response{Status: StatusOK, Results: []byte{BatchOK, BatchDup, BatchNotFound}}},
+		{OpStats, Response{Status: StatusOK, Data: []byte(`{"len":3}`)}},
+		{OpInsert, Response{Status: StatusErr, Msg: "kaboom"}},
+		{OpQuery4, Response{Status: StatusBusy}},
+	}
+	for i, tc := range cases {
+		body := EncodeResponse(nil, tc.op, tc.resp)
+		got, err := DecodeResponse(body, tc.op)
+		if err != nil {
+			t.Fatalf("case %d (%s): decode: %v", i, OpName(tc.op), err)
+		}
+		if got.Status != tc.resp.Status || got.Msg != tc.resp.Msg ||
+			got.Duplicate != tc.resp.Duplicate || got.Found != tc.resp.Found {
+			t.Fatalf("case %d: got %+v want %+v", i, got, tc.resp)
+		}
+		if len(got.Points) != len(tc.resp.Points) {
+			t.Fatalf("case %d: points %d want %d", i, len(got.Points), len(tc.resp.Points))
+		}
+		for j := range got.Points {
+			if got.Points[j] != tc.resp.Points[j] {
+				t.Fatalf("case %d: point %d differs", i, j)
+			}
+		}
+		if !bytes.Equal(got.Results, tc.resp.Results) {
+			t.Fatalf("case %d: results %v want %v", i, got.Results, tc.resp.Results)
+		}
+		if tc.resp.Status == StatusOK && !bytes.Equal(got.Data, tc.resp.Data) {
+			t.Fatalf("case %d: data %q want %q", i, got.Data, tc.resp.Data)
+		}
+	}
+}
+
+func TestDecodeResponseHostile(t *testing.T) {
+	cases := []struct {
+		name string
+		op   byte
+		body []byte
+	}{
+		{"empty", OpInsert, nil},
+		{"unknown status", OpInsert, []byte{0x9}},
+		{"insert bad flag", OpInsert, []byte{StatusOK, 2}},
+		{"delete short", OpDelete, []byte{StatusOK}},
+		{"query truncated", OpQuery3, []byte{StatusOK, 0, 0}},
+		{"query count mismatch", OpQuery4, []byte{StatusOK, 0, 0, 0, 2, 1}},
+		{"batch bad code", OpBatch, []byte{StatusOK, 0, 0, 0, 1, 0x9}},
+		{"unknown opcode", 0xEE, []byte{StatusOK, 1}},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeResponse(tc.body, tc.op); !errors.Is(err, ErrProto) {
+			t.Errorf("%s: got %v, want ErrProto", tc.name, err)
+		}
+	}
+}
+
+func TestOpName(t *testing.T) {
+	if OpName(OpQuery3) != "query3" {
+		t.Fatalf("OpName(OpQuery3) = %q", OpName(OpQuery3))
+	}
+	if !strings.Contains(OpName(0xCC), "0xcc") {
+		t.Fatalf("OpName(0xCC) = %q", OpName(0xCC))
+	}
+}

@@ -1,0 +1,426 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"rangesearch/internal/core"
+)
+
+// Config tunes a Server. The zero value serves with the documented
+// defaults.
+type Config struct {
+	// MaxInFlight caps the RPCs admitted past the gate at once, across all
+	// connections. A request arriving while the gate is full is answered
+	// StatusBusy immediately instead of queueing — offered load beyond the
+	// budget is shed, not buffered, so memory and tail latency stay
+	// bounded. PING and STATS bypass the gate: a saturated server must
+	// stay health-checkable and observable. Default 64.
+	MaxInFlight int
+	// MaxFrame is the per-frame byte ceiling (default DefaultMaxFrame).
+	MaxFrame int
+	// MaxBatchOps bounds one BATCH frame (default DefaultMaxBatchOps).
+	MaxBatchOps int
+	// IdleTimeout is how long a connection may sit between frames before
+	// the server closes it (default 2 minutes; <0 disables).
+	IdleTimeout time.Duration
+	// WriteTimeout is the deadline for writing one response batch
+	// (default 30 seconds; <0 disables).
+	WriteTimeout time.Duration
+	// Metrics, when non-nil, receives every signal the server emits; use
+	// PublishMetrics to put it on the expvar surface. Nil disables.
+	Metrics *Metrics
+	// Logf, when non-nil, receives one line per abnormal event (handler
+	// panic, accept error). Nil discards.
+	Logf func(format string, args ...interface{})
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.MaxBatchOps <= 0 {
+		c.MaxBatchOps = DefaultMaxBatchOps
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server serves the wire protocol over a core.Concurrent index. It is
+// robust by construction:
+//
+//   - per-connection read (idle) and write deadlines, so a stalled or
+//     vanished peer cannot hold a handler goroutine forever;
+//   - a MaxInFlight admission gate answering BUSY instead of queueing;
+//   - panic-isolated connection handlers: a panic kills one connection
+//     (counted in Metrics.Panics), never the process;
+//   - graceful drain: Shutdown stops accepting, lets every in-flight
+//     request finish and its response flush, then returns — the caller
+//     syncs and closes the store afterwards, scrub-clean.
+//
+// Writes from concurrent connections coalesce into the group commits
+// core.Concurrent already performs: one WAL record and fsync schedule per
+// committed group, however many clients contributed.
+type Server struct {
+	idx *core.Concurrent
+	cfg Config
+
+	gate  chan struct{}
+	start time.Time
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// New builds a Server over idx.
+func New(idx *core.Concurrent, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		idx:   idx,
+		cfg:   cfg,
+		gate:  make(chan struct{}, cfg.MaxInFlight),
+		start: time.Now(),
+		conns: map[net.Conn]struct{}{},
+	}
+}
+
+// Serve accepts connections on ln until Shutdown (or a permanent accept
+// error) and blocks until every connection handler has exited. After
+// Shutdown it returns nil.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	var err error
+	for {
+		conn, aerr := ln.Accept()
+		if aerr != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if !draining {
+				err = aerr
+			}
+			break
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			break
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		if m := s.cfg.Metrics; m != nil {
+			m.accepted.Add(1)
+			m.conns.Add(1)
+		}
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Shutdown drains the server: the listener closes, blocked reads are
+// interrupted, connections finish the request they are handling (and
+// flush its response) and close. It blocks until every handler has exited
+// or ctx is done, whichever is first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for conn := range s.conns {
+		// Interrupt reads blocked waiting for the next frame; handlers
+		// re-check the draining flag on read errors and exit cleanly.
+		_ = conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Hard-close what is left; handlers exit on the next I/O error.
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+	if m := s.cfg.Metrics; m != nil {
+		m.conns.Add(-1)
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// handleConn runs one connection's request loop: read frame, handle,
+// write response, flushing when the input buffer drains (so pipelined
+// clients get batched response writes). Responses go out in request
+// order. A panic anywhere in the loop is caught here: the connection
+// dies, the server does not.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+	defer func() {
+		if r := recover(); r != nil {
+			if m := s.cfg.Metrics; m != nil {
+				m.panics.Add(1)
+			}
+			s.logf("server: connection %v: handler panic: %v\n%s", conn.RemoteAddr(), r, debug.Stack())
+		}
+	}()
+
+	br := bufio.NewReaderSize(conn, 32*1024)
+	bw := bufio.NewWriterSize(conn, 32*1024)
+	var respBuf []byte
+	for {
+		if s.isDraining() {
+			bw.Flush()
+			return
+		}
+		if s.cfg.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		body, err := ReadFrame(br, s.cfg.MaxFrame)
+		if err != nil {
+			// Clean close, idle timeout, drain interrupt: just drop the
+			// connection. A framing violation additionally counts as a
+			// protocol error — the stream is unparseable from here on.
+			if errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrProto) {
+				if m := s.cfg.Metrics; m != nil {
+					m.protoErr.Add(1)
+				}
+				respBuf = EncodeResponse(respBuf[:0], 0, Response{Status: StatusErr, Msg: err.Error()})
+				s.writeResponse(conn, bw, respBuf)
+			}
+			bw.Flush()
+			return
+		}
+		start := time.Now()
+		req, derr := DecodeRequest(body, s.cfg.MaxBatchOps)
+		var resp Response
+		op := byte(0)
+		if derr != nil {
+			// A malformed payload inside a well-formed frame: report it on
+			// this request, keep the connection (framing is still sound).
+			if m := s.cfg.Metrics; m != nil {
+				m.protoErr.Add(1)
+			}
+			resp = Response{Status: StatusErr, Msg: derr.Error()}
+		} else {
+			op = req.Op
+			resp = s.handle(req)
+		}
+		respBuf = EncodeResponse(respBuf[:0], op, resp)
+		if !s.writeResponse(conn, bw, respBuf) {
+			return
+		}
+		if m := s.cfg.Metrics; m != nil && derr == nil {
+			m.observe(op, time.Since(start), len(body), len(respBuf), resp.Status == StatusErr)
+			if resp.Status == StatusBusy {
+				m.busy.Add(1)
+			}
+		}
+		// Flush once the pipeline's input is drained: pipelined bursts get
+		// one syscall per burst, single requests flush immediately.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// writeResponse frames and writes one response body under the write
+// deadline; false means the connection is dead.
+func (s *Server) writeResponse(conn net.Conn, bw *bufio.Writer, body []byte) bool {
+	if s.cfg.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+	return WriteFrame(bw, body) == nil
+}
+
+// admit tries to take an in-flight token without blocking.
+func (s *Server) admit() bool {
+	select {
+	case s.gate <- struct{}{}:
+		if m := s.cfg.Metrics; m != nil {
+			m.inflight.Add(1)
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) release() {
+	<-s.gate
+	if m := s.cfg.Metrics; m != nil {
+		m.inflight.Add(-1)
+	}
+}
+
+// handle executes one admitted request against the index.
+func (s *Server) handle(req Request) Response {
+	switch req.Op {
+	case OpPing:
+		return Response{Status: StatusOK, Data: req.Data}
+	case OpStats:
+		return s.handleStats()
+	}
+	if !s.admit() {
+		return Response{Status: StatusBusy}
+	}
+	defer s.release()
+
+	switch req.Op {
+	case OpInsert:
+		err := s.idx.Insert(req.P)
+		if errors.Is(err, core.ErrDuplicate) {
+			return Response{Status: StatusOK, Duplicate: true}
+		}
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{Status: StatusOK}
+	case OpDelete:
+		found, err := s.idx.Delete(req.P)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{Status: StatusOK, Found: found}
+	case OpQuery3, OpQuery4:
+		pts, err := s.idx.Query(nil, req.Rect)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{Status: StatusOK, Points: pts}
+	case OpBatch:
+		return s.handleBatch(req.Batch)
+	default:
+		return Response{Status: StatusErr, Msg: fmt.Sprintf("server: unhandled opcode 0x%02x", req.Op)}
+	}
+}
+
+// handleBatch submits the whole batch to the group-commit queue at once
+// (one contiguous run, as few commits as MaxBatch allows) and folds the
+// per-operation outcomes into result codes. A non-benign failure fails
+// the whole request.
+func (s *Server) handleBatch(entries []BatchEntry) Response {
+	if len(entries) == 0 {
+		return Response{Status: StatusOK}
+	}
+	ops := make([]core.BatchOp, len(entries))
+	for i, e := range entries {
+		ops[i] = core.BatchOp{Delete: e.Kind == BatchDelete, P: e.P}
+	}
+	results := s.idx.ApplyBatch(ops)
+	codes := make([]byte, len(results))
+	for i, r := range results {
+		switch {
+		case r.Err == nil && (!ops[i].Delete || r.Found):
+			codes[i] = BatchOK
+		case r.Err == nil:
+			codes[i] = BatchNotFound
+		case errors.Is(r.Err, core.ErrDuplicate):
+			codes[i] = BatchDup
+		default:
+			return errResponse(r.Err)
+		}
+	}
+	return Response{Status: StatusOK, Results: codes}
+}
+
+// StatsSnapshot is the JSON payload of a STATS response: the index's
+// serving state plus, when the server has a Metrics, its full snapshot.
+type StatsSnapshot struct {
+	// UptimeS is the seconds since the server was constructed.
+	UptimeS float64 `json:"uptime_s"`
+	// Epoch is the index's current committed epoch.
+	Epoch uint64 `json:"epoch"`
+	// Len is the number of stored points.
+	Len int `json:"len"`
+	// MaxInFlight is the admission-gate capacity.
+	MaxInFlight int `json:"max_in_flight"`
+	// Metrics is the server's metric snapshot (nil without a Metrics).
+	Metrics *MetricsSnapshot `json:"metrics,omitempty"`
+}
+
+func (s *Server) handleStats() Response {
+	n, err := s.idx.Len()
+	if err != nil {
+		return errResponse(err)
+	}
+	snap := StatsSnapshot{
+		UptimeS:     time.Since(s.start).Seconds(),
+		Epoch:       s.idx.Epoch(),
+		Len:         n,
+		MaxInFlight: s.cfg.MaxInFlight,
+	}
+	if m := s.cfg.Metrics; m != nil {
+		ms := m.Snapshot()
+		snap.Metrics = &ms
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return errResponse(err)
+	}
+	return Response{Status: StatusOK, Data: data}
+}
+
+func errResponse(err error) Response {
+	return Response{Status: StatusErr, Msg: err.Error()}
+}

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSoakLoadAgainstServer is the acceptance gate for the serving layer:
+// an in-process rsload-vs-rsserve soak. Pipelined mixed reads and writes
+// from many connections (each verifying read-your-writes against a model
+// of its own x-stripe) must complete with zero protocol or consistency
+// errors, drain must leave the store scrub-clean, and the per-RPC latency
+// histograms must be readable. Run it under -race for the full claim.
+func TestSoakLoadAgainstServer(t *testing.T) {
+	dur := 3 * time.Second
+	workers := 8
+	if testing.Short() {
+		dur = 500 * time.Millisecond
+		workers = 4
+	}
+	m := &Metrics{}
+	ts := newTestServer(t, Config{Metrics: m})
+
+	rep, err := RunLoad(LoadConfig{
+		Addr:       ts.addr,
+		Workers:    workers,
+		Duration:   dur,
+		Pipeline:   8,
+		Verify:     true,
+		Domain:     1 << 16,
+		BatchEvery: 50,
+		BatchSize:  12,
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	t.Logf("soak: %d ops (%.0f/s), %d reads, %d writes, %d points read, busy=%d",
+		rep.Ops, rep.OpsPerSec, rep.Reads, rep.Writes, rep.PointsRead, rep.Busy)
+
+	if rep.Failed() {
+		t.Fatalf("soak failed: proto=%d consistency=%d transport=%d first=%s",
+			rep.ProtoErrors, rep.ConsistencyErrors, rep.TransportErrors, rep.FirstError)
+	}
+	if rep.Ops == 0 || rep.Reads == 0 || rep.Writes == 0 {
+		t.Fatalf("soak did no work: %+v", rep)
+	}
+
+	// Latency quantiles are present for the ops that ran.
+	for _, op := range []string{"insert", "query3"} {
+		st, ok := rep.PerOp[op]
+		if !ok || st.Count == 0 || st.P99Ms <= 0 {
+			t.Fatalf("missing %s latency stats: %+v", op, rep.PerOp)
+		}
+	}
+	// And the server-side histograms agree that traffic happened.
+	if m.Latency(OpInsert).Count() == 0 || m.Latency(OpInsert).Quantile(0.99) == 0 {
+		t.Fatal("server-side insert latency histogram is empty")
+	}
+
+	ts.shutdown(t)
+	ts.assertScrubClean(t)
+}
+
+// TestSoakUnderSaturation drives a tiny admission gate hard: BUSY
+// shedding must be load shedding only — shed ops are not executed, so the
+// verification model stays exact and no errors of any class appear.
+func TestSoakUnderSaturation(t *testing.T) {
+	dur := time.Second
+	if testing.Short() {
+		dur = 300 * time.Millisecond
+	}
+	m := &Metrics{}
+	ts := newTestServer(t, Config{MaxInFlight: 1, Metrics: m})
+
+	rep, err := RunLoad(LoadConfig{
+		Addr:     ts.addr,
+		Workers:  6,
+		Duration: dur,
+		Pipeline: 4,
+		Verify:   true,
+		Domain:   1 << 12,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	t.Logf("saturation: %d ops, busy=%d", rep.Ops, rep.Busy)
+	if rep.Failed() {
+		t.Fatalf("saturation soak failed: proto=%d consistency=%d transport=%d first=%s",
+			rep.ProtoErrors, rep.ConsistencyErrors, rep.TransportErrors, rep.FirstError)
+	}
+	ts.shutdown(t)
+	ts.assertScrubClean(t)
+}

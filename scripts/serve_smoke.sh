@@ -1,0 +1,76 @@
+#!/usr/bin/env sh
+# End-to-end network smoke test: boot rsserve on a fresh durable file
+# store, drive a verified mixed workload with rsload, SIGTERM the server,
+# and assert (a) zero protocol/consistency errors, (b) the drain exits
+# clean, and (c) an independent rsinspect pass finds every checksum valid
+# and zero leaked pages. CI runs this; `make serve-smoke` runs it locally.
+set -eu
+
+GO=${GO:-go}
+WORKDIR=$(mktemp -d /tmp/rsserve-smoke.XXXXXX)
+trap 'rm -rf "$WORKDIR"' EXIT
+
+STORE="$WORKDIR/smoke.db"
+ADDR=${ADDR:-127.0.0.1:9135}
+DURATION=${DURATION:-3s}
+WORKERS=${WORKERS:-6}
+JSON_OUT=${JSON_OUT:-$WORKDIR/load.json}
+
+echo "== build =="
+$GO build -o "$WORKDIR/bin/" ./cmd/rsserve ./cmd/rsload ./cmd/rsinspect
+
+echo "== boot rsserve ($STORE) =="
+"$WORKDIR/bin/rsserve" -store "$STORE" -addr "$ADDR" >"$WORKDIR/server.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the listener (the PING path is exercised by rsload itself).
+i=0
+until "$WORKDIR/bin/rsload" -addr "$ADDR" -workers 1 -duration 100ms >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "rsserve never came up:" >&2
+        cat "$WORKDIR/server.log" >&2
+        kill "$SERVER_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "== rsload ($WORKERS workers, $DURATION, verified) =="
+"$WORKDIR/bin/rsload" -addr "$ADDR" -workers "$WORKERS" -duration "$DURATION" \
+    -pipeline 8 -batch-every 50 -verify -json "$JSON_OUT"
+
+echo "== drain (SIGTERM) =="
+kill -TERM "$SERVER_PID"
+SERVER_STATUS=0
+wait "$SERVER_PID" || SERVER_STATUS=$?
+cat "$WORKDIR/server.log"
+if [ "$SERVER_STATUS" -ne 0 ]; then
+    echo "rsserve exited $SERVER_STATUS (want 0: clean drain, no leaked pages)" >&2
+    exit 1
+fi
+
+echo "== independent post-mortem: checksums + leak scrub =="
+"$WORKDIR/bin/rsinspect" verify -store "$STORE"
+MANIFEST="$STORE.manifest.json"
+hdr=$(sed -n 's/.*"hdr"[[:space:]]*:[[:space:]]*\([0-9][0-9]*\).*/\1/p' "$MANIFEST")
+anchor=$(sed -n 's/.*"anchor"[[:space:]]*:[[:space:]]*\([0-9][0-9]*\).*/\1/p' "$MANIFEST")
+[ -n "$hdr" ] || { echo "no hdr in $MANIFEST" >&2; exit 1; }
+SCRUB="$WORKDIR/bin/rsinspect scrub -store $STORE -kind epst -hdr $hdr -dry -json"
+if [ -n "$anchor" ]; then
+    SCRUB="$SCRUB -anchor $anchor"
+fi
+$SCRUB | tee "$WORKDIR/scrub.json"
+# The report omits "leaked" entirely when the set is empty.
+if grep -q '"leaked"' "$WORKDIR/scrub.json"; then
+    echo "scrub reports leaked pages" >&2
+    exit 1
+fi
+
+# Keep the latency report where CI can pick it up as an artifact.
+if [ -n "${ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$ARTIFACT_DIR"
+    cp "$JSON_OUT" "$ARTIFACT_DIR/load.json"
+fi
+
+echo "== serve smoke OK =="
