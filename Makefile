@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench cover vet fmt sweep recover-sweep fuzz-short bound experiments examples clean soak model trajectory serve load serve-smoke
+.PHONY: all build test race bench cover vet fmt sweep recover-sweep fuzz-short bound experiments examples clean soak model trajectory serve load serve-smoke chaos
 
 all: build vet test
 
@@ -41,6 +41,7 @@ fuzz-short:
 	$(GO) test ./internal/eio -run '^$$' -fuzz 'FuzzAnchor' -fuzztime 10s
 	$(GO) test ./internal/eio -run '^$$' -fuzz 'FuzzVerifyFile' -fuzztime 10s
 	$(GO) test ./internal/server -run '^$$' -fuzz 'FuzzDecodeRequest' -fuzztime 10s
+	$(GO) test ./internal/server -run '^$$' -fuzz 'FuzzDecodeIdem' -fuzztime 10s
 	$(GO) test ./internal/server -run '^$$' -fuzz 'FuzzDecodeResponse' -fuzztime 10s
 	$(GO) test ./internal/server -run '^$$' -fuzz 'FuzzReadFrame' -fuzztime 10s
 	$(GO) test ./internal/server -run '^$$' -fuzz 'FuzzFrameSizeRejection' -fuzztime 10s
@@ -82,6 +83,12 @@ load:
 # verification, SIGTERM-drain, and scrub the store file. CI runs this.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Kill-and-recover chaos: SIGKILL/restart a real rsserve 10 times under
+# verified resilient load through a fault-injecting proxy. Zero lost or
+# duplicated writes, clean drain, scrub-clean store — or it exits nonzero.
+chaos:
+	./scripts/chaos.sh
 
 # Operation-level + per-experiment benchmarks (quick instances).
 bench:

@@ -1,0 +1,99 @@
+// Command rschaos is the kill-and-recover chaos harness for the serving
+// stack. It spawns a real rsserve process on a durable file store, fronts
+// it with a fault-injecting netfault proxy, drives verified rsload
+// traffic through the proxy, and SIGKILLs/restarts the server every
+// -period for -cycles cycles. The run passes only if:
+//
+//   - the verified workload finishes with zero protocol, consistency,
+//     and transport errors (acked writes survive every crash; retried
+//     writes apply exactly once);
+//   - the final SIGTERM drain exits 0 (rsserve's own leak check);
+//   - an independent post-mortem reopen finds zero leaked pages and
+//     clean checksums on the store file.
+//
+// The report is printed as JSON and optionally written to -json.
+//
+// Usage:
+//
+//	rschaos -server ./rsserve -store /tmp/chaos.db -cycles 10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rangesearch/internal/server/chaos"
+)
+
+func main() {
+	var (
+		serverBin = flag.String("server", "", "path to an rsserve binary (required)")
+		store     = flag.String("store", "", "durable store path (required; created fresh)")
+		cycles    = flag.Int("cycles", 10, "SIGKILL/restart cycles")
+		period    = flag.Duration("period", 700*time.Millisecond, "server lifetime between kills")
+		workers   = flag.Int("workers", 4, "load worker connections")
+		pipeline  = flag.Int("pipeline", 4, "requests in flight per connection")
+		seed      = flag.Int64("seed", 1, "workload and fault RNG seed")
+		latency   = flag.Duration("latency", 200*time.Microsecond, "proxy latency per chunk")
+		jitter    = flag.Duration("jitter", 300*time.Microsecond, "proxy latency jitter")
+		reqT      = flag.Duration("request-timeout", 5*time.Second, "rsserve per-request deadline")
+		jsonOut   = flag.String("json", "", "also write the report to this file")
+		quiet     = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+	if *serverBin == "" || *store == "" {
+		fmt.Fprintln(os.Stderr, "rschaos: -server and -store are required")
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	logf := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+
+	rep, err := chaos.Run(chaos.Config{
+		ServerBin:      *serverBin,
+		StorePath:      *store,
+		Cycles:         *cycles,
+		Period:         *period,
+		Workers:        *workers,
+		Pipeline:       *pipeline,
+		Seed:           *seed,
+		Latency:        *latency,
+		Jitter:         *jitter,
+		RequestTimeout: *reqT,
+		Logf:           logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rschaos: %v\n", err)
+		os.Exit(1)
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rschaos: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(raw))
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "rschaos: write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+	}
+
+	if rep.Failed() {
+		fmt.Fprintf(os.Stderr, "rschaos: FAILED: drain_exit=%d leaked=%d proto=%d consistency=%d transport=%d first=%s\n",
+			rep.FinalDrainExit, rep.PostLeaked,
+			rep.Load.ProtoErrors, rep.Load.ConsistencyErrors, rep.Load.TransportErrors, rep.Load.FirstError)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "rschaos: ok: %d kills survived, %d ops (%d reconnects, %d resent, %d unknown), %d points intact, 0 leaks\n",
+		rep.Kills, rep.Load.Ops, rep.Load.Reconnects, rep.Load.Resent, rep.Load.UnknownWrites, rep.PostPoints)
+}

@@ -41,6 +41,11 @@ func main() {
 		seed       = flag.Int64("seed", 1, "workload RNG seed")
 		verify     = flag.Bool("verify", false, "check query results against a per-stripe model")
 		jsonOut    = flag.String("json", "", "also write the report to this file")
+
+		resilient = flag.Bool("resilient", false, "survive resets/restarts: reconnect with backoff, idempotent write retries")
+		attempts  = flag.Int("retry-attempts", 0, "resilient: max tries per op and per reconnect (0 = default 10)")
+		baseDelay = flag.Duration("retry-base", 0, "resilient: first backoff delay (0 = default 10ms)")
+		maxDelay  = flag.Duration("retry-max", 0, "resilient: backoff cap (0 = default 1s)")
 	)
 	flag.Parse()
 
@@ -57,6 +62,12 @@ func main() {
 		BatchSize:  *batchSize,
 		Seed:       *seed,
 		Verify:     *verify,
+		Resilient:  *resilient,
+		Retry: server.RetryPolicy{
+			MaxAttempts: *attempts,
+			BaseDelay:   *baseDelay,
+			MaxDelay:    *maxDelay,
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rsload: %v\n", err)
@@ -83,4 +94,12 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "rsload: ok: %d ops in %.1fs (%.0f ops/s), busy=%d\n",
 		rep.Ops, rep.DurationS, rep.OpsPerSec, rep.Busy)
+	if *resilient {
+		fmt.Fprintf(os.Stderr, "rsload: resilience: reconnects=%d resent=%d busy_retries=%d timeout_retries=%d unknown_writes=%d\n",
+			rep.Reconnects, rep.Resent, rep.BusyRetries, rep.TimeoutRetries, rep.UnknownWrites)
+	}
+	if st := rep.ServerStats; st != nil {
+		fmt.Fprintf(os.Stderr, "rsload: server: uptime=%.1fs epoch=%d len=%d in_flight=%d idem_clients=%d\n",
+			st.UptimeS, st.Epoch, st.Len, st.InFlight, st.IdemClients)
+	}
 }

@@ -1,0 +1,94 @@
+// rsproxy is a standalone fault-injecting TCP proxy for chaos-testing an
+// rsserve deployment from the command line:
+//
+//	rsproxy -listen 127.0.0.1:7101 -upstream 127.0.0.1:7100 \
+//	    -latency 5ms -jitter 5ms \
+//	    -script "10s:cut;20s:blackhole=on;25s:blackhole=off"
+//
+// Point rsload (or any client) at -listen. On SIGINT/SIGTERM — or after
+// -duration — the proxy drains and prints a JSON stats report to stdout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rangesearch/internal/netfault"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:0", "address to accept clients on")
+		upstream = flag.String("upstream", "", "rsserve address to forward to (required)")
+		seed     = flag.Int64("seed", 1, "RNG seed for fault decisions")
+		latency  = flag.Duration("latency", 0, "added per-chunk latency, each direction")
+		jitter   = flag.Duration("jitter", 0, "uniform extra latency in [0,jitter)")
+		bw       = flag.Int("bw", 0, "bandwidth cap in bytes/sec per direction (0 = unlimited)")
+		corrupt  = flag.Float64("corrupt", 0, "per-chunk bit-flip probability [0,1)")
+		cutAfter = flag.Int64("cut-after", 0, "RST each connection after this many bytes (0 = never)")
+		script   = flag.String("script", "", "timed fault script, e.g. \"2s:cut;5s:blackhole=on\"")
+		duration = flag.Duration("duration", 0, "exit after this long (0 = until signal)")
+		quiet    = flag.Bool("quiet", false, "suppress per-event logging")
+	)
+	flag.Parse()
+	if *upstream == "" {
+		fmt.Fprintln(os.Stderr, "rsproxy: -upstream is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...interface{}) {}
+	}
+	var dirs []netfault.Directive
+	if *script != "" {
+		var err error
+		if dirs, err = netfault.ParseScript(*script); err != nil {
+			log.Fatalf("rsproxy: %v", err)
+		}
+	}
+
+	p, err := netfault.New(*upstream, netfault.Options{
+		Listen:        *listen,
+		Seed:          *seed,
+		Latency:       *latency,
+		Jitter:        *jitter,
+		BandwidthBPS:  *bw,
+		CorruptProb:   *corrupt,
+		CutAfterBytes: *cutAfter,
+		Logf:          logf,
+	})
+	if err != nil {
+		log.Fatalf("rsproxy: %v", err)
+	}
+	logf("rsproxy: %s", p)
+
+	stop := make(chan struct{})
+	if len(dirs) > 0 {
+		go netfault.RunScript(p, dirs, stop)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	if *duration > 0 {
+		select {
+		case <-sigc:
+		case <-time.After(*duration):
+		}
+	} else {
+		<-sigc
+	}
+	close(stop)
+	stats := p.Stats()
+	p.Close()
+
+	out, _ := json.MarshalIndent(stats, "", "  ")
+	fmt.Println(string(out))
+}

@@ -16,8 +16,12 @@
 // A file-backed store is created on first use and reopened afterwards; the
 // structure's header id and the transactional anchor are remembered in a
 // JSON manifest next to the store (X.manifest.json), so a restart needs no
-// flags beyond -store. Reopening a durable store runs WAL crash recovery
-// first, exactly like rsinspect recover.
+// flags beyond -store. A corrupt, truncated, or incomplete manifest fails
+// startup with a diagnostic instead of misopening the store. Reopening a
+// durable store runs WAL crash recovery first, exactly like rsinspect
+// recover, then (unless -boot-scrub=false) reclaims any pages a crash
+// stranded mid-copy-on-write, so a SIGKILL/restart cycle converges back to
+// a leak-free store.
 //
 // On SIGTERM/SIGINT the server drains: the listener closes, in-flight
 // requests finish and flush, the last epoch commits, and the process exits
@@ -63,6 +67,23 @@ type manifest struct {
 
 func manifestPath(storePath string) string { return storePath + ".manifest.json" }
 
+// validate rejects manifests that parse but cannot describe a real store
+// — a truncated or hand-edited file must fail here with a diagnostic, not
+// downstream as a zero-value misopen of page 0.
+func (m *manifest) validate(path string) error {
+	switch {
+	case m.PageSize <= 0:
+		return fmt.Errorf("manifest %s: page_size %d is not positive", path, m.PageSize)
+	case m.Hdr == eio.NilPage:
+		return fmt.Errorf("manifest %s: hdr is missing or nil — no structure root to open", path)
+	case m.Durable && m.Anchor == eio.NilPage:
+		return fmt.Errorf("manifest %s: durable store without an anchor — cannot run WAL recovery", path)
+	case m.WALPages < 0:
+		return fmt.Errorf("manifest %s: negative wal_pages %d", path, m.WALPages)
+	}
+	return nil
+}
+
 func readManifest(storePath string) (*manifest, error) {
 	raw, err := os.ReadFile(manifestPath(storePath))
 	if err != nil {
@@ -70,7 +91,10 @@ func readManifest(storePath string) (*manifest, error) {
 	}
 	var m manifest
 	if err := json.Unmarshal(raw, &m); err != nil {
-		return nil, fmt.Errorf("manifest %s: %w", manifestPath(storePath), err)
+		return nil, fmt.Errorf("manifest %s: not valid JSON (corrupt or truncated?): %w", manifestPath(storePath), err)
+	}
+	if err := m.validate(manifestPath(storePath)); err != nil {
+		return nil, err
 	}
 	return &m, nil
 }
@@ -102,8 +126,38 @@ func buildMem(pageSize int) (*stack, error) {
 	return finish(snap, idx, nil, &manifest{PageSize: pageSize, Hdr: idx.HeaderID()})
 }
 
+// bootScrub reclaims pages a SIGKILL stranded: SnapStore defers frees to
+// the next epoch commit, so a crash leaks (never corrupts) the pages of
+// in-flight copy-on-write updates. After WAL recovery the tree is
+// consistent, so anything outside its exact reachability set (plus the
+// transactional metadata) is garbage — free it before serving resumes.
+func bootScrub(tx *eio.TxStore, hdr eio.PageID) (*eio.ScrubReport, error) {
+	tmp, err := core.OpenThreeSided(tx, hdr)
+	if err != nil {
+		return nil, fmt.Errorf("boot scrub: open tree: %w", err)
+	}
+	reachable, err := tmp.Tree().AppendAllPages(nil)
+	if err != nil {
+		return nil, fmt.Errorf("boot scrub: reachability walk: %w", err)
+	}
+	meta, err := tx.MetaPages()
+	if err != nil {
+		return nil, fmt.Errorf("boot scrub: tx meta pages: %w", err)
+	}
+	rep, err := eio.Scrub(tx, append(reachable, meta...))
+	if err != nil {
+		return nil, fmt.Errorf("boot scrub: %w", err)
+	}
+	if len(rep.Leaked) > 0 {
+		if err := tx.Sync(); err != nil {
+			return rep, fmt.Errorf("boot scrub: sync: %w", err)
+		}
+	}
+	return rep, nil
+}
+
 // buildFile assembles (creating or reopening) a file-backed stack.
-func buildFile(path string, pageSize int, durable bool, walPages, poolCap, poolShards int) (*stack, error) {
+func buildFile(path string, pageSize int, durable bool, walPages, poolCap, poolShards int, scrubOnBoot bool) (*stack, error) {
 	_, statErr := os.Stat(path)
 	fresh := os.IsNotExist(statErr)
 
@@ -160,6 +214,16 @@ func buildFile(path string, pageSize int, durable bool, walPages, poolCap, poolS
 		if ri := tx.Recovery(); ri.Replayed || ri.WALRepaired > 0 || ri.AnchorsRepaired > 0 {
 			fmt.Printf("rsserve: WAL recovery: replayed=%v pages_redone=%d wal_repaired=%d anchors_repaired=%d\n",
 				ri.Replayed, ri.PagesRedone, ri.WALRepaired, ri.AnchorsRepaired)
+		}
+		if scrubOnBoot {
+			rep, err := bootScrub(tx, m.Hdr)
+			if err != nil {
+				tx.Close()
+				return nil, err
+			}
+			if len(rep.Leaked) > 0 {
+				fmt.Printf("rsserve: boot scrub: reclaimed %d pages a crash stranded\n", len(rep.Leaked))
+			}
 		}
 		base = tx
 	} else if poolCap > 0 {
@@ -245,6 +309,11 @@ func main() {
 		maxBatch    = flag.Int("max-batch", server.DefaultMaxBatchOps, "max operations in one BATCH request")
 		idleT       = flag.Duration("idle-timeout", 2*time.Minute, "close connections idle longer than this")
 		writeT      = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline")
+		reqT        = flag.Duration("request-timeout", 10*time.Second, "per-request execution deadline; expired requests answer TIMEOUT (0 = off)")
+		retryAfter  = flag.Duration("retry-after", 2*time.Millisecond, "backoff hint attached to BUSY responses (<0 = omit)")
+		idemClients = flag.Int("idem-clients", 256, "idempotency dedup: max client sessions tracked (<0 = off)")
+		idemWindow  = flag.Int("idem-window", 512, "idempotency dedup: completed writes remembered per session")
+		scrubBoot   = flag.Bool("boot-scrub", true, "durable stores: reclaim crash-leaked pages after WAL recovery")
 		metricsAddr = flag.String("metrics", "", "serve expvar+pprof on this address (empty = off)")
 	)
 	flag.Parse()
@@ -261,7 +330,7 @@ func main() {
 	if *mem {
 		st, err = buildMem(*page)
 	} else {
-		st, err = buildFile(*store, *page, *durable, *wal, *poolCap, *shards)
+		st, err = buildFile(*store, *page, *durable, *wal, *poolCap, *shards, *scrubBoot)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rsserve: %v\n", err)
@@ -281,11 +350,14 @@ func main() {
 	}
 
 	srv := server.New(st.conc, server.Config{
-		MaxInFlight:  *maxInFlight,
-		MaxBatchOps:  *maxBatch,
-		IdleTimeout:  *idleT,
-		WriteTimeout: *writeT,
-		Metrics:      metrics,
+		MaxInFlight:    *maxInFlight,
+		MaxBatchOps:    *maxBatch,
+		IdleTimeout:    *idleT,
+		WriteTimeout:   *writeT,
+		RequestTimeout: *reqT,
+		RetryAfterHint: *retryAfter,
+		Idem:           server.IdemConfig{MaxClients: *idemClients, Window: *idemWindow},
+		Metrics:        metrics,
 		Logf: func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, "rsserve: "+format+"\n", args...)
 		},

@@ -1,0 +1,138 @@
+package netfault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Directive is one timed fault action parsed from a script.
+type Directive struct {
+	// At is the offset from script start when the action fires.
+	At time.Duration
+	// Apply performs the action on a proxy.
+	Apply func(*Proxy)
+	// Text is the source form, for logs.
+	Text string
+}
+
+// ParseScript parses the fault-script DSL: semicolon-separated
+// `offset:action` entries, executed at their offsets from RunScript
+// start. Actions:
+//
+//	cut                  reset every live connection (RST)
+//	blackhole=on|off     stall / resume all forwarding
+//	latency=DUR[~DUR]    per-chunk delay, optional uniform jitter
+//	bandwidth=N          bytes/sec cap per direction (0 = off)
+//	corrupt=P            per-chunk bit-flip probability [0,1)
+//	cutafter=N           RST each connection after N bytes (0 = off)
+//
+// Example: "500ms:latency=20ms~10ms;2s:cut;3s:blackhole=on;4s:blackhole=off"
+func ParseScript(s string) ([]Directive, error) {
+	var out []Directive
+	for _, entry := range strings.Split(s, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		i := strings.Index(entry, ":")
+		if i < 0 {
+			return nil, fmt.Errorf("netfault: script entry %q: want offset:action", entry)
+		}
+		at, err := time.ParseDuration(strings.TrimSpace(entry[:i]))
+		if err != nil {
+			return nil, fmt.Errorf("netfault: script entry %q: bad offset: %v", entry, err)
+		}
+		action := strings.TrimSpace(entry[i+1:])
+		apply, err := parseAction(action)
+		if err != nil {
+			return nil, fmt.Errorf("netfault: script entry %q: %v", entry, err)
+		}
+		out = append(out, Directive{At: at, Apply: apply, Text: entry})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out, nil
+}
+
+func parseAction(action string) (func(*Proxy), error) {
+	name, arg := action, ""
+	if i := strings.Index(action, "="); i >= 0 {
+		name, arg = action[:i], action[i+1:]
+	}
+	switch name {
+	case "cut":
+		if arg != "" {
+			return nil, fmt.Errorf("cut takes no argument")
+		}
+		return func(p *Proxy) { p.CutAll() }, nil
+	case "blackhole":
+		switch arg {
+		case "on":
+			return func(p *Proxy) { p.SetBlackhole(true) }, nil
+		case "off":
+			return func(p *Proxy) { p.SetBlackhole(false) }, nil
+		}
+		return nil, fmt.Errorf("blackhole wants on|off, got %q", arg)
+	case "latency":
+		base, jitter := arg, ""
+		if i := strings.Index(arg, "~"); i >= 0 {
+			base, jitter = arg[:i], arg[i+1:]
+		}
+		bd, err := time.ParseDuration(base)
+		if err != nil {
+			return nil, fmt.Errorf("latency: %v", err)
+		}
+		var jd time.Duration
+		if jitter != "" {
+			if jd, err = time.ParseDuration(jitter); err != nil {
+				return nil, fmt.Errorf("latency jitter: %v", err)
+			}
+		}
+		return func(p *Proxy) { p.SetLatency(bd, jd) }, nil
+	case "bandwidth":
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bandwidth wants a non-negative byte count, got %q", arg)
+		}
+		return func(p *Proxy) { p.SetBandwidth(n) }, nil
+	case "corrupt":
+		f, err := strconv.ParseFloat(arg, 64)
+		if err != nil || f < 0 || f >= 1 {
+			return nil, fmt.Errorf("corrupt wants a probability in [0,1), got %q", arg)
+		}
+		return func(p *Proxy) { p.SetCorrupt(f) }, nil
+	case "cutafter":
+		n, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("cutafter wants a non-negative byte count, got %q", arg)
+		}
+		return func(p *Proxy) { p.SetCutAfter(n) }, nil
+	}
+	return nil, fmt.Errorf("unknown action %q", name)
+}
+
+// RunScript executes directives against p at their offsets, blocking
+// until the last has fired or stop is closed. A nil stop never stops.
+func RunScript(p *Proxy, dirs []Directive, stop <-chan struct{}) {
+	start := time.Now()
+	for _, d := range dirs {
+		wait := d.At - time.Since(start)
+		if wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-stop:
+				return
+			}
+		} else {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+		p.logf("netfault: script: %s", d.Text)
+		d.Apply(p)
+	}
+}

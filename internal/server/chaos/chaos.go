@@ -1,0 +1,407 @@
+// Package chaos is the kill-and-recover harness for the serving stack: it
+// runs a real rsserve process on a durable store, drives verified rsload
+// traffic at it through a netfault proxy, and SIGKILLs/restarts the
+// server over and over while the traffic keeps flowing.
+//
+// Every layer of the fault-tolerance story is exercised at once and
+// checked end to end:
+//
+//   - each SIGKILL lands mid-traffic; the restart reopens the store
+//     through WAL crash recovery and the boot scrub reclaims any pages
+//     the kill stranded mid-copy-on-write;
+//   - the resilient clients reconnect through the proxy, re-send their
+//     pipelines, and their idempotency IDs keep retried writes
+//     exactly-once-applied;
+//   - the per-worker stripe models verify read-your-writes across every
+//     restart — an acked write must never disappear, a deleted point must
+//     never resurrect;
+//   - the final SIGTERM drain must exit 0 (rsserve itself verifies the
+//     store is scrub-clean), and the harness re-verifies the file
+//     in-process afterwards: page-exact reachability, zero leaks, clean
+//     checksums.
+//
+// cmd/rschaos wraps this package for the command line; `make chaos` is
+// the ≥10-cycle acceptance run.
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"rangesearch/internal/core"
+	"rangesearch/internal/eio"
+	"rangesearch/internal/netfault"
+	"rangesearch/internal/server"
+)
+
+// Config tunes a chaos run. ServerBin and StorePath are required.
+type Config struct {
+	// ServerBin is the path to an rsserve binary.
+	ServerBin string
+	// StorePath is where the durable store lives; created fresh unless it
+	// already exists (a fresh store enables exact verification).
+	StorePath string
+	// Cycles is the number of SIGKILL/restart cycles (default 10).
+	Cycles int
+	// Period is how long the server lives between kills (default 700ms).
+	Period time.Duration
+	// Workers / Pipeline size the load (defaults 4 / 4).
+	Workers  int
+	Pipeline int
+	// Seed seeds the workload and fault RNGs (default 1).
+	Seed int64
+	// Latency/Jitter shape the proxy per chunk; zero means only the kills
+	// and resets exercise the stack.
+	Latency time.Duration
+	Jitter  time.Duration
+	// RequestTimeout is passed to rsserve -request-timeout (default 5s).
+	RequestTimeout time.Duration
+	// Logf, when non-nil, receives progress lines. Nil discards.
+	Logf func(format string, args ...interface{})
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cycles <= 0 {
+		c.Cycles = 10
+	}
+	if c.Period <= 0 {
+		c.Period = 700 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Report is the JSON result of a chaos run.
+type Report struct {
+	Cycles     int     `json:"cycles"`
+	Kills      int     `json:"kills"`
+	Restarts   int     `json:"restarts"`
+	BootScrubs int     `json:"boot_scrubs"` // restarts that reclaimed crash-leaked pages
+	DurationS  float64 `json:"duration_s"`
+
+	Load  *server.LoadReport `json:"load"`
+	Proxy netfault.Stats     `json:"proxy"`
+
+	// FinalDrainExit is the exit code of the closing SIGTERM drain; 0
+	// means rsserve itself verified the store scrub-clean.
+	FinalDrainExit int `json:"final_drain_exit"`
+	// PostLeaked / PostPages are the harness's own post-mortem: leaked
+	// page count (must be 0) and total pages verified in the file.
+	PostLeaked int `json:"post_leaked"`
+	PostPages  int `json:"post_pages"`
+	// PostPoints is the number of points the reopened store holds.
+	PostPoints int `json:"post_points"`
+}
+
+// Failed reports whether the run violated any acceptance criterion.
+func (r *Report) Failed() bool {
+	return r.Load == nil || r.Load.Failed() || r.FinalDrainExit != 0 || r.PostLeaked != 0
+}
+
+// logBuffer captures a child process's output while forwarding it to the
+// harness log line by line.
+type logBuffer struct {
+	mu   sync.Mutex
+	buf  bytes.Buffer
+	logf func(format string, args ...interface{})
+	tag  string
+}
+
+func (b *logBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	b.buf.Write(p)
+	b.mu.Unlock()
+	if b.logf != nil {
+		for _, line := range strings.Split(strings.TrimRight(string(p), "\n"), "\n") {
+			if line != "" {
+				b.logf("%s: %s", b.tag, line)
+			}
+		}
+	}
+	return len(p), nil
+}
+
+func (b *logBuffer) count(substr string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return strings.Count(b.buf.String(), substr)
+}
+
+// harness owns the moving parts of one run.
+type harness struct {
+	cfg   Config
+	addr  string // rsserve's own address
+	proxy *netfault.Proxy
+	out   *logBuffer
+	proc  *exec.Cmd
+}
+
+func (h *harness) logf(format string, args ...interface{}) {
+	if h.cfg.Logf != nil {
+		h.cfg.Logf(format, args...)
+	}
+}
+
+// freePort reserves an ephemeral port and releases it for the child to
+// bind. The tiny race is acceptable for a test harness.
+func freePort() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// start spawns rsserve and waits until it answers a Ping.
+func (h *harness) start() error {
+	cmd := exec.Command(h.cfg.ServerBin,
+		"-addr", h.addr,
+		"-store", h.cfg.StorePath,
+		"-request-timeout", h.cfg.RequestTimeout.String(),
+	)
+	cmd.Stdout = h.out
+	cmd.Stderr = h.out
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("chaos: start %s: %w", h.cfg.ServerBin, err)
+	}
+	h.proc = cmd
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		cl, err := server.Dial(h.addr, server.ClientOptions{DialTimeout: 200 * time.Millisecond})
+		if err == nil {
+			err = cl.Ping([]byte("chaos"))
+			cl.Close()
+			if err == nil {
+				return nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	_ = cmd.Process.Kill()
+	_ = cmd.Wait()
+	return fmt.Errorf("chaos: rsserve on %s never became ready", h.addr)
+}
+
+// kill SIGKILLs the server — no drain, no WAL flush beyond what group
+// commit already synced — and resets every proxied connection so clients
+// notice immediately.
+func (h *harness) kill() error {
+	if err := h.proc.Process.Kill(); err != nil {
+		return fmt.Errorf("chaos: kill: %w", err)
+	}
+	_ = h.proc.Wait() // reap; exit status is meaningless after SIGKILL
+	h.proxy.CutAll()
+	return nil
+}
+
+// stopGracefully SIGTERMs the server and returns its exit code.
+func (h *harness) stopGracefully() (int, error) {
+	if err := h.proc.Process.Signal(syscall.SIGTERM); err != nil {
+		return -1, fmt.Errorf("chaos: SIGTERM: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- h.proc.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			return 0, nil
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode(), nil
+		}
+		return -1, err
+	case <-time.After(60 * time.Second):
+		_ = h.proc.Process.Kill()
+		<-done
+		return -1, fmt.Errorf("chaos: drain timed out")
+	}
+}
+
+// postMortem reopens the drained store in-process and re-verifies what
+// rsserve's exit code already claimed: WAL recovery is a no-op, the tree
+// plus transactional metadata reach every allocated page (zero leaks),
+// and the file's checksums are clean.
+func postMortem(storePath string, rep *Report) error {
+	raw, err := os.ReadFile(storePath + ".manifest.json")
+	if err != nil {
+		return fmt.Errorf("chaos: post-mortem: %w", err)
+	}
+	var m struct {
+		Durable bool       `json:"durable"`
+		Hdr     eio.PageID `json:"hdr"`
+		Anchor  eio.PageID `json:"anchor"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("chaos: post-mortem: manifest: %w", err)
+	}
+	if !m.Durable {
+		return fmt.Errorf("chaos: post-mortem: store is not durable")
+	}
+	fs, err := eio.OpenFileStore(storePath)
+	if err != nil {
+		return fmt.Errorf("chaos: post-mortem: %w", err)
+	}
+	defer fs.Close()
+	tx, err := eio.OpenTxStore(fs, m.Anchor)
+	if err != nil {
+		return fmt.Errorf("chaos: post-mortem: WAL recovery: %w", err)
+	}
+	idx, err := core.OpenThreeSided(tx, m.Hdr)
+	if err != nil {
+		return fmt.Errorf("chaos: post-mortem: open tree: %w", err)
+	}
+	n, err := idx.Len()
+	if err != nil {
+		return fmt.Errorf("chaos: post-mortem: len: %w", err)
+	}
+	rep.PostPoints = n
+	reachable, err := idx.Tree().AppendAllPages(nil)
+	if err != nil {
+		return fmt.Errorf("chaos: post-mortem: reachability: %w", err)
+	}
+	meta, err := tx.MetaPages()
+	if err != nil {
+		return fmt.Errorf("chaos: post-mortem: meta pages: %w", err)
+	}
+	leaks, err := eio.FindLeaks(tx, append(reachable, meta...))
+	if err != nil {
+		return fmt.Errorf("chaos: post-mortem: leak check: %w", err)
+	}
+	rep.PostLeaked = len(leaks.Leaked)
+
+	vrep, err := eio.VerifyFile(storePath)
+	if err != nil {
+		return fmt.Errorf("chaos: post-mortem: verify: %w", err)
+	}
+	rep.PostPages = int(vrep.NPages)
+	if vrep.Damaged() {
+		return fmt.Errorf("chaos: post-mortem: file damaged: %d bad pages", len(vrep.BadPages))
+	}
+	return nil
+}
+
+// Run executes one full chaos run and returns its report. A non-nil
+// error means the harness itself broke (could not spawn, store missing);
+// acceptance violations are reported via Report.Failed so the caller can
+// still inspect the full report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ServerBin == "" || cfg.StorePath == "" {
+		return nil, fmt.Errorf("chaos: ServerBin and StorePath are required")
+	}
+
+	addr, err := freePort()
+	if err != nil {
+		return nil, err
+	}
+	h := &harness{
+		cfg:  cfg,
+		addr: addr,
+		out:  &logBuffer{logf: cfg.Logf, tag: "rsserve"},
+	}
+	h.proxy, err = netfault.New(addr, netfault.Options{
+		Seed:    cfg.Seed,
+		Latency: cfg.Latency,
+		Jitter:  cfg.Jitter,
+		Logf:    cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer h.proxy.Close()
+
+	if err := h.start(); err != nil {
+		return nil, err
+	}
+	h.logf("chaos: rsserve up on %s, proxied at %s", h.addr, h.proxy.Addr())
+
+	rep := &Report{Cycles: cfg.Cycles}
+	start := time.Now()
+
+	// The verified workload runs through the proxy for the whole kill
+	// schedule plus one settle period at each end.
+	loadDur := time.Duration(cfg.Cycles+2) * cfg.Period
+	loadDone := make(chan struct{})
+	var loadRep *server.LoadReport
+	var loadErr error
+	go func() {
+		defer close(loadDone)
+		loadRep, loadErr = server.RunLoad(server.LoadConfig{
+			Addr:      h.proxy.Addr(),
+			Workers:   cfg.Workers,
+			Pipeline:  cfg.Pipeline,
+			Duration:  loadDur,
+			Domain:    1 << 16,
+			Seed:      cfg.Seed,
+			Verify:    true,
+			Resilient: true,
+			Retry: server.RetryPolicy{
+				MaxAttempts: 60,
+				BaseDelay:   5 * time.Millisecond,
+				MaxDelay:    250 * time.Millisecond,
+			},
+			Client: server.ClientOptions{DialTimeout: time.Second, IOTimeout: 10 * time.Second},
+		})
+	}()
+
+	for cycle := 1; cycle <= cfg.Cycles; cycle++ {
+		time.Sleep(cfg.Period)
+		h.logf("chaos: cycle %d/%d: SIGKILL", cycle, cfg.Cycles)
+		if err := h.kill(); err != nil {
+			return nil, err
+		}
+		rep.Kills++
+		if err := h.start(); err != nil {
+			return nil, fmt.Errorf("chaos: cycle %d: %w", cycle, err)
+		}
+		rep.Restarts++
+	}
+
+	select {
+	case <-loadDone:
+	case <-time.After(loadDur + 2*time.Minute):
+		return nil, fmt.Errorf("chaos: load generator hung")
+	}
+	if loadErr != nil {
+		return nil, fmt.Errorf("chaos: load: %w", loadErr)
+	}
+	rep.Load = loadRep
+
+	h.logf("chaos: kills done, draining with SIGTERM")
+	exit, err := h.stopGracefully()
+	if err != nil {
+		return nil, err
+	}
+	rep.FinalDrainExit = exit
+	rep.Proxy = h.proxy.Stats()
+	rep.BootScrubs = h.out.count("boot scrub: reclaimed")
+	rep.DurationS = time.Since(start).Seconds()
+
+	if err := postMortem(cfg.StorePath, rep); err != nil {
+		return nil, err
+	}
+	h.logf("chaos: done: kills=%d ops=%d reconnects=%d resent=%d boot_scrubs=%d leaked=%d points=%d",
+		rep.Kills, rep.Load.Ops, rep.Load.Reconnects, rep.Load.Resent, rep.BootScrubs, rep.PostLeaked, rep.PostPoints)
+	return rep, nil
+}

@@ -127,13 +127,16 @@ func (c *Client) Do(r Request) (Response, error) {
 	return c.Recv()
 }
 
-// statusErr converts a non-OK response into an error (BUSY → ErrBusy).
+// statusErr converts a non-OK response into an error (BUSY → ErrBusy,
+// TIMEOUT → ErrTimeout).
 func statusErr(r Response) error {
 	switch r.Status {
 	case StatusOK:
 		return nil
 	case StatusBusy:
 		return ErrBusy
+	case StatusTimeout:
+		return ErrTimeout
 	default:
 		return fmt.Errorf("server: %s", r.Msg)
 	}

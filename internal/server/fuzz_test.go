@@ -84,6 +84,65 @@ func FuzzDecodeResponse(f *testing.F) {
 	})
 }
 
+// FuzzDecodeIdem pins the idempotency-envelope decoder that the dedup
+// window depends on: an arbitrary IDEM header + body either fails with
+// ErrProto or decodes to exactly the (client, seq) identity on the wire,
+// wrapped around a write opcode, and re-encodes canonically. A decoder
+// that mangled the ID would silently break exactly-once retry semantics,
+// so the identity check here is the load-bearing assertion.
+func FuzzDecodeIdem(f *testing.F) {
+	envelope := func(client, seq uint64, inner []byte) []byte {
+		body := make([]byte, 0, 17+len(inner))
+		body = append(body, OpIdem)
+		body = binary.BigEndian.AppendUint64(body, client)
+		body = binary.BigEndian.AppendUint64(body, seq)
+		return append(body, inner...)
+	}
+	ins, _ := EncodeRequest(nil, Request{Op: OpInsert, P: pt(7, -7)})
+	del, _ := EncodeRequest(nil, Request{Op: OpDelete, P: pt(0, 1)})
+	bat, _ := EncodeRequest(nil, Request{Op: OpBatch, Batch: []BatchEntry{{Kind: BatchInsert, P: pt(2, 2)}}})
+	f.Add(envelope(1, 1, ins))
+	f.Add(envelope(^uint64(0), 0, del))
+	f.Add(envelope(0xDEAD, 42, bat))
+	f.Add(envelope(1, 1, []byte{OpQuery3}))    // reads may not be enveloped
+	f.Add(envelope(1, 1, envelope(2, 2, ins))) // nested envelopes are invalid
+	f.Add([]byte{OpIdem})                      // no header
+	f.Add(envelope(1, 1, nil))                 // header but no inner op
+	f.Add(envelope(1, 1, ins)[:17])            // truncated at the inner opcode
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := DecodeRequest(body, 64)
+		if err != nil {
+			if !errors.Is(err, ErrProto) {
+				t.Fatalf("non-ErrProto failure: %v", err)
+			}
+			return
+		}
+		if len(body) > 0 && body[0] == OpIdem {
+			if req.Idem == nil {
+				t.Fatal("IDEM frame decoded without an idempotency ID")
+			}
+			// The decoded identity must be exactly the wire bytes.
+			wantClient := binary.BigEndian.Uint64(body[1:9])
+			wantSeq := binary.BigEndian.Uint64(body[9:17])
+			if req.Idem.Client != wantClient || req.Idem.Seq != wantSeq {
+				t.Fatalf("idem ID (%d,%d) decoded from wire (%d,%d)",
+					req.Idem.Client, req.Idem.Seq, wantClient, wantSeq)
+			}
+			if !idempotent(req.Op) {
+				t.Fatalf("envelope decoded around non-idempotent %s", OpName(req.Op))
+			}
+		}
+		re, err := EncodeRequest(nil, req)
+		if err != nil {
+			t.Fatalf("decoded request does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, body) {
+			t.Fatalf("round trip not canonical:\n in %x\nout %x", body, re)
+		}
+	})
+}
+
 // FuzzReadFrame pins the framing layer: arbitrary byte streams either
 // yield a frame within the limit or fail cleanly; a hostile length prefix
 // must not drive allocation.

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// IdemConfig bounds the server's idempotency dedup state. The zero value
+// selects the documented defaults.
+type IdemConfig struct {
+	// MaxClients caps the number of client sessions tracked at once;
+	// beyond it the least-recently-seen session's window is evicted
+	// wholesale. Default 256. Negative disables deduplication entirely
+	// (IDEM envelopes still decode, every one executes).
+	MaxClients int
+	// Window is the number of completed writes remembered per client
+	// session, oldest evicted first. It must cover the client's maximum
+	// pipeline depth plus the retries in flight across a reconnect — 64
+	// outstanding writes need a window of 64, not of the total write
+	// count. Default 512.
+	Window int
+}
+
+func (c IdemConfig) withDefaults() IdemConfig {
+	if c.MaxClients == 0 {
+		c.MaxClients = 256
+	}
+	if c.Window <= 0 {
+		c.Window = 512
+	}
+	return c
+}
+
+// idemTable is the server-wide dedup state: one bounded window of
+// completed-write responses per client session, sessions themselves
+// bounded by LRU. Windows are keyed by the client half of the IdemID and
+// shared across that client's connections — a retry after a reconnect
+// lands in the same window its original populated.
+type idemTable struct {
+	cfg IdemConfig
+
+	mu      sync.Mutex
+	clients map[uint64]*idemWindow
+	lru     *list.List // of uint64 client ids, front = most recent
+}
+
+// idemWindow is one client session's bounded memory of completed writes:
+// seq → the encoded response body that was (or would have been) sent.
+type idemWindow struct {
+	entries map[uint64][]byte
+	order   []uint64 // insertion order ring for bounded eviction
+	elem    *list.Element
+}
+
+func newIdemTable(cfg IdemConfig) *idemTable {
+	return &idemTable{
+		cfg:     cfg.withDefaults(),
+		clients: map[uint64]*idemWindow{},
+		lru:     list.New(),
+	}
+}
+
+// lookup returns the cached encoded response for id, if the write already
+// completed within the window.
+func (t *idemTable) lookup(id IdemID) ([]byte, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w, ok := t.clients[id.Client]
+	if !ok {
+		return nil, false
+	}
+	t.lru.MoveToFront(w.elem)
+	body, ok := w.entries[id.Seq]
+	return body, ok
+}
+
+// store remembers the encoded response of a completed write, evicting the
+// oldest window entry — and, at the session cap, the least-recently-seen
+// session — to stay bounded. body is copied.
+func (t *idemTable) store(id IdemID, body []byte) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w, ok := t.clients[id.Client]
+	if !ok {
+		for len(t.clients) >= t.cfg.MaxClients {
+			oldest := t.lru.Back()
+			if oldest == nil {
+				break
+			}
+			t.lru.Remove(oldest)
+			delete(t.clients, oldest.Value.(uint64))
+		}
+		w = &idemWindow{entries: map[uint64][]byte{}}
+		w.elem = t.lru.PushFront(id.Client)
+		t.clients[id.Client] = w
+	} else {
+		t.lru.MoveToFront(w.elem)
+	}
+	if _, dup := w.entries[id.Seq]; dup {
+		return // first completion wins; a concurrent retry must not clobber it
+	}
+	for len(w.order) >= t.cfg.Window {
+		delete(w.entries, w.order[0])
+		w.order = w.order[:copy(w.order, w.order[1:])]
+	}
+	w.entries[id.Seq] = append([]byte(nil), body...)
+	w.order = append(w.order, id.Seq)
+}
+
+// stats reports the tracked session and entry counts (for STATS/metrics).
+func (t *idemTable) stats() (clients, entries int) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, w := range t.clients {
+		entries += len(w.entries)
+	}
+	return len(t.clients), entries
+}

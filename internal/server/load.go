@@ -58,6 +58,14 @@ type LoadConfig struct {
 	BatchSize int
 	// Client is passed to Dial.
 	Client ClientOptions
+	// Resilient drives each worker through a ResilientClient: automatic
+	// reconnect, idempotent write retries, BUSY/TIMEOUT absorption. The
+	// run then survives server restarts, and verification accounts for
+	// retried operations (whose Duplicate/Found flags may describe the
+	// first execution) and for writes whose outcome stayed unknown.
+	Resilient bool
+	// Retry bounds the resilient clients' reconnects and retries.
+	Retry RetryPolicy
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -132,7 +140,24 @@ type LoadReport struct {
 	ConsistencyErrors uint64 `json:"consistency_errors"`
 	TransportErrors   uint64 `json:"transport_errors"`
 
+	// Timeouts counts TIMEOUT responses that surfaced to workers (the
+	// resilient client absorbs and retries most); UnknownWrites counts
+	// write operations whose outcome stayed ambiguous — their points are
+	// excluded from verification either way.
+	Timeouts      uint64 `json:"timeouts,omitempty"`
+	UnknownWrites uint64 `json:"unknown_writes,omitempty"`
+	// Reconnects / Resent / BusyRetries / TimeoutRetries aggregate the
+	// resilient clients' recovery work (zero in plain mode).
+	Reconnects     uint64 `json:"reconnects,omitempty"`
+	Resent         uint64 `json:"resent,omitempty"`
+	BusyRetries    uint64 `json:"busy_retries,omitempty"`
+	TimeoutRetries uint64 `json:"timeout_retries,omitempty"`
+
 	PerOp map[string]OpLoadStats `json:"per_op"`
+
+	// ServerStats is the server's own STATS snapshot, fetched best-effort
+	// after the run (nil if the server was unreachable).
+	ServerStats *StatsSnapshot `json:"server_stats,omitempty"`
 
 	// VerifyMode records how query results were checked: "exact" (the
 	// index started empty, so each worker's stripe model is the complete
@@ -150,12 +175,77 @@ func (r *LoadReport) Failed() bool {
 	return r.ProtoErrors > 0 || r.ConsistencyErrors > 0 || r.TransportErrors > 0
 }
 
+// loadConn abstracts the two connection drivers a worker can run on: a
+// plain pipelined Client (responses strictly FIFO) or a ResilientClient
+// (responses identified per request, since retries permute the order).
+// Either way, recv tells the worker which request the response answers
+// and whether that request was ever ambiguously re-sent.
+type loadConn interface {
+	send(r Request) error
+	recv() (s sentOp, resp Response, retried bool, err error)
+	pending() int
+	close() error
+}
+
+// sentOp remembers enough about an in-flight request to apply its
+// response to the model and verify query results.
+type sentOp struct {
+	req   Request
+	start time.Time
+}
+
+// plainConn drives a *Client, pairing responses with its FIFO window.
+type plainConn struct {
+	cl     *Client
+	window []sentOp
+}
+
+func (c *plainConn) send(r Request) error {
+	if err := c.cl.Send(r); err != nil {
+		return err
+	}
+	c.window = append(c.window, sentOp{req: r, start: time.Now()})
+	return nil
+}
+
+func (c *plainConn) recv() (sentOp, Response, bool, error) {
+	resp, err := c.cl.Recv()
+	s := c.window[0]
+	c.window = c.window[:copy(c.window, c.window[1:])]
+	return s, resp, false, err
+}
+
+func (c *plainConn) pending() int { return c.cl.Pending() }
+func (c *plainConn) close() error { return c.cl.Close() }
+
+// resilientConn drives a *ResilientClient; the send time rides along as
+// the tag so latency spans every retry of the operation.
+type resilientConn struct {
+	rc *ResilientClient
+}
+
+func (c *resilientConn) send(r Request) error {
+	return c.rc.Send(r, time.Now())
+}
+
+func (c *resilientConn) recv() (sentOp, Response, bool, error) {
+	res, err := c.rc.Recv()
+	if err != nil {
+		return sentOp{}, Response{}, false, err
+	}
+	return sentOp{req: res.Req, start: res.Tag.(time.Time)}, res.Resp, res.Retried, nil
+}
+
+func (c *resilientConn) pending() int { return c.rc.Pending() }
+func (c *resilientConn) close() error { return c.rc.Close() }
+
 // loadWorker is one closed-loop connection driver.
 type loadWorker struct {
-	id  int
-	cfg LoadConfig
-	rng *rand.Rand
-	cl  *Client
+	id   int
+	cfg  LoadConfig
+	rng  *rand.Rand
+	conn loadConn
+	rc   *ResilientClient // non-nil in resilient mode, for stats
 
 	// live is the worker's model of its own x-stripe: the points it has
 	// inserted and not yet deleted. keys mirrors live for O(1) random
@@ -165,25 +255,21 @@ type loadWorker struct {
 	// dead holds stripe points this worker deleted (and has not since
 	// re-inserted); in containment mode a query returning one is an error.
 	dead map[geom.Point]struct{}
+	// unknown holds stripe points whose membership is ambiguous: a write
+	// touching them surfaced TIMEOUT, so it may or may not have executed.
+	// They are excluded from both sides of query verification until a
+	// completed write resolves them.
+	unknown map[geom.Point]struct{}
 	// strict selects exact-match query verification (index started
 	// empty); otherwise only containment of this run's effects is checked.
 	strict bool
 
-	// window holds outstanding pipelined requests in send order.
-	window []sentOp
-
 	ops, reads, writes, pointsRead   uint64
 	busy, protoErr, consistency, txp uint64
+	timeouts, unknownWrites          uint64
 	firstErr                         error
 
 	hist map[byte]*obs.Histogram
-}
-
-// sentOp remembers enough about an in-flight request to apply its
-// response to the model and verify query results.
-type sentOp struct {
-	req   Request
-	start time.Time
 }
 
 func (w *loadWorker) fail(class *uint64, err error) {
@@ -230,9 +316,12 @@ func (w *loadWorker) nextRequest() Request {
 	return Request{Op: OpInsert, P: w.stripePoint()}
 }
 
-// modelInsert / modelDelete maintain the live and dead sets.
+// modelInsert / modelDelete maintain the live and dead sets. A completed
+// write resolves ambiguity: afterwards the point's membership is known
+// again, whatever a timed-out earlier attempt did.
 func (w *loadWorker) modelInsert(p geom.Point) {
 	delete(w.dead, p)
+	delete(w.unknown, p)
 	if _, ok := w.live[p]; ok {
 		return
 	}
@@ -241,6 +330,7 @@ func (w *loadWorker) modelInsert(p geom.Point) {
 }
 
 func (w *loadWorker) modelDelete(p geom.Point) {
+	delete(w.unknown, p)
 	i, ok := w.live[p]
 	if !ok {
 		return
@@ -251,6 +341,22 @@ func (w *loadWorker) modelDelete(p geom.Point) {
 	w.keys = w.keys[:last]
 	delete(w.live, p)
 	w.dead[p] = struct{}{}
+}
+
+// modelUnknown records that p's membership is ambiguous: a write touching
+// it was abandoned with TIMEOUT and may or may not have executed. The
+// point leaves both the live and dead sets so neither side of query
+// verification asserts anything about it.
+func (w *loadWorker) modelUnknown(p geom.Point) {
+	if i, ok := w.live[p]; ok {
+		last := len(w.keys) - 1
+		w.keys[i] = w.keys[last]
+		w.live[w.keys[i]] = i
+		w.keys = w.keys[:last]
+		delete(w.live, p)
+	}
+	delete(w.dead, p)
+	w.unknown[p] = struct{}{}
 }
 
 // inStripe reports whether p belongs to this worker's x-stripe.
@@ -280,8 +386,29 @@ func sortPoints(ps []geom.Point) {
 	})
 }
 
+// markUnknown records every point a timed-out write request touched as
+// ambiguous.
+func (w *loadWorker) markUnknown(req Request) {
+	switch req.Op {
+	case OpInsert, OpDelete:
+		w.unknownWrites++
+		w.modelUnknown(req.P)
+	case OpBatch:
+		w.unknownWrites++
+		for _, e := range req.Batch {
+			w.modelUnknown(e.P)
+		}
+	}
+}
+
 // applyResponse folds one response into the model and error counters.
-func (w *loadWorker) applyResponse(s sentOp, resp Response, err error) {
+// retried means the request was re-sent after an ambiguous failure: its
+// effects are still applied (idempotency makes the retry converge to the
+// same post-state), but its Duplicate/Found/Results flags may describe
+// the first execution against an older state — or, after a server
+// restart emptied the dedup window, a harmless re-execution — so their
+// consistency checks are skipped.
+func (w *loadWorker) applyResponse(s sentOp, resp Response, retried bool, err error) {
 	lat := time.Since(s.start)
 	if err != nil {
 		w.fail(&w.txp, err)
@@ -293,6 +420,12 @@ func (w *loadWorker) applyResponse(s sentOp, resp Response, err error) {
 	case StatusBusy:
 		w.busy++
 		return
+	case StatusTimeout:
+		// Surfaced only when the retry budget ran out (or without a
+		// resilient client). The write may or may not have executed.
+		w.timeouts++
+		w.markUnknown(s.req)
+		return
 	case StatusErr:
 		w.fail(&w.protoErr, fmt.Errorf("%s: server error: %s", OpName(s.req.Op), resp.Msg))
 		return
@@ -300,7 +433,8 @@ func (w *loadWorker) applyResponse(s sentOp, resp Response, err error) {
 	switch s.req.Op {
 	case OpInsert:
 		w.writes++
-		if w.cfg.Verify {
+		_, wasUnknown := w.unknown[s.req.P]
+		if w.cfg.Verify && !retried && !wasUnknown {
 			// The stripe is exclusive to this worker, so the server must
 			// report a duplicate exactly when the model already holds the
 			// point. In containment mode a duplicate of a point the model
@@ -317,7 +451,8 @@ func (w *loadWorker) applyResponse(s sentOp, resp Response, err error) {
 		w.modelInsert(s.req.P)
 	case OpDelete:
 		w.writes++
-		if w.cfg.Verify {
+		_, wasUnknown := w.unknown[s.req.P]
+		if w.cfg.Verify && !retried && !wasUnknown {
 			_, wasLive := w.live[s.req.P]
 			if wasLive != resp.Found {
 				w.fail(&w.consistency, fmt.Errorf("delete %v: found=%v, model live=%v", s.req.P, resp.Found, wasLive))
@@ -331,8 +466,10 @@ func (w *loadWorker) applyResponse(s sentOp, resp Response, err error) {
 			return
 		}
 		for i, e := range s.req.Batch {
+			_, wasUnknown := w.unknown[e.P]
+			check := w.cfg.Verify && !retried && !wasUnknown
 			if e.Kind == BatchDelete {
-				if w.cfg.Verify {
+				if check {
 					_, wasLive := w.live[e.P]
 					got := resp.Results[i] == BatchOK
 					if wasLive != got {
@@ -341,7 +478,7 @@ func (w *loadWorker) applyResponse(s sentOp, resp Response, err error) {
 				}
 				w.modelDelete(e.P)
 			} else {
-				if w.cfg.Verify {
+				if check {
 					_, wasLive := w.live[e.P]
 					_, wasDead := w.dead[e.P]
 					dup := resp.Results[i] == BatchDup
@@ -374,6 +511,9 @@ func (w *loadWorker) verifyQuery(req Request, pts []geom.Point) {
 	if w.strict {
 		var got []geom.Point
 		for _, p := range pts {
+			if _, ambiguous := w.unknown[p]; ambiguous {
+				continue // a timed-out write may have put it there
+			}
 			if w.inStripe(p) {
 				got = append(got, p)
 			}
@@ -417,32 +557,43 @@ func equalPoints(a, b []geom.Point) bool {
 func (w *loadWorker) run(deadline time.Time) {
 	for time.Now().Before(deadline) && w.firstErr == nil {
 		// Fill the pipeline window.
-		for w.cl.Pending() < w.cfg.Pipeline {
+		for w.conn.pending() < w.cfg.Pipeline {
 			req := w.nextRequest()
-			if err := w.cl.Send(req); err != nil {
+			if err := w.conn.send(req); err != nil {
 				w.fail(&w.txp, err)
 				return
 			}
-			w.window = append(w.window, sentOp{req: req, start: time.Now()})
 		}
-		resp, err := w.cl.Recv()
-		s := w.window[0]
-		w.window = w.window[:copy(w.window, w.window[1:])]
-		w.applyResponse(s, resp, err)
+		s, resp, retried, err := w.conn.recv()
+		w.applyResponse(s, resp, retried, err)
 		if err != nil {
 			return
 		}
 	}
 	// Drain outstanding responses so the connection closes cleanly.
-	for len(w.window) > 0 && w.firstErr == nil {
-		resp, err := w.cl.Recv()
-		s := w.window[0]
-		w.window = w.window[:copy(w.window, w.window[1:])]
-		w.applyResponse(s, resp, err)
+	for w.conn.pending() > 0 && w.firstErr == nil {
+		s, resp, retried, err := w.conn.recv()
+		w.applyResponse(s, resp, retried, err)
 		if err != nil {
 			return
 		}
 	}
+}
+
+// fetchStats fetches the server's STATS payload, through the retry layer
+// in resilient mode (so a restarting server doesn't fail the probe).
+func fetchStats(cfg LoadConfig) ([]byte, error) {
+	if cfg.Resilient {
+		rc := NewResilient(cfg.Addr, ResilientOptions{Client: cfg.Client, Retry: cfg.Retry, Seed: cfg.Seed})
+		defer rc.Close()
+		return rc.ServerStats()
+	}
+	probe, err := Dial(cfg.Addr, cfg.Client)
+	if err != nil {
+		return nil, err
+	}
+	defer probe.Close()
+	return probe.Stats()
 }
 
 // RunLoad runs the closed-loop workload against the server at cfg.Addr and
@@ -459,12 +610,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	// run's own effects.
 	strict := true
 	if cfg.Verify {
-		probe, err := Dial(cfg.Addr, cfg.Client)
-		if err != nil {
-			return nil, fmt.Errorf("probe: %w", err)
-		}
-		raw, err := probe.Stats()
-		probe.Close()
+		raw, err := fetchStats(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("probe stats: %w", err)
 		}
@@ -477,25 +623,39 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 
 	workers := make([]*loadWorker, cfg.Workers)
 	for i := range workers {
-		cl, err := Dial(cfg.Addr, cfg.Client)
-		if err != nil {
-			for _, w := range workers[:i] {
-				w.cl.Close()
-			}
-			return nil, fmt.Errorf("dial worker %d: %w", i, err)
-		}
-		workers[i] = &loadWorker{
-			id:     i,
-			cfg:    cfg,
-			rng:    rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
-			cl:     cl,
-			live:   map[geom.Point]int{},
-			dead:   map[geom.Point]struct{}{},
-			strict: strict,
+		w := &loadWorker{
+			id:      i,
+			cfg:     cfg,
+			rng:     rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
+			live:    map[geom.Point]int{},
+			dead:    map[geom.Point]struct{}{},
+			unknown: map[geom.Point]struct{}{},
+			strict:  strict,
 			hist: map[byte]*obs.Histogram{
 				OpInsert: {}, OpDelete: {}, OpQuery3: {}, OpQuery4: {}, OpBatch: {},
 			},
 		}
+		if cfg.Resilient {
+			w.rc = NewResilient(cfg.Addr, ResilientOptions{
+				Client: cfg.Client,
+				Retry:  cfg.Retry,
+				// Jitter is seeded per worker; the idempotency client id
+				// stays crypto-random so windows never collide across runs
+				// against the same server.
+				Seed: cfg.Seed + int64(i)*104729,
+			})
+			w.conn = &resilientConn{rc: w.rc}
+		} else {
+			cl, err := Dial(cfg.Addr, cfg.Client)
+			if err != nil {
+				for _, prev := range workers[:i] {
+					prev.conn.close()
+				}
+				return nil, fmt.Errorf("dial worker %d: %w", i, err)
+			}
+			w.conn = &plainConn{cl: cl}
+		}
+		workers[i] = w
 	}
 
 	start := time.Now()
@@ -505,7 +665,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		wg.Add(1)
 		go func(w *loadWorker) {
 			defer wg.Done()
-			defer w.cl.Close()
+			defer w.conn.close()
 			w.run(deadline)
 		}(w)
 	}
@@ -536,6 +696,15 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		rep.ProtoErrors += w.protoErr
 		rep.ConsistencyErrors += w.consistency
 		rep.TransportErrors += w.txp
+		rep.Timeouts += w.timeouts
+		rep.UnknownWrites += w.unknownWrites
+		if w.rc != nil {
+			st := w.rc.Stats()
+			rep.Reconnects += st.Reconnects
+			rep.Resent += st.Resent
+			rep.BusyRetries += st.BusyRetries
+			rep.TimeoutRetries += st.TimeoutRetries
+		}
 		if w.firstErr != nil && rep.FirstError == "" {
 			rep.FirstError = fmt.Sprintf("worker %d: %v", w.id, w.firstErr)
 		}
@@ -557,6 +726,14 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			P99Ms:  float64(h.Quantile(0.99)) / 1e6,
 			P999Ms: float64(h.Quantile(0.999)) / 1e6,
 			MeanMs: snap.Mean / 1e6,
+		}
+	}
+	// Attach the server's own view of the run, best-effort: a server mid-
+	// restart (or gone) just leaves the field nil.
+	if raw, err := fetchStats(cfg); err == nil {
+		var st StatsSnapshot
+		if json.Unmarshal(raw, &st) == nil {
+			rep.ServerStats = &st
 		}
 	}
 	return rep, nil

@@ -24,12 +24,16 @@ type Metrics struct {
 	ops      [opSlots]atomic.Uint64 // completed RPCs, by opcode
 	errs     [opSlots]atomic.Uint64 // RPCs answered StatusErr, by opcode
 
-	conns    atomic.Int64  // open connections
-	inflight atomic.Int64  // RPCs past the admission gate, not yet answered
-	accepted atomic.Uint64 // connections ever accepted
-	busy     atomic.Uint64 // RPCs shed with StatusBusy
-	protoErr atomic.Uint64 // malformed frames / payloads received
-	panics   atomic.Uint64 // connection handlers killed by a panic
+	conns      atomic.Int64  // open connections
+	inflight   atomic.Int64  // RPCs past the admission gate, not yet answered
+	accepted   atomic.Uint64 // connections ever accepted
+	busy       atomic.Uint64 // RPCs shed with StatusBusy
+	protoErr   atomic.Uint64 // malformed frames / payloads received
+	panics     atomic.Uint64 // connection handlers killed by a panic
+	timeouts   atomic.Uint64 // RPCs answered StatusTimeout (deadline expired)
+	evicted    atomic.Uint64 // connections closed for missing a write deadline
+	idemReplay atomic.Uint64 // IDEM retries answered from the dedup window
+	idemExec   atomic.Uint64 // IDEM envelopes executed (window miss)
 }
 
 // observe records one completed RPC.
@@ -72,6 +76,17 @@ func (m *Metrics) ProtoErrors() uint64 { return m.protoErr.Load() }
 // Panics returns the number of connection handlers killed by a panic.
 func (m *Metrics) Panics() uint64 { return m.panics.Load() }
 
+// Timeouts returns the number of RPCs answered StatusTimeout.
+func (m *Metrics) Timeouts() uint64 { return m.timeouts.Load() }
+
+// Evicted returns the number of connections closed because the peer was
+// too slow to accept a response within the write deadline.
+func (m *Metrics) Evicted() uint64 { return m.evicted.Load() }
+
+// IdemReplays returns the number of retried writes answered verbatim from
+// the idempotency dedup window instead of re-executing.
+func (m *Metrics) IdemReplays() uint64 { return m.idemReplay.Load() }
+
 // OpMetricsSnapshot is the JSON-friendly per-opcode view.
 type OpMetricsSnapshot struct {
 	Count    uint64                `json:"count"`
@@ -90,6 +105,10 @@ type MetricsSnapshot struct {
 	Busy        uint64                       `json:"busy"`
 	ProtoErrors uint64                       `json:"proto_errors"`
 	Panics      uint64                       `json:"panics"`
+	Timeouts    uint64                       `json:"timeouts"`
+	Evicted     uint64                       `json:"evicted"`
+	IdemReplays uint64                       `json:"idem_replays"`
+	IdemExecs   uint64                       `json:"idem_execs"`
 	Ops         map[string]OpMetricsSnapshot `json:"ops"`
 }
 
@@ -102,6 +121,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Busy:        m.busy.Load(),
 		ProtoErrors: m.protoErr.Load(),
 		Panics:      m.panics.Load(),
+		Timeouts:    m.timeouts.Load(),
+		Evicted:     m.evicted.Load(),
+		IdemReplays: m.idemReplay.Load(),
+		IdemExecs:   m.idemExec.Load(),
 		Ops:         map[string]OpMetricsSnapshot{},
 	}
 	for _, op := range []byte{OpPing, OpInsert, OpDelete, OpQuery3, OpQuery4, OpBatch, OpStats} {

@@ -24,17 +24,39 @@
 //	QUERY4 0x05  xlo, xhi, ylo, yhi (32 B)
 //	BATCH  0x06  count(u32) then count × (kind u8: 0 insert / 1 delete, point 16 B)
 //	STATS  0x07  empty; response payload is a JSON StatsSnapshot
+//	IDEM   0x08  client(u64) seq(u64) then one INSERT/DELETE/BATCH request
+//	             body — an idempotency envelope (see below)
 //
 // Responses:
 //
-//	OK   0x00  payload depends on the opcode (see Response)
-//	ERR  0x01  payload is a UTF-8 error message; the operation failed
-//	BUSY 0x02  empty; the admission gate was full and the operation was
-//	           NOT executed — the client may retry, ideally after backoff
+//	OK      0x00  payload depends on the opcode (see Response)
+//	ERR     0x01  payload is a UTF-8 error message; the operation failed
+//	BUSY    0x02  empty, or retry-after hint in ms (u32 > 0); the admission
+//	              gate was full and the operation was NOT executed — the
+//	              client may retry, ideally after the hinted delay
+//	TIMEOUT 0x03  empty; the request's execution deadline expired before it
+//	              finished. The outcome is UNKNOWN: the operation may still
+//	              apply after this response. Safe to retry only under an
+//	              idempotency envelope (writes) or when naturally
+//	              idempotent (reads).
 //
 // A BUSY response is load shedding, not an error: the server refuses to
 // queue beyond its in-flight budget so that latency stays bounded and
 // memory cannot grow with offered load.
+//
+// The IDEM envelope makes write retries safe after an ambiguous failure (a
+// dropped connection or TIMEOUT leaves the client unable to tell whether
+// the write applied). The client stamps each write with a (client, seq)
+// pair — client drawn at random once per logical session, seq a counter —
+// and re-sends the identical envelope on retry. The server remembers the
+// encoded response of each completed envelope in a bounded per-client
+// window and replays it verbatim on a duplicate, so a retried write is
+// executed once and observed once, as long as the duplicate arrives within
+// the window (and within one server lifetime — the window is in-memory;
+// across a server crash the data-level idempotency of INSERT/DELETE makes
+// a replayed write harmless, but its Duplicate/Found flags may reflect the
+// first execution). The response to an IDEM request is the response of
+// the inner opcode.
 package server
 
 import (
@@ -55,13 +77,15 @@ const (
 	OpQuery4 byte = 0x05
 	OpBatch  byte = 0x06
 	OpStats  byte = 0x07
+	OpIdem   byte = 0x08
 )
 
 // Response status bytes.
 const (
-	StatusOK   byte = 0x00
-	StatusErr  byte = 0x01
-	StatusBusy byte = 0x02
+	StatusOK      byte = 0x00
+	StatusErr     byte = 0x01
+	StatusBusy    byte = 0x02
+	StatusTimeout byte = 0x03
 )
 
 // Batch entry kinds.
@@ -91,6 +115,10 @@ var (
 	ErrProto = errors.New("server: protocol error")
 	// ErrBusy is returned by the client when the server shed the request.
 	ErrBusy = errors.New("server: busy (admission gate full, request not executed)")
+	// ErrTimeout is returned by the client on a TIMEOUT response: the
+	// request's execution deadline expired server-side and its outcome is
+	// unknown.
+	ErrTimeout = errors.New("server: request execution deadline expired (outcome unknown)")
 )
 
 // OpName returns the human-readable opcode name ("insert", "query3", ...).
@@ -110,6 +138,8 @@ func OpName(op byte) string {
 		return "batch"
 	case OpStats:
 		return "stats"
+	case OpIdem:
+		return "idem"
 	default:
 		return fmt.Sprintf("op(0x%02x)", op)
 	}
@@ -171,6 +201,27 @@ type Request struct {
 	Batch []BatchEntry
 	// Data is the opaque payload of a PING.
 	Data []byte
+	// Idem, when non-nil, wraps the request in an IDEM idempotency
+	// envelope. Only write opcodes (INSERT, DELETE, BATCH) may carry one.
+	Idem *IdemID
+}
+
+// IdemID identifies one write for idempotent retry: Client names the
+// logical client session (drawn at random once per session so windows from
+// different sessions never collide), Seq is the client's write counter.
+type IdemID struct {
+	Client uint64
+	Seq    uint64
+}
+
+// idemHdrSize is the wire size of the IDEM envelope header.
+const idemHdrSize = 16
+
+// idempotent reports whether op may be wrapped in an IDEM envelope: only
+// writes need retry protection, and keeping reads out of the envelope
+// keeps the dedup window's cached responses small and bounded.
+func idempotent(op byte) bool {
+	return op == OpInsert || op == OpDelete || op == OpBatch
 }
 
 // BatchEntry is one operation of a BATCH request.
@@ -194,8 +245,22 @@ func getPoint(src []byte) geom.Point {
 }
 
 // EncodeRequest appends the wire form of r (opcode + payload, no length
-// prefix) to dst and returns the extended slice.
+// prefix) to dst and returns the extended slice. A request with Idem set
+// is emitted as an IDEM envelope around its own (write) opcode.
 func EncodeRequest(dst []byte, r Request) ([]byte, error) {
+	if r.Idem != nil {
+		if !idempotent(r.Op) {
+			return nil, fmt.Errorf("%w: idempotency envelope around %s", ErrProto, OpName(r.Op))
+		}
+		var hdr [1 + idemHdrSize]byte
+		hdr[0] = OpIdem
+		binary.BigEndian.PutUint64(hdr[1:9], r.Idem.Client)
+		binary.BigEndian.PutUint64(hdr[9:17], r.Idem.Seq)
+		dst = append(dst, hdr[:]...)
+		inner := r
+		inner.Idem = nil
+		return EncodeRequest(dst, inner)
+	}
 	dst = append(dst, r.Op)
 	switch r.Op {
 	case OpPing:
@@ -304,6 +369,23 @@ func DecodeRequest(body []byte, maxBatchOps int) (Request, error) {
 		if len(payload) != 0 {
 			return Request{}, fmt.Errorf("%w: stats payload must be empty", ErrProto)
 		}
+	case OpIdem:
+		if len(payload) < idemHdrSize+1 {
+			return Request{}, fmt.Errorf("%w: idem envelope truncated", ErrProto)
+		}
+		id := IdemID{
+			Client: binary.BigEndian.Uint64(payload[0:8]),
+			Seq:    binary.BigEndian.Uint64(payload[8:16]),
+		}
+		if inner := payload[idemHdrSize]; !idempotent(inner) {
+			return Request{}, fmt.Errorf("%w: idem envelope around %s", ErrProto, OpName(inner))
+		}
+		r, err := DecodeRequest(payload[idemHdrSize:], maxBatchOps)
+		if err != nil {
+			return Request{}, err
+		}
+		r.Idem = &id
+		return r, nil
 	default:
 		return Request{}, fmt.Errorf("%w: unknown opcode 0x%02x", ErrProto, op)
 	}
@@ -315,10 +397,13 @@ func DecodeRequest(body []byte, maxBatchOps int) (Request, error) {
 // Response is one decoded server response. Which fields are meaningful
 // depends on the opcode of the request it answers.
 type Response struct {
-	// Status is StatusOK, StatusErr or StatusBusy.
+	// Status is StatusOK, StatusErr, StatusBusy or StatusTimeout.
 	Status byte
 	// Msg is the error message of a StatusErr response.
 	Msg string
+	// RetryAfterMs is the backoff hint of a StatusBusy response, in
+	// milliseconds (0 = no hint).
+	RetryAfterMs uint32
 	// Duplicate reports an INSERT of an already-present point (a benign
 	// per-operation outcome, not an error).
 	Duplicate bool
@@ -347,6 +432,13 @@ func EncodeResponse(dst []byte, op byte, r Response) []byte {
 	case StatusErr:
 		return append(dst, r.Msg...)
 	case StatusBusy:
+		if r.RetryAfterMs > 0 {
+			var hint [4]byte
+			binary.BigEndian.PutUint32(hint[:], r.RetryAfterMs)
+			dst = append(dst, hint[:]...)
+		}
+		return dst
+	case StatusTimeout:
 		return dst
 	}
 	switch op {
@@ -393,8 +485,22 @@ func DecodeResponse(body []byte, op byte) (Response, error) {
 	case StatusErr:
 		return Response{Status: status, Msg: string(payload)}, nil
 	case StatusBusy:
+		switch len(payload) {
+		case 0:
+			return Response{Status: status}, nil
+		case 4:
+			// A zero hint must be encoded as no payload (canonical form).
+			hint := binary.BigEndian.Uint32(payload)
+			if hint == 0 {
+				return Response{}, fmt.Errorf("%w: busy retry-after hint of 0", ErrProto)
+			}
+			return Response{Status: status, RetryAfterMs: hint}, nil
+		default:
+			return Response{}, fmt.Errorf("%w: busy response payload of %d bytes", ErrProto, len(payload))
+		}
+	case StatusTimeout:
 		if len(payload) != 0 {
-			return Response{}, fmt.Errorf("%w: busy response carries payload", ErrProto)
+			return Response{}, fmt.Errorf("%w: timeout response carries payload", ErrProto)
 		}
 		return Response{Status: status}, nil
 	case StatusOK:

@@ -1,0 +1,373 @@
+package server
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy bounds the reconnect and retry behavior of a
+// ResilientClient: bounded exponential backoff with equal jitter, the same
+// shape eio.RetryStore applies to transient storage faults, lifted to the
+// network layer.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per operation — and per
+	// reconnect episode — including the first. Zero selects 10.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles on every
+	// subsequent one. Zero selects 10ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Zero selects 1s.
+	MaxDelay time.Duration
+	// Sleep replaces time.Sleep, letting tests run the full backoff
+	// schedule without wall-clock cost. Nil selects time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (p RetryPolicy) filled() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 10
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// ResilientOptions tunes a ResilientClient.
+type ResilientOptions struct {
+	// Client is passed to every Dial.
+	Client ClientOptions
+	// Retry bounds reconnects and per-operation retries.
+	Retry RetryPolicy
+	// Seed seeds the backoff-jitter RNG (zero draws from crypto/rand).
+	// It deliberately does NOT determine the idempotency client id:
+	// dedup windows are keyed by client id, so a repeated seed across
+	// runs against one server must not replay another run's responses.
+	Seed int64
+	// ClientID overrides the idempotency session id. Zero (the default)
+	// draws it from crypto/rand regardless of Seed.
+	ClientID uint64
+	// NoIdempotency leaves writes unwrapped: retries after an ambiguous
+	// failure then re-execute instead of replaying, which is safe only if
+	// the caller can tolerate stale Duplicate/Found flags.
+	NoIdempotency bool
+	// NoRetryBusy surfaces BUSY responses to the caller instead of
+	// retrying them after the server's retry-after hint.
+	NoRetryBusy bool
+}
+
+// RecvResult is one delivered response: the request it answers, the tag
+// its Send supplied, and whether the request was ever re-sent after an
+// ambiguous failure (in which case Duplicate/Found/Results may reflect
+// the first execution rather than the retry).
+type RecvResult struct {
+	Req     Request
+	Tag     interface{}
+	Resp    Response
+	Retried bool
+}
+
+// ResilientStats counts a ResilientClient's recovery work.
+type ResilientStats struct {
+	Reconnects     uint64 `json:"reconnects"`
+	DialFailures   uint64 `json:"dial_failures"`
+	Resent         uint64 `json:"resent"`
+	BusyRetries    uint64 `json:"busy_retries"`
+	TimeoutRetries uint64 `json:"timeout_retries"`
+}
+
+// pendingReq is one sent-but-unanswered request, mirrored in order with
+// the underlying connection's pipeline.
+type pendingReq struct {
+	req      Request
+	tag      interface{}
+	attempts int
+	retried  bool
+}
+
+// ResilientClient is a Client that survives the network: it reconnects
+// with bounded exponential backoff plus jitter, transparently re-sends
+// every unanswered request of its pipeline after a reconnect, stamps
+// writes with idempotency IDs so those re-sends are execute-once (the
+// server dedup window replays the original response), and retries BUSY
+// responses after the server's retry-after hint. Like Client it is for
+// ONE goroutine.
+//
+// Responses are delivered per request: a BUSY or TIMEOUT retry re-enqueues
+// the request at the tail of the pipeline, so responses are NOT globally
+// FIFO — Recv identifies each response by the request and tag it answers.
+// Per-request ordering relative to the server stays consistent: effects
+// apply in the order responses are delivered.
+type ResilientClient struct {
+	addr string
+	opts ResilientOptions
+	rng  *rand.Rand
+
+	cl       *Client // nil while disconnected
+	clientID uint64
+	seq      uint64
+	pending  []pendingReq
+
+	stats ResilientStats
+}
+
+// NewResilient builds a client for addr. No connection is made until the
+// first operation, so construction succeeds while the server is down.
+func NewResilient(addr string, opts ResilientOptions) *ResilientClient {
+	opts.Client = opts.Client.withDefaults()
+	opts.Retry = opts.Retry.filled()
+	seed := opts.Seed
+	if seed == 0 {
+		var b [8]byte
+		_, _ = crand.Read(b[:])
+		seed = int64(binary.LittleEndian.Uint64(b[:]))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	id := opts.ClientID
+	for id == 0 {
+		var b [8]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			id = rng.Uint64() // no entropy source; better than nothing
+			break
+		}
+		id = binary.LittleEndian.Uint64(b[:])
+	}
+	return &ResilientClient{addr: addr, opts: opts, rng: rng, clientID: id}
+}
+
+// ClientID returns the idempotency session id writes are stamped with.
+func (c *ResilientClient) ClientID() uint64 { return c.clientID }
+
+// Stats returns the recovery counters so far.
+func (c *ResilientClient) Stats() ResilientStats { return c.stats }
+
+// Pending returns the number of sent-but-unanswered requests.
+func (c *ResilientClient) Pending() int { return len(c.pending) }
+
+// Close drops the connection and forgets the pipeline.
+func (c *ResilientClient) Close() error {
+	c.pending = nil
+	if c.cl == nil {
+		return nil
+	}
+	err := c.cl.Close()
+	c.cl = nil
+	return err
+}
+
+// backoff sleeps the jittered exponential delay for the given retry
+// (1-based): d = min(base·2^(n-1), max), slept in [d/2, d).
+func (c *ResilientClient) backoff(n int) {
+	d := c.opts.Retry.BaseDelay << uint(n-1)
+	if d <= 0 || d > c.opts.Retry.MaxDelay {
+		d = c.opts.Retry.MaxDelay
+	}
+	c.opts.Retry.Sleep(d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1)))
+}
+
+// dropConn closes the broken connection; pending stays queued for the
+// next reconnect.
+func (c *ResilientClient) dropConn() {
+	if c.cl != nil {
+		c.cl.Close()
+		c.cl = nil
+	}
+}
+
+// reconnect dials (under the retry policy) and re-sends every pending
+// request in pipeline order. Re-sent requests are marked retried: their
+// original may have executed before the connection died.
+func (c *ResilientClient) reconnect() error {
+	var lastErr error
+	for attempt := 1; attempt <= c.opts.Retry.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			c.backoff(attempt - 1)
+		}
+		cl, err := Dial(c.addr, c.opts.Client)
+		if err != nil {
+			c.stats.DialFailures++
+			lastErr = err
+			continue
+		}
+		if err := c.resend(cl); err != nil {
+			c.stats.DialFailures++
+			cl.Close()
+			lastErr = err
+			continue
+		}
+		c.cl = cl
+		c.stats.Reconnects++
+		return nil
+	}
+	return fmt.Errorf("server: resilient: reconnect to %s failed after %d attempts: %w",
+		c.addr, c.opts.Retry.MaxAttempts, lastErr)
+}
+
+func (c *ResilientClient) resend(cl *Client) error {
+	for i := range c.pending {
+		if err := cl.Send(c.pending[i].req); err != nil {
+			return err
+		}
+		c.pending[i].retried = true
+		c.stats.Resent++
+	}
+	return cl.Flush()
+}
+
+// ensure returns a live connection, reconnecting if needed.
+func (c *ResilientClient) ensure() error {
+	if c.cl != nil {
+		return nil
+	}
+	return c.reconnect()
+}
+
+// Send stamps writes with an idempotency ID, queues the request, and puts
+// it on the wire if a connection is up (a dead connection defers the send
+// to the next Recv's reconnect). tag is handed back with the response.
+func (c *ResilientClient) Send(r Request, tag interface{}) error {
+	if !c.opts.NoIdempotency && r.Idem == nil && idempotent(r.Op) {
+		c.seq++
+		r.Idem = &IdemID{Client: c.clientID, Seq: c.seq}
+	}
+	c.pending = append(c.pending, pendingReq{req: r, tag: tag})
+	if c.cl == nil {
+		return nil
+	}
+	if err := c.cl.Send(r); err != nil {
+		if errors.Is(err, ErrProto) {
+			// Encoding rejected the request itself — no retry can help.
+			c.pending = c.pending[:len(c.pending)-1]
+			return err
+		}
+		c.dropConn()
+	}
+	return nil
+}
+
+// Recv delivers the next response, absorbing transport failures
+// (reconnect + re-send), BUSY (hinted backoff + retry) and TIMEOUT
+// (idempotent re-send) up to the retry budget. An error means the budget
+// is exhausted or the pipeline is empty.
+func (c *ResilientClient) Recv() (RecvResult, error) {
+	if len(c.pending) == 0 {
+		return RecvResult{}, fmt.Errorf("%w: Recv with no pending request", ErrProto)
+	}
+	episodes := 0
+	for {
+		if err := c.ensure(); err != nil {
+			return RecvResult{}, err
+		}
+		resp, err := c.cl.Recv()
+		if err != nil {
+			// Transport or framing failure: the connection is unusable.
+			// Reconnect (bounded) and re-send the whole pipeline. The
+			// backoff here paces the case where dialing succeeds but the
+			// connection dies immediately (e.g. a proxy whose upstream is
+			// down) — without it the episode budget burns in milliseconds.
+			c.dropConn()
+			episodes++
+			if episodes >= c.opts.Retry.MaxAttempts {
+				return RecvResult{}, fmt.Errorf("server: resilient: giving up after %d broken connections: %w", episodes, err)
+			}
+			c.backoff(episodes)
+			continue
+		}
+		head := c.pending[0]
+		c.pending = c.pending[:copy(c.pending, c.pending[1:])]
+
+		switch resp.Status {
+		case StatusBusy:
+			if c.opts.NoRetryBusy || head.attempts+1 >= c.opts.Retry.MaxAttempts {
+				return RecvResult{Req: head.req, Tag: head.tag, Resp: resp, Retried: head.retried}, nil
+			}
+			// The server shed the request without executing it: honor the
+			// hint (or backoff), then re-enqueue at the pipeline tail.
+			c.stats.BusyRetries++
+			head.attempts++
+			if resp.RetryAfterMs > 0 {
+				c.opts.Retry.Sleep(time.Duration(resp.RetryAfterMs) * time.Millisecond)
+			} else {
+				c.backoff(head.attempts)
+			}
+			if err := c.requeue(head); err != nil {
+				return RecvResult{}, err
+			}
+		case StatusTimeout:
+			if head.attempts+1 >= c.opts.Retry.MaxAttempts {
+				return RecvResult{Req: head.req, Tag: head.tag, Resp: resp, Retried: head.retried}, nil
+			}
+			// Outcome unknown: safe to re-send because writes carry an
+			// idempotency ID (the server replays or converges) and reads
+			// are naturally idempotent.
+			c.stats.TimeoutRetries++
+			head.attempts++
+			head.retried = true
+			if err := c.requeue(head); err != nil {
+				return RecvResult{}, err
+			}
+		default:
+			return RecvResult{Req: head.req, Tag: head.tag, Resp: resp, Retried: head.retried}, nil
+		}
+	}
+}
+
+// requeue puts a retried request back at the pipeline tail and on the
+// wire.
+func (c *ResilientClient) requeue(p pendingReq) error {
+	c.pending = append(c.pending, p)
+	if c.cl == nil {
+		return nil
+	}
+	if err := c.cl.Send(p.req); err != nil {
+		c.dropConn()
+	}
+	return nil
+}
+
+// Do sends one request and waits for its response — the non-pipelined
+// convenience path. It must not be interleaved with pipelined Sends.
+func (c *ResilientClient) Do(r Request) (Response, error) {
+	if err := c.Send(r, nil); err != nil {
+		return Response{}, err
+	}
+	res, err := c.Recv()
+	if err != nil {
+		return Response{}, err
+	}
+	return res.Resp, nil
+}
+
+// Ping round-trips data through the retry layer and verifies the echo.
+func (c *ResilientClient) Ping(data []byte) error {
+	r, err := c.Do(Request{Op: OpPing, Data: data})
+	if err != nil {
+		return err
+	}
+	if err := statusErr(r); err != nil {
+		return err
+	}
+	if string(r.Data) != string(data) {
+		return fmt.Errorf("%w: ping echo mismatch", ErrProto)
+	}
+	return nil
+}
+
+// Stats fetches the server's StatsSnapshot as raw JSON, with retries.
+func (c *ResilientClient) ServerStats() ([]byte, error) {
+	r, err := c.Do(Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	return r.Data, statusErr(r)
+}

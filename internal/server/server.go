@@ -32,8 +32,22 @@ type Config struct {
 	// the server closes it (default 2 minutes; <0 disables).
 	IdleTimeout time.Duration
 	// WriteTimeout is the deadline for writing one response batch
-	// (default 30 seconds; <0 disables).
+	// (default 30 seconds; <0 disables). A connection that misses it is
+	// evicted: a peer too slow to accept responses cannot pin a handler
+	// (Metrics.Evicted counts these).
 	WriteTimeout time.Duration
+	// RequestTimeout bounds one request's execution. A request still
+	// running when it expires is answered StatusTimeout and abandoned (it
+	// may still complete and, for IDEM writes, lands its outcome in the
+	// dedup window for the retry to find). Ordering relative to later
+	// requests on the connection is not guaranteed for an abandoned
+	// request. 0 disables.
+	RequestTimeout time.Duration
+	// RetryAfterHint is the backoff hint attached to BUSY responses
+	// (default 2ms; <0 omits the hint).
+	RetryAfterHint time.Duration
+	// Idem bounds the idempotency dedup windows (see IdemConfig).
+	Idem IdemConfig
 	// Metrics, when non-nil, receives every signal the server emits; use
 	// PublishMetrics to put it on the expvar surface. Nil disables.
 	Metrics *Metrics
@@ -58,6 +72,9 @@ func (c Config) withDefaults() Config {
 	if c.WriteTimeout == 0 {
 		c.WriteTimeout = 30 * time.Second
 	}
+	if c.RetryAfterHint == 0 {
+		c.RetryAfterHint = 2 * time.Millisecond
+	}
 	return c
 }
 
@@ -81,6 +98,7 @@ type Server struct {
 	cfg Config
 
 	gate  chan struct{}
+	idem  *idemTable
 	start time.Time
 
 	mu       sync.Mutex
@@ -94,13 +112,17 @@ type Server struct {
 // New builds a Server over idx.
 func New(idx *core.Concurrent, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		idx:   idx,
 		cfg:   cfg,
 		gate:  make(chan struct{}, cfg.MaxInFlight),
 		start: time.Now(),
 		conns: map[net.Conn]struct{}{},
 	}
+	if cfg.Idem.MaxClients >= 0 {
+		s.idem = newIdemTable(cfg.Idem)
+	}
+	return s
 }
 
 // Serve accepts connections on ln until Shutdown (or a permanent accept
@@ -253,24 +275,34 @@ func (s *Server) handleConn(conn net.Conn) {
 		req, derr := DecodeRequest(body, s.cfg.MaxBatchOps)
 		var resp Response
 		op := byte(0)
-		if derr != nil {
+		replayed := false
+		switch {
+		case derr != nil:
 			// A malformed payload inside a well-formed frame: report it on
 			// this request, keep the connection (framing is still sound).
 			if m := s.cfg.Metrics; m != nil {
 				m.protoErr.Add(1)
 			}
 			resp = Response{Status: StatusErr, Msg: derr.Error()}
-		} else {
+			respBuf = EncodeResponse(respBuf[:0], op, resp)
+		default:
 			op = req.Op
-			resp = s.handle(req)
+			if cached, ok := s.lookupIdem(req); ok {
+				// A retried write whose original completed: replay the
+				// recorded response verbatim, never re-execute.
+				replayed = true
+				respBuf = append(respBuf[:0], cached...)
+			} else {
+				resp = s.executeWithDeadline(req)
+				respBuf = EncodeResponse(respBuf[:0], op, resp)
+			}
 		}
-		respBuf = EncodeResponse(respBuf[:0], op, resp)
 		if !s.writeResponse(conn, bw, respBuf) {
 			return
 		}
 		if m := s.cfg.Metrics; m != nil && derr == nil {
-			m.observe(op, time.Since(start), len(body), len(respBuf), resp.Status == StatusErr)
-			if resp.Status == StatusBusy {
+			m.observe(op, time.Since(start), len(body), len(respBuf), !replayed && resp.Status == StatusErr)
+			if !replayed && resp.Status == StatusBusy {
 				m.busy.Add(1)
 			}
 		}
@@ -278,9 +310,88 @@ func (s *Server) handleConn(conn net.Conn) {
 		// one syscall per burst, single requests flush immediately.
 		if br.Buffered() == 0 {
 			if err := bw.Flush(); err != nil {
+				s.noteWriteErr(err)
 				return
 			}
 		}
+	}
+}
+
+// lookupIdem consults the dedup window for a retried IDEM write.
+func (s *Server) lookupIdem(req Request) ([]byte, bool) {
+	if req.Idem == nil {
+		return nil, false
+	}
+	cached, ok := s.idem.lookup(*req.Idem)
+	if m := s.cfg.Metrics; m != nil {
+		if ok {
+			m.idemReplay.Add(1)
+		} else {
+			m.idemExec.Add(1)
+		}
+	}
+	return cached, ok
+}
+
+// completeIdem records the response of an executed IDEM write so a retry
+// replays it instead of re-executing. BUSY means the write did not run
+// (the retry must execute it) and TIMEOUT never reaches here — the
+// executing goroutine records the real outcome when it finishes.
+func (s *Server) completeIdem(req Request, resp Response) {
+	if req.Idem == nil || resp.Status == StatusBusy {
+		return
+	}
+	s.idem.store(*req.Idem, EncodeResponse(nil, req.Op, resp))
+}
+
+// executeWithDeadline runs one request under the configured execution
+// deadline. On expiry the caller gets StatusTimeout while the request
+// keeps running detached; its real outcome still lands in the dedup
+// window (for IDEM writes), so a retry observes the original execution.
+func (s *Server) executeWithDeadline(req Request) Response {
+	if s.cfg.RequestTimeout <= 0 {
+		resp := s.handle(req)
+		s.completeIdem(req, resp)
+		return resp
+	}
+	ch := make(chan Response, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if m := s.cfg.Metrics; m != nil {
+					m.panics.Add(1)
+				}
+				s.logf("server: %s handler panic: %v\n%s", OpName(req.Op), r, debug.Stack())
+				ch <- Response{Status: StatusErr, Msg: "server: internal error"}
+			}
+		}()
+		resp := s.handle(req)
+		s.completeIdem(req, resp)
+		ch <- resp
+	}()
+	timer := time.NewTimer(s.cfg.RequestTimeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		return resp
+	case <-timer.C:
+		if m := s.cfg.Metrics; m != nil {
+			m.timeouts.Add(1)
+		}
+		return Response{Status: StatusTimeout}
+	}
+}
+
+// noteWriteErr classifies a response-write failure: a deadline miss means
+// the peer is too slow to accept responses and the connection is being
+// evicted to protect the handler budget.
+func (s *Server) noteWriteErr(err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		if m := s.cfg.Metrics; m != nil {
+			m.evicted.Add(1)
+		}
+		s.logf("server: evicting slow client: %v", err)
 	}
 }
 
@@ -290,7 +401,11 @@ func (s *Server) writeResponse(conn net.Conn, bw *bufio.Writer, body []byte) boo
 	if s.cfg.WriteTimeout > 0 {
 		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	}
-	return WriteFrame(bw, body) == nil
+	if err := WriteFrame(bw, body); err != nil {
+		s.noteWriteErr(err)
+		return false
+	}
+	return true
 }
 
 // admit tries to take an in-flight token without blocking.
@@ -322,7 +437,15 @@ func (s *Server) handle(req Request) Response {
 		return s.handleStats()
 	}
 	if !s.admit() {
-		return Response{Status: StatusBusy}
+		resp := Response{Status: StatusBusy}
+		if s.cfg.RetryAfterHint > 0 {
+			ms := s.cfg.RetryAfterHint.Milliseconds()
+			if ms < 1 {
+				ms = 1
+			}
+			resp.RetryAfterMs = uint32(ms)
+		}
+		return resp
 	}
 	defer s.release()
 
@@ -393,8 +516,15 @@ type StatsSnapshot struct {
 	Epoch uint64 `json:"epoch"`
 	// Len is the number of stored points.
 	Len int `json:"len"`
+	// InFlight is the number of admission-gate tokens held at the instant
+	// of the snapshot — requests admitted but not yet answered.
+	InFlight int `json:"in_flight"`
 	// MaxInFlight is the admission-gate capacity.
 	MaxInFlight int `json:"max_in_flight"`
+	// IdemClients and IdemEntries size the idempotency dedup state:
+	// tracked client sessions and remembered write outcomes.
+	IdemClients int `json:"idem_clients"`
+	IdemEntries int `json:"idem_entries"`
 	// Metrics is the server's metric snapshot (nil without a Metrics).
 	Metrics *MetricsSnapshot `json:"metrics,omitempty"`
 }
@@ -408,8 +538,10 @@ func (s *Server) handleStats() Response {
 		UptimeS:     time.Since(s.start).Seconds(),
 		Epoch:       s.idx.Epoch(),
 		Len:         n,
+		InFlight:    len(s.gate),
 		MaxInFlight: s.cfg.MaxInFlight,
 	}
+	snap.IdemClients, snap.IdemEntries = s.idem.stats()
 	if m := s.cfg.Metrics; m != nil {
 		ms := m.Snapshot()
 		snap.Metrics = &ms

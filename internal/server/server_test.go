@@ -31,6 +31,17 @@ type testServer struct {
 
 func newTestServer(t *testing.T, cfg Config) *testServer {
 	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	return newTestServerOn(t, cfg, ln)
+}
+
+// newTestServerOn is newTestServer with a caller-supplied listener, for
+// tests that restart a server on a fixed address.
+func newTestServerOn(t *testing.T, cfg Config, ln net.Listener) *testServer {
+	t.Helper()
 	mem := eio.NewMemStore(4096)
 	snap := eio.NewSnapStore(mem, 0)
 	idx, err := core.NewThreeSided(snap, epst.Options{})
@@ -48,10 +59,6 @@ func newTestServer(t *testing.T, cfg Config) *testServer {
 		t.Fatalf("NewConcurrent: %v", err)
 	}
 	srv := New(conc, cfg)
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatalf("listen: %v", err)
-	}
 	ts := &testServer{
 		srv: srv, addr: ln.Addr().String(),
 		idx: idx, conc: conc, snap: snap, mem: mem,

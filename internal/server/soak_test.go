@@ -1,8 +1,11 @@
 package server
 
 import (
+	"sync"
 	"testing"
 	"time"
+
+	"rangesearch/internal/netfault"
 )
 
 // TestSoakLoadAgainstServer is the acceptance gate for the serving layer:
@@ -90,6 +93,89 @@ func TestSoakUnderSaturation(t *testing.T) {
 		t.Fatalf("saturation soak failed: proto=%d consistency=%d transport=%d first=%s",
 			rep.ProtoErrors, rep.ConsistencyErrors, rep.TransportErrors, rep.FirstError)
 	}
+	ts.shutdown(t)
+	ts.assertScrubClean(t)
+}
+
+// TestSoakResilientUnderFaults is the in-process chaos gate: the full
+// verified workload runs through a netfault proxy that hard-resets every
+// connection (RST) a few times per second. The resilient clients must
+// reconnect, re-send their idempotency-stamped pipelines, and finish with
+// ZERO errors of any class — including consistency, because the dedup
+// window makes retried writes execute exactly once. Run under -race for
+// the full claim.
+func TestSoakResilientUnderFaults(t *testing.T) {
+	dur := 3 * time.Second
+	cutEvery := 300 * time.Millisecond
+	if testing.Short() {
+		dur = 800 * time.Millisecond
+		cutEvery = 150 * time.Millisecond
+	}
+	m := &Metrics{}
+	ts := newTestServer(t, Config{Metrics: m, RequestTimeout: 5 * time.Second})
+
+	proxy, err := netfault.New(ts.addr, netfault.Options{
+		Seed:    99,
+		Latency: 200 * time.Microsecond,
+		Jitter:  300 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("netfault.New: %v", err)
+	}
+	defer proxy.Close()
+
+	stop := make(chan struct{})
+	var chaosWG sync.WaitGroup
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		tick := time.NewTicker(cutEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				proxy.CutAll()
+			}
+		}
+	}()
+
+	rep, err := RunLoad(LoadConfig{
+		Addr:      proxy.Addr(),
+		Workers:   6,
+		Duration:  dur,
+		Pipeline:  4,
+		Verify:    true,
+		Domain:    1 << 16,
+		Seed:      7,
+		Resilient: true,
+		Retry:     RetryPolicy{MaxAttempts: 50, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond},
+	})
+	close(stop)
+	chaosWG.Wait()
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	t.Logf("resilient soak: %d ops (%.0f/s), cuts=%d reconnects=%d resent=%d unknown=%d",
+		rep.Ops, rep.OpsPerSec, proxy.Stats().Cuts, rep.Reconnects, rep.Resent, rep.UnknownWrites)
+
+	if rep.Failed() {
+		t.Fatalf("resilient soak failed: proto=%d consistency=%d transport=%d first=%s",
+			rep.ProtoErrors, rep.ConsistencyErrors, rep.TransportErrors, rep.FirstError)
+	}
+	if rep.Ops == 0 || rep.Writes == 0 {
+		t.Fatalf("resilient soak did no work: %+v", rep)
+	}
+	if cuts := proxy.Stats().Cuts; cuts == 0 {
+		t.Fatal("fault proxy never cut a connection; the test exercised nothing")
+	}
+	// Every worker connected at least once, and the cuts forced extras.
+	if rep.Reconnects < 6 {
+		t.Fatalf("Reconnects = %d, want >= one per worker", rep.Reconnects)
+	}
+
+	proxy.Close()
 	ts.shutdown(t)
 	ts.assertScrubClean(t)
 }

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Kill-and-recover chaos run: rschaos spawns a real rsserve on a fresh
+# durable store, drives verified resilient load through a fault-injecting
+# proxy, and SIGKILLs/restarts the server CYCLES times. Acceptance: zero
+# lost or duplicated writes across every crash, a clean SIGTERM drain,
+# and a scrub-clean store file afterwards. `make chaos` runs this; CI
+# runs a shorter chaos-smoke variant.
+set -eu
+
+GO=${GO:-go}
+WORKDIR=$(mktemp -d /tmp/rschaos.XXXXXX)
+trap 'rm -rf "$WORKDIR"' EXIT
+
+CYCLES=${CYCLES:-10}
+PERIOD=${PERIOD:-700ms}
+WORKERS=${WORKERS:-4}
+SEED=${SEED:-1}
+JSON_OUT=${JSON_OUT:-$WORKDIR/chaos.json}
+
+echo "== build =="
+$GO build -o "$WORKDIR/bin/" ./cmd/rsserve ./cmd/rschaos
+
+echo "== chaos: $CYCLES SIGKILL/restart cycles, ${PERIOD} apart =="
+"$WORKDIR/bin/rschaos" \
+    -server "$WORKDIR/bin/rsserve" \
+    -store "$WORKDIR/chaos.db" \
+    -cycles "$CYCLES" -period "$PERIOD" -workers "$WORKERS" -seed "$SEED" \
+    -json "$JSON_OUT"
+
+# Keep the report where CI can pick it up as an artifact.
+if [ -n "${ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$ARTIFACT_DIR"
+    cp "$JSON_OUT" "$ARTIFACT_DIR/chaos.json"
+fi
+
+echo "== chaos OK =="
