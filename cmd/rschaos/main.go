@@ -40,6 +40,8 @@ func main() {
 		latency   = flag.Duration("latency", 200*time.Microsecond, "proxy latency per chunk")
 		jitter    = flag.Duration("jitter", 300*time.Microsecond, "proxy latency jitter")
 		reqT      = flag.Duration("request-timeout", 5*time.Second, "rsserve per-request deadline")
+		traceS    = flag.Float64("trace-sample", 0, "run with request tracing live at this sample rate (0 disables)")
+		slowlog   = flag.Duration("slowlog", 0, "rsserve slow-query threshold (0 disables)")
 		jsonOut   = flag.String("json", "", "also write the report to this file")
 		quiet     = flag.Bool("quiet", false, "suppress progress logging")
 	)
@@ -68,6 +70,8 @@ func main() {
 		Latency:        *latency,
 		Jitter:         *jitter,
 		RequestTimeout: *reqT,
+		TraceSample:    *traceS,
+		SlowLog:        *slowlog,
 		Logf:           logf,
 	})
 	if err != nil {

@@ -34,6 +34,16 @@
 // obs.JSONLSink and summarizes it: per-operation counts and latency
 // quantiles, per-scope attribution, error counts and the hottest pages.
 // With -v it also reprints every event.
+//
+// The spans subcommand replays a request-span JSONL spool (rsserve
+// -spans, or a dump of the /spans endpoint) and summarizes it: per-op
+// wall-time and per-phase quantiles, I/O attribution, and the slowest
+// spans in full. The prom subcommand fetches or reads a Prometheus
+// text exposition (the /metrics endpoint) and validates it:
+//
+//	rsinspect spans -f spans.jsonl
+//	rsinspect spans -url http://127.0.0.1:6060/spans
+//	rsinspect prom -url http://127.0.0.1:6060/metrics [-o metrics.prom]
 package main
 
 import (
@@ -66,6 +76,12 @@ func main() {
 			return
 		case "trace":
 			traceMain(os.Args[2:])
+			return
+		case "spans":
+			spansMain(os.Args[2:])
+			return
+		case "prom":
+			promMain(os.Args[2:])
 			return
 		}
 	}

@@ -42,6 +42,8 @@ func main() {
 		verify     = flag.Bool("verify", false, "check query results against a per-stripe model")
 		jsonOut    = flag.String("json", "", "also write the report to this file")
 
+		traceSample = flag.Float64("trace-sample", 0, "stamp this fraction of requests with a TRACE envelope (server records full spans for them)")
+
 		resilient = flag.Bool("resilient", false, "survive resets/restarts: reconnect with backoff, idempotent write retries")
 		attempts  = flag.Int("retry-attempts", 0, "resilient: max tries per op and per reconnect (0 = default 10)")
 		baseDelay = flag.Duration("retry-base", 0, "resilient: first backoff delay (0 = default 10ms)")
@@ -50,19 +52,20 @@ func main() {
 	flag.Parse()
 
 	rep, err := server.RunLoad(server.LoadConfig{
-		Addr:       *addr,
-		Workers:    *workers,
-		Duration:   *duration,
-		Pipeline:   *pipeline,
-		ReadFrac:   *readFrac,
-		DeleteFrac: *deleteFrac,
-		FourFrac:   *fourFrac,
-		Domain:     *domain,
-		BatchEvery: *batchEvery,
-		BatchSize:  *batchSize,
-		Seed:       *seed,
-		Verify:     *verify,
-		Resilient:  *resilient,
+		Addr:        *addr,
+		Workers:     *workers,
+		Duration:    *duration,
+		Pipeline:    *pipeline,
+		ReadFrac:    *readFrac,
+		DeleteFrac:  *deleteFrac,
+		FourFrac:    *fourFrac,
+		Domain:      *domain,
+		BatchEvery:  *batchEvery,
+		BatchSize:   *batchSize,
+		Seed:        *seed,
+		Verify:      *verify,
+		TraceSample: *traceSample,
+		Resilient:   *resilient,
 		Retry: server.RetryPolicy{
 			MaxAttempts: *attempts,
 			BaseDelay:   *baseDelay,
@@ -101,5 +104,18 @@ func main() {
 	if st := rep.ServerStats; st != nil {
 		fmt.Fprintf(os.Stderr, "rsload: server: uptime=%.1fs epoch=%d len=%d in_flight=%d idem_clients=%d\n",
 			st.UptimeS, st.Epoch, st.Len, st.InFlight, st.IdemClients)
+	}
+	if t := rep.Trace; t != nil {
+		fmt.Fprintf(os.Stderr, "rsload: traced %d requests: client p50=%.3fms p99=%.3fms mean=%.3fms\n",
+			rep.TracedOps, t.ClientP50Ms, t.ClientP99Ms, t.ClientMeanMs)
+		for _, phase := range []string{
+			"admission", "queue", "leadership", "execute",
+			"wal_append", "sync", "commit", "reply_flush",
+		} {
+			if ps, ok := t.ServerPhases[phase]; ok {
+				fmt.Fprintf(os.Stderr, "rsload:   server %-11s p50=%.3fms p99=%.3fms (n=%d)\n",
+					phase, float64(ps.P50Ns)/1e6, float64(ps.P99Ns)/1e6, ps.Count)
+			}
+		}
 	}
 }

@@ -34,6 +34,16 @@
 //	rsserve -addr :9035 -mem
 //	rsserve -addr :9035 -store points.db
 //	rsserve -addr :9035 -store points.db -metrics 127.0.0.1:6060
+//	rsserve -addr :9035 -store points.db -trace-sample 0.01 -slowlog 50ms -spans spans.jsonl
+//
+// Request tracing: -trace-sample traces every Nth request end to end
+// (admission, queue, leadership, execute, WAL append, sync, commit,
+// reply flush, plus exact per-request block I/O); -slowlog logs any
+// request slower than the threshold with its full span and its
+// Theorem 6/7 I/O allowance; sampled spans are retained for the
+// /spans endpoint and optionally spooled to a JSONL file `rsinspect
+// spans` can replay. The /metrics endpoint on -metrics serves the
+// whole expvar surface in the Prometheus text exposition format.
 package main
 
 import (
@@ -119,11 +129,12 @@ type stack struct {
 // buildMem assembles the volatile stack.
 func buildMem(pageSize int) (*stack, error) {
 	snap := eio.NewSnapStore(eio.NewMemStore(pageSize), 0)
-	idx, err := core.NewThreeSided(snap, epst.Options{})
+	tracer := eio.NewTraceStore(snap)
+	idx, err := core.NewThreeSided(tracer, epst.Options{})
 	if err != nil {
 		return nil, err
 	}
-	return finish(snap, idx, nil, &manifest{PageSize: pageSize, Hdr: idx.HeaderID()})
+	return finish(snap, tracer, idx, nil, &manifest{PageSize: pageSize, Hdr: idx.HeaderID()})
 }
 
 // bootScrub reclaims pages a SIGKILL stranded: SnapStore defers frees to
@@ -182,7 +193,8 @@ func buildFile(path string, pageSize int, durable bool, walPages, poolCap, poolS
 			base = eio.NewShardedPool(fs, poolCap, poolShards)
 		}
 		snap := eio.NewSnapStore(base, 0)
-		idx, err := core.NewThreeSided(snap, epst.Options{})
+		tracer := eio.NewTraceStore(snap)
+		idx, err := core.NewThreeSided(tracer, epst.Options{})
 		if err != nil {
 			snap.Close()
 			return nil, err
@@ -192,7 +204,7 @@ func buildFile(path string, pageSize int, durable bool, walPages, poolCap, poolS
 			snap.Close()
 			return nil, err
 		}
-		return finish(snap, idx, tx, m)
+		return finish(snap, tracer, idx, tx, m)
 	}
 
 	m, err := readManifest(path)
@@ -230,17 +242,22 @@ func buildFile(path string, pageSize int, durable bool, walPages, poolCap, poolS
 		base = eio.NewShardedPool(fs, poolCap, poolShards)
 	}
 	snap := eio.NewSnapStore(base, 0)
-	idx, err := core.OpenThreeSided(snap, m.Hdr)
+	tracer := eio.NewTraceStore(snap)
+	idx, err := core.OpenThreeSided(tracer, m.Hdr)
 	if err != nil {
 		snap.Close()
 		return nil, err
 	}
-	return finish(snap, idx, tx, m)
+	return finish(snap, tracer, idx, tx, m)
 }
 
 // finish publishes the base epoch and wraps the index in the serving
-// layer (a Durable writer when the stack has a WAL).
-func finish(snap *eio.SnapStore, idx *core.ThreeSided, tx *eio.TxStore, m *manifest) (*stack, error) {
+// layer (a Durable writer when the stack has a WAL). The writer index
+// sits on tracer (a TraceStore over snap) so the group-commit leader
+// can attribute the exact block I/Os of each traced request; the
+// tracer's sink stays nil for untraced work, which costs one atomic
+// load per page operation.
+func finish(snap *eio.SnapStore, tracer *eio.TraceStore, idx *core.ThreeSided, tx *eio.TxStore, m *manifest) (*stack, error) {
 	hdr := idx.HeaderID()
 	if _, err := snap.Commit(); err != nil {
 		snap.Close()
@@ -252,7 +269,7 @@ func finish(snap *eio.SnapStore, idx *core.ThreeSided, tx *eio.TxStore, m *manif
 	}
 	conc, err := core.NewConcurrent(writer, snap,
 		func(s eio.Store) (core.Index, error) { return core.OpenThreeSided(s, hdr) },
-		core.ConcurrentOptions{})
+		core.ConcurrentOptions{Tracer: tracer})
 	if err != nil {
 		snap.Close()
 		return nil, err
@@ -314,7 +331,12 @@ func main() {
 		idemClients = flag.Int("idem-clients", 256, "idempotency dedup: max client sessions tracked (<0 = off)")
 		idemWindow  = flag.Int("idem-window", 512, "idempotency dedup: completed writes remembered per session")
 		scrubBoot   = flag.Bool("boot-scrub", true, "durable stores: reclaim crash-leaked pages after WAL recovery")
-		metricsAddr = flag.String("metrics", "", "serve expvar+pprof on this address (empty = off)")
+		metricsAddr = flag.String("metrics", "", "serve expvar+pprof+/metrics on this address (empty = off)")
+
+		traceSample = flag.Float64("trace-sample", 0, "trace this fraction of requests end to end (0..1; 0 = only client-stamped TRACE envelopes)")
+		slowLog     = flag.Duration("slowlog", 0, "log requests slower than this with their full span (0 = off; arming it traces every request)")
+		spansPath   = flag.String("spans", "", "spool sampled spans to this JSONL file")
+		spanRing    = flag.Int("span-ring", 256, "sampled spans retained for the /spans endpoint")
 	)
 	flag.Parse()
 
@@ -339,6 +361,24 @@ func main() {
 
 	metrics := &server.Metrics{}
 	server.PublishMetrics("main", metrics)
+
+	// Sampled spans always land in a ring (drained by the /spans
+	// endpoint and dumped on drain); -spans additionally spools them to
+	// a JSONL file rsinspect can replay.
+	ring := obs.NewSpanRing(*spanRing)
+	obs.SetSpanRing(ring)
+	spans := obs.MultiSpanRecorder{ring}
+	var spanFile *obs.SpanWriter
+	if *spansPath != "" {
+		var err error
+		spanFile, err = obs.CreateSpanFile(*spansPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rsserve: spans: %v\n", err)
+			os.Exit(1)
+		}
+		spans = append(spans, spanFile)
+	}
+
 	if *metricsAddr != "" {
 		ms, err := obs.ServeMetrics(*metricsAddr)
 		if err != nil {
@@ -346,7 +386,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer ms.Close()
-		fmt.Printf("rsserve: metrics on http://%s/debug/vars\n", ms.Addr())
+		fmt.Printf("rsserve: metrics on http://%s/debug/vars (Prometheus: /metrics, spans: /spans)\n", ms.Addr())
 	}
 
 	srv := server.New(st.conc, server.Config{
@@ -358,6 +398,9 @@ func main() {
 		RetryAfterHint: *retryAfter,
 		Idem:           server.IdemConfig{MaxClients: *idemClients, Window: *idemWindow},
 		Metrics:        metrics,
+		TraceSample:    *traceSample,
+		SlowLog:        *slowLog,
+		Spans:          spans,
 		Logf: func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, "rsserve: "+format+"\n", args...)
 		},
@@ -400,7 +443,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rsserve: drain left %d leaked pages\n", leaked)
 		os.Exit(3)
 	}
+	if spanFile != nil {
+		if err := spanFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rsserve: spans: %v\n", err)
+		}
+	}
 	snap := metrics.Snapshot()
-	fmt.Printf("rsserve: drained clean: %d conns accepted, busy=%d proto_errors=%d panics=%d\n",
-		snap.Accepted, snap.Busy, snap.ProtoErrors, snap.Panics)
+	fmt.Printf("rsserve: drained clean: %d conns accepted, busy=%d proto_errors=%d panics=%d spans=%d\n",
+		snap.Accepted, snap.Busy, snap.ProtoErrors, snap.Panics, snap.Spans)
 }

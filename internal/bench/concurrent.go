@@ -33,6 +33,15 @@ var MaxWorkers = 8
 // Throughput numbers are hardware-dependent; the I/O counts are exact and
 // deterministic, and the regression guard pins them.
 func EConcurrent(quick bool) ([]*Table, error) {
+	// The scaling rows are meaningless if the scheduler is pinned to one
+	// P (an inherited GOMAXPROCS=1 once shipped a snapshot where 8
+	// readers measured 0.86x): raise GOMAXPROCS to the machine's CPU
+	// count for the duration of the experiment, and restore it after.
+	if prev := runtime.GOMAXPROCS(0); runtime.NumCPU() > prev {
+		runtime.GOMAXPROCS(runtime.NumCPU())
+		defer runtime.GOMAXPROCS(prev)
+	}
+
 	n := 200_000
 	nq := 4_000
 	inserts := 30_000

@@ -7,6 +7,7 @@ import (
 
 	"rangesearch/internal/eio"
 	"rangesearch/internal/geom"
+	"rangesearch/internal/trace"
 	"sync"
 )
 
@@ -42,6 +43,14 @@ type ConcurrentOptions struct {
 	MaxBatch int
 	// Recorder, when non-nil, receives lock-wait and batch-size signals.
 	Recorder ContentionRecorder
+	// Tracer, when non-nil, is the TraceStore the writer index performs
+	// its page I/O through (the index must have been created or opened ON
+	// this store). Group-commit leaders hang a per-operation span sink off
+	// it around each traced operation's apply, which is what gives sampled
+	// requests their exact block-I/O attribution. Only the single writer
+	// ever touches the tracer's sink — readers run on snapshot views —
+	// so the swap is race-free under the leadership lock.
+	Tracer *eio.TraceStore
 }
 
 // Concurrent is the single-writer / multi-reader serving layer over an
@@ -72,6 +81,7 @@ type Concurrent struct {
 	writer  Index
 	durable *Durable // non-nil iff writer is a *Durable
 	open    OpenFunc
+	tracer  *eio.TraceStore // writer-path tracer for span I/O attribution
 
 	maxBatch int
 	rec      ContentionRecorder
@@ -100,6 +110,12 @@ type pendingOp struct {
 	done  chan struct{}
 	found bool
 	err   error
+
+	// Tracing state, set only for sampled requests; the zero values cost
+	// untraced operations nothing.
+	sp  *trace.Span // span the leader records phases and I/O into
+	tok *byte       // identity of the submitAll call that enqueued the op
+	enq time.Time   // enqueue time, for the queue/leadership phase
 }
 
 // epochView is one reader-side Index instance fixed at a pinned epoch,
@@ -129,6 +145,7 @@ func NewConcurrent(writer Index, snap *eio.SnapStore, open OpenFunc, opts Concur
 		writer:   writer,
 		durable:  d,
 		open:     open,
+		tracer:   opts.Tracer,
 		maxBatch: maxBatch,
 		rec:      opts.Recorder,
 	}, nil
@@ -136,6 +153,11 @@ func NewConcurrent(writer Index, snap *eio.SnapStore, open OpenFunc, opts Concur
 
 // Epoch returns the current committed epoch (the stamp new snapshots get).
 func (c *Concurrent) Epoch() uint64 { return c.snap.Epoch() }
+
+// PageSize returns the page size of the backing store — the B of the
+// paper's O(log_B N + t/B) bounds, which the serving layer needs to
+// compute per-request I/O allowances for slow-query logging.
+func (c *Concurrent) PageSize() int { return c.snap.PageSize() }
 
 // --- write path: group commit ------------------------------------------
 
@@ -150,6 +172,28 @@ func (c *Concurrent) Insert(p geom.Point) error {
 // Delete implements Index, committed as part of a group batch.
 func (c *Concurrent) Delete(p geom.Point) (bool, error) {
 	op := &pendingOp{kind: opDelete, p: p, done: make(chan struct{})}
+	c.submit(op)
+	return op.found, op.err
+}
+
+// InsertTraced is Insert with the group-commit machinery recording phase
+// timings (queue/leadership wait, execute, WAL append, sync, commit) and
+// exact page I/O into sp. A nil sp is exactly Insert.
+func (c *Concurrent) InsertTraced(p geom.Point, sp *trace.Span) error {
+	if sp == nil {
+		return c.Insert(p)
+	}
+	op := &pendingOp{kind: opInsert, p: p, done: make(chan struct{}), sp: sp, tok: new(byte), enq: time.Now()}
+	c.submit(op)
+	return op.err
+}
+
+// DeleteTraced is Delete with span recording; a nil sp is exactly Delete.
+func (c *Concurrent) DeleteTraced(p geom.Point, sp *trace.Span) (bool, error) {
+	if sp == nil {
+		return c.Delete(p)
+	}
+	op := &pendingOp{kind: opDelete, p: p, done: make(chan struct{}), sp: sp, tok: new(byte), enq: time.Now()}
 	c.submit(op)
 	return op.found, op.err
 }
@@ -174,13 +218,14 @@ func (c *Concurrent) submitAll(ops []*pendingOp) {
 	c.qmu.Unlock()
 
 	last := ops[len(ops)-1]
+	tok := ops[0].tok // non-nil only for traced runs
 	start := time.Now()
 	c.wmu.Lock()
 	if c.rec != nil {
 		c.rec.RecordLockWait(time.Since(start))
 	}
 	for !done(last) {
-		batch := c.take()
+		batch := c.take(tok)
 		if len(batch) == 0 {
 			break // ops were committed by a previous leader
 		}
@@ -216,6 +261,18 @@ type BatchResult struct {
 // to turn one client BATCH request into few WAL records. Results are
 // positional.
 func (c *Concurrent) ApplyBatch(ops []BatchOp) []BatchResult {
+	return c.ApplyBatchTraced(ops, nil)
+}
+
+// ApplyBatchTraced is ApplyBatch recording into one span for the whole
+// run: per-operation execute time and page I/O accumulate, the batch-
+// level WAL/sync/commit phases are added once per group commit the run
+// lands in, and the queue/leadership phase is measured on the run's
+// first operation. When the run spans several group commits the phase
+// sum approximates (slightly undercounts) the run's wall time — exact
+// attribution holds for single-operation requests. A nil sp is exactly
+// ApplyBatch.
+func (c *Concurrent) ApplyBatchTraced(ops []BatchOp, sp *trace.Span) []BatchResult {
 	if len(ops) == 0 {
 		return nil
 	}
@@ -225,7 +282,11 @@ func (c *Concurrent) ApplyBatch(ops []BatchOp) []BatchResult {
 		if op.Delete {
 			kind = opDelete
 		}
-		pend[i] = &pendingOp{kind: kind, p: op.P, done: make(chan struct{})}
+		pend[i] = &pendingOp{kind: kind, p: op.P, done: make(chan struct{}), sp: sp}
+	}
+	if sp != nil {
+		pend[0].tok = new(byte)
+		pend[0].enq = time.Now()
 	}
 	c.submitAll(pend)
 	res := make([]BatchResult, len(ops))
@@ -245,7 +306,14 @@ func done(op *pendingOp) bool {
 }
 
 // take removes up to MaxBatch operations from the head of the queue.
-func (c *Concurrent) take() []*pendingOp {
+// tok identifies the calling leader's own submitAll run: a traced
+// operation leaving the queue records its wait as the leadership phase
+// when this leader enqueued it itself (it waited to BECOME the leader)
+// and as the queue phase when another submitter did (it waited FOR a
+// leader). The two intervals are the same enqueue→drain span viewed
+// from different sides, so recording exactly one of them keeps a span's
+// phases disjoint.
+func (c *Concurrent) take(tok *byte) []*pendingOp {
 	c.qmu.Lock()
 	defer c.qmu.Unlock()
 	n := len(c.queue)
@@ -255,6 +323,15 @@ func (c *Concurrent) take() []*pendingOp {
 	batch := make([]*pendingOp, n)
 	copy(batch, c.queue[:n])
 	c.queue = c.queue[:copy(c.queue, c.queue[n:])]
+	for _, op := range batch {
+		if op.sp != nil && !op.enq.IsZero() {
+			ph := trace.PhaseQueue
+			if op.tok != nil && op.tok == tok {
+				ph = trace.PhaseLeadership
+			}
+			op.sp.AddPhase(ph, time.Since(op.enq))
+		}
+	}
 	return batch
 }
 
@@ -269,13 +346,39 @@ func benign(err error) bool {
 // new epoch. Callers hold wmu.
 func (c *Concurrent) runBatch(batch []*pendingOp) {
 	start := time.Now()
+	traced := false
+	for _, op := range batch {
+		if op.sp != nil {
+			traced = true
+			break
+		}
+	}
+	var execSum time.Duration
 	apply := func(idx Index) error {
 		for _, op := range batch {
+			var opStart time.Time
+			if op.sp != nil {
+				opStart = time.Now()
+				if c.tracer != nil {
+					// Exclusive under wmu: readers run on snapshot views,
+					// never through the writer tracer, so the swap cannot
+					// misattribute a concurrent reader's I/O.
+					c.tracer.SetSink(eio.NewSpanSink(op.sp))
+				}
+			}
 			switch op.kind {
 			case opInsert:
 				op.err = idx.Insert(op.p)
 			case opDelete:
 				op.found, op.err = idx.Delete(op.p)
+			}
+			if op.sp != nil {
+				if c.tracer != nil {
+					c.tracer.SetSink(nil)
+				}
+				d := time.Since(opStart)
+				execSum += d
+				op.sp.AddPhase(trace.PhaseExecute, d)
 			}
 			if op.err != nil && !benign(op.err) {
 				return op.err
@@ -284,6 +387,10 @@ func (c *Concurrent) runBatch(batch []*pendingOp) {
 		return nil
 	}
 
+	var txBefore eio.TxTimings
+	if traced && c.durable != nil {
+		txBefore = c.durable.Tx().Timings()
+	}
 	var applyErr error
 	if c.durable != nil {
 		applyErr = c.durable.Batch(apply)
@@ -291,11 +398,20 @@ func (c *Concurrent) runBatch(batch []*pendingOp) {
 		applyErr = apply(c.writer)
 	}
 
+	// recordPhases must run before any op.done closes: the waiter on the
+	// other side finishes and emits the span as soon as it unblocks.
+	recordPhases := func() {
+		if traced {
+			c.recordBatchPhases(batch, start, execSum, txBefore)
+		}
+	}
+
 	if applyErr != nil && c.durable != nil {
 		// Durable.Batch rolled the transaction back: the inner store holds
 		// the pre-batch image, so the captured versions are redundant and
 		// the epoch does not advance. Every operation in the batch fails.
 		c.snap.Abort()
+		recordPhases()
 		c.fail(batch, applyErr)
 		return
 	}
@@ -305,9 +421,11 @@ func (c *Concurrent) runBatch(batch []*pendingOp) {
 	// matches it — the same torn-structure risk a serial caller of a
 	// non-durable index accepts.
 	if _, err := c.snap.Commit(); err != nil {
+		recordPhases()
 		c.fail(batch, fmt.Errorf("core: concurrent: publish epoch: %w", err))
 		return
 	}
+	recordPhases()
 	if applyErr != nil {
 		c.fail(batch, applyErr)
 		return
@@ -317,6 +435,39 @@ func (c *Concurrent) runBatch(batch []*pendingOp) {
 	}
 	for _, op := range batch {
 		close(op.done)
+	}
+}
+
+// recordBatchPhases distributes the batch-level commit cost over the
+// traced members of a just-committed (or failed) group. WAL-append and
+// sync time come from the TxStore's cumulative timing counters — the
+// leader serialized with the commit, so the delta is exactly this
+// batch's. The commit phase is the remainder of the batch wall time not
+// already attributed to execute/WAL/sync: the in-place apply, anchor
+// write, deferred frees and epoch publish. All three are properties of
+// the whole group (one WAL record, one fsync schedule), so each traced
+// span in the group carries the full value once — the span answers
+// "what did this request wait through", not "what share did it consume".
+func (c *Concurrent) recordBatchPhases(batch []*pendingOp, start time.Time, execSum time.Duration, txBefore eio.TxTimings) {
+	batchDur := time.Since(start)
+	var wal, fsync time.Duration
+	if c.durable != nil {
+		delta := c.durable.Tx().Timings().Sub(txBefore)
+		wal, fsync = delta.WALAppend, delta.Sync
+	}
+	commit := batchDur - execSum - wal - fsync
+	if commit < 0 {
+		commit = 0
+	}
+	var prev *trace.Span // ops of one traced run share a span; add once
+	for _, op := range batch {
+		if op.sp == nil || op.sp == prev {
+			continue
+		}
+		prev = op.sp
+		op.sp.AddPhase(trace.PhaseWALAppend, wal)
+		op.sp.AddPhase(trace.PhaseSync, fsync)
+		op.sp.AddPhase(trace.PhaseCommit, commit)
 	}
 }
 
@@ -399,6 +550,31 @@ func (c *Concurrent) Query(dst []geom.Point, q geom.Rect) ([]geom.Point, error) 
 	}
 	defer c.release(v)
 	return v.idx.Query(dst, q)
+}
+
+// QueryTraced is Query with the query's execute time and exact page
+// reads recorded into sp. A traced query opens a PRIVATE view over its
+// pinned epoch — a per-query TraceStore whose sink is attached only
+// after the structure header loads, so the span counts exactly the
+// reads the query itself performs (the same accounting boundary as
+// obs.Instrumented) — at the cost of re-reading the header instead of
+// sharing the cached epoch view. A nil sp is exactly Query.
+func (c *Concurrent) QueryTraced(dst []geom.Point, q geom.Rect, sp *trace.Span) ([]geom.Point, error) {
+	if sp == nil {
+		return c.Query(dst, q)
+	}
+	start := time.Now()
+	defer func() { sp.AddPhase(trace.PhaseExecute, time.Since(start)) }()
+	epoch := c.snap.Pin()
+	defer c.snap.Unpin(epoch)
+	ts := eio.NewTraceStore(c.snap.View(epoch))
+	idx, err := c.open(ts)
+	if err != nil {
+		return dst, fmt.Errorf("core: concurrent: open traced view at epoch %d: %w", epoch, err)
+	}
+	ts.SetSink(eio.NewSpanSink(sp))
+	defer ts.SetSink(nil)
+	return idx.Query(dst, q)
 }
 
 // Len implements Index against the current snapshot.

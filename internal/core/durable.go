@@ -69,6 +69,12 @@ func (d *Durable) Batch(fn func(Index) error) error {
 	return d.tx.Update(func() error { return fn(d.idx) })
 }
 
+// Tx returns the TxStore the decorator scopes transactions on. Group-
+// commit leaders use it to snapshot commit-phase timings (eio.TxTimings)
+// around one Batch and attribute WAL-append and fsync time to request
+// spans.
+func (d *Durable) Tx() *eio.TxStore { return d.tx }
+
 // Sync exposes the store durability barrier for callers that interleave
 // non-transactional writes (e.g. bulk builds) with decorated updates.
 func (d *Durable) Sync() error {

@@ -1,0 +1,37 @@
+package eio
+
+import "rangesearch/internal/trace"
+
+// SpanSink counts traced block I/O into one request span. It is the
+// scoped sink the serving stack hangs off a TraceStore around exactly
+// the store operations that belong to a single RPC: the group-commit
+// leader attaches one around each traced op's apply, and traced
+// queries attach one to a private per-view TraceStore. Events are
+// folded straight into the span's atomic counters — nothing is
+// retained per event, so attaching one costs four atomic adds per I/O
+// at most.
+//
+// Failed operations are still counted: an errored read hit the block
+// layer all the same, and the paper's I/O accounting (and
+// obs.Instrumented, which counts via Stats deltas) does not subtract
+// failures either.
+type SpanSink struct{ sp *trace.Span }
+
+var _ TraceSink = (*SpanSink)(nil)
+
+// NewSpanSink returns a sink that attributes events to sp.
+func NewSpanSink(sp *trace.Span) *SpanSink { return &SpanSink{sp: sp} }
+
+// Emit implements TraceSink.
+func (s *SpanSink) Emit(e TraceEvent) {
+	switch e.Op {
+	case OpRead:
+		s.sp.AddIO(1, 0, 0, 0)
+	case OpWrite:
+		s.sp.AddIO(0, 1, 0, 0)
+	case OpAlloc:
+		s.sp.AddIO(0, 0, 1, 0)
+	case OpFree:
+		s.sp.AddIO(0, 0, 0, 1)
+	}
+}

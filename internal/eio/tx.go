@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // This file implements TxStore, the transactional layer that gives every
@@ -154,6 +156,37 @@ type TxStore struct {
 	allocs    []PageID
 	frees     map[PageID]struct{}
 	freeOrder []PageID
+
+	// Cumulative commit-phase timing, atomic so Timings can be read from
+	// outside the store lock (a group-commit leader snapshots the deltas
+	// around one Batch to attribute WAL and sync time to request spans).
+	walNs  atomic.Int64 // time appending WAL record pages (step 2)
+	syncNs atomic.Int64 // time in durability barriers (steps 1, 3, 5)
+}
+
+// TxTimings is a cumulative wall-time breakdown of Commit's expensive
+// phases. Counters only ever grow; subtract two snapshots to attribute
+// one commit's cost.
+type TxTimings struct {
+	// WALAppend is time spent writing redo-record pages (step 2).
+	WALAppend time.Duration
+	// Sync is time spent in the three durability barriers (steps 1, 3, 5).
+	Sync time.Duration
+}
+
+// Sub returns the per-interval delta a − b.
+func (a TxTimings) Sub(b TxTimings) TxTimings {
+	return TxTimings{WALAppend: a.WALAppend - b.WALAppend, Sync: a.Sync - b.Sync}
+}
+
+// Timings returns the cumulative commit-phase timing counters. Safe to
+// call concurrently with commits; a reader that snapshots before and
+// after a commit it serialized with sees exactly that commit's cost.
+func (t *TxStore) Timings() TxTimings {
+	return TxTimings{
+		WALAppend: time.Duration(t.walNs.Load()),
+		Sync:      time.Duration(t.syncNs.Load()),
+	}
 }
 
 var _ Store = (*TxStore)(nil)
@@ -525,7 +558,7 @@ func (t *TxStore) Commit() error {
 		// Nothing to make atomic. Allocations, if any, still need the
 		// checkpoint barrier so they survive reopen.
 		if len(t.allocs) > 0 {
-			if err := t.syncInner(); err != nil {
+			if err := t.syncInnerTimed(); err != nil {
 				return err
 			}
 			t.dirty = false
@@ -538,7 +571,7 @@ func (t *TxStore) Commit() error {
 	// transaction's allocations must be durable before the WAL record that
 	// protects them is overwritten.
 	if t.dirty || len(t.allocs) > 0 {
-		if err := t.syncInner(); err != nil {
+		if err := t.syncInnerTimed(); err != nil {
 			return fmt.Errorf("eio: tx: checkpoint sync: %w", err)
 		}
 		t.dirty = false
@@ -556,6 +589,7 @@ func (t *TxStore) Commit() error {
 			len(images), maxTxImages(t.ps, len(t.walIDs)), ErrTxOverflow)
 	}
 	page := make([]byte, t.ps)
+	walStart := time.Now()
 	for i := 0; len(rec) > 0; i++ {
 		n := copy(page, rec)
 		for j := n; j < t.ps; j++ {
@@ -566,9 +600,10 @@ func (t *TxStore) Commit() error {
 		}
 		rec = rec[n:]
 	}
+	t.walNs.Add(int64(time.Since(walStart)))
 
 	// 3. Commit point.
-	if err := t.syncInner(); err != nil {
+	if err := t.syncInnerTimed(); err != nil {
 		return fmt.Errorf("eio: tx: commit sync: %w", err)
 	}
 	t.committed = true
@@ -585,7 +620,7 @@ func (t *TxStore) Commit() error {
 	// become durable ahead of the data it vouches for (see the protocol
 	// note at the top of the file — a torn anchor write can pass the page
 	// checksum, so ordering, not checksums, carries this guarantee).
-	if err := t.syncInner(); err != nil {
+	if err := t.syncInnerTimed(); err != nil {
 		return fmt.Errorf("eio: tx: apply sync: %w", err)
 	}
 
@@ -665,6 +700,15 @@ func (t *TxStore) syncInner() error {
 		return s.Sync()
 	}
 	return nil
+}
+
+// syncInnerTimed is syncInner with the barrier's wall time folded into
+// the cumulative sync counter; Commit uses it for its three barriers.
+func (t *TxStore) syncInnerTimed() error {
+	start := time.Now()
+	err := t.syncInner()
+	t.syncNs.Add(int64(time.Since(start)))
+	return err
 }
 
 // --- Store interface ---------------------------------------------------

@@ -113,7 +113,9 @@ func PublishHistSink(name string, h *HistSink) {
 }
 
 // MetricsServer is a running diagnostics HTTP server: expvar at
-// /debug/vars, pprof under /debug/pprof/.
+// /debug/vars, pprof under /debug/pprof/, the Prometheus text
+// exposition at /metrics, and the sampled-span flight recorder at
+// /spans (JSONL, once a SpanRing is attached via SetSpanRing).
 type MetricsServer struct {
 	srv *http.Server
 	ln  net.Listener
@@ -130,8 +132,21 @@ func ServeMetrics(addr string) (*MetricsServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		ring := spanRing.Load()
+		if ring == nil {
+			http.Error(w, "no span ring attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_, _ = ring.WriteTo(w)
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "rangesearch metrics: /debug/vars (expvar), /debug/pprof/ (pprof)")
+		fmt.Fprintln(w, "rangesearch metrics: /debug/vars (expvar), /debug/pprof/ (pprof), /metrics (Prometheus), /spans (sampled spans, JSONL)")
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rangesearch/internal/trace"
+)
+
+func spanRec(i int) trace.Record {
+	sp := trace.New(trace.NewID(), "insert")
+	sp.AddPhase(trace.PhaseExecute, time.Duration(i+1)*time.Millisecond)
+	sp.AddIO(int64(i), 1, 0, 0)
+	sp.Finish("ok")
+	r := sp.Record()
+	r.WallNs = int64(i+1) * 1e6
+	return r
+}
+
+func TestSpanRingRotation(t *testing.T) {
+	r := NewSpanRing(4)
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d", r.Cap())
+	}
+	var want []string
+	for i := 0; i < 10; i++ {
+		rec := spanRec(i)
+		want = append(want, rec.TraceID)
+		r.RecordSpan(rec)
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot holds %d records, want 4", len(snap))
+	}
+	// Oldest-first, and exactly the last four recorded.
+	for i, rec := range snap {
+		if rec.TraceID != want[6+i] {
+			t.Fatalf("snapshot[%d] = %s, want %s", i, rec.TraceID, want[6+i])
+		}
+	}
+
+	// WriteTo emits one JSON object per line, same order.
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	back, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatalf("ReadSpans: %v", err)
+	}
+	if len(back) != 4 || back[0].TraceID != want[6] || back[3].TraceID != want[9] {
+		t.Fatalf("JSONL round trip: %+v", back)
+	}
+}
+
+func TestSpanWriterFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	w, err := CreateSpanFile(path)
+	if err != nil {
+		t.Fatalf("CreateSpanFile: %v", err)
+	}
+	var ids []string
+	for i := 0; i < 32; i++ {
+		rec := spanRec(i)
+		ids = append(ids, rec.TraceID)
+		w.RecordSpan(rec)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var got []string
+	if err := ScanSpans(f, func(r trace.Record) error {
+		got = append(got, r.TraceID)
+		return nil
+	}); err != nil {
+		t.Fatalf("ScanSpans: %v", err)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("read %d spans, wrote %d", len(got), len(ids))
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("span %d: %s != %s", i, got[i], ids[i])
+		}
+	}
+}
+
+func TestScanSpansStopsOnCallbackError(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		buf.WriteString(`{"trace_id":"x"}` + "\n")
+	}
+	n := 0
+	err := ScanSpans(&buf, func(trace.Record) error {
+		n++
+		if n == 2 {
+			return fmt.Errorf("stop here")
+		}
+		return nil
+	})
+	if err == nil || n != 2 {
+		t.Fatalf("err=%v n=%d, want callback error after 2", err, n)
+	}
+}
+
+func TestMultiSpanRecorderFansOut(t *testing.T) {
+	a, b := NewSpanRing(8), NewSpanRing(8)
+	m := MultiSpanRecorder{a, b}
+	m.RecordSpan(spanRec(0))
+	if a.Total() != 1 || b.Total() != 1 {
+		t.Fatalf("fan-out totals %d/%d, want 1/1", a.Total(), b.Total())
+	}
+}

@@ -64,6 +64,14 @@ type Config struct {
 	Jitter  time.Duration
 	// RequestTimeout is passed to rsserve -request-timeout (default 5s).
 	RequestTimeout time.Duration
+	// TraceSample, when > 0, runs the whole chaos schedule with request
+	// tracing live on both sides: the load generator client-stamps TRACE
+	// envelopes at this rate and rsserve is started with the same
+	// -trace-sample, so spans flow through group commit, WAL recovery,
+	// and reconnect storms while the kills land.
+	TraceSample float64
+	// SlowLog is passed to rsserve -slowlog when > 0.
+	SlowLog time.Duration
 	// Logf, when non-nil, receives progress lines. Nil discards.
 	Logf func(format string, args ...interface{})
 }
@@ -175,11 +183,18 @@ func freePort() (string, error) {
 
 // start spawns rsserve and waits until it answers a Ping.
 func (h *harness) start() error {
-	cmd := exec.Command(h.cfg.ServerBin,
+	args := []string{
 		"-addr", h.addr,
 		"-store", h.cfg.StorePath,
 		"-request-timeout", h.cfg.RequestTimeout.String(),
-	)
+	}
+	if h.cfg.TraceSample > 0 {
+		args = append(args, "-trace-sample", fmt.Sprintf("%g", h.cfg.TraceSample))
+	}
+	if h.cfg.SlowLog > 0 {
+		args = append(args, "-slowlog", h.cfg.SlowLog.String())
+	}
+	cmd := exec.Command(h.cfg.ServerBin, args...)
 	cmd.Stdout = h.out
 	cmd.Stderr = h.out
 	if err := cmd.Start(); err != nil {
@@ -348,14 +363,15 @@ func Run(cfg Config) (*Report, error) {
 	go func() {
 		defer close(loadDone)
 		loadRep, loadErr = server.RunLoad(server.LoadConfig{
-			Addr:      h.proxy.Addr(),
-			Workers:   cfg.Workers,
-			Pipeline:  cfg.Pipeline,
-			Duration:  loadDur,
-			Domain:    1 << 16,
-			Seed:      cfg.Seed,
-			Verify:    true,
-			Resilient: true,
+			Addr:        h.proxy.Addr(),
+			Workers:     cfg.Workers,
+			Pipeline:    cfg.Pipeline,
+			Duration:    loadDur,
+			Domain:      1 << 16,
+			Seed:        cfg.Seed,
+			Verify:      true,
+			Resilient:   true,
+			TraceSample: cfg.TraceSample,
 			Retry: server.RetryPolicy{
 				MaxAttempts: 60,
 				BaseDelay:   5 * time.Millisecond,

@@ -40,7 +40,10 @@ func TestChaosKillRecover(t *testing.T) {
 		Seed:      42,
 		Latency:   200 * time.Microsecond,
 		Jitter:    300 * time.Microsecond,
-		Logf:      t.Logf,
+		// Tracing stays live through every kill and recovery: sampled
+		// spans must never compromise the exactly-once story.
+		TraceSample: 0.05,
+		Logf:        t.Logf,
 	})
 	if err != nil {
 		t.Fatalf("chaos.Run: %v", err)
@@ -64,5 +67,10 @@ func TestChaosKillRecover(t *testing.T) {
 	// least once per kill it survives.
 	if rep.Load.Reconnects == 0 {
 		t.Fatal("no reconnects recorded; the kills exercised nothing")
+	}
+	// Tracing was on for the whole run: stamped requests survived the
+	// kills (possibly via retry) and came back traced.
+	if rep.Load.TracedOps == 0 {
+		t.Fatal("tracing was enabled but no traced ops completed")
 	}
 }

@@ -208,3 +208,64 @@ func FuzzFrameSizeRejection(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeTrace pins the TRACE-envelope decoder: an arbitrary TRACE
+// header + body either fails with ErrProto or decodes to exactly the
+// 16-byte ID and sampled flag on the wire, and re-encodes canonically. A
+// decoder that mangled the ID would sever the client/server span join;
+// one that accepted unknown flag bits would make future flag assignments
+// silently change old clients' meaning.
+func FuzzDecodeTrace(f *testing.F) {
+	envelope := func(id [16]byte, flags byte, inner []byte) []byte {
+		body := make([]byte, 0, 18+len(inner))
+		body = append(body, OpTrace)
+		body = append(body, id[:]...)
+		body = append(body, flags)
+		return append(body, inner...)
+	}
+	var idA, idB [16]byte
+	for i := range idA {
+		idA[i] = byte(i)
+		idB[i] = 0xFF
+	}
+	ins, _ := EncodeRequest(nil, Request{Op: OpInsert, P: pt(7, -7)})
+	qry, _ := EncodeRequest(nil, Request{Op: OpQuery3, Rect: rect(0, 9, 3, 1<<40)})
+	idm, _ := EncodeRequest(nil, Request{Op: OpDelete, P: pt(1, 2), Idem: &IdemID{Client: 3, Seq: 4}})
+	f.Add(envelope(idA, 0x01, ins))
+	f.Add(envelope(idB, 0x00, qry))
+	f.Add(envelope(idA, 0x01, idm))                      // TRACE over IDEM
+	f.Add(envelope(idA, 0x02, ins))                      // unknown flag bit
+	f.Add(envelope(idA, 0x01, envelope(idB, 0x01, ins))) // nested envelopes are invalid
+	f.Add([]byte{OpTrace})                               // no header
+	f.Add(envelope(idA, 0x01, nil))                      // header but no inner op
+	f.Add(envelope(idA, 0x01, ins)[:9])                  // truncated mid-ID
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := DecodeRequest(body, 64)
+		if err != nil {
+			if !errors.Is(err, ErrProto) {
+				t.Fatalf("non-ErrProto failure: %v", err)
+			}
+			return
+		}
+		if len(body) > 0 && body[0] == OpTrace {
+			if req.Trace == nil {
+				t.Fatal("TRACE frame decoded without trace info")
+			}
+			// The decoded identity must be exactly the wire bytes.
+			if !bytes.Equal(req.Trace.ID[:], body[1:17]) {
+				t.Fatalf("trace ID %x decoded from wire %x", req.Trace.ID, body[1:17])
+			}
+			if want := body[17]&0x01 != 0; req.Trace.Sampled != want {
+				t.Fatalf("sampled=%v decoded from flags 0x%02x", req.Trace.Sampled, body[17])
+			}
+		}
+		re, err := EncodeRequest(nil, req)
+		if err != nil {
+			t.Fatalf("decoded request does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, body) {
+			t.Fatalf("round trip not canonical:\n in %x\nout %x", body, re)
+		}
+	})
+}

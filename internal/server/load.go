@@ -10,6 +10,7 @@ import (
 
 	"rangesearch/internal/geom"
 	"rangesearch/internal/obs"
+	"rangesearch/internal/trace"
 )
 
 // LoadConfig drives RunLoad, the closed-loop load generator behind
@@ -58,6 +59,13 @@ type LoadConfig struct {
 	BatchSize int
 	// Client is passed to Dial.
 	Client ClientOptions
+	// TraceSample, when > 0, stamps that fraction of requests with a
+	// client-side TRACE envelope (random trace ID, sampled flag set), so
+	// the server records a full span for them regardless of its own
+	// sampling. The report then carries the client-observed latency of
+	// exactly those requests next to the server's per-phase breakdown —
+	// the difference is time spent on the wire and in kernel buffers.
+	TraceSample float64
 	// Resilient drives each worker through a ResilientClient: automatic
 	// reconnect, idempotent write retries, BUSY/TIMEOUT absorption. The
 	// run then survives server restarts, and verification accounts for
@@ -155,6 +163,12 @@ type LoadReport struct {
 
 	PerOp map[string]OpLoadStats `json:"per_op"`
 
+	// TracedOps counts requests sent with a client TRACE envelope;
+	// Trace summarizes their client-observed latency and the server's
+	// per-phase breakdown (nil when TraceSample is 0).
+	TracedOps uint64          `json:"traced_ops,omitempty"`
+	Trace     *TraceLoadStats `json:"trace,omitempty"`
+
 	// ServerStats is the server's own STATS snapshot, fetched best-effort
 	// after the run (nil if the server was unreachable).
 	ServerStats *StatsSnapshot `json:"server_stats,omitempty"`
@@ -167,6 +181,18 @@ type LoadReport struct {
 
 	// FirstError preserves one representative failure for diagnostics.
 	FirstError string `json:"first_error,omitempty"`
+}
+
+// TraceLoadStats merges the two ends of the traced requests: what the
+// client clocked wire to wire, and what the server attributed to each
+// phase (from its final STATS snapshot, so it covers every span the
+// server sampled, not only this client's).
+type TraceLoadStats struct {
+	ClientP50Ms  float64 `json:"client_p50_ms"`
+	ClientP99Ms  float64 `json:"client_p99_ms"`
+	ClientMeanMs float64 `json:"client_mean_ms"`
+	// ServerPhases is keyed by trace phase name ("execute", "sync", ...).
+	ServerPhases map[string]PhaseSnapshot `json:"server_phases,omitempty"`
 }
 
 // Failed reports whether the run saw any error that should fail a gate
@@ -269,6 +295,13 @@ type loadWorker struct {
 	timeouts, unknownWrites          uint64
 	firstErr                         error
 
+	// traceEvery stamps every Nth sent request with a TRACE envelope;
+	// traceHist clocks the client-observed latency of exactly those.
+	traceEvery uint64
+	traceSent  uint64
+	traced     uint64
+	traceHist  obs.Histogram
+
 	hist map[byte]*obs.Histogram
 }
 
@@ -314,6 +347,19 @@ func (w *loadWorker) nextRequest() Request {
 		return Request{Op: OpDelete, P: w.keys[w.rng.Intn(len(w.keys))]}
 	}
 	return Request{Op: OpInsert, P: w.stripePoint()}
+}
+
+// maybeTrace stamps every traceEvery-th request with a client-side
+// TRACE envelope so the server records a full span for it.
+func (w *loadWorker) maybeTrace(req *Request) {
+	if w.traceEvery == 0 {
+		return
+	}
+	w.traceSent++
+	if w.traceSent%w.traceEvery != 0 {
+		return
+	}
+	req.Trace = &TraceInfo{ID: trace.NewID(), Sampled: true}
 }
 
 // modelInsert / modelDelete maintain the live and dead sets. A completed
@@ -415,6 +461,10 @@ func (w *loadWorker) applyResponse(s sentOp, resp Response, retried bool, err er
 		return
 	}
 	w.hist[s.req.Op].Observe(uint64(lat))
+	if s.req.Trace != nil {
+		w.traced++
+		w.traceHist.Observe(uint64(lat))
+	}
 	w.ops++
 	switch resp.Status {
 	case StatusBusy:
@@ -559,6 +609,7 @@ func (w *loadWorker) run(deadline time.Time) {
 		// Fill the pipeline window.
 		for w.conn.pending() < w.cfg.Pipeline {
 			req := w.nextRequest()
+			w.maybeTrace(&req)
 			if err := w.conn.send(req); err != nil {
 				w.fail(&w.txp, err)
 				return
@@ -634,6 +685,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			hist: map[byte]*obs.Histogram{
 				OpInsert: {}, OpDelete: {}, OpQuery3: {}, OpQuery4: {}, OpBatch: {},
 			},
+			traceEvery: sampleInterval(cfg.TraceSample),
 		}
 		if cfg.Resilient {
 			w.rc = NewResilient(cfg.Addr, ResilientOptions{
@@ -687,6 +739,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	merged := map[byte]*obs.Histogram{
 		OpInsert: {}, OpDelete: {}, OpQuery3: {}, OpQuery4: {}, OpBatch: {},
 	}
+	var traceMerged obs.Histogram
 	for _, w := range workers {
 		rep.Ops += w.ops
 		rep.Reads += w.reads
@@ -708,6 +761,8 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		if w.firstErr != nil && rep.FirstError == "" {
 			rep.FirstError = fmt.Sprintf("worker %d: %v", w.id, w.firstErr)
 		}
+		rep.TracedOps += w.traced
+		traceMerged.Merge(&w.traceHist)
 		for op, h := range w.hist {
 			merged[op].Merge(h)
 		}
@@ -735,6 +790,17 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		if json.Unmarshal(raw, &st) == nil {
 			rep.ServerStats = &st
 		}
+	}
+	if rep.TracedOps > 0 {
+		t := &TraceLoadStats{
+			ClientP50Ms:  float64(traceMerged.Quantile(0.50)) / 1e6,
+			ClientP99Ms:  float64(traceMerged.Quantile(0.99)) / 1e6,
+			ClientMeanMs: traceMerged.Mean() / 1e6,
+		}
+		if rep.ServerStats != nil && rep.ServerStats.Metrics != nil {
+			t.ServerPhases = rep.ServerStats.Metrics.Phases
+		}
+		rep.Trace = t
 	}
 	return rep, nil
 }

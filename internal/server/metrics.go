@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rangesearch/internal/obs"
+	"rangesearch/internal/trace"
 )
 
 // opSlots indexes the per-opcode metric arrays: opcodes are 0x01..0x07, so
@@ -23,6 +24,9 @@ type Metrics struct {
 	bytesOut [opSlots]obs.Histogram // response frame bytes, by opcode
 	ops      [opSlots]atomic.Uint64 // completed RPCs, by opcode
 	errs     [opSlots]atomic.Uint64 // RPCs answered StatusErr, by opcode
+
+	spans  atomic.Uint64                  // sampled spans recorded
+	phases [trace.NumPhases]obs.Histogram // ns per trace phase, sampled spans only
 
 	conns      atomic.Int64  // open connections
 	inflight   atomic.Int64  // RPCs past the admission gate, not yet answered
@@ -51,6 +55,28 @@ func (m *Metrics) observe(op byte, lat time.Duration, in, out int, isErr bool) {
 		}
 	}
 }
+
+// observeSpan feeds a finished sampled span into the per-phase latency
+// histograms. Only phases the request actually passed through (non-zero)
+// are observed, so a read doesn't drag the group-commit phase quantiles
+// toward zero.
+func (m *Metrics) observeSpan(sp *trace.Span) {
+	m.spans.Add(1)
+	for p := trace.Phase(0); p < trace.NumPhases; p++ {
+		if d := sp.Phase(p); d > 0 {
+			m.phases[p].Observe(uint64(d))
+		}
+	}
+}
+
+// PhaseHistogram returns the latency histogram (nanoseconds) for trace
+// phase p, fed by sampled spans.
+func (m *Metrics) PhaseHistogram(p trace.Phase) *obs.Histogram {
+	return &m.phases[p%trace.NumPhases]
+}
+
+// Spans returns the number of sampled spans recorded.
+func (m *Metrics) Spans() uint64 { return m.spans.Load() }
 
 // Latency returns the latency histogram (nanoseconds) for opcode op.
 func (m *Metrics) Latency(op byte) *obs.Histogram { return &m.latency[op%opSlots] }
@@ -96,6 +122,14 @@ type OpMetricsSnapshot struct {
 	BytesOut obs.HistogramSnapshot `json:"bytes_out"`
 }
 
+// PhaseSnapshot is the compact per-trace-phase view served inside STATS:
+// count plus the two quantiles an operator actually pages on.
+type PhaseSnapshot struct {
+	Count uint64 `json:"count"`
+	P50Ns uint64 `json:"p50_ns"`
+	P99Ns uint64 `json:"p99_ns"`
+}
+
 // MetricsSnapshot is the JSON-friendly view of a Metrics, the payload both
 // the expvar variable and the STATS opcode serve.
 type MetricsSnapshot struct {
@@ -109,7 +143,14 @@ type MetricsSnapshot struct {
 	Evicted     uint64                       `json:"evicted"`
 	IdemReplays uint64                       `json:"idem_replays"`
 	IdemExecs   uint64                       `json:"idem_execs"`
+	Spans       uint64                       `json:"spans,omitempty"`
 	Ops         map[string]OpMetricsSnapshot `json:"ops"`
+	// Phases holds p50/p99 per trace phase (only phases with samples).
+	Phases map[string]PhaseSnapshot `json:"phases,omitempty"`
+	// PhaseHist carries the full phase histograms (only phases with
+	// samples); the Prometheus exporter turns these into cumulative
+	// bucket series.
+	PhaseHist map[string]obs.HistogramSnapshot `json:"phase_hist,omitempty"`
 }
 
 // Snapshot returns a point-in-time copy of every counter and histogram.
@@ -125,7 +166,25 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Evicted:     m.evicted.Load(),
 		IdemReplays: m.idemReplay.Load(),
 		IdemExecs:   m.idemExec.Load(),
+		Spans:       m.spans.Load(),
 		Ops:         map[string]OpMetricsSnapshot{},
+	}
+	for p := trace.Phase(0); p < trace.NumPhases; p++ {
+		h := &m.phases[p]
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		if s.Phases == nil {
+			s.Phases = map[string]PhaseSnapshot{}
+			s.PhaseHist = map[string]obs.HistogramSnapshot{}
+		}
+		s.Phases[p.String()] = PhaseSnapshot{
+			Count: n,
+			P50Ns: h.Quantile(0.50),
+			P99Ns: h.Quantile(0.99),
+		}
+		s.PhaseHist[p.String()] = h.Snapshot()
 	}
 	for _, op := range []byte{OpPing, OpInsert, OpDelete, OpQuery3, OpQuery4, OpBatch, OpStats} {
 		if n := m.ops[op].Load(); n > 0 {

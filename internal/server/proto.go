@@ -26,6 +26,9 @@
 //	STATS  0x07  empty; response payload is a JSON StatsSnapshot
 //	IDEM   0x08  client(u64) seq(u64) then one INSERT/DELETE/BATCH request
 //	             body — an idempotency envelope (see below)
+//	TRACE  0x09  trace id (16 B) + flags (u8, bit0 = sampled, rest zero)
+//	             then any request body except another TRACE — a tracing
+//	             envelope (see below)
 //
 // Responses:
 //
@@ -57,6 +60,15 @@
 // a replayed write harmless, but its Duplicate/Found flags may reflect the
 // first execution). The response to an IDEM request is the response of
 // the inner opcode.
+//
+// The TRACE envelope carries request tracing over the wire: a client that
+// wants one request followed end to end stamps it with a random 16-byte
+// trace ID and the sampled flag, and the server records a full span for
+// it (phase timings + exact block I/Os, see internal/trace) regardless
+// of its own sampling rate. TRACE is always the OUTERMOST envelope — it
+// may wrap an IDEM envelope, but nothing may wrap a TRACE, and nested
+// TRACE envelopes are a protocol error. The envelope does not change the
+// response: tracing is observation only.
 package server
 
 import (
@@ -66,6 +78,7 @@ import (
 	"io"
 
 	"rangesearch/internal/geom"
+	"rangesearch/internal/trace"
 )
 
 // Opcodes of the wire protocol.
@@ -78,6 +91,7 @@ const (
 	OpBatch  byte = 0x06
 	OpStats  byte = 0x07
 	OpIdem   byte = 0x08
+	OpTrace  byte = 0x09
 )
 
 // Response status bytes.
@@ -140,6 +154,8 @@ func OpName(op byte) string {
 		return "stats"
 	case OpIdem:
 		return "idem"
+	case OpTrace:
+		return "trace"
 	default:
 		return fmt.Sprintf("op(0x%02x)", op)
 	}
@@ -204,7 +220,26 @@ type Request struct {
 	// Idem, when non-nil, wraps the request in an IDEM idempotency
 	// envelope. Only write opcodes (INSERT, DELETE, BATCH) may carry one.
 	Idem *IdemID
+	// Trace, when non-nil, wraps the request (outermost, outside any IDEM
+	// envelope) in a TRACE tracing envelope. Any opcode may carry one.
+	Trace *TraceInfo
 }
+
+// TraceInfo is the decoded TRACE envelope header: the client-chosen
+// trace ID and whether the client asked for the request to be sampled.
+type TraceInfo struct {
+	ID trace.ID
+	// Sampled, when set, forces the server to record a full span for
+	// this request regardless of its own sampling rate.
+	Sampled bool
+}
+
+// traceHdrSize is the wire size of the TRACE envelope header.
+const traceHdrSize = trace.IDSize + 1
+
+// traceFlagSampled is bit0 of the TRACE flags byte; all other bits must
+// be zero (canonical form, so the envelope re-encodes byte-identically).
+const traceFlagSampled = 0x01
 
 // IdemID identifies one write for idempotent retry: Client names the
 // logical client session (drawn at random once per session so windows from
@@ -246,8 +281,22 @@ func getPoint(src []byte) geom.Point {
 
 // EncodeRequest appends the wire form of r (opcode + payload, no length
 // prefix) to dst and returns the extended slice. A request with Idem set
-// is emitted as an IDEM envelope around its own (write) opcode.
+// is emitted as an IDEM envelope around its own (write) opcode; a
+// request with Trace set is emitted as a TRACE envelope around the rest
+// (TRACE outermost, so it may wrap the IDEM envelope too).
 func EncodeRequest(dst []byte, r Request) ([]byte, error) {
+	if r.Trace != nil {
+		var hdr [1 + traceHdrSize]byte
+		hdr[0] = OpTrace
+		copy(hdr[1:1+trace.IDSize], r.Trace.ID[:])
+		if r.Trace.Sampled {
+			hdr[1+trace.IDSize] = traceFlagSampled
+		}
+		dst = append(dst, hdr[:]...)
+		inner := r
+		inner.Trace = nil
+		return EncodeRequest(dst, inner)
+	}
 	if r.Idem != nil {
 		if !idempotent(r.Op) {
 			return nil, fmt.Errorf("%w: idempotency envelope around %s", ErrProto, OpName(r.Op))
@@ -385,6 +434,26 @@ func DecodeRequest(body []byte, maxBatchOps int) (Request, error) {
 			return Request{}, err
 		}
 		r.Idem = &id
+		return r, nil
+	case OpTrace:
+		if len(payload) < traceHdrSize+1 {
+			return Request{}, fmt.Errorf("%w: trace envelope truncated", ErrProto)
+		}
+		var ti TraceInfo
+		copy(ti.ID[:], payload[:trace.IDSize])
+		flags := payload[trace.IDSize]
+		if flags&^traceFlagSampled != 0 {
+			return Request{}, fmt.Errorf("%w: trace envelope flags 0x%02x", ErrProto, flags)
+		}
+		ti.Sampled = flags&traceFlagSampled != 0
+		if inner := payload[traceHdrSize]; inner == OpTrace {
+			return Request{}, fmt.Errorf("%w: nested trace envelope", ErrProto)
+		}
+		r, err := DecodeRequest(payload[traceHdrSize:], maxBatchOps)
+		if err != nil {
+			return Request{}, err
+		}
+		r.Trace = &ti
 		return r, nil
 	default:
 		return Request{}, fmt.Errorf("%w: unknown opcode 0x%02x", ErrProto, op)

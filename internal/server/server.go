@@ -9,9 +9,11 @@ import (
 	"net"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rangesearch/internal/core"
+	"rangesearch/internal/trace"
 )
 
 // Config tunes a Server. The zero value serves with the documented
@@ -48,6 +50,21 @@ type Config struct {
 	RetryAfterHint time.Duration
 	// Idem bounds the idempotency dedup windows (see IdemConfig).
 	Idem IdemConfig
+	// TraceSample, when > 0, makes the server record a full span (phase
+	// timings + exact block I/O, see internal/trace) for roughly this
+	// fraction of requests: every ⌈1/TraceSample⌉-th request is sampled,
+	// counter-based so the unsampled path costs one atomic add and zero
+	// allocations. Client requests stamped with a sampled TRACE envelope
+	// are always recorded regardless. 0 disables server-side sampling.
+	TraceSample float64
+	// SlowLog, when > 0, arms the slow-query log: EVERY request is traced
+	// and any request whose wall time reaches the threshold is dumped via
+	// Logf as one line — all non-zero phases, attributed I/O count, and
+	// the Theorem 6/7 I/O allowance for the op. 0 disables.
+	SlowLog time.Duration
+	// Spans, when non-nil, receives the record of every sampled span
+	// after its response flushes (ring buffer, JSONL spool, ...).
+	Spans SpanRecorder
 	// Metrics, when non-nil, receives every signal the server emits; use
 	// PublishMetrics to put it on the expvar surface. Nil disables.
 	Metrics *Metrics
@@ -101,6 +118,9 @@ type Server struct {
 	idem  *idemTable
 	start time.Time
 
+	traceEvery   uint64 // sample every Nth request (0 = off)
+	traceCounter atomic.Uint64
+
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
@@ -113,11 +133,12 @@ type Server struct {
 func New(idx *core.Concurrent, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		idx:   idx,
-		cfg:   cfg,
-		gate:  make(chan struct{}, cfg.MaxInFlight),
-		start: time.Now(),
-		conns: map[net.Conn]struct{}{},
+		idx:        idx,
+		cfg:        cfg,
+		gate:       make(chan struct{}, cfg.MaxInFlight),
+		start:      time.Now(),
+		conns:      map[net.Conn]struct{}{},
+		traceEvery: sampleInterval(cfg.TraceSample),
 	}
 	if cfg.Idem.MaxClients >= 0 {
 		s.idem = newIdemTable(cfg.Idem)
@@ -274,8 +295,10 @@ func (s *Server) handleConn(conn net.Conn) {
 		start := time.Now()
 		req, derr := DecodeRequest(body, s.cfg.MaxBatchOps)
 		var resp Response
+		var sp *trace.Span
 		op := byte(0)
 		replayed := false
+		replyStart := start
 		switch {
 		case derr != nil:
 			// A malformed payload inside a well-formed frame: report it on
@@ -287,24 +310,21 @@ func (s *Server) handleConn(conn net.Conn) {
 			respBuf = EncodeResponse(respBuf[:0], op, resp)
 		default:
 			op = req.Op
+			sp = s.startSpan(req, start)
 			if cached, ok := s.lookupIdem(req); ok {
 				// A retried write whose original completed: replay the
 				// recorded response verbatim, never re-execute.
 				replayed = true
+				replyStart = time.Now()
 				respBuf = append(respBuf[:0], cached...)
 			} else {
-				resp = s.executeWithDeadline(req)
+				resp = s.executeWithDeadline(req, sp)
+				replyStart = time.Now()
 				respBuf = EncodeResponse(respBuf[:0], op, resp)
 			}
 		}
 		if !s.writeResponse(conn, bw, respBuf) {
 			return
-		}
-		if m := s.cfg.Metrics; m != nil && derr == nil {
-			m.observe(op, time.Since(start), len(body), len(respBuf), !replayed && resp.Status == StatusErr)
-			if !replayed && resp.Status == StatusBusy {
-				m.busy.Add(1)
-			}
 		}
 		// Flush once the pipeline's input is drained: pipelined bursts get
 		// one syscall per burst, single requests flush immediately.
@@ -312,6 +332,19 @@ func (s *Server) handleConn(conn net.Conn) {
 			if err := bw.Flush(); err != nil {
 				s.noteWriteErr(err)
 				return
+			}
+		}
+		if sp != nil {
+			// reply_flush covers encode + frame write (+ the flush when
+			// this request triggered one); the span's wall clock stops
+			// here, so it is the request's server-side wire latency.
+			sp.AddPhase(trace.PhaseReplyFlush, time.Since(replyStart))
+			s.completeSpan(sp, req, resp)
+		}
+		if m := s.cfg.Metrics; m != nil && derr == nil {
+			m.observe(op, time.Since(start), len(body), len(respBuf), !replayed && resp.Status == StatusErr)
+			if !replayed && resp.Status == StatusBusy {
+				m.busy.Add(1)
 			}
 		}
 	}
@@ -348,9 +381,9 @@ func (s *Server) completeIdem(req Request, resp Response) {
 // deadline. On expiry the caller gets StatusTimeout while the request
 // keeps running detached; its real outcome still lands in the dedup
 // window (for IDEM writes), so a retry observes the original execution.
-func (s *Server) executeWithDeadline(req Request) Response {
+func (s *Server) executeWithDeadline(req Request, sp *trace.Span) Response {
 	if s.cfg.RequestTimeout <= 0 {
-		resp := s.handle(req)
+		resp := s.handle(req, sp)
 		s.completeIdem(req, resp)
 		return resp
 	}
@@ -365,7 +398,10 @@ func (s *Server) executeWithDeadline(req Request) Response {
 				ch <- Response{Status: StatusErr, Msg: "server: internal error"}
 			}
 		}()
-		resp := s.handle(req)
+		// A detached execution (deadline already expired) keeps recording
+		// into sp — every span counter is atomic, so the record the server
+		// already emitted was merely a consistent partial view.
+		resp := s.handle(req, sp)
 		s.completeIdem(req, resp)
 		ch <- resp
 	}()
@@ -428,15 +464,31 @@ func (s *Server) release() {
 	}
 }
 
-// handle executes one admitted request against the index.
-func (s *Server) handle(req Request) Response {
+// handle executes one admitted request against the index. A non-nil sp
+// records the request's phases: admission here, the index phases inside
+// core.Concurrent's traced entry points.
+func (s *Server) handle(req Request, sp *trace.Span) Response {
 	switch req.Op {
 	case OpPing:
 		return Response{Status: StatusOK, Data: req.Data}
 	case OpStats:
-		return s.handleStats()
+		if sp == nil {
+			return s.handleStats()
+		}
+		t0 := time.Now()
+		resp := s.handleStats()
+		sp.AddPhase(trace.PhaseExecute, time.Since(t0))
+		return resp
 	}
-	if !s.admit() {
+	var admitStart time.Time
+	if sp != nil {
+		admitStart = time.Now()
+	}
+	admitted := s.admit()
+	if sp != nil {
+		sp.AddPhase(trace.PhaseAdmission, time.Since(admitStart))
+	}
+	if !admitted {
 		resp := Response{Status: StatusBusy}
 		if s.cfg.RetryAfterHint > 0 {
 			ms := s.cfg.RetryAfterHint.Milliseconds()
@@ -451,7 +503,7 @@ func (s *Server) handle(req Request) Response {
 
 	switch req.Op {
 	case OpInsert:
-		err := s.idx.Insert(req.P)
+		err := s.idx.InsertTraced(req.P, sp)
 		if errors.Is(err, core.ErrDuplicate) {
 			return Response{Status: StatusOK, Duplicate: true}
 		}
@@ -460,19 +512,19 @@ func (s *Server) handle(req Request) Response {
 		}
 		return Response{Status: StatusOK}
 	case OpDelete:
-		found, err := s.idx.Delete(req.P)
+		found, err := s.idx.DeleteTraced(req.P, sp)
 		if err != nil {
 			return errResponse(err)
 		}
 		return Response{Status: StatusOK, Found: found}
 	case OpQuery3, OpQuery4:
-		pts, err := s.idx.Query(nil, req.Rect)
+		pts, err := s.idx.QueryTraced(nil, req.Rect, sp)
 		if err != nil {
 			return errResponse(err)
 		}
 		return Response{Status: StatusOK, Points: pts}
 	case OpBatch:
-		return s.handleBatch(req.Batch)
+		return s.handleBatch(req.Batch, sp)
 	default:
 		return Response{Status: StatusErr, Msg: fmt.Sprintf("server: unhandled opcode 0x%02x", req.Op)}
 	}
@@ -482,7 +534,7 @@ func (s *Server) handle(req Request) Response {
 // (one contiguous run, as few commits as MaxBatch allows) and folds the
 // per-operation outcomes into result codes. A non-benign failure fails
 // the whole request.
-func (s *Server) handleBatch(entries []BatchEntry) Response {
+func (s *Server) handleBatch(entries []BatchEntry, sp *trace.Span) Response {
 	if len(entries) == 0 {
 		return Response{Status: StatusOK}
 	}
@@ -490,7 +542,7 @@ func (s *Server) handleBatch(entries []BatchEntry) Response {
 	for i, e := range entries {
 		ops[i] = core.BatchOp{Delete: e.Kind == BatchDelete, P: e.P}
 	}
-	results := s.idx.ApplyBatch(ops)
+	results := s.idx.ApplyBatchTraced(ops, sp)
 	codes := make([]byte, len(results))
 	for i, r := range results {
 		switch {
@@ -525,7 +577,13 @@ type StatsSnapshot struct {
 	// tracked client sessions and remembered write outcomes.
 	IdemClients int `json:"idem_clients"`
 	IdemEntries int `json:"idem_entries"`
+	// TraceSampleRate is the server's effective span-sampling rate
+	// (0..1): 1 with a slow-query log armed, 1/interval with counter
+	// sampling, 0 when only client-stamped envelopes are traced.
+	TraceSampleRate float64 `json:"trace_sample_rate"`
 	// Metrics is the server's metric snapshot (nil without a Metrics).
+	// When spans have been sampled it includes the per-phase latency
+	// quantiles, so rsload can print a phase breakdown from STATS alone.
 	Metrics *MetricsSnapshot `json:"metrics,omitempty"`
 }
 
@@ -535,11 +593,12 @@ func (s *Server) handleStats() Response {
 		return errResponse(err)
 	}
 	snap := StatsSnapshot{
-		UptimeS:     time.Since(s.start).Seconds(),
-		Epoch:       s.idx.Epoch(),
-		Len:         n,
-		InFlight:    len(s.gate),
-		MaxInFlight: s.cfg.MaxInFlight,
+		UptimeS:         time.Since(s.start).Seconds(),
+		Epoch:           s.idx.Epoch(),
+		Len:             n,
+		InFlight:        len(s.gate),
+		MaxInFlight:     s.cfg.MaxInFlight,
+		TraceSampleRate: s.traceRate(),
 	}
 	snap.IdemClients, snap.IdemEntries = s.idem.stats()
 	if m := s.cfg.Metrics; m != nil {

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"rangesearch/internal/eio"
+	"rangesearch/internal/trace"
+)
+
+// This file is the server side of request tracing: deciding which
+// requests get a span, finishing spans after the response flushes, and
+// the slow-query log.
+//
+// Overhead contract: an unsampled request allocates NO trace state — the
+// decision costs at most one atomic counter add, and every traced code
+// path below the decision is gated on a nil *trace.Span (asserted by
+// TestUnsampledZeroAlloc). Only sampled requests pay for a span, an ID,
+// per-phase clock reads, and the per-I/O span-sink adds.
+
+// SpanRecorder receives the record of each sampled span after its
+// response has flushed. obs.SpanRing (ring buffer behind the /spans
+// endpoint) and obs.SpanWriter (JSONL spool) implement it. RecordSpan
+// must be safe for concurrent use and must not block: it runs on the
+// connection handler's goroutine.
+type SpanRecorder interface {
+	RecordSpan(trace.Record)
+}
+
+// sampleInterval converts a sampling rate (0..1] into a counter
+// interval: every interval-th request is sampled. Rates above 1 and
+// rate 1 both mean "every request"; 0 and below disable sampling.
+func sampleInterval(rate float64) uint64 {
+	if rate <= 0 {
+		return 0
+	}
+	if rate >= 1 {
+		return 1
+	}
+	return uint64(math.Ceil(1 / rate))
+}
+
+// startSpan decides whether the request gets a span. A client-stamped
+// TRACE envelope with the sampled flag always wins; otherwise the
+// server samples on its own when a slow-query log is armed (every
+// request — a threshold log needs every span to exist before it knows
+// which ones are slow) or by the counter-based TraceSample interval.
+// The span's clock starts at start (the frame-read instant) so its wall
+// time is the request's server-side wire latency.
+func (s *Server) startSpan(req Request, start time.Time) *trace.Span {
+	ti := req.Trace
+	if ti != nil && ti.Sampled {
+		return trace.NewAt(ti.ID, OpName(req.Op), start)
+	}
+	if s.cfg.SlowLog <= 0 &&
+		(s.traceEvery == 0 || s.traceCounter.Add(1)%s.traceEvery != 0) {
+		return nil
+	}
+	id := trace.NewID()
+	if ti != nil {
+		id = ti.ID
+	}
+	return trace.NewAt(id, OpName(req.Op), start)
+}
+
+// traceRate reports the effective server-side sampling rate for STATS.
+func (s *Server) traceRate() float64 {
+	if s.cfg.SlowLog > 0 {
+		return 1
+	}
+	if s.traceEvery == 0 {
+		return 0
+	}
+	return 1 / float64(s.traceEvery)
+}
+
+// completeSpan finishes sp after its response flushed: stamp wall time
+// and status, feed the phase histograms, hand the record to the span
+// sink, and emit the slow-query log line when the threshold is met.
+func (s *Server) completeSpan(sp *trace.Span, req Request, resp Response) {
+	sp.Finish(statusName(resp.Status))
+	if m := s.cfg.Metrics; m != nil {
+		m.observeSpan(sp)
+	}
+	if rec := s.cfg.Spans; rec != nil {
+		rec.RecordSpan(sp.Record())
+	}
+	if s.cfg.SlowLog > 0 && sp.Wall() >= s.cfg.SlowLog {
+		s.logSlow(sp, req, resp)
+	}
+}
+
+// logSlow emits one line with the full span: every non-zero phase, the
+// attributed block I/O, and the Theorem 6/7 allowance for the op so a
+// reader can tell "slow because the disk was slow" from "slow because
+// it did too many I/Os".
+func (s *Server) logSlow(sp *trace.Span, req Request, resp Response) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "server: slow %s %.3fms trace=%s status=%s",
+		sp.Op(), float64(sp.Wall())/1e6, sp.ID(), statusName(resp.Status))
+	for p := trace.Phase(0); p < trace.NumPhases; p++ {
+		if d := sp.Phase(p); d > 0 {
+			fmt.Fprintf(&b, " %s=%s", p, d)
+		}
+	}
+	fmt.Fprintf(&b, " ios=%d", sp.IOs())
+	if allow, ok := s.ioAllowance(req, len(resp.Points)); ok {
+		fmt.Fprintf(&b, " allowance=%.1f", allow)
+	}
+	s.logf("%s", b.String())
+}
+
+// ioAllowance computes the paper's per-operation I/O budget for the
+// request: log_B N + ⌈t/B⌉ for a query with t reported points
+// (Theorems 6/7), log_B N amortized per update (the Theorem 6 factor;
+// multi-level structures like the 4-sided index multiply it by their
+// level count), and the per-entry sum for a batch. The false return
+// means the op has no I/O bound to compare against (ping, stats) or
+// the index is too small for log_B N to mean anything.
+func (s *Server) ioAllowance(req Request, t int) (float64, bool) {
+	b := eio.BlockCapacity(s.idx.PageSize())
+	if b < 2 {
+		return 0, false
+	}
+	n, err := s.idx.Len()
+	if err != nil || n < 2 {
+		return 0, false
+	}
+	logBN := math.Log(float64(n)) / math.Log(float64(b))
+	if logBN < 1 {
+		logBN = 1
+	}
+	switch req.Op {
+	case OpQuery3, OpQuery4:
+		return logBN + math.Ceil(float64(t)/float64(b)), true
+	case OpInsert, OpDelete:
+		return logBN, true
+	case OpBatch:
+		return float64(len(req.Batch)) * logBN, true
+	}
+	return 0, false
+}
+
+// statusName renders a response status byte for span records and logs.
+func statusName(st byte) string {
+	switch st {
+	case StatusOK:
+		return "ok"
+	case StatusErr:
+		return "err"
+	case StatusBusy:
+		return "busy"
+	case StatusTimeout:
+		return "timeout"
+	}
+	return fmt.Sprintf("status(0x%02x)", st)
+}

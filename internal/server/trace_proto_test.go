@@ -1,0 +1,100 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"rangesearch/internal/geom"
+	"rangesearch/internal/trace"
+)
+
+// traceEnvelope hand-builds a TRACE frame: opcode, 16-byte ID, flags,
+// inner request.
+func traceEnvelope(id trace.ID, flags byte, inner []byte) []byte {
+	body := make([]byte, 0, 1+traceHdrSize+len(inner))
+	body = append(body, OpTrace)
+	body = append(body, id[:]...)
+	body = append(body, flags)
+	return append(body, inner...)
+}
+
+func TestTraceEnvelopeRoundTrip(t *testing.T) {
+	id := trace.NewID()
+	cases := []Request{
+		{Op: OpInsert, P: geom.Point{X: 1, Y: 2}, Trace: &TraceInfo{ID: id, Sampled: true}},
+		{Op: OpQuery3, Rect: geom.Rect{XLo: 0, XHi: 9, YLo: 3, YHi: geom.MaxCoord}, Trace: &TraceInfo{ID: id}},
+		{Op: OpPing, Trace: &TraceInfo{ID: id, Sampled: true}},
+		// TRACE wrapping IDEM: the trace envelope is outermost.
+		{Op: OpDelete, P: geom.Point{X: -4, Y: 4},
+			Idem:  &IdemID{Client: 7, Seq: 9},
+			Trace: &TraceInfo{ID: id, Sampled: true}},
+	}
+	for _, want := range cases {
+		body, err := EncodeRequest(nil, want)
+		if err != nil {
+			t.Fatalf("encode %s: %v", OpName(want.Op), err)
+		}
+		if body[0] != OpTrace {
+			t.Fatalf("%s: trace envelope not outermost (opcode 0x%02x)", OpName(want.Op), body[0])
+		}
+		got, err := DecodeRequest(body, 0)
+		if err != nil {
+			t.Fatalf("decode %s: %v", OpName(want.Op), err)
+		}
+		if got.Trace == nil {
+			t.Fatalf("%s: trace info lost in decode", OpName(want.Op))
+		}
+		if got.Trace.ID != want.Trace.ID || got.Trace.Sampled != want.Trace.Sampled {
+			t.Fatalf("%s: trace info %+v, want %+v", OpName(want.Op), got.Trace, want.Trace)
+		}
+		if want.Idem != nil && (got.Idem == nil || *got.Idem != *want.Idem) {
+			t.Fatalf("%s: idem info %+v, want %+v", OpName(want.Op), got.Idem, want.Idem)
+		}
+		if got.Op != want.Op {
+			t.Fatalf("op %s, want %s", OpName(got.Op), OpName(want.Op))
+		}
+		re, err := EncodeRequest(nil, got)
+		if err != nil {
+			t.Fatalf("re-encode %s: %v", OpName(want.Op), err)
+		}
+		if !bytes.Equal(re, body) {
+			t.Fatalf("%s: round trip not canonical:\n in %x\nout %x", OpName(want.Op), body, re)
+		}
+	}
+}
+
+func TestTraceEnvelopeHostile(t *testing.T) {
+	id := trace.NewID()
+	ins, _ := EncodeRequest(nil, Request{Op: OpInsert, P: geom.Point{X: 1, Y: 1}})
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"bare opcode", []byte{OpTrace}},
+		{"truncated header", traceEnvelope(id, traceFlagSampled, ins)[:10]},
+		{"header only, no inner op", traceEnvelope(id, traceFlagSampled, nil)},
+		{"unknown flag bits", traceEnvelope(id, 0x80, ins)},
+		{"all flag bits", traceEnvelope(id, 0xFF, ins)},
+		{"nested trace envelope", traceEnvelope(id, 0, traceEnvelope(id, 0, ins))},
+		{"truncated inner", traceEnvelope(id, traceFlagSampled, ins[:3])},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeRequest(tc.body, 0); !errors.Is(err, ErrProto) {
+			t.Errorf("%s: err = %v, want ErrProto", tc.name, err)
+		}
+	}
+}
+
+// TestTraceZeroIDAllowed pins that a zero trace ID is wire-legal: the
+// server generates a fresh ID only when the client did not sample.
+func TestTraceZeroIDAllowed(t *testing.T) {
+	ins, _ := EncodeRequest(nil, Request{Op: OpInsert, P: geom.Point{X: 5, Y: 5}})
+	req, err := DecodeRequest(traceEnvelope(trace.ID{}, traceFlagSampled, ins), 0)
+	if err != nil {
+		t.Fatalf("zero-ID trace envelope rejected: %v", err)
+	}
+	if req.Trace == nil || !req.Trace.ID.IsZero() || !req.Trace.Sampled {
+		t.Fatalf("trace info = %+v", req.Trace)
+	}
+}

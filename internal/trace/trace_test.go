@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestIDRoundTrip(t *testing.T) {
+	id := NewID()
+	if id.IsZero() {
+		t.Fatal("NewID returned the zero ID")
+	}
+	s := id.String()
+	if len(s) != 2*IDSize {
+		t.Fatalf("String length = %d, want %d", len(s), 2*IDSize)
+	}
+	back, err := ParseID(s)
+	if err != nil {
+		t.Fatalf("ParseID(%q): %v", s, err)
+	}
+	if back != id {
+		t.Fatalf("round trip changed the ID: %s != %s", back, id)
+	}
+	if _, err := ParseID("abc"); err == nil {
+		t.Fatal("ParseID accepted a short string")
+	}
+	if _, err := ParseID("zz" + s[2:]); err == nil {
+		t.Fatal("ParseID accepted non-hex digits")
+	}
+}
+
+func TestIDsAreDistinct(t *testing.T) {
+	seen := map[ID]bool{}
+	for i := 0; i < 64; i++ {
+		id := NewID()
+		if seen[id] {
+			t.Fatalf("duplicate ID %s after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	for p := Phase(0); p < NumPhases; p++ {
+		name := p.String()
+		back, err := ParsePhase(name)
+		if err != nil {
+			t.Fatalf("ParsePhase(%q): %v", name, err)
+		}
+		if back != p {
+			t.Fatalf("ParsePhase(%q) = %v, want %v", name, back, p)
+		}
+	}
+	if _, err := ParsePhase("nope"); err == nil {
+		t.Fatal("ParsePhase accepted an unknown name")
+	}
+}
+
+func TestSpanAccumulation(t *testing.T) {
+	sp := New(NewID(), "insert")
+	sp.AddPhase(PhaseExecute, 3*time.Millisecond)
+	sp.AddPhase(PhaseExecute, 2*time.Millisecond)
+	sp.AddPhase(PhaseSync, 10*time.Millisecond)
+	sp.AddPhase(PhaseSync, -time.Second) // clamped, not subtracted
+	if got := sp.Phase(PhaseExecute); got != 5*time.Millisecond {
+		t.Fatalf("execute = %v, want 5ms", got)
+	}
+	if got := sp.Phase(PhaseSync); got != 10*time.Millisecond {
+		t.Fatalf("sync = %v, want 10ms", got)
+	}
+	if got := sp.PhaseTotal(); got != 15*time.Millisecond {
+		t.Fatalf("total = %v, want 15ms", got)
+	}
+
+	sp.AddIO(3, 2, 1, 0)
+	sp.AddIO(1, 0, 0, 4)
+	if got := sp.IOs(); got != 6 {
+		t.Fatalf("IOs = %d, want 6 (reads+writes)", got)
+	}
+
+	// Nil spans are inert on every mutator — the unsampled path relies
+	// on it.
+	var nilSpan *Span
+	nilSpan.AddPhase(PhaseExecute, time.Second)
+	nilSpan.AddIO(1, 1, 1, 1)
+}
+
+func TestSpanRecord(t *testing.T) {
+	id := NewID()
+	sp := New(id, "query3")
+	sp.AddPhase(PhaseAdmission, time.Millisecond)
+	sp.AddPhase(PhaseExecute, 2*time.Millisecond)
+	sp.AddIO(7, 0, 0, 0)
+	sp.Finish("ok")
+
+	rec := sp.Record()
+	if rec.TraceID != id.String() {
+		t.Fatalf("TraceID = %s, want %s", rec.TraceID, id)
+	}
+	if rec.Op != "query3" || rec.Status != "ok" {
+		t.Fatalf("op/status = %s/%s", rec.Op, rec.Status)
+	}
+	if rec.WallNs <= 0 {
+		t.Fatalf("WallNs = %d, want > 0 after Finish", rec.WallNs)
+	}
+	if rec.Reads != 7 || rec.IOs != 7 {
+		t.Fatalf("reads/ios = %d/%d, want 7/7", rec.Reads, rec.IOs)
+	}
+	// Zero phases are omitted; recorded ones carry their nanoseconds.
+	if len(rec.Phases) != 2 {
+		t.Fatalf("phases = %v, want exactly admission and execute", rec.Phases)
+	}
+	if rec.Phases["execute"] != int64(2*time.Millisecond) {
+		t.Fatalf("execute = %d", rec.Phases["execute"])
+	}
+
+	// The record must survive its own JSONL round trip.
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Record
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TraceID != rec.TraceID || back.Phases["execute"] != rec.Phases["execute"] {
+		t.Fatalf("JSON round trip changed the record: %+v", back)
+	}
+}
+
+func TestWallBeforeAndAfterFinish(t *testing.T) {
+	sp := New(NewID(), "ping")
+	if sp.Wall() < 0 {
+		t.Fatal("unfinished Wall went negative")
+	}
+	sp.Finish("ok")
+	w := sp.Wall()
+	time.Sleep(2 * time.Millisecond)
+	if sp.Wall() != w {
+		t.Fatal("Wall kept moving after Finish")
+	}
+}

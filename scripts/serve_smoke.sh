@@ -1,9 +1,12 @@
 #!/usr/bin/env sh
 # End-to-end network smoke test: boot rsserve on a fresh durable file
-# store, drive a verified mixed workload with rsload, SIGTERM the server,
-# and assert (a) zero protocol/consistency errors, (b) the drain exits
-# clean, and (c) an independent rsinspect pass finds every checksum valid
-# and zero leaked pages. CI runs this; `make serve-smoke` runs it locally.
+# store with request tracing and the metrics endpoint live, drive a
+# verified mixed workload with rsload (client-stamping TRACE envelopes),
+# scrape /metrics and validate the Prometheus exposition, SIGTERM the
+# server, and assert (a) zero protocol/consistency errors, (b) the drain
+# exits clean, (c) an independent rsinspect pass finds every checksum
+# valid and zero leaked pages, and (d) the span log is readable and
+# non-empty. CI runs this; `make serve-smoke` runs it locally.
 set -eu
 
 GO=${GO:-go}
@@ -12,15 +15,19 @@ trap 'rm -rf "$WORKDIR"' EXIT
 
 STORE="$WORKDIR/smoke.db"
 ADDR=${ADDR:-127.0.0.1:9135}
+METRICS_ADDR=${METRICS_ADDR:-127.0.0.1:9136}
 DURATION=${DURATION:-3s}
 WORKERS=${WORKERS:-6}
 JSON_OUT=${JSON_OUT:-$WORKDIR/load.json}
+SPANS="$WORKDIR/spans.jsonl"
 
 echo "== build =="
 $GO build -o "$WORKDIR/bin/" ./cmd/rsserve ./cmd/rsload ./cmd/rsinspect
 
-echo "== boot rsserve ($STORE) =="
-"$WORKDIR/bin/rsserve" -store "$STORE" -addr "$ADDR" >"$WORKDIR/server.log" 2>&1 &
+echo "== boot rsserve ($STORE, traced, metrics on $METRICS_ADDR) =="
+"$WORKDIR/bin/rsserve" -store "$STORE" -addr "$ADDR" \
+    -metrics "$METRICS_ADDR" -trace-sample 0.05 -slowlog 250ms \
+    -spans "$SPANS" >"$WORKDIR/server.log" 2>&1 &
 SERVER_PID=$!
 
 # Wait for the listener (the PING path is exercised by rsload itself).
@@ -36,9 +43,16 @@ until "$WORKDIR/bin/rsload" -addr "$ADDR" -workers 1 -duration 100ms >/dev/null 
     sleep 0.1
 done
 
-echo "== rsload ($WORKERS workers, $DURATION, verified) =="
+echo "== rsload ($WORKERS workers, $DURATION, verified, traced) =="
 "$WORKDIR/bin/rsload" -addr "$ADDR" -workers "$WORKERS" -duration "$DURATION" \
-    -pipeline 8 -batch-every 50 -verify -json "$JSON_OUT"
+    -pipeline 8 -batch-every 50 -verify -trace-sample 0.05 -json "$JSON_OUT"
+
+echo "== scrape /metrics and validate the exposition =="
+"$WORKDIR/bin/rsinspect" prom -url "http://$METRICS_ADDR/metrics" -o "$WORKDIR/metrics.prom"
+grep -q '^rangesearch_server_main' "$WORKDIR/metrics.prom" || {
+    echo "/metrics carries no rangesearch_server_main samples" >&2
+    exit 1
+}
 
 echo "== drain (SIGTERM) =="
 kill -TERM "$SERVER_PID"
@@ -67,10 +81,17 @@ if grep -q '"leaked"' "$WORKDIR/scrub.json"; then
     exit 1
 fi
 
-# Keep the latency report where CI can pick it up as an artifact.
+echo "== span log readable and non-empty =="
+[ -s "$SPANS" ] || { echo "span log $SPANS is empty" >&2; exit 1; }
+"$WORKDIR/bin/rsinspect" spans -f "$SPANS" -top 3
+
+# Keep the latency report, span log, and scraped exposition where CI can
+# pick them up as artifacts.
 if [ -n "${ARTIFACT_DIR:-}" ]; then
     mkdir -p "$ARTIFACT_DIR"
     cp "$JSON_OUT" "$ARTIFACT_DIR/load.json"
+    cp "$SPANS" "$ARTIFACT_DIR/spans.jsonl"
+    cp "$WORKDIR/metrics.prom" "$ARTIFACT_DIR/metrics.prom"
 fi
 
 echo "== serve smoke OK =="
