@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench cover vet fmt sweep recover-sweep fuzz-short bound experiments examples clean soak model trajectory serve load serve-smoke chaos
+.PHONY: all build test race bench cover vet fmt sweep recover-sweep fuzz-short bound experiments examples clean soak model trajectory serve load serve-smoke chaos repl-smoke chaos-repl
 
 all: build vet test
 
@@ -90,6 +90,21 @@ serve-smoke:
 # duplicated writes, clean drain, scrub-clean store — or it exits nonzero.
 chaos:
 	./scripts/chaos.sh
+
+# Replicated serving smoke: primary + two log-shipping replicas under
+# verified load with replica read fan-out, then SIGKILL the primary,
+# SIGUSR1-promote a replica, and re-verify against the new timeline.
+# CI runs this too.
+repl-smoke:
+	./scripts/repl_smoke.sh
+
+# Replicated kill-and-recover chaos: every cycle kills a replica,
+# degrades the replication link, and SIGKILLs the primary followed by a
+# promotion — ≥5 promotions total under verified resilient load. Zero
+# lost or duplicated acked writes, term == promotions, converged
+# replicas, scrub-clean stores — or it exits nonzero.
+chaos-repl:
+	./scripts/repl_chaos.sh
 
 # Operation-level + per-experiment benchmarks (quick instances).
 bench:

@@ -13,9 +13,18 @@
 //
 // The report is printed as JSON and optionally written to -json.
 //
+// With -replicas N (N > 0) it instead runs the replicated fleet harness:
+// a primary plus N log-shipping replicas under verified load with
+// replica read fan-out, where every cycle kills a replica, degrades the
+// replication link, and SIGKILLs the primary followed by an explicit
+// promotion. The pass criteria extend to: term == promotions, replicas
+// converge within -staleness-max, and every node's store reopens clean
+// with the same point count as the primary's.
+//
 // Usage:
 //
 //	rschaos -server ./rsserve -store /tmp/chaos.db -cycles 10
+//	rschaos -server ./rsserve -dir /tmp/fleet -replicas 2 -cycles 5
 package main
 
 import (
@@ -44,10 +53,19 @@ func main() {
 		slowlog   = flag.Duration("slowlog", 0, "rsserve slow-query threshold (0 disables)")
 		jsonOut   = flag.String("json", "", "also write the report to this file")
 		quiet     = flag.Bool("quiet", false, "suppress progress logging")
+
+		readyT = flag.Duration("ready-timeout", 0, "max (re)start-to-Ping wait (0 = harness default)")
+		drainT = flag.Duration("drain-timeout", 0, "max SIGTERM drain wait (0 = harness default)")
+		graceT = flag.Duration("load-grace", 0, "max wait past nominal load duration (0 = harness default)")
+
+		replicas = flag.Int("replicas", 0, "replicated mode: log-shipping replicas behind the primary (0 = single-node mode)")
+		dir      = flag.String("dir", "", "replicated mode: fleet working directory (required; created fresh)")
+		sync     = flag.Int("sync", 0, "replicated mode: -repl-sync acks per commit (0 = all replicas, <0 = async)")
+		staleMax = flag.Duration("staleness-max", 0, "replicated mode: convergence budget after the run (0 = harness default)")
 	)
 	flag.Parse()
-	if *serverBin == "" || *store == "" {
-		fmt.Fprintln(os.Stderr, "rschaos: -server and -store are required")
+	if *serverBin == "" {
+		fmt.Fprintln(os.Stderr, "rschaos: -server is required")
 		flag.Usage()
 		os.Exit(1)
 	}
@@ -57,6 +75,39 @@ func main() {
 	}
 	if *quiet {
 		logf = nil
+	}
+
+	if *replicas > 0 {
+		if *dir == "" {
+			fmt.Fprintln(os.Stderr, "rschaos: -dir is required with -replicas")
+			flag.Usage()
+			os.Exit(1)
+		}
+		runRepl(chaos.ReplConfig{
+			ServerBin:      *serverBin,
+			Dir:            *dir,
+			Replicas:       *replicas,
+			Cycles:         *cycles,
+			Period:         *period,
+			Workers:        *workers,
+			Pipeline:       *pipeline,
+			Seed:           *seed,
+			Latency:        *latency,
+			Jitter:         *jitter,
+			SyncReplicas:   *sync,
+			RequestTimeout: *reqT,
+			ReadyTimeout:   *readyT,
+			DrainTimeout:   *drainT,
+			LoadGrace:      *graceT,
+			StalenessMax:   *staleMax,
+			Logf:           logf,
+		}, *jsonOut)
+		return
+	}
+	if *store == "" {
+		fmt.Fprintln(os.Stderr, "rschaos: -store is required")
+		flag.Usage()
+		os.Exit(1)
 	}
 
 	rep, err := chaos.Run(chaos.Config{
@@ -72,6 +123,9 @@ func main() {
 		RequestTimeout: *reqT,
 		TraceSample:    *traceS,
 		SlowLog:        *slowlog,
+		ReadyTimeout:   *readyT,
+		DrainTimeout:   *drainT,
+		LoadGrace:      *graceT,
 		Logf:           logf,
 	})
 	if err != nil {
@@ -79,18 +133,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	raw, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "rschaos: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Println(string(raw))
-	if *jsonOut != "" {
-		if err := os.WriteFile(*jsonOut, append(raw, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "rschaos: write %s: %v\n", *jsonOut, err)
-			os.Exit(1)
-		}
-	}
+	emitReport(rep, *jsonOut)
 
 	if rep.Failed() {
 		fmt.Fprintf(os.Stderr, "rschaos: FAILED: drain_exit=%d leaked=%d proto=%d consistency=%d transport=%d first=%s\n",
@@ -100,4 +143,45 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "rschaos: ok: %d kills survived, %d ops (%d reconnects, %d resent, %d unknown), %d points intact, 0 leaks\n",
 		rep.Kills, rep.Load.Ops, rep.Load.Reconnects, rep.Load.Resent, rep.Load.UnknownWrites, rep.PostPoints)
+}
+
+// emitReport prints the report JSON to stdout and optionally to a file.
+func emitReport(rep interface{}, jsonOut string) {
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rschaos: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(raw))
+	if jsonOut != "" {
+		if err := os.WriteFile(jsonOut, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "rschaos: write %s: %v\n", jsonOut, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runRepl drives the replicated fleet harness and exits with the run's
+// verdict.
+func runRepl(cfg chaos.ReplConfig, jsonOut string) {
+	rep, err := chaos.RunRepl(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rschaos: %v\n", err)
+		os.Exit(1)
+	}
+
+	emitReport(rep, jsonOut)
+
+	if rep.Failed() {
+		first := ""
+		if rep.Load != nil {
+			first = rep.Load.FirstError
+		}
+		fmt.Fprintf(os.Stderr, "rschaos: FAILED: failures=%v first=%s\n", rep.Failures, first)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "rschaos: ok: %d promotions (term %d), %d replica kills, %d link faults, %d ops (%d replica reads, %d stale fallbacks, %d failovers), converged in %.2fs, %d points on every node\n",
+		rep.Promotions, rep.FinalTerm, rep.ReplicaKills, rep.LinkFaults,
+		rep.Load.Ops, rep.Load.ReplicaReads, rep.Load.StaleFallbacks, rep.Load.Failovers,
+		rep.ConvergeS, rep.PostPoints)
 }

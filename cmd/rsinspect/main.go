@@ -12,6 +12,7 @@
 //	rsinspect verify -store points.db [-json]
 //	rsinspect recover -store points.db -anchor 1
 //	rsinspect scrub -store points.db -kind epst -hdr 12 [-anchor 1] [-dry] [-json]
+//	rsinspect wal -store points.db [-anchor 1] [-json]
 //	rsinspect trace -f trace.jsonl
 //
 // The verify subcommand checks the file itself without attaching to any
@@ -29,6 +30,13 @@
 // between page allocation and commit strands. With -anchor it runs WAL
 // recovery first (scrubbing before recovery would reclaim pages a replay
 // is about to use); -dry only reports.
+//
+// The wal subcommand decodes the transactional layer offline: both
+// anchors, the redo record occupying the WAL region, and the record's
+// commit state (applied / committed-unapplied / torn / empty). Without
+// -anchor the directory id — plus the node's replication role and term —
+// comes from the <store>.manifest.json rsserve maintains. Exit codes
+// mirror verify: 0 healthy, 2 torn, 1 usage or I/O error.
 //
 // The trace subcommand replays a JSONL I/O trace written by an
 // obs.JSONLSink and summarizes it: per-operation counts and latency
@@ -73,6 +81,9 @@ func main() {
 			return
 		case "scrub":
 			scrubMain(os.Args[2:])
+			return
+		case "wal":
+			walMain(os.Args[2:])
 			return
 		case "trace":
 			traceMain(os.Args[2:])

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rangesearch/internal/eio"
+)
+
+// walMain implements `rsinspect wal -store FILE [-anchor ID] [-json]`: an
+// offline, read-only decode of a store's transactional layer — anchors,
+// the current WAL record and its commit state — via eio.InspectTxLayer.
+// Without -anchor the directory id is taken from the serving manifest
+// (<store>.manifest.json) rsserve writes next to the store, which also
+// contributes the node's replication role and term to the report. The
+// exit code distinguishes damage from inability to check: 0 when the WAL
+// region is healthy ("applied", "committed-unapplied" or "empty"), 2 on
+// a torn or future record, 1 on usage or I/O errors.
+func walMain(args []string) {
+	fs := flag.NewFlagSet("wal", flag.ContinueOnError)
+	storePath := fs.String("store", "", "path to a file store with a transactional layer")
+	anchor := fs.Uint64("anchor", 0, "transaction directory id (0 = read it from the manifest)")
+	asJSON := fs.Bool("json", false, "emit the machine-readable report")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: rsinspect wal -store points.db [-anchor 1] [-json]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil || *storePath == "" {
+		if err == nil {
+			fs.Usage()
+		}
+		os.Exit(1)
+	}
+
+	// The manifest is optional context: -anchor alone suffices, and a
+	// replica's store is inspectable while its manifest names a term.
+	var mf struct {
+		Anchor uint64 `json:"anchor"`
+		Term   uint64 `json:"term"`
+		Role   string `json:"role"`
+	}
+	haveManifest := false
+	if raw, err := os.ReadFile(*storePath + ".manifest.json"); err == nil {
+		if err := json.Unmarshal(raw, &mf); err == nil {
+			haveManifest = true
+		}
+	}
+	dir := *anchor
+	if dir == 0 {
+		if !haveManifest || mf.Anchor == 0 {
+			fatal(fmt.Errorf("no -anchor given and no usable manifest at %s.manifest.json", *storePath))
+		}
+		dir = mf.Anchor
+	}
+
+	store, err := eio.OpenFileStore(*storePath)
+	if err != nil {
+		fatal(err)
+	}
+	defer store.Close()
+	info, err := eio.InspectTxLayer(store, eio.PageID(dir))
+	if err != nil {
+		fatal(err)
+	}
+
+	healthy := info.Record.State == "applied" ||
+		info.Record.State == "committed-unapplied" ||
+		info.Record.State == "empty"
+
+	if *asJSON {
+		out := struct {
+			eio.TxLayerInfo
+			Term    uint64 `json:"term,omitempty"`
+			Role    string `json:"role,omitempty"`
+			Healthy bool   `json:"healthy"`
+		}{info, mf.Term, mf.Role, healthy}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("tx layer: dir p%d  wal pages %d (capacity %d images)  applied lsn %d\n",
+			info.Dir, len(info.WALPages), info.Capacity, info.Applied)
+		if haveManifest && (mf.Role != "" || mf.Term != 0) {
+			fmt.Printf("manifest: role %s  term %d\n", mf.Role, mf.Term)
+		}
+		for i, a := range info.Anchors {
+			if a.Valid {
+				fmt.Printf("anchor %d: p%-8d seq %d  lsn %d\n", i, a.Page, a.Seq, a.LSN)
+			} else {
+				fmt.Printf("anchor %d: p%-8d INVALID (torn or never written)\n", i, a.Page)
+			}
+		}
+		r := info.Record
+		fmt.Printf("record: state %s  lsn %d  %d page images  %d bytes", r.State, r.LSN, r.Pages, r.Bytes)
+		if r.TornPages > 0 {
+			fmt.Printf("  TORN PAGES %d", r.TornPages)
+		}
+		fmt.Println()
+		if len(r.PageIDs) > 0 {
+			fmt.Printf("  targets:")
+			for _, id := range r.PageIDs {
+				fmt.Printf(" p%d", id)
+			}
+			fmt.Println()
+		}
+	}
+	if !healthy {
+		if !*asJSON {
+			fmt.Println("verdict: DAMAGED")
+		}
+		os.Exit(2)
+	}
+	if !*asJSON {
+		fmt.Println("verdict: OK")
+	}
+}

@@ -14,6 +14,9 @@
 //
 //	rsload -addr 127.0.0.1:9035 -workers 8 -duration 10s -verify
 //	rsload -addr 127.0.0.1:9035 -read-frac 0.9 -pipeline 16 -json load.json
+//	rsload -addr 127.0.0.1:9035 -resilient -verify \
+//	    -read-addrs 127.0.0.1:9036,127.0.0.1:9037 \
+//	    -failover-addrs 127.0.0.1:9036,127.0.0.1:9037
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"rangesearch/internal/server"
@@ -48,24 +52,46 @@ func main() {
 		attempts  = flag.Int("retry-attempts", 0, "resilient: max tries per op and per reconnect (0 = default 10)")
 		baseDelay = flag.Duration("retry-base", 0, "resilient: first backoff delay (0 = default 10ms)")
 		maxDelay  = flag.Duration("retry-max", 0, "resilient: backoff cap (0 = default 1s)")
+
+		readAddrs     = flag.String("read-addrs", "", "resilient: comma-separated replica addresses for barrier-stamped read fan-out")
+		failoverAddrs = flag.String("failover-addrs", "", "resilient: comma-separated additional primary candidates for write failover")
 	)
 	flag.Parse()
 
+	splitAddrs := func(s string) []string {
+		if s == "" {
+			return nil
+		}
+		var out []string
+		for _, a := range strings.Split(s, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	if (*readAddrs != "" || *failoverAddrs != "") && !*resilient {
+		fmt.Fprintln(os.Stderr, "rsload: -read-addrs and -failover-addrs require -resilient")
+		os.Exit(1)
+	}
+
 	rep, err := server.RunLoad(server.LoadConfig{
-		Addr:        *addr,
-		Workers:     *workers,
-		Duration:    *duration,
-		Pipeline:    *pipeline,
-		ReadFrac:    *readFrac,
-		DeleteFrac:  *deleteFrac,
-		FourFrac:    *fourFrac,
-		Domain:      *domain,
-		BatchEvery:  *batchEvery,
-		BatchSize:   *batchSize,
-		Seed:        *seed,
-		Verify:      *verify,
-		TraceSample: *traceSample,
-		Resilient:   *resilient,
+		Addr:          *addr,
+		Workers:       *workers,
+		Duration:      *duration,
+		Pipeline:      *pipeline,
+		ReadFrac:      *readFrac,
+		DeleteFrac:    *deleteFrac,
+		FourFrac:      *fourFrac,
+		Domain:        *domain,
+		BatchEvery:    *batchEvery,
+		BatchSize:     *batchSize,
+		Seed:          *seed,
+		Verify:        *verify,
+		TraceSample:   *traceSample,
+		Resilient:     *resilient,
+		ReadAddrs:     splitAddrs(*readAddrs),
+		FailoverAddrs: splitAddrs(*failoverAddrs),
 		Retry: server.RetryPolicy{
 			MaxAttempts: *attempts,
 			BaseDelay:   *baseDelay,
@@ -100,6 +126,10 @@ func main() {
 	if *resilient {
 		fmt.Fprintf(os.Stderr, "rsload: resilience: reconnects=%d resent=%d busy_retries=%d timeout_retries=%d unknown_writes=%d\n",
 			rep.Reconnects, rep.Resent, rep.BusyRetries, rep.TimeoutRetries, rep.UnknownWrites)
+		if *readAddrs != "" || *failoverAddrs != "" {
+			fmt.Fprintf(os.Stderr, "rsload: fleet: replica_reads=%d stale_fallbacks=%d replica_fallbacks=%d failovers=%d\n",
+				rep.ReplicaReads, rep.StaleFallbacks, rep.ReplicaFallbacks, rep.Failovers)
+		}
 	}
 	if st := rep.ServerStats; st != nil {
 		fmt.Fprintf(os.Stderr, "rsload: server: uptime=%.1fs epoch=%d len=%d in_flight=%d idem_clients=%d\n",

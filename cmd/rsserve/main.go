@@ -61,6 +61,7 @@ import (
 	"rangesearch/internal/eio"
 	"rangesearch/internal/epst"
 	"rangesearch/internal/obs"
+	"rangesearch/internal/repl"
 	"rangesearch/internal/server"
 )
 
@@ -73,6 +74,15 @@ type manifest struct {
 	WALPages int        `json:"wal_pages,omitempty"`
 	Hdr      eio.PageID `json:"hdr"`
 	Anchor   eio.PageID `json:"anchor,omitempty"`
+	// Term is the replication fencing term: the monotonic counter that
+	// orders primary lineages. It is persisted BEFORE the store accepts
+	// any write under it, so a resurrected process knows which lineage
+	// its data belongs to.
+	Term uint64 `json:"term,omitempty"`
+	// Role is what the store last ran as: "" or "primary", "replica", or
+	// "fenced" (an ex-primary that learned of a newer term and must not
+	// accept writes until re-replicated or explicitly forced).
+	Role string `json:"role,omitempty"`
 }
 
 func manifestPath(storePath string) string { return storePath + ".manifest.json" }
@@ -90,6 +100,11 @@ func (m *manifest) validate(path string) error {
 		return fmt.Errorf("manifest %s: durable store without an anchor — cannot run WAL recovery", path)
 	case m.WALPages < 0:
 		return fmt.Errorf("manifest %s: negative wal_pages %d", path, m.WALPages)
+	}
+	switch m.Role {
+	case "", "primary", "replica", "fenced":
+	default:
+		return fmt.Errorf("manifest %s: unknown role %q", path, m.Role)
 	}
 	return nil
 }
@@ -337,6 +352,13 @@ func main() {
 		slowLog     = flag.Duration("slowlog", 0, "log requests slower than this with their full span (0 = off; arming it traces every request)")
 		spansPath   = flag.String("spans", "", "spool sampled spans to this JSONL file")
 		spanRing    = flag.Int("span-ring", 256, "sampled spans retained for the /spans endpoint")
+
+		replListen    = flag.String("repl-listen", "", "serve the replication protocol (log shipping, PROMOTE RPC) on this address")
+		replicateFrom = flag.String("replicate-from", "", "run as a read replica of the primary at this replication address")
+		replSync      = flag.Int("repl-sync", 0, "semi-sync: each write's OK waits until this many replicas are durable (0 = async)")
+		replSyncT     = flag.Duration("repl-sync-timeout", 5*time.Second, "semi-sync gate deadline; writes missing it answer TIMEOUT")
+		replBootT     = flag.Duration("repl-boot-timeout", 2*time.Minute, "replicas: give up on the initial sync after this long")
+		forcePrimary  = flag.Bool("force-primary", false, "start a store last run as replica/fenced as a primary, bumping its term (manual failover of last resort)")
 	)
 	flag.Parse()
 
@@ -344,19 +366,84 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rsserve: exactly one of -store or -mem is required")
 		os.Exit(2)
 	}
+	replicated := *replListen != "" || *replicateFrom != ""
+	if replicated && (*mem || !*durable || *store == "") {
+		fmt.Fprintln(os.Stderr, "rsserve: replication requires a durable file store (-store, -durable)")
+		os.Exit(2)
+	}
+	logf := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "rsserve: "+format+"\n", args...)
+	}
+
+	if *forcePrimary && *store != "" {
+		if m, err := readManifest(*store); err == nil && (m.Role == "replica" || m.Role == "fenced") {
+			m.Term++
+			m.Role = "primary"
+			if err := writeManifest(*store, m); err != nil {
+				fmt.Fprintf(os.Stderr, "rsserve: -force-primary: %v\n", err)
+				os.Exit(1)
+			}
+			logf("-force-primary: store takes over as primary at term %d", m.Term)
+		}
+	}
 
 	var (
-		st  *stack
-		err error
+		st      *stack
+		rn      *replicaNode
+		node    *repl.Node
+		shipper *repl.Shipper
+		err     error
 	)
-	if *mem {
+	switch {
+	case *replicateFrom != "":
+		rn, err = startReplica(*store, *replicateFrom, *scrubBoot, *replSync, *replSyncT, *replBootT, logf)
+		if err == nil {
+			node = rn.node
+		}
+	case *mem:
 		st, err = buildMem(*page)
-	} else {
+	default:
 		st, err = buildFile(*store, *page, *durable, *wal, *poolCap, *shards, *scrubBoot)
+		if err == nil && st.m.Role == "replica" {
+			_, _ = st.drainClean()
+			err = fmt.Errorf("store %s last ran as a replica; start it with -replicate-from, or -force-primary to take over", *store)
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rsserve: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *replListen != "" {
+		if rn != nil {
+			// A replica's repl port exists for the PROMOTE RPC now and
+			// for shipping to its own replicas after promotion.
+			mSnap := rn.manifestSnapshot()
+			rn.shipper = repl.NewShipper(repl.ShipperConfig{
+				Term:       mSnap.Term,
+				Primary:    false,
+				PageSize:   mSnap.PageSize,
+				Dir:        uint64(mSnap.Anchor),
+				Hdr:        uint64(mSnap.Hdr),
+				DurableLSN: rn.node.AppliedLSN,
+				Logf:       logf,
+			})
+			rn.shipper.SetOnPromote(rn.promote)
+			replLn, lerr := net.Listen("tcp", *replListen)
+			if lerr != nil {
+				fmt.Fprintf(os.Stderr, "rsserve: repl listen: %v\n", lerr)
+				os.Exit(1)
+			}
+			shipper = rn.shipper
+			go shipper.Serve(replLn)
+			logf("replication port on %s (replica of %s, term %d)", replLn.Addr(), *replicateFrom, mSnap.Term)
+		} else {
+			node, shipper, err = startPrimaryRepl(st, *store, *replListen, *replSync, *replSyncT, logf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rsserve: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	metrics := &server.Metrics{}
@@ -389,7 +476,42 @@ func main() {
 		fmt.Printf("rsserve: metrics on http://%s/debug/vars (Prometheus: /metrics, spans: /spans)\n", ms.Addr())
 	}
 
-	srv := server.New(st.conc, server.Config{
+	// The server fronts a Backend: the bare engine on a standalone node,
+	// the role-aware repl.Node when replication is on (so a follower's
+	// writes answer NOTPRIMARY and a promotion swaps the engine without
+	// restarting the server).
+	var backend server.Backend
+	var replInfoFn func() server.ReplInfo
+	var termFn func() uint64
+	switch {
+	case rn != nil:
+		backend = node
+		replInfoFn = rn.replInfo
+	case node != nil:
+		backend = node
+		n, sh, tx := node, shipper, st.tx
+		replInfoFn = func() server.ReplInfo {
+			role, term := n.Role()
+			info := server.ReplInfo{Role: role, Term: term, AppliedLSN: tx.AppliedLSN()}
+			if sh != nil {
+				info.Replicas = len(sh.Replicas())
+			}
+			return info
+		}
+	default:
+		backend = st.conc
+	}
+	if node != nil {
+		// (term, LSN) barrier checks and write-ack stamping read the term
+		// through the node so it stays coherent with the engine swap.
+		n := node
+		termFn = func() uint64 {
+			_, term := n.Role()
+			return term
+		}
+	}
+
+	srv := server.New(backend, server.Config{
 		MaxInFlight:    *maxInFlight,
 		MaxBatchOps:    *maxBatch,
 		IdleTimeout:    *idleT,
@@ -397,6 +519,8 @@ func main() {
 		RequestTimeout: *reqT,
 		RetryAfterHint: *retryAfter,
 		Idem:           server.IdemConfig{MaxClients: *idemClients, Window: *idemWindow},
+		Repl:           replInfoFn,
+		Term:           termFn,
 		Metrics:        metrics,
 		TraceSample:    *traceSample,
 		SlowLog:        *slowLog,
@@ -411,20 +535,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rsserve: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("rsserve: listening on %s  hdr=%d anchor=%d durable=%v\n",
-		ln.Addr(), st.m.Hdr, st.m.Anchor, st.m.Durable)
+	if rn != nil {
+		mSnap := rn.manifestSnapshot()
+		fmt.Printf("rsserve: listening on %s  hdr=%d anchor=%d durable=%v (replica of %s)\n",
+			ln.Addr(), mSnap.Hdr, mSnap.Anchor, mSnap.Durable, *replicateFrom)
+	} else {
+		fmt.Printf("rsserve: listening on %s  hdr=%d anchor=%d durable=%v\n",
+			ln.Addr(), st.m.Hdr, st.m.Anchor, st.m.Durable)
+	}
 
 	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT, syscall.SIGUSR1)
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- srv.Serve(ln) }()
 
-	select {
-	case sig := <-sigc:
-		fmt.Printf("rsserve: %v: draining\n", sig)
-	case err := <-serveDone:
-		fmt.Fprintf(os.Stderr, "rsserve: serve: %v\n", err)
-		os.Exit(1)
+wait:
+	for {
+		select {
+		case sig := <-sigc:
+			if sig == syscall.SIGUSR1 {
+				// Promotion signal: meaningful on a replica, a logged no-op
+				// elsewhere. Runs off the signal loop so a slow promotion
+				// does not mask a later SIGTERM.
+				if rn != nil {
+					go func() {
+						if term, lsn, perr := rn.promote(); perr != nil {
+							logf("SIGUSR1 promote: %v", perr)
+						} else {
+							logf("SIGUSR1 promote: primary at term %d lsn %d", term, lsn)
+						}
+					}()
+				} else {
+					logf("SIGUSR1: not a replica; ignoring")
+				}
+				continue
+			}
+			fmt.Printf("rsserve: %v: draining\n", sig)
+			break wait
+		case err := <-serveDone:
+			fmt.Fprintf(os.Stderr, "rsserve: serve: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -434,7 +585,15 @@ func main() {
 	}
 	<-serveDone
 
-	leaked, err := st.drainClean()
+	var leaked int
+	if rn != nil {
+		leaked, err = rn.drain()
+	} else {
+		if shipper != nil {
+			shipper.Close()
+		}
+		leaked, err = st.drainClean()
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rsserve: drain: %v\n", err)
 		os.Exit(1)

@@ -11,6 +11,20 @@ import (
 	"sync"
 )
 
+var (
+	// ErrNotPrimary reports a mutation submitted to a node that is not the
+	// replication primary: a read-only replica, or a fenced former primary
+	// that has observed a higher term. The write was not applied and must be
+	// redirected, not retried here.
+	ErrNotPrimary = errors.New("core: not primary")
+	// ErrReplicationStall reports a group commit that is durable locally but
+	// was not acknowledged by the required number of replicas in time. The
+	// outcome is UNKNOWN to the client (the write exists on the primary and
+	// ships when a replica reconnects), so servers surface it as a timeout,
+	// never as a clean failure.
+	ErrReplicationStall = errors.New("core: replication stall")
+)
+
 // ContentionRecorder receives the serving-layer contention signals emitted
 // by Concurrent: how long writers waited to join a group commit and how
 // large the committed batches were. obs.Contention implements it; the
@@ -86,6 +100,12 @@ type Concurrent struct {
 	maxBatch int
 	rec      ContentionRecorder
 
+	// gate, when set, runs after every committed group (locally durable,
+	// epoch published) and before the batch's waiters release — the
+	// synchronous-replication ack point. An error fails the batch's waiters
+	// without undoing the local commit; it should wrap ErrReplicationStall.
+	gate func() error
+
 	qmu   sync.Mutex
 	queue []*pendingOp
 
@@ -153,6 +173,39 @@ func NewConcurrent(writer Index, snap *eio.SnapStore, open OpenFunc, opts Concur
 
 // Epoch returns the current committed epoch (the stamp new snapshots get).
 func (c *Concurrent) Epoch() uint64 { return c.snap.Epoch() }
+
+// AppliedLSN returns the durable log position of the writer's TxStore — the
+// coordinate replication staleness is measured in. Monotonic, persistent
+// across restarts, and always ≥ the LSN of any already-acknowledged write.
+// Zero when the writer is not durable (no WAL, nothing to ship).
+func (c *Concurrent) AppliedLSN() uint64 {
+	if c.durable == nil {
+		return 0
+	}
+	return c.durable.Tx().AppliedLSN()
+}
+
+// SetCommitGate installs the post-commit gate described on the field (nil
+// removes it). Install during assembly, before the first write is
+// submitted; the setter serializes with group commits but batches already
+// past their gate are unaffected.
+func (c *Concurrent) SetCommitGate(fn func() error) {
+	c.wmu.Lock()
+	c.gate = fn
+	c.wmu.Unlock()
+}
+
+// Barrier acquires commit leadership, runs fn while no group commit can be
+// in flight, and releases. While fn runs the writer's store is quiescent —
+// the TxStore has no open transaction and its anchors exactly describe the
+// on-disk state — which is what a replication bootstrap needs to cut a
+// consistent full-store snapshot. Writers queue behind fn (and may shed
+// BUSY under admission control); readers are unaffected.
+func (c *Concurrent) Barrier(fn func() error) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return fn()
+}
 
 // PageSize returns the page size of the backing store — the B of the
 // paper's O(log_B N + t/B) bounds, which the serving layer needs to
@@ -429,6 +482,15 @@ func (c *Concurrent) runBatch(batch []*pendingOp) {
 	if applyErr != nil {
 		c.fail(batch, applyErr)
 		return
+	}
+	if c.gate != nil {
+		if gerr := c.gate(); gerr != nil {
+			// The batch IS committed locally; only the acknowledgement
+			// contract failed. Waiters get the stall error and the server
+			// layer reports the outcome as unknown.
+			c.fail(batch, gerr)
+			return
+		}
 	}
 	if c.rec != nil {
 		c.rec.RecordBatch(len(batch), time.Since(start))

@@ -95,6 +95,13 @@ var (
 	// ErrTxOverflow reports a transaction writing more distinct pages than
 	// its TxStore's WAL region can hold in one redo record.
 	ErrTxOverflow = errors.New("eio: transaction exceeds WAL capacity")
+	// ErrNoSpace reports a write or allocation refused because the backing
+	// device is full. Unlike ErrTransient it does not clear by retrying the
+	// same operation immediately, but the store itself is undamaged: reads
+	// keep working and writes succeed again once space is reclaimed. Layers
+	// above map it to flow control (the serving stack's DISKFULL status)
+	// rather than treating it as corruption.
+	ErrNoSpace = errors.New("eio: no space left on device")
 )
 
 // Store is a simulated block device. Pages are fixed-size; Read and Write

@@ -89,6 +89,7 @@ type FaultStore struct {
 	runLeft   map[Op]int
 	tornWrite bool
 	transient bool
+	full      bool
 
 	trace     []TraceEntry // ring buffer
 	traceCap  int
@@ -186,6 +187,31 @@ func (f *FaultStore) SetTransient(on bool) {
 	f.transient = on
 }
 
+// SetFull toggles ENOSPC mode: while on, every Write and Alloc fails with
+// an error wrapping ErrNoSpace (and ErrInjected), while Read and Free keep
+// succeeding — exactly the failure surface of a full disk. The mode is
+// independent of the one-shot/probabilistic schedules and stays armed until
+// turned off, modelling space that only comes back when something reclaims
+// it.
+func (f *FaultStore) SetFull(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.full = on
+}
+
+// tripFull counts and traces an operation refused by ENOSPC mode. It
+// returns nil when the mode is off.
+func (f *FaultStore) tripFull(op Op, page PageID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.full {
+		return nil
+	}
+	f.nops++
+	f.record(TraceEntry{N: f.nops, Op: op, Page: page, Injected: true})
+	return fmt.Errorf("eio: %s fault at op %d: %w (%w)", op, f.nops, ErrNoSpace, ErrInjected)
+}
+
 // Seed reseeds the RNG behind FailProb and torn-write lengths.
 func (f *FaultStore) Seed(seed int64) {
 	f.mu.Lock()
@@ -210,6 +236,7 @@ func (f *FaultStore) Disarm() {
 	clear(f.prob)
 	clear(f.runLeft)
 	f.failNth = 0
+	f.full = false
 }
 
 // Ops returns the number of operations this store has seen.
@@ -317,6 +344,9 @@ func (f *FaultStore) PageSize() int { return f.inner.PageSize() }
 
 // Alloc implements Store.
 func (f *FaultStore) Alloc() (PageID, error) {
+	if err := f.tripFull(OpAlloc, NilPage); err != nil {
+		return NilPage, err
+	}
 	if err := f.trip(OpAlloc, NilPage); err != nil {
 		return NilPage, err
 	}
@@ -340,8 +370,13 @@ func (f *FaultStore) Read(id PageID, buf []byte) error {
 }
 
 // Write implements Store. With torn-write mode on, an injected fault
-// leaves a partial prefix of buf on the inner store before failing.
+// leaves a partial prefix of buf on the inner store before failing. In
+// ENOSPC mode the write is refused whole — a full disk rejects the write,
+// it does not tear it.
 func (f *FaultStore) Write(id PageID, buf []byte) error {
+	if err := f.tripFull(OpWrite, id); err != nil {
+		return err
+	}
 	if err := f.trip(OpWrite, id); err != nil {
 		f.mu.Lock()
 		torn := f.tornWrite

@@ -453,6 +453,46 @@ func (fs *FileStore) LivePageIDs() ([]PageID, error) {
 	return ids, nil
 }
 
+// EnsurePage materializes page id so a subsequent Write(id) succeeds,
+// extending the file with zeroed data pages as needed. It exists for
+// replication: a replica must place page images at the exact ids the
+// primary chose, not at ids its own allocator would hand out. Gap pages
+// created by the extension (ids the primary allocated and freed before
+// this replica ever saw them) are left as zeroed DATA pages — they leak
+// rather than joining the free list, because a freed page that later
+// arrives in a shipped record would have to be unlinked from the middle
+// of the free chain. Scrub reclaims them if the replica is ever promoted.
+// Calling EnsurePage on a freed page is an error for the same reason.
+func (fs *FileStore) EnsurePage(id PageID) error {
+	if id == NilPage {
+		return fmt.Errorf("eio: ensure page: %w", ErrBadPage)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return fmt.Errorf("eio: access to closed store")
+	}
+	if uint64(id) < fs.npages {
+		buf := make([]byte, fs.pageSize)
+		flags, err := fs.readPage(id, buf)
+		if err != nil {
+			return nil // torn page: a follow-up Write rewrites it whole
+		}
+		if flags == pageFlagFree {
+			return fmt.Errorf("eio: ensure page %d: page is on the free list: %w", id, ErrBadPage)
+		}
+		return nil
+	}
+	zero := make([]byte, fs.pageSize)
+	for next := PageID(fs.npages); next <= id; next++ {
+		if err := fs.writePage(next, zero, pageFlagData); err != nil {
+			return fmt.Errorf("eio: ensure page %d: %w", next, err)
+		}
+		fs.npages++
+	}
+	return nil
+}
+
 // Version reports the on-disk format version (1 or 2).
 func (fs *FileStore) Version() int { return fs.ver }
 

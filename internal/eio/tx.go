@@ -157,6 +157,15 @@ type TxStore struct {
 	frees     map[PageID]struct{}
 	freeOrder []PageID
 
+	// hook, when set, is invoked synchronously during Commit immediately
+	// after the commit point (step 3) with the record's LSN and its encoded
+	// bytes. This is the log-shipping tap: at that instant the record is
+	// durable on the primary but the WAL region will be overwritten by the
+	// NEXT commit, so a replication shipper must copy it out here or lose
+	// it. The hook runs under the store lock — it must not call back into
+	// the store and must not block.
+	hook func(lsn uint64, record []byte)
+
 	// Cumulative commit-phase timing, atomic so Timings can be read from
 	// outside the store lock (a group-commit leader snapshots the deltas
 	// around one Batch to attribute WAL and sync time to request spans).
@@ -270,6 +279,36 @@ func OpenTxStore(inner Store, dir PageID) (*TxStore, error) {
 // Anchor returns the directory record id to pass to OpenTxStore, or
 // NilPage for a disabled (pass-through) TxStore.
 func (t *TxStore) Anchor() PageID { return t.dir }
+
+// AppliedLSN returns the log sequence number of the last committed
+// transaction — the position a log-shipping stream is at. It is 0 for a
+// fresh or disabled store and increases by exactly one per non-empty
+// commit.
+func (t *TxStore) AppliedLSN() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.applied
+}
+
+// SetCommitHook installs (or, with nil, removes) the commit tap described
+// on the hook field: fn runs inside every Commit right after the commit
+// point with the durable record's LSN and encoded bytes. fn must copy the
+// bytes if it retains them, must not block, and must not call back into
+// the store. One hook at a time; installing replaces the previous one.
+func (t *TxStore) SetCommitHook(fn func(lsn uint64, record []byte)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hook = fn
+}
+
+// WALCapacity returns the maximum number of distinct page images one
+// commit record can carry (0 for a disabled store).
+func (t *TxStore) WALCapacity() int {
+	if t.disabled {
+		return 0
+	}
+	return maxTxImages(t.ps, len(t.walIDs))
+}
 
 // Recovery reports what OpenTxStore did; zero for a freshly created store.
 func (t *TxStore) Recovery() RecoveryInfo { return t.recovery }
@@ -406,6 +445,30 @@ func decodeWALRecord(buf []byte, pageSize int) (lsn uint64, writes []walWrite, e
 		off += 8 + pageSize
 	}
 	return lsn, writes, nil
+}
+
+// WALPageImage is one page image inside a decoded redo record, as exposed
+// by DecodeWALRecord to consumers outside the transactional layer
+// (replication appliers, offline inspectors).
+type WALPageImage struct {
+	ID    PageID
+	Image []byte
+}
+
+// DecodeWALRecord parses the raw bytes of a TxStore redo record — the unit
+// a commit hook ships — and returns its LSN and page images in first-write
+// order. Torn, bit-flipped or truncated input returns an error (wrapping
+// ErrBadRecord or ErrChecksum), never a partially trusted record.
+func DecodeWALRecord(buf []byte, pageSize int) (lsn uint64, pages []WALPageImage, err error) {
+	lsn, writes, err := decodeWALRecord(buf, pageSize)
+	if err != nil {
+		return 0, nil, err
+	}
+	pages = make([]WALPageImage, len(writes))
+	for i, w := range writes {
+		pages[i] = WALPageImage{ID: w.id, Image: w.image}
+	}
+	return lsn, pages, nil
 }
 
 // --- recovery ----------------------------------------------------------
@@ -588,6 +651,7 @@ func (t *TxStore) Commit() error {
 		return fmt.Errorf("eio: tx: %d page images exceed WAL capacity %d: %w",
 			len(images), maxTxImages(t.ps, len(t.walIDs)), ErrTxOverflow)
 	}
+	full := rec // the append loop below consumes rec; the commit hook needs it whole
 	page := make([]byte, t.ps)
 	walStart := time.Now()
 	for i := 0; len(rec) > 0; i++ {
@@ -607,6 +671,9 @@ func (t *TxStore) Commit() error {
 		return fmt.Errorf("eio: tx: commit sync: %w", err)
 	}
 	t.committed = true
+	if t.hook != nil {
+		t.hook(lsn, full)
+	}
 
 	// 4. Apply in place, in first-write order. A crash anywhere in here
 	// is resolved by replay.

@@ -1,0 +1,420 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rangesearch/internal/eio"
+)
+
+const testPS = 256
+
+// testPrimary is a minimal primary: a transactional file store plus a
+// shipper fed by its commit hook.
+type testPrimary struct {
+	fs *eio.FileStore
+	tx *eio.TxStore
+	sh *Shipper
+	ln net.Listener
+}
+
+func newTestPrimary(t *testing.T, term uint64) *testPrimary {
+	t.Helper()
+	fs, err := eio.CreateFileStore(filepath.Join(t.TempDir(), "primary.pages"), testPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := eio.NewTxStore(fs, eio.TxOptions{WALPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &testPrimary{fs: fs, tx: tx}
+	p.sh = NewShipper(ShipperConfig{
+		Term:       term,
+		Primary:    true,
+		PageSize:   testPS,
+		Dir:        uint64(tx.Anchor()),
+		DurableLSN: tx.AppliedLSN,
+		CutSnapshot: func() (*Snapshot, error) {
+			ids, err := fs.LivePageIDs()
+			if err != nil {
+				return nil, err
+			}
+			snap := &Snapshot{LSN: tx.AppliedLSN()}
+			for _, id := range ids {
+				img := make([]byte, testPS)
+				if err := fs.Read(id, img); err != nil {
+					return nil, err
+				}
+				snap.Pages = append(snap.Pages, SnapPage{ID: uint64(id), Image: img})
+			}
+			return snap, nil
+		},
+		Logf: t.Logf,
+	})
+	tx.SetCommitHook(p.sh.Commit)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ln = ln
+	go p.sh.Serve(ln)
+	t.Cleanup(func() {
+		p.sh.Close()
+		tx.Close()
+	})
+	return p
+}
+
+func (p *testPrimary) addr() string { return p.ln.Addr().String() }
+
+// commit allocates one page, stamps it with seq, and commits — one WAL
+// record, one LSN.
+func (p *testPrimary) commit(t *testing.T, seq byte) eio.PageID {
+	t.Helper()
+	var id eio.PageID
+	err := p.tx.Update(func() error {
+		var err error
+		id, err = p.tx.Alloc()
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, testPS)
+		for i := range buf {
+			buf[i] = seq
+		}
+		return p.tx.Write(id, buf)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// testReplica is a minimal replica: a file store bootstrapped or resumed
+// from a primary, with a TxReplica applier.
+type testReplica struct {
+	t    *testing.T
+	path string
+	fs   *eio.FileStore
+	txr  *eio.TxReplica
+	term uint64
+}
+
+func newTestReplica(t *testing.T) *testReplica {
+	return &testReplica{t: t, path: filepath.Join(t.TempDir(), "replica.pages")}
+}
+
+func (r *testReplica) hello() Hello {
+	h := Hello{Term: r.term}
+	if r.txr != nil {
+		h.LSN = r.txr.AppliedLSN()
+		h.PageSize = testPS
+		h.Dir = uint64(r.txr.Dir())
+	}
+	return h
+}
+
+// connect dials the primary and brings the local store in sync
+// (bootstrapping from a snapshot when the primary says so), returning
+// the streaming session.
+func (r *testReplica) connect(addr string) (*Session, error) {
+	sess, err := DialPrimary(addr, r.hello(), 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	r.term = sess.Term()
+	if sess.Kind() == KindSnapshot {
+		if r.fs != nil {
+			r.fs.Close()
+			r.fs = nil
+			r.txr = nil
+		}
+		fs, err := eio.CreateFileStore(r.path, sess.Snap().PageSize)
+		if err != nil {
+			sess.Close()
+			return nil, err
+		}
+		err = sess.ReceiveSnapshot(func(id uint64, image []byte) error {
+			if err := fs.EnsurePage(eio.PageID(id)); err != nil {
+				return err
+			}
+			return fs.Write(eio.PageID(id), image)
+		})
+		if err != nil {
+			sess.Close()
+			fs.Close()
+			return nil, err
+		}
+		if err := fs.Sync(); err != nil {
+			sess.Close()
+			fs.Close()
+			return nil, err
+		}
+		r.fs = fs
+		txr, err := eio.OpenTxReplica(fs, nil, eio.PageID(sess.Snap().Dir))
+		if err != nil {
+			sess.Close()
+			return nil, err
+		}
+		r.txr = txr
+		if got := txr.AppliedLSN(); got != sess.Snap().LSN {
+			return nil, fmt.Errorf("bootstrap applied lsn %d, snapshot said %d", got, sess.Snap().LSN)
+		}
+	}
+	return sess, nil
+}
+
+func (r *testReplica) apply(rec []byte) (uint64, error) {
+	if _, err := r.txr.ApplyRecord(rec); err != nil {
+		return 0, err
+	}
+	return r.txr.AppliedLSN(), nil
+}
+
+func TestProtoRoundTrip(t *testing.T) {
+	h := Hello{Term: 7, LSN: 1234, PageSize: 4096, Dir: 3}
+	got, err := decodeHello(encodeHello(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("hello round-trip: got %+v want %+v", got, h)
+	}
+
+	si := SnapInfo{Term: 2, LSN: 99, PageSize: 256, Dir: 3, Hdr: 4, NPages: 17}
+	gotSI, err := decodeSnapBegin(encodeSnapBegin(si))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSI != si {
+		t.Fatalf("snapbegin round-trip: got %+v want %+v", gotSI, si)
+	}
+
+	vs, err := decodeU64s(encodeU64Msg(msgHeartbeat, 5, 77), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs[0] != 5 || vs[1] != 77 {
+		t.Fatalf("u64 round-trip: got %v", vs)
+	}
+	if _, err := decodeU64s(encodeU64Msg(msgAck, 1), 2); err == nil {
+		t.Fatal("short u64 message decoded without error")
+	}
+}
+
+func TestBootstrapStreamResume(t *testing.T) {
+	p := newTestPrimary(t, 1)
+
+	// Commits before the replica exists: covered by the snapshot.
+	var pages []eio.PageID
+	for i := byte(1); i <= 3; i++ {
+		pages = append(pages, p.commit(t, i))
+	}
+
+	r := newTestReplica(t)
+	sess, err := r.connect(p.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Kind() != KindSnapshot {
+		t.Fatalf("fresh replica got %v, want snapshot", sess.Kind())
+	}
+	if got := r.txr.AppliedLSN(); got != 3 {
+		t.Fatalf("bootstrap lsn %d, want 3", got)
+	}
+
+	f := NewFollower(sess, r.txr.AppliedLSN())
+	runDone := make(chan error, 1)
+	go func() { runDone <- f.Run(sess, FollowerCallbacks{Apply: r.apply, Logf: t.Logf}) }()
+
+	// Live commits stream through; the shipper sees acks.
+	for i := byte(4); i <= 6; i++ {
+		pages = append(pages, p.commit(t, i))
+	}
+	if err := p.sh.WaitAcked(6, 1, 5*time.Second); err != nil {
+		t.Fatalf("WaitAcked: %v", err)
+	}
+	if got := f.AppliedLSN(); got != 6 {
+		t.Fatalf("follower applied %d, want 6", got)
+	}
+
+	// Detach, let the primary advance within the backlog, reconnect:
+	// must resume, not re-snapshot.
+	f.Stop()
+	if err := <-runDone; err != nil {
+		t.Fatalf("Run after Stop: %v", err)
+	}
+	for i := byte(7); i <= 9; i++ {
+		pages = append(pages, p.commit(t, i))
+	}
+	sess2, err := r.connect(p.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess2.Kind() != KindResume {
+		t.Fatalf("reconnect within backlog got %v, want resume", sess2.Kind())
+	}
+	f2 := NewFollower(sess2, r.txr.AppliedLSN())
+	go func() { runDone <- f2.Run(sess2, FollowerCallbacks{Apply: r.apply, Logf: t.Logf}) }()
+	if err := p.sh.WaitAcked(9, 1, 5*time.Second); err != nil {
+		t.Fatalf("WaitAcked after resume: %v", err)
+	}
+
+	// The replica's pages hold the primary's images at the primary's ids.
+	buf := make([]byte, testPS)
+	for i, id := range pages {
+		if err := r.fs.Read(id, buf); err != nil {
+			t.Fatalf("replica read page %d: %v", id, err)
+		}
+		if buf[0] != byte(i+1) || buf[testPS-1] != byte(i+1) {
+			t.Fatalf("page %d: got fill %d, want %d", id, buf[0], i+1)
+		}
+	}
+
+	// The primary reports the replica in its stats.
+	reps := p.sh.Replicas()
+	if len(reps) != 1 || reps[0].State != "stream" || reps[0].AckLSN != 9 {
+		t.Fatalf("Replicas() = %+v", reps)
+	}
+
+	f2.Stop()
+	if err := <-runDone; err != nil {
+		t.Fatalf("Run 2 after Stop: %v", err)
+	}
+}
+
+func TestReplicaCrashRecovery(t *testing.T) {
+	p := newTestPrimary(t, 1)
+	for i := byte(1); i <= 4; i++ {
+		p.commit(t, i)
+	}
+
+	r := newTestReplica(t)
+	sess, err := r.connect(p.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFollower(sess, r.txr.AppliedLSN())
+	done := make(chan error, 1)
+	go func() { done <- f.Run(sess, FollowerCallbacks{Apply: r.apply}) }()
+	p.commit(t, 5)
+	if err := p.sh.WaitAcked(5, 1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	f.Stop()
+	<-done
+
+	// "Crash" the replica (drop handles without closing cleanly) and
+	// reopen with the stock recovery path: the file must be a valid
+	// TxStore layout at the replicated LSN.
+	dir := r.txr.Dir()
+	r.fs.CloseCrash()
+	fs2, err := eio.OpenFileStore(r.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	txr2, err := eio.OpenTxReplica(fs2, nil, dir)
+	if err != nil {
+		t.Fatalf("reopen crashed replica: %v", err)
+	}
+	if got := txr2.AppliedLSN(); got != 5 {
+		t.Fatalf("recovered replica lsn %d, want 5", got)
+	}
+}
+
+func TestWaitAckedStall(t *testing.T) {
+	p := newTestPrimary(t, 1)
+	p.commit(t, 1)
+	err := p.sh.WaitAcked(1, 1, 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("WaitAcked with no replicas returned nil")
+	}
+}
+
+func TestPromoteRPC(t *testing.T) {
+	fsDir := filepath.Join(t.TempDir(), "f.pages")
+	_ = fsDir
+	var promoted atomic.Bool
+	sh := NewShipper(ShipperConfig{
+		Term:     3,
+		Primary:  false,
+		PageSize: testPS,
+		OnPromote: func() (uint64, uint64, error) {
+			promoted.Store(true)
+			return 4, 42, nil
+		},
+		Logf: t.Logf,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go sh.Serve(ln)
+	defer sh.Close()
+
+	term, lsn, err := Promote(ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term != 4 || lsn != 42 || !promoted.Load() {
+		t.Fatalf("Promote = (%d, %d), promoted=%v", term, lsn, promoted.Load())
+	}
+
+	// A follower must refuse replication HELLOs.
+	if _, err := DialPrimary(ln.Addr().String(), Hello{}, 2*time.Second); err == nil {
+		t.Fatal("follower accepted a HELLO")
+	}
+}
+
+func TestFenceByHigherTerm(t *testing.T) {
+	p := newTestPrimary(t, 1)
+	fencedCh := make(chan uint64, 1)
+	p.sh.cfg.OnFence = func(term uint64) { fencedCh <- term }
+	p.commit(t, 1)
+
+	// A replica from term 9 proves a newer lineage: the primary must
+	// stand down, and the dial must fail with ErrFenced.
+	_, err := DialPrimary(p.addr(), Hello{Term: 9}, 2*time.Second)
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("dial from higher term: %v, want ErrFenced", err)
+	}
+	select {
+	case term := <-fencedCh:
+		if term != 9 {
+			t.Fatalf("fenced with term %d, want 9", term)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnFence not called")
+	}
+	if p.sh.IsPrimary() {
+		t.Fatal("shipper still primary after fence")
+	}
+	if got := p.sh.Term(); got != 9 {
+		t.Fatalf("term after fence %d, want 9", got)
+	}
+}
+
+func TestDivergedReplicaReclones(t *testing.T) {
+	p := newTestPrimary(t, 2)
+	for i := byte(1); i <= 2; i++ {
+		p.commit(t, i)
+	}
+	// A replica claiming lsn beyond the primary's durable position (a
+	// divergent history, e.g. an old primary with unshipped commits) must
+	// get a full snapshot, not a resume.
+	sess, err := DialPrimary(p.addr(), Hello{Term: 1, LSN: 50, PageSize: testPS, Dir: uint64(p.tx.Anchor())}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.Kind() != KindSnapshot {
+		t.Fatalf("diverged replica got %v, want snapshot", sess.Kind())
+	}
+}

@@ -1,0 +1,351 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// SessionKind says how a handshake resolved.
+type SessionKind int
+
+const (
+	// KindResume: the primary replays the record tail from our position;
+	// the local store is reused as-is.
+	KindResume SessionKind = iota
+	// KindSnapshot: the primary sends a full store clone; the local store
+	// (if any) must be discarded and rebuilt from the transfer.
+	KindSnapshot
+)
+
+// Session is one established replication connection, post-handshake.
+type Session struct {
+	conn net.Conn
+	br   *bufio.Reader
+	kind SessionKind
+	term uint64
+	snap SnapInfo // valid for KindSnapshot
+	lsn  uint64   // resume position (KindResume) or snapshot LSN
+}
+
+// Kind reports how the handshake resolved.
+func (s *Session) Kind() SessionKind { return s.kind }
+
+// Term is the primary's term; the replica must persist it before acking.
+func (s *Session) Term() uint64 { return s.term }
+
+// StartLSN is the position the stream continues from: the replica's own
+// position for a resume, the snapshot's LSN for a bootstrap.
+func (s *Session) StartLSN() uint64 { return s.lsn }
+
+// Snap describes the snapshot transfer (KindSnapshot only).
+func (s *Session) Snap() SnapInfo { return s.snap }
+
+// Close closes the underlying connection.
+func (s *Session) Close() error { return s.conn.Close() }
+
+// DialPrimary connects to a primary's replication port and performs the
+// HELLO handshake, reporting our position h. The primary's answer decides
+// the session kind. ErrFenced means the primary's lineage is newer than
+// ours in a way that requires operator attention; a plain error is
+// retryable.
+func DialPrimary(addr string, h Hello, timeout time.Duration) (*Session, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if err := writeFrame(conn, encodeHello(h)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReaderSize(conn, 256*1024)
+	// A snapshot cut can take a while on a loaded primary: wait longer
+	// for the first answer than for the dial.
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Minute))
+	body, err := readFrame(br)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	if len(body) == 0 {
+		conn.Close()
+		return nil, fmt.Errorf("%w: empty handshake reply", ErrProto)
+	}
+	switch body[0] {
+	case msgResume:
+		vs, err := decodeU64s(body, 2)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if vs[0] < h.Term {
+			// A primary from an older lineage than us: refuse and fence it.
+			_ = writeFrame(conn, encodeU64Msg(msgFence, h.Term))
+			conn.Close()
+			return nil, fmt.Errorf("repl: primary term %d older than ours %d", vs[0], h.Term)
+		}
+		return &Session{conn: conn, br: br, kind: KindResume, term: vs[0], lsn: vs[1]}, nil
+	case msgSnapBegin:
+		info, err := decodeSnapBegin(body)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if info.Term < h.Term {
+			_ = writeFrame(conn, encodeU64Msg(msgFence, h.Term))
+			conn.Close()
+			return nil, fmt.Errorf("repl: primary term %d older than ours %d", info.Term, h.Term)
+		}
+		return &Session{conn: conn, br: br, kind: KindSnapshot, term: info.Term, snap: info, lsn: info.LSN}, nil
+	case msgFence:
+		vs, _ := decodeU64s(body, 1)
+		conn.Close()
+		var t uint64
+		if len(vs) == 1 {
+			t = vs[0]
+		}
+		return nil, fmt.Errorf("%w (term %d)", ErrFenced, t)
+	case msgError:
+		msg := string(body[1:])
+		conn.Close()
+		return nil, fmt.Errorf("repl: primary refused: %s", msg)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("%w: unexpected handshake reply 0x%02x", ErrProto, body[0])
+	}
+}
+
+// ReceiveSnapshot streams the SNAPPAGE frames of a KindSnapshot session
+// into write (called once per page with the primary's page id and the
+// raw image) and returns after a matching SNAPEND. The caller then owns a
+// byte-exact clone of the primary's store as of Snap().LSN and the
+// session continues as a record stream.
+func (s *Session) ReceiveSnapshot(write func(id uint64, image []byte) error) error {
+	if s.kind != KindSnapshot {
+		return errors.New("repl: ReceiveSnapshot on a resume session")
+	}
+	got := uint64(0)
+	for {
+		_ = s.conn.SetReadDeadline(time.Now().Add(2 * time.Minute))
+		body, err := readFrame(s.br)
+		if err != nil {
+			return err
+		}
+		if len(body) == 0 {
+			return fmt.Errorf("%w: empty frame in snapshot", ErrProto)
+		}
+		switch body[0] {
+		case msgSnapPage:
+			if len(body) < 1+8+1 {
+				return fmt.Errorf("%w: short SNAPPAGE", ErrProto)
+			}
+			id := beU64(body[1:])
+			if err := write(id, body[9:]); err != nil {
+				return err
+			}
+			got++
+		case msgSnapEnd:
+			vs, err := decodeU64s(body, 1)
+			if err != nil {
+				return err
+			}
+			if vs[0] != s.snap.LSN {
+				return fmt.Errorf("%w: SNAPEND lsn %d, SNAPBEGIN said %d", ErrProto, vs[0], s.snap.LSN)
+			}
+			if got != s.snap.NPages {
+				return fmt.Errorf("%w: snapshot sent %d pages, header said %d", ErrProto, got, s.snap.NPages)
+			}
+			_ = s.conn.SetReadDeadline(time.Time{})
+			return nil
+		case msgError:
+			return fmt.Errorf("repl: primary aborted snapshot: %s", string(body[1:]))
+		default:
+			return fmt.Errorf("%w: unexpected message 0x%02x in snapshot", ErrProto, body[0])
+		}
+	}
+}
+
+// FollowerCallbacks is what Run needs from the serving stack.
+type FollowerCallbacks struct {
+	// Apply replays one shipped record and returns the new applied LSN.
+	// It runs on Run's goroutine, so applies are strictly sequential.
+	Apply func(rec []byte) (uint64, error)
+	// Logf, when set, receives diagnostic lines.
+	Logf func(format string, args ...any)
+}
+
+// Follower runs the replica side of an established session: applying
+// records, acking, and tracking staleness. One Follower per session.
+type Follower struct {
+	appliedLSN  atomic.Uint64
+	primaryLSN  atomic.Uint64
+	lastContact atomic.Int64 // unix nanos
+	stopped     atomic.Bool
+	conn        net.Conn
+}
+
+// NewFollower prepares a follower for sess starting at applied.
+func NewFollower(sess *Session, applied uint64) *Follower {
+	f := &Follower{conn: sess.conn}
+	f.appliedLSN.Store(applied)
+	f.primaryLSN.Store(applied)
+	f.lastContact.Store(time.Now().UnixNano())
+	return f
+}
+
+// AppliedLSN is the last locally durable record.
+func (f *Follower) AppliedLSN() uint64 { return f.appliedLSN.Load() }
+
+// PrimaryLSN is the primary's durable position from its last heartbeat —
+// the far edge the staleness gap is measured against.
+func (f *Follower) PrimaryLSN() uint64 { return f.primaryLSN.Load() }
+
+// LastContact is when the primary was last heard from.
+func (f *Follower) LastContact() time.Time { return time.Unix(0, f.lastContact.Load()) }
+
+// Stop makes Run return after the record it is currently applying: it
+// closes the connection, so the next read fails. Applies are synchronous
+// on Run's goroutine, so once Run returns the apply queue is drained —
+// the precondition for promotion.
+func (f *Follower) Stop() {
+	f.stopped.Store(true)
+	f.conn.Close()
+}
+
+// Run consumes the stream until the connection dies or Stop is called.
+// It returns nil after Stop, ErrFenced when the primary fences us, and
+// the transport or apply error otherwise. Each applied record and each
+// heartbeat is acknowledged with the current applied LSN, so the primary
+// can gate commits on replica durability and measure staleness even on
+// an idle stream.
+func (f *Follower) Run(sess *Session, cb FollowerCallbacks) error {
+	logf := cb.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	myTerm := sess.term
+	for {
+		_ = sess.conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		body, err := readFrame(sess.br)
+		if err != nil {
+			if f.stopped.Load() {
+				return nil
+			}
+			return err
+		}
+		f.lastContact.Store(time.Now().UnixNano())
+		if len(body) == 0 {
+			return fmt.Errorf("%w: empty stream frame", ErrProto)
+		}
+		switch body[0] {
+		case msgRecord:
+			if len(body) < 1+8+1 {
+				return fmt.Errorf("%w: short RECORD", ErrProto)
+			}
+			term := beU64(body[1:])
+			if term < myTerm {
+				_ = writeFrame(sess.conn, encodeU64Msg(msgFence, myTerm))
+				return fmt.Errorf("repl: record from stale term %d (ours %d)", term, myTerm)
+			}
+			lsn, err := cb.Apply(body[9:])
+			if err != nil {
+				if f.stopped.Load() {
+					return nil
+				}
+				return fmt.Errorf("repl: apply: %w", err)
+			}
+			f.appliedLSN.Store(lsn)
+			if lsn > f.primaryLSN.Load() {
+				f.primaryLSN.Store(lsn)
+			}
+			_ = sess.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+			if err := writeFrame(sess.conn, encodeU64Msg(msgAck, lsn)); err != nil {
+				if f.stopped.Load() {
+					return nil
+				}
+				return err
+			}
+		case msgHeartbeat:
+			vs, err := decodeU64s(body, 2)
+			if err != nil {
+				return err
+			}
+			if vs[0] > myTerm {
+				// A newer lineage exists; this stream is history. The
+				// caller reconnects and re-handshakes under the new term.
+				return fmt.Errorf("%w (heartbeat term %d, session term %d)", ErrFenced, vs[0], myTerm)
+			}
+			if vs[1] > f.primaryLSN.Load() {
+				f.primaryLSN.Store(vs[1])
+			}
+			_ = sess.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+			if err := writeFrame(sess.conn, encodeU64Msg(msgAck, f.appliedLSN.Load())); err != nil {
+				if f.stopped.Load() {
+					return nil
+				}
+				return err
+			}
+		case msgFence:
+			vs, _ := decodeU64s(body, 1)
+			var t uint64
+			if len(vs) == 1 {
+				t = vs[0]
+			}
+			logf("repl: fenced mid-stream by term %d", t)
+			return fmt.Errorf("%w (term %d)", ErrFenced, t)
+		case msgError:
+			return fmt.Errorf("repl: primary error: %s", string(body[1:]))
+		default:
+			return fmt.Errorf("%w: unexpected stream message 0x%02x", ErrProto, body[0])
+		}
+	}
+}
+
+// Promote asks the node listening on a replication port to promote
+// itself to primary, returning the new term and durable LSN. This is the
+// failover RPC chaos harnesses and operators use; SIGUSR1 on the process
+// does the same thing.
+func Promote(addr string, timeout time.Duration) (term, lsn uint64, err error) {
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if err := writeFrame(conn, []byte{msgPromote}); err != nil {
+		return 0, 0, err
+	}
+	body, err := readFrame(bufio.NewReader(conn))
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(body) == 0 {
+		return 0, 0, fmt.Errorf("%w: empty PROMOTE reply", ErrProto)
+	}
+	switch body[0] {
+	case msgPromoted:
+		vs, err := decodeU64s(body, 2)
+		if err != nil {
+			return 0, 0, err
+		}
+		return vs[0], vs[1], nil
+	case msgError:
+		return 0, 0, fmt.Errorf("repl: promote refused: %s", string(body[1:]))
+	default:
+		return 0, 0, fmt.Errorf("%w: unexpected PROMOTE reply 0x%02x", ErrProto, body[0])
+	}
+}

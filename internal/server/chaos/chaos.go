@@ -64,6 +64,14 @@ type Config struct {
 	Jitter  time.Duration
 	// RequestTimeout is passed to rsserve -request-timeout (default 5s).
 	RequestTimeout time.Duration
+	// ReadyTimeout bounds how long a (re)started server may take to answer
+	// its first Ping before the cycle is declared failed (default 15s).
+	ReadyTimeout time.Duration
+	// DrainTimeout bounds the closing SIGTERM drain (default 60s).
+	DrainTimeout time.Duration
+	// LoadGrace is how far past its nominal duration the load generator
+	// may run before the harness declares it hung (default 2m).
+	LoadGrace time.Duration
 	// TraceSample, when > 0, runs the whole chaos schedule with request
 	// tracing live on both sides: the load generator client-stamps TRACE
 	// envelopes at this rate and rsserve is started with the same
@@ -94,6 +102,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 5 * time.Second
+	}
+	if c.ReadyTimeout <= 0 {
+		c.ReadyTimeout = 15 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 60 * time.Second
+	}
+	if c.LoadGrace <= 0 {
+		c.LoadGrace = 2 * time.Minute
 	}
 	return c
 }
@@ -201,7 +218,7 @@ func (h *harness) start() error {
 		return fmt.Errorf("chaos: start %s: %w", h.cfg.ServerBin, err)
 	}
 	h.proc = cmd
-	deadline := time.Now().Add(15 * time.Second)
+	deadline := time.Now().Add(h.cfg.ReadyTimeout)
 	for time.Now().Before(deadline) {
 		cl, err := server.Dial(h.addr, server.ClientOptions{DialTimeout: 200 * time.Millisecond})
 		if err == nil {
@@ -246,7 +263,7 @@ func (h *harness) stopGracefully() (int, error) {
 			return ee.ExitCode(), nil
 		}
 		return -1, err
-	case <-time.After(60 * time.Second):
+	case <-time.After(h.cfg.DrainTimeout):
 		_ = h.proc.Process.Kill()
 		<-done
 		return -1, fmt.Errorf("chaos: drain timed out")
@@ -273,16 +290,24 @@ func postMortem(storePath string, rep *Report) error {
 	if !m.Durable {
 		return fmt.Errorf("chaos: post-mortem: store is not durable")
 	}
+	return postMortemOpen(storePath, uint64(m.Hdr), uint64(m.Anchor), true, rep)
+}
+
+// postMortemOpen is the reopen-and-verify core shared by the single-node
+// and replicated harnesses: WAL recovery, point count, full-file
+// checksum verification, and — when leakCheck is set — page-exact
+// reachability. Results land in rep's Post* fields.
+func postMortemOpen(storePath string, hdr, anchor uint64, leakCheck bool, rep *Report) error {
 	fs, err := eio.OpenFileStore(storePath)
 	if err != nil {
 		return fmt.Errorf("chaos: post-mortem: %w", err)
 	}
 	defer fs.Close()
-	tx, err := eio.OpenTxStore(fs, m.Anchor)
+	tx, err := eio.OpenTxStore(fs, eio.PageID(anchor))
 	if err != nil {
 		return fmt.Errorf("chaos: post-mortem: WAL recovery: %w", err)
 	}
-	idx, err := core.OpenThreeSided(tx, m.Hdr)
+	idx, err := core.OpenThreeSided(tx, eio.PageID(hdr))
 	if err != nil {
 		return fmt.Errorf("chaos: post-mortem: open tree: %w", err)
 	}
@@ -291,19 +316,21 @@ func postMortem(storePath string, rep *Report) error {
 		return fmt.Errorf("chaos: post-mortem: len: %w", err)
 	}
 	rep.PostPoints = n
-	reachable, err := idx.Tree().AppendAllPages(nil)
-	if err != nil {
-		return fmt.Errorf("chaos: post-mortem: reachability: %w", err)
+	if leakCheck {
+		reachable, err := idx.Tree().AppendAllPages(nil)
+		if err != nil {
+			return fmt.Errorf("chaos: post-mortem: reachability: %w", err)
+		}
+		meta, err := tx.MetaPages()
+		if err != nil {
+			return fmt.Errorf("chaos: post-mortem: meta pages: %w", err)
+		}
+		leaks, err := eio.FindLeaks(tx, append(reachable, meta...))
+		if err != nil {
+			return fmt.Errorf("chaos: post-mortem: leak check: %w", err)
+		}
+		rep.PostLeaked = len(leaks.Leaked)
 	}
-	meta, err := tx.MetaPages()
-	if err != nil {
-		return fmt.Errorf("chaos: post-mortem: meta pages: %w", err)
-	}
-	leaks, err := eio.FindLeaks(tx, append(reachable, meta...))
-	if err != nil {
-		return fmt.Errorf("chaos: post-mortem: leak check: %w", err)
-	}
-	rep.PostLeaked = len(leaks.Leaked)
 
 	vrep, err := eio.VerifyFile(storePath)
 	if err != nil {
@@ -349,6 +376,10 @@ func Run(cfg Config) (*Report, error) {
 	if err := h.start(); err != nil {
 		return nil, err
 	}
+	// Echo the effective parameters — above all the seed, so a failing
+	// run's exact kill/fault schedule can be replayed from its log alone.
+	h.logf("chaos: run: cycles=%d period=%v seed=%d workers=%d pipeline=%d latency=%v jitter=%v",
+		cfg.Cycles, cfg.Period, cfg.Seed, cfg.Workers, cfg.Pipeline, cfg.Latency, cfg.Jitter)
 	h.logf("chaos: rsserve up on %s, proxied at %s", h.addr, h.proxy.Addr())
 
 	rep := &Report{Cycles: cfg.Cycles}
@@ -396,7 +427,7 @@ func Run(cfg Config) (*Report, error) {
 
 	select {
 	case <-loadDone:
-	case <-time.After(loadDur + 2*time.Minute):
+	case <-time.After(loadDur + cfg.LoadGrace):
 		return nil, fmt.Errorf("chaos: load generator hung")
 	}
 	if loadErr != nil {

@@ -1,0 +1,695 @@
+package chaos
+
+// Replica-aware chaos: a primary plus N read replicas, wired over the
+// replication sub-protocol with the replica links routed through a
+// netfault proxy, under verified load whose reads fan out across the
+// replicas and whose writes follow the primary through promotions.
+//
+// Each cycle lands all three replication fault kinds:
+//
+//  1. replica-kill: a replica is SIGKILLed mid-stream and restarted on
+//     its own store — it must resume (or re-clone) and catch up;
+//  2. link-degrade: the replication link gets latency/jitter and every
+//     replication connection is cut — streams must reconnect and resume
+//     from the primary's backlog;
+//  3. primary-kill-then-promote: the primary is SIGKILLed, a survivor is
+//     promoted via the PROMOTE RPC (term bump, fencing), the dead
+//     ex-primary rejoins as a replica of the new lineage (its diverged
+//     store must be re-cloned), and the remaining replicas repoint.
+//
+// Acceptance is the same story as the single-node harness, extended to
+// the fleet: zero lost or duplicated acked writes across every
+// promotion (per-stripe read-your-writes verification keeps running
+// through the failovers), every replica converges to the final
+// primary's LSN within a bounded window, every drain exits clean, and
+// the final primary's store is page-exact with zero leaks.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"rangesearch/internal/netfault"
+	"rangesearch/internal/repl"
+	"rangesearch/internal/server"
+)
+
+// ReplConfig tunes a replicated chaos run. ServerBin and Dir are
+// required.
+type ReplConfig struct {
+	// ServerBin is the path to an rsserve binary.
+	ServerBin string
+	// Dir is a scratch directory for the fleet's stores (created).
+	Dir string
+	// Replicas is the number of read replicas next to the primary
+	// (default 2).
+	Replicas int
+	// Cycles is the number of full fault cycles; every cycle includes a
+	// replica kill, a link-degradation window, and a primary kill with
+	// promotion (default 5, matching the acceptance bar of ≥5 promotions).
+	Cycles int
+	// Period is the dwell between fault phases (default 700ms).
+	Period time.Duration
+	// Workers / Pipeline size the load (defaults 4 / 4).
+	Workers  int
+	Pipeline int
+	// Seed seeds the workload and fault RNGs (default 1).
+	Seed int64
+	// Latency/Jitter shape the replication link during the degradation
+	// window (defaults 20ms / 10ms).
+	Latency time.Duration
+	Jitter  time.Duration
+	// SyncReplicas is the -repl-sync value for every (potential) primary:
+	// a write's OK waits for that many replica acks. The default (0)
+	// means ALL replicas — that is what makes "zero lost acked writes
+	// across a primary kill" a theorem rather than a race: every acked
+	// write is durable on every replica, so any promoted successor has
+	// it. Pass a negative value for fully asynchronous shipping (where a
+	// primary SIGKILL may legitimately lose acked-but-unshipped writes,
+	// so the read-your-writes verification would report losses).
+	SyncReplicas int
+	// RequestTimeout is passed to rsserve -request-timeout (default 5s).
+	RequestTimeout time.Duration
+	// ReadyTimeout bounds node startup, initial replica sync, and the
+	// promote RPC retry loop (default 30s; replica bootstrap includes a
+	// snapshot transfer).
+	ReadyTimeout time.Duration
+	// DrainTimeout bounds each node's SIGTERM drain (default 60s).
+	DrainTimeout time.Duration
+	// LoadGrace is how long the harness waits for the load generator
+	// after stopping it (default 2m).
+	LoadGrace time.Duration
+	// StalenessMax bounds how long replicas may take to converge to the
+	// final primary's LSN once writes stop (default 15s).
+	StalenessMax time.Duration
+	// Logf, when non-nil, receives progress lines. Nil discards.
+	Logf func(format string, args ...interface{})
+}
+
+func (c ReplConfig) withDefaults() ReplConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Cycles <= 0 {
+		c.Cycles = 5
+	}
+	if c.Period <= 0 {
+		c.Period = 700 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	switch {
+	case c.SyncReplicas == 0:
+		c.SyncReplicas = c.Replicas
+	case c.SyncReplicas < 0:
+		c.SyncReplicas = 0
+	}
+	if c.Latency <= 0 {
+		c.Latency = 20 * time.Millisecond
+	}
+	if c.Jitter <= 0 {
+		c.Jitter = 10 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.ReadyTimeout <= 0 {
+		c.ReadyTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 60 * time.Second
+	}
+	if c.LoadGrace <= 0 {
+		c.LoadGrace = 2 * time.Minute
+	}
+	if c.StalenessMax <= 0 {
+		c.StalenessMax = 15 * time.Second
+	}
+	return c
+}
+
+// ReplReport is the JSON result of a replicated chaos run.
+type ReplReport struct {
+	Cycles       int `json:"cycles"`
+	ReplicaKills int `json:"replica_kills"`
+	LinkFaults   int `json:"link_faults"`
+	PrimaryKills int `json:"primary_kills"`
+	Promotions   int `json:"promotions"`
+	// FinalTerm is the fencing term after the last promotion; it must
+	// equal Promotions (every promotion bumps it exactly once).
+	FinalTerm uint64 `json:"final_term"`
+	// ConvergeS is how long the replicas took to reach the final
+	// primary's LSN after writes stopped.
+	ConvergeS float64 `json:"converge_s"`
+
+	Load  *server.LoadReport `json:"load"`
+	Proxy netfault.Stats     `json:"proxy"`
+
+	// DrainExits maps node name to its SIGTERM exit code; all must be 0.
+	DrainExits map[string]int `json:"drain_exits"`
+	// PostLeaked / PostPages / PostPoints re-verify the final primary's
+	// drained store in-process (leaks must be 0).
+	PostLeaked int `json:"post_leaked"`
+	PostPages  int `json:"post_pages"`
+	PostPoints int `json:"post_points"`
+	// ReplicaPoints is each drained replica store's point count; after
+	// convergence every entry must equal PostPoints.
+	ReplicaPoints map[string]int `json:"replica_points"`
+
+	DurationS float64 `json:"duration_s"`
+	// Failures lists every acceptance violation the harness observed.
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Failed reports whether the run violated any acceptance criterion.
+func (r *ReplReport) Failed() bool {
+	return r.Load == nil || r.Load.Failed() || len(r.Failures) > 0
+}
+
+func (r *ReplReport) failf(format string, args ...interface{}) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+// replNode is one rsserve process of the fleet.
+type replNode struct {
+	name     string
+	store    string
+	addr     string // client protocol
+	replAddr string // replication protocol
+	out      *logBuffer
+	proc     *exec.Cmd
+	alive    bool
+}
+
+// rharness owns the fleet, the replication-link proxy, and the roles.
+type rharness struct {
+	cfg     ReplConfig
+	nodes   []*replNode
+	primary int             // index into nodes
+	proxy   *netfault.Proxy // fronts the current primary's repl port
+	rep     *ReplReport
+}
+
+func (h *rharness) logf(format string, args ...interface{}) {
+	if h.cfg.Logf != nil {
+		h.cfg.Logf(format, args...)
+	}
+}
+
+// startNode spawns n. An empty replicateFrom starts it as a primary; the
+// node always exposes its own repl port, so it can be promoted later (or
+// ship to downstreams once promoted).
+func (h *rharness) startNode(n *replNode, replicateFrom string) error {
+	args := []string{
+		"-addr", n.addr,
+		"-store", n.store,
+		"-repl-listen", n.replAddr,
+		"-request-timeout", h.cfg.RequestTimeout.String(),
+	}
+	if replicateFrom != "" {
+		args = append(args,
+			"-replicate-from", replicateFrom,
+			"-repl-boot-timeout", h.cfg.ReadyTimeout.String(),
+		)
+	}
+	if h.cfg.SyncReplicas > 0 {
+		args = append(args, "-repl-sync", fmt.Sprint(h.cfg.SyncReplicas))
+	}
+	cmd := exec.Command(h.cfg.ServerBin, args...)
+	cmd.Stdout = n.out
+	cmd.Stderr = n.out
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("chaos: start %s: %w", n.name, err)
+	}
+	n.proc = cmd
+	n.alive = true
+	deadline := time.Now().Add(h.cfg.ReadyTimeout)
+	for time.Now().Before(deadline) {
+		cl, err := server.Dial(n.addr, server.ClientOptions{DialTimeout: 200 * time.Millisecond})
+		if err == nil {
+			err = cl.Ping([]byte("chaos"))
+			cl.Close()
+			if err == nil {
+				return nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	h.killNode(n)
+	return fmt.Errorf("chaos: %s on %s never became ready", n.name, n.addr)
+}
+
+func (h *rharness) killNode(n *replNode) {
+	if !n.alive {
+		return
+	}
+	_ = n.proc.Process.Kill()
+	_ = n.proc.Wait()
+	n.alive = false
+}
+
+// stopNode SIGTERMs n and returns its exit code.
+func (h *rharness) stopNode(n *replNode) (int, error) {
+	if !n.alive {
+		return 0, nil
+	}
+	n.alive = false
+	if err := n.proc.Process.Signal(syscall.SIGTERM); err != nil {
+		return -1, fmt.Errorf("chaos: SIGTERM %s: %w", n.name, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- n.proc.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			return 0, nil
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode(), nil
+		}
+		return -1, err
+	case <-time.After(h.cfg.DrainTimeout):
+		_ = n.proc.Process.Kill()
+		<-done
+		return -1, fmt.Errorf("chaos: %s drain timed out", n.name)
+	}
+}
+
+// retargetProxy points the replication-link proxy at the current
+// primary's repl port (closing the previous proxy's listener, which cuts
+// any stream still using it).
+func (h *rharness) retargetProxy() error {
+	if h.proxy != nil {
+		h.rep.Proxy.Accepted += h.proxy.Stats().Accepted
+		h.rep.Proxy.Cuts += h.proxy.Stats().Cuts
+		h.proxy.Close()
+	}
+	p, err := netfault.New(h.nodes[h.primary].replAddr, netfault.Options{
+		Seed: h.cfg.Seed,
+		Logf: h.cfg.Logf,
+	})
+	if err != nil {
+		return err
+	}
+	h.proxy = p
+	return nil
+}
+
+// replicaKill SIGKILLs one replica mid-stream and restarts it on its own
+// store; the restart must resume from the primary's backlog (or re-clone
+// if it fell too far behind) before it answers its first Ping.
+func (h *rharness) replicaKill(cycle int) error {
+	victim := -1
+	for off := 1; off < len(h.nodes); off++ {
+		i := (h.primary + cycle + off) % len(h.nodes)
+		if i != h.primary && h.nodes[i].alive {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		return fmt.Errorf("chaos: no live replica to kill")
+	}
+	n := h.nodes[victim]
+	h.logf("chaos: cycle %d: SIGKILL replica %s", cycle, n.name)
+	h.killNode(n)
+	h.rep.ReplicaKills++
+	time.Sleep(h.cfg.Period)
+	return h.startNode(n, h.proxy.Addr())
+}
+
+// linkFault degrades the replication link for one period: added latency
+// and jitter on every chunk, plus a hard cut of all streams so the
+// resume path runs under the degraded link.
+func (h *rharness) linkFault(cycle int) {
+	h.logf("chaos: cycle %d: degrading replication link (%v ± %v) and cutting streams",
+		cycle, h.cfg.Latency, h.cfg.Jitter)
+	h.proxy.SetLatency(h.cfg.Latency, h.cfg.Jitter)
+	h.proxy.CutAll()
+	h.rep.LinkFaults++
+	time.Sleep(h.cfg.Period)
+	h.proxy.SetLatency(0, 0)
+}
+
+// primaryKillPromote SIGKILLs the primary, promotes a survivor via the
+// PROMOTE RPC, and repoints the rest of the fleet (including the dead
+// ex-primary, whose diverged store must re-clone) at the new lineage.
+func (h *rharness) primaryKillPromote(cycle int) error {
+	old := h.nodes[h.primary]
+	h.logf("chaos: cycle %d: SIGKILL primary %s", cycle, old.name)
+	h.killNode(old)
+	h.rep.PrimaryKills++
+
+	succ := -1
+	for off := 1; off < len(h.nodes); off++ {
+		i := (h.primary + off) % len(h.nodes)
+		if i != h.primary && h.nodes[i].alive {
+			succ = i
+			break
+		}
+	}
+	if succ < 0 {
+		return fmt.Errorf("chaos: cycle %d: no live replica to promote", cycle)
+	}
+
+	// The successor may still be inside a reconnect backoff toward the
+	// dead primary; PROMOTE drains its apply queue and returns its new
+	// identity. Retry within the ready budget.
+	deadline := time.Now().Add(h.cfg.ReadyTimeout)
+	var term, lsn uint64
+	for {
+		var err error
+		term, lsn, err = repl.Promote(h.nodes[succ].replAddr, 5*time.Second)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: cycle %d: promote %s: %w", cycle, h.nodes[succ].name, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	h.primary = succ
+	h.rep.Promotions++
+	h.rep.FinalTerm = term
+	h.logf("chaos: cycle %d: promoted %s to term %d at lsn %d", cycle, h.nodes[succ].name, term, lsn)
+
+	if err := h.retargetProxy(); err != nil {
+		return err
+	}
+	// Repoint survivors and resurrect the ex-primary as a replica of the
+	// new lineage. Its store has writes the new primary never saw (acked
+	// only to the harness's kill, never to a client after the promotion
+	// point is irrelevant — divergence is expected), so the handshake
+	// must force a re-clone rather than splice histories.
+	for i, n := range h.nodes {
+		if i == h.primary {
+			continue
+		}
+		if n.alive {
+			if code, err := h.stopNode(n); err != nil || code != 0 {
+				h.logf("chaos: cycle %d: repoint drain of %s: code=%d err=%v", cycle, n.name, code, err)
+			}
+		}
+		if err := h.startNode(n, h.proxy.Addr()); err != nil {
+			return fmt.Errorf("chaos: cycle %d: repoint %s: %w", cycle, n.name, err)
+		}
+	}
+	return nil
+}
+
+// nodeReplStats fetches one node's STATS repl section.
+func nodeReplStats(addr string) (*server.ReplInfo, error) {
+	cl, err := server.Dial(addr, server.ClientOptions{DialTimeout: 500 * time.Millisecond})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	raw, err := cl.Stats()
+	if err != nil {
+		return nil, err
+	}
+	var st server.StatsSnapshot
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, err
+	}
+	if st.Repl == nil {
+		return nil, fmt.Errorf("no repl section in STATS from %s", addr)
+	}
+	return st.Repl, nil
+}
+
+// awaitConvergence waits (bounded by StalenessMax) until every replica's
+// applied LSN reaches the primary's, then records how long it took.
+func (h *rharness) awaitConvergence() error {
+	start := time.Now()
+	prim, err := nodeReplStats(h.nodes[h.primary].addr)
+	if err != nil {
+		return fmt.Errorf("primary stats: %w", err)
+	}
+	target := prim.AppliedLSN
+	deadline := start.Add(h.cfg.StalenessMax)
+	for {
+		behind := ""
+		for i, n := range h.nodes {
+			if i == h.primary || !n.alive {
+				continue
+			}
+			ri, err := nodeReplStats(n.addr)
+			if err != nil {
+				behind = fmt.Sprintf("%s: %v", n.name, err)
+				break
+			}
+			if ri.AppliedLSN < target {
+				behind = fmt.Sprintf("%s at lsn %d < %d", n.name, ri.AppliedLSN, target)
+				break
+			}
+		}
+		if behind == "" {
+			h.rep.ConvergeS = time.Since(start).Seconds()
+			h.logf("chaos: replicas converged to lsn %d in %.2fs", target, h.rep.ConvergeS)
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replicas not converged within %v: %s", h.cfg.StalenessMax, behind)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// RunRepl executes one replicated chaos run. A non-nil error means the
+// harness itself broke; acceptance violations are reported via
+// ReplReport.Failed.
+func RunRepl(cfg ReplConfig) (*ReplReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ServerBin == "" || cfg.Dir == "" {
+		return nil, fmt.Errorf("chaos: ServerBin and Dir are required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	h := &rharness{
+		cfg: cfg,
+		rep: &ReplReport{
+			Cycles:        cfg.Cycles,
+			DrainExits:    map[string]int{},
+			ReplicaPoints: map[string]int{},
+		},
+	}
+	for i := 0; i <= cfg.Replicas; i++ {
+		name := fmt.Sprintf("n%d", i)
+		addr, err := freePort()
+		if err != nil {
+			return nil, err
+		}
+		replAddr, err := freePort()
+		if err != nil {
+			return nil, err
+		}
+		h.nodes = append(h.nodes, &replNode{
+			name:     name,
+			store:    filepath.Join(cfg.Dir, name+".db"),
+			addr:     addr,
+			replAddr: replAddr,
+			out:      &logBuffer{logf: cfg.Logf, tag: name},
+		})
+	}
+	defer func() {
+		for _, n := range h.nodes {
+			h.killNode(n)
+		}
+		if h.proxy != nil {
+			h.proxy.Close()
+		}
+	}()
+
+	h.logf("chaos: repl run: replicas=%d cycles=%d period=%v seed=%d workers=%d sync=%d",
+		cfg.Replicas, cfg.Cycles, cfg.Period, cfg.Seed, cfg.Workers, cfg.SyncReplicas)
+
+	if err := h.startNode(h.nodes[0], ""); err != nil {
+		return nil, err
+	}
+	if err := h.retargetProxy(); err != nil {
+		return nil, err
+	}
+	for _, n := range h.nodes[1:] {
+		if err := h.startNode(n, h.proxy.Addr()); err != nil {
+			return nil, err
+		}
+	}
+	h.logf("chaos: fleet up: primary %s, %d replicas via repl proxy %s",
+		h.nodes[0].addr, cfg.Replicas, h.proxy.Addr())
+
+	// The verified load runs for the whole fault schedule: reads fan out
+	// across every node (session barriers keep read-your-writes sound on
+	// replicas), writes follow the primary through each promotion via the
+	// failover rotation. The schedule, not a guessed duration, ends it.
+	allAddrs := make([]string, len(h.nodes))
+	for i, n := range h.nodes {
+		allAddrs[i] = n.addr
+	}
+	stop := make(chan struct{})
+	loadDone := make(chan struct{})
+	var loadRep *server.LoadReport
+	var loadErr error
+	start := time.Now()
+	go func() {
+		defer close(loadDone)
+		loadRep, loadErr = server.RunLoad(server.LoadConfig{
+			Addr:          h.nodes[0].addr,
+			Workers:       cfg.Workers,
+			Pipeline:      cfg.Pipeline,
+			Duration:      time.Hour, // backstop; Stop ends the run
+			Stop:          stop,
+			Domain:        1 << 16,
+			Seed:          cfg.Seed,
+			Verify:        true,
+			Resilient:     true,
+			ReadAddrs:     allAddrs,
+			FailoverAddrs: allAddrs,
+			Retry: server.RetryPolicy{
+				MaxAttempts: 120,
+				BaseDelay:   5 * time.Millisecond,
+				MaxDelay:    250 * time.Millisecond,
+			},
+			Client: server.ClientOptions{DialTimeout: time.Second, IOTimeout: 10 * time.Second},
+		})
+	}()
+
+	var schedErr error
+	for cycle := 1; cycle <= cfg.Cycles && schedErr == nil; cycle++ {
+		time.Sleep(cfg.Period)
+		if schedErr = h.replicaKill(cycle); schedErr != nil {
+			break
+		}
+		time.Sleep(cfg.Period)
+		h.linkFault(cycle)
+		time.Sleep(cfg.Period)
+		schedErr = h.primaryKillPromote(cycle)
+	}
+	time.Sleep(cfg.Period) // settle: let retries land before stopping
+
+	close(stop)
+	select {
+	case <-loadDone:
+	case <-time.After(cfg.LoadGrace):
+		return nil, fmt.Errorf("chaos: load generator hung after stop")
+	}
+	if schedErr != nil {
+		return nil, schedErr
+	}
+	if loadErr != nil {
+		return nil, fmt.Errorf("chaos: load: %w", loadErr)
+	}
+	h.rep.Load = loadRep
+
+	// Each promotion must have bumped the fencing term exactly once —
+	// the lineage count and the term agree or fencing is broken.
+	if h.rep.FinalTerm != uint64(h.rep.Promotions) {
+		h.rep.failf("final term %d != %d promotions", h.rep.FinalTerm, h.rep.Promotions)
+	}
+
+	// Bounded staleness: with writes stopped, every replica must reach
+	// the primary's LSN within the staleness budget.
+	if err := h.awaitConvergence(); err != nil {
+		h.rep.failf("%v", err)
+	}
+
+	// Drain the fleet (replicas first, primary last) and re-verify the
+	// stores: the primary must be leak-free and page-exact; the replicas
+	// must hold checksum-clean files with exactly the primary's points.
+	for i, n := range h.nodes {
+		if i == h.primary {
+			continue
+		}
+		code, err := h.stopNode(n)
+		if err != nil {
+			h.rep.failf("drain %s: %v", n.name, err)
+		}
+		h.rep.DrainExits[n.name] = code
+		if code != 0 {
+			h.rep.failf("drain %s: exit %d", n.name, code)
+		}
+	}
+	prim := h.nodes[h.primary]
+	code, err := h.stopNode(prim)
+	if err != nil {
+		h.rep.failf("drain %s: %v", prim.name, err)
+	}
+	h.rep.DrainExits[prim.name] = code
+	if code != 0 {
+		h.rep.failf("drain %s: exit %d", prim.name, code)
+	}
+
+	points, pages, leaked, err := inspectStore(prim.store, true)
+	if err != nil {
+		h.rep.failf("post-mortem %s: %v", prim.name, err)
+	} else {
+		h.rep.PostPoints, h.rep.PostPages, h.rep.PostLeaked = points, pages, leaked
+		if leaked != 0 {
+			h.rep.failf("final primary %s leaked %d pages", prim.name, leaked)
+		}
+	}
+	for i, n := range h.nodes {
+		if i == h.primary {
+			continue
+		}
+		// A drained replica legitimately holds pages its primary freed
+		// (frees are never shipped), so only checksums and the point
+		// count are asserted here.
+		points, _, _, err := inspectStore(n.store, false)
+		if err != nil {
+			h.rep.failf("post-mortem %s: %v", n.name, err)
+			continue
+		}
+		h.rep.ReplicaPoints[n.name] = points
+		if points != h.rep.PostPoints {
+			h.rep.failf("%s holds %d points, primary holds %d", n.name, points, h.rep.PostPoints)
+		}
+	}
+
+	h.rep.Proxy.Accepted += h.proxy.Stats().Accepted
+	h.rep.Proxy.Cuts += h.proxy.Stats().Cuts
+	h.rep.DurationS = time.Since(start).Seconds()
+	h.logf("chaos: repl done: promotions=%d term=%d replica_kills=%d link_faults=%d ops=%d failovers=%d replica_reads=%d points=%d failures=%d",
+		h.rep.Promotions, h.rep.FinalTerm, h.rep.ReplicaKills, h.rep.LinkFaults,
+		h.rep.Load.Ops, h.rep.Load.Failovers, h.rep.Load.ReplicaReads, h.rep.PostPoints, len(h.rep.Failures))
+	return h.rep, nil
+}
+
+// inspectStore reopens a drained store in-process: WAL recovery (a no-op
+// after a clean drain), point count, full-file checksum verification,
+// and — when leakCheck is set — page-exact reachability.
+func inspectStore(storePath string, leakCheck bool) (points, pages, leaked int, err error) {
+	raw, err := os.ReadFile(storePath + ".manifest.json")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var m struct {
+		Durable bool   `json:"durable"`
+		Hdr     uint64 `json:"hdr"`
+		Anchor  uint64 `json:"anchor"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return 0, 0, 0, fmt.Errorf("manifest: %w", err)
+	}
+	if !m.Durable {
+		return 0, 0, 0, fmt.Errorf("store is not durable")
+	}
+	rep := &Report{}
+	if err := postMortemOpen(storePath, m.Hdr, m.Anchor, leakCheck, rep); err != nil {
+		return 0, 0, 0, err
+	}
+	return rep.PostPoints, rep.PostPages, rep.PostLeaked, nil
+}

@@ -1,0 +1,65 @@
+package chaos
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestChaosReplFailover is the replicated kill-and-recover gate in
+// miniature: a primary plus two semi-sync replicas under verified load,
+// with each cycle killing a replica, degrading the replication link, and
+// killing the primary with a promotion. Nothing acked may be lost or
+// duplicated, the fencing term must track the promotion count, and the
+// fleet must converge and drain clean. `make chaos-repl` runs the full
+// ≥5-promotion version via cmd/rschaos.
+func TestChaosReplFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real server fleet; skipped in -short")
+	}
+	bin := buildRsserve(t)
+
+	rep, err := RunRepl(ReplConfig{
+		ServerBin: bin,
+		Dir:       filepath.Join(t.TempDir(), "fleet"),
+		Replicas:  2,
+		Cycles:    2,
+		Period:    500 * time.Millisecond,
+		Workers:   4,
+		Pipeline:  4,
+		Seed:      42,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("chaos.RunRepl: %v", err)
+	}
+	t.Logf("chaos: promotions=%d term=%d replica_kills=%d link_faults=%d ops=%d failovers=%d replica_reads=%d stale_fallbacks=%d converge=%.2fs points=%d",
+		rep.Promotions, rep.FinalTerm, rep.ReplicaKills, rep.LinkFaults,
+		rep.Load.Ops, rep.Load.Failovers, rep.Load.ReplicaReads,
+		rep.Load.StaleFallbacks, rep.ConvergeS, rep.PostPoints)
+
+	if rep.Failed() {
+		t.Fatalf("repl chaos run failed: failures=%v load: proto=%d consistency=%d transport=%d first=%s",
+			rep.Failures, rep.Load.ProtoErrors, rep.Load.ConsistencyErrors,
+			rep.Load.TransportErrors, rep.Load.FirstError)
+	}
+	if rep.Promotions != 2 || rep.PrimaryKills != 2 || rep.ReplicaKills != 2 {
+		t.Fatalf("promotions=%d primary_kills=%d replica_kills=%d, want 2/2/2",
+			rep.Promotions, rep.PrimaryKills, rep.ReplicaKills)
+	}
+	if rep.Load.Ops == 0 || rep.Load.Writes == 0 {
+		t.Fatalf("repl chaos load did no work: %+v", rep.Load)
+	}
+	// Reads fanned out across the fleet the whole time.
+	if rep.Load.ReplicaReads == 0 {
+		t.Fatal("no replica reads recorded; the read pool exercised nothing")
+	}
+	// Each primary kill severs the writers, who must reconnect along the
+	// failover ring to the promoted node. Which signal routes them there
+	// varies by timing — a refused dial, NOTPRIMARY from a live replica,
+	// or STALE from a mis-aimed barrier read — so the invariant is that
+	// recovery work happened at all, not which path it took.
+	if rep.Load.Reconnects == 0 && rep.Load.Failovers == 0 {
+		t.Fatal("no reconnects or failovers recorded; the promotions exercised nothing")
+	}
+}

@@ -128,7 +128,8 @@ func (c *Client) Do(r Request) (Response, error) {
 }
 
 // statusErr converts a non-OK response into an error (BUSY → ErrBusy,
-// TIMEOUT → ErrTimeout).
+// TIMEOUT → ErrTimeout, STALE → ErrStale, NOTPRIMARY → ErrNotPrimary,
+// DISKFULL → ErrDiskFull).
 func statusErr(r Response) error {
 	switch r.Status {
 	case StatusOK:
@@ -137,6 +138,12 @@ func statusErr(r Response) error {
 		return ErrBusy
 	case StatusTimeout:
 		return ErrTimeout
+	case StatusStale:
+		return ErrStale
+	case StatusNotPrimary:
+		return ErrNotPrimary
+	case StatusDiskFull:
+		return ErrDiskFull
 	default:
 		return fmt.Errorf("server: %s", r.Msg)
 	}

@@ -74,6 +74,21 @@ type LoadConfig struct {
 	Resilient bool
 	// Retry bounds the resilient clients' reconnects and retries.
 	Retry RetryPolicy
+	// ReadAddrs fans queries out across these replica addresses (barrier-
+	// stamped, primary fallback on STALE). Requires Resilient. The
+	// read-your-writes verification stays sound: the session barrier makes
+	// a replica answer only once it has applied this worker's acked
+	// writes.
+	ReadAddrs []string
+	// FailoverAddrs lists candidate primaries the workers rotate to on
+	// NOTPRIMARY, so the run rides through a promotion. Requires
+	// Resilient.
+	FailoverAddrs []string
+	// Stop, when non-nil, ends the run early when closed: workers finish
+	// their outstanding window and the report covers what ran. A harness
+	// whose fault schedule has variable length uses this instead of
+	// guessing a Duration.
+	Stop <-chan struct{}
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -160,6 +175,14 @@ type LoadReport struct {
 	Resent         uint64 `json:"resent,omitempty"`
 	BusyRetries    uint64 `json:"busy_retries,omitempty"`
 	TimeoutRetries uint64 `json:"timeout_retries,omitempty"`
+	// ReplicaReads / StaleFallbacks / ReplicaFallbacks / Failovers /
+	// DiskFullRetries aggregate the replica read pool and failover work
+	// (zero without ReadAddrs / FailoverAddrs).
+	ReplicaReads     uint64 `json:"replica_reads,omitempty"`
+	StaleFallbacks   uint64 `json:"stale_fallbacks,omitempty"`
+	ReplicaFallbacks uint64 `json:"replica_fallbacks,omitempty"`
+	Failovers        uint64 `json:"failovers,omitempty"`
+	DiskFullRetries  uint64 `json:"disk_full_retries,omitempty"`
 
 	PerOp map[string]OpLoadStats `json:"per_op"`
 
@@ -207,17 +230,22 @@ func (r *LoadReport) Failed() bool {
 // Either way, recv tells the worker which request the response answers
 // and whether that request was ever ambiguously re-sent.
 type loadConn interface {
-	send(r Request) error
+	send(s sentOp) error
 	recv() (s sentOp, resp Response, retried bool, err error)
 	pending() int
 	close() error
 }
 
 // sentOp remembers enough about an in-flight request to apply its
-// response to the model and verify query results.
+// response to the model and verify query results. ambig, set only on
+// verified queries in resilient mode, is the set of points touched by
+// writes that were still in flight when the query was sent: the read
+// barrier covers acked writes only, so a replica-routed (or requeued)
+// query may or may not observe those.
 type sentOp struct {
 	req   Request
 	start time.Time
+	ambig map[geom.Point]struct{}
 }
 
 // plainConn drives a *Client, pairing responses with its FIFO window.
@@ -226,11 +254,11 @@ type plainConn struct {
 	window []sentOp
 }
 
-func (c *plainConn) send(r Request) error {
-	if err := c.cl.Send(r); err != nil {
+func (c *plainConn) send(s sentOp) error {
+	if err := c.cl.Send(s.req); err != nil {
 		return err
 	}
-	c.window = append(c.window, sentOp{req: r, start: time.Now()})
+	c.window = append(c.window, s)
 	return nil
 }
 
@@ -244,14 +272,15 @@ func (c *plainConn) recv() (sentOp, Response, bool, error) {
 func (c *plainConn) pending() int { return c.cl.Pending() }
 func (c *plainConn) close() error { return c.cl.Close() }
 
-// resilientConn drives a *ResilientClient; the send time rides along as
-// the tag so latency spans every retry of the operation.
+// resilientConn drives a *ResilientClient; the whole sentOp rides along
+// as the tag, so the send time spans every retry of the operation and a
+// query's in-flight ambiguity snapshot survives re-routing.
 type resilientConn struct {
 	rc *ResilientClient
 }
 
-func (c *resilientConn) send(r Request) error {
-	return c.rc.Send(r, time.Now())
+func (c *resilientConn) send(s sentOp) error {
+	return c.rc.Send(s.req, s)
 }
 
 func (c *resilientConn) recv() (sentOp, Response, bool, error) {
@@ -259,7 +288,9 @@ func (c *resilientConn) recv() (sentOp, Response, bool, error) {
 	if err != nil {
 		return sentOp{}, Response{}, false, err
 	}
-	return sentOp{req: res.Req, start: res.Tag.(time.Time)}, res.Resp, res.Retried, nil
+	s := res.Tag.(sentOp)
+	s.req = res.Req
+	return s, res.Resp, res.Retried, nil
 }
 
 func (c *resilientConn) pending() int { return c.rc.Pending() }
@@ -286,6 +317,13 @@ type loadWorker struct {
 	// They are excluded from both sides of query verification until a
 	// completed write resolves them.
 	unknown map[geom.Point]struct{}
+	// wpending refcounts the points touched by writes sent but not yet
+	// settled (response not yet delivered). Maintained only in resilient
+	// mode, where a query may run on a replica or be requeued behind
+	// later traffic: the read barrier orders it after every ACKED write,
+	// but in-flight writes are fair game in either direction, so their
+	// points are ambiguous for that query.
+	wpending map[geom.Point]int
 	// strict selects exact-match query verification (index started
 	// empty); otherwise only containment of this run's effects is checked.
 	strict bool
@@ -432,6 +470,82 @@ func sortPoints(ps []geom.Point) {
 	})
 }
 
+// trackSend maintains the in-flight write ledger: writes bump their
+// points' refcounts; a query snapshots the currently-unsettled points so
+// verification can exclude them. Called only in resilient verify mode.
+func (w *loadWorker) trackSend(s *sentOp) {
+	switch s.req.Op {
+	case OpInsert, OpDelete:
+		w.wpending[s.req.P]++
+	case OpBatch:
+		for _, e := range s.req.Batch {
+			w.wpending[e.P]++
+		}
+	case OpQuery3, OpQuery4:
+		if len(w.wpending) == 0 {
+			return
+		}
+		snap := make(map[geom.Point]struct{}, len(w.wpending))
+		for p := range w.wpending {
+			snap[p] = struct{}{}
+		}
+		s.ambig = snap
+	}
+}
+
+// trackSettle reverses trackSend's bookkeeping when a write's response
+// is delivered (whatever its status — the op left the pipeline).
+func (w *loadWorker) trackSettle(req Request) {
+	dec := func(p geom.Point) {
+		if n := w.wpending[p]; n <= 1 {
+			delete(w.wpending, p)
+		} else {
+			w.wpending[p] = n - 1
+		}
+	}
+	switch req.Op {
+	case OpInsert, OpDelete:
+		dec(req.P)
+	case OpBatch:
+		for _, e := range req.Batch {
+			dec(e.P)
+		}
+	}
+}
+
+// applyWrite folds one delivered write effect into the model. It is
+// authoritative only when no sibling write on the same point is still in
+// flight (settled) — otherwise execution order is unknowable and the
+// point parks as ambiguous until the last sibling lands. A point already
+// ambiguous is resolved only by a write that was never re-sent: a
+// dedup-replayed retry can deliver last while reporting an execution
+// that predates a sibling's, so it must not claim authority.
+func (w *loadWorker) applyWrite(p geom.Point, insert, retried, wasUnknown, settled bool) {
+	if !settled || (retried && wasUnknown) {
+		w.modelUnknown(p)
+		return
+	}
+	if insert {
+		w.modelInsert(p)
+	} else {
+		w.modelDelete(p)
+	}
+}
+
+// ambiguousAt reports whether p's membership cannot be asserted for the
+// query s: a write touching it timed out, was in flight when s was
+// sent, or is in flight now (sent after s, delivered after s — but
+// possibly executed before a re-routed s).
+func (w *loadWorker) ambiguousAt(s sentOp, p geom.Point) bool {
+	if _, ok := w.unknown[p]; ok {
+		return true
+	}
+	if _, ok := s.ambig[p]; ok {
+		return true
+	}
+	return w.wpending[p] > 0
+}
+
 // markUnknown records every point a timed-out write request touched as
 // ambiguous.
 func (w *loadWorker) markUnknown(req Request) {
@@ -466,8 +580,13 @@ func (w *loadWorker) applyResponse(s sentOp, resp Response, retried bool, err er
 		w.traceHist.Observe(uint64(lat))
 	}
 	w.ops++
+	if w.wpending != nil {
+		w.trackSettle(s.req)
+	}
 	switch resp.Status {
-	case StatusBusy:
+	case StatusBusy, StatusDiskFull, StatusStale, StatusNotPrimary:
+		// Shed (or, past the retry budget, refused) without executing:
+		// the model is untouched and the outcome is known.
 		w.busy++
 		return
 	case StatusTimeout:
@@ -484,7 +603,14 @@ func (w *loadWorker) applyResponse(s sentOp, resp Response, retried bool, err er
 	case OpInsert:
 		w.writes++
 		_, wasUnknown := w.unknown[s.req.P]
-		if w.cfg.Verify && !retried && !wasUnknown {
+		// In resilient mode a requeued sibling write on the same point
+		// can still be in flight — it may have executed before this op
+		// but deliver after it, so neither the flags nor the delivered
+		// effect are authoritative for the point yet (wpending > 0):
+		// skip flag checks, exactly as for a retried op, and let
+		// applyWrite park the point as ambiguous.
+		settled := w.wpending[s.req.P] == 0
+		if w.cfg.Verify && !retried && !wasUnknown && settled {
 			// The stripe is exclusive to this worker, so the server must
 			// report a duplicate exactly when the model already holds the
 			// point. In containment mode a duplicate of a point the model
@@ -498,17 +624,18 @@ func (w *loadWorker) applyResponse(s sentOp, resp Response, retried bool, err er
 				w.fail(&w.consistency, fmt.Errorf("insert %v: unexpected duplicate (live=%v dead=%v)", s.req.P, wasLive, wasDead))
 			}
 		}
-		w.modelInsert(s.req.P)
+		w.applyWrite(s.req.P, true, retried, wasUnknown, settled)
 	case OpDelete:
 		w.writes++
 		_, wasUnknown := w.unknown[s.req.P]
-		if w.cfg.Verify && !retried && !wasUnknown {
+		settled := w.wpending[s.req.P] == 0
+		if w.cfg.Verify && !retried && !wasUnknown && settled {
 			_, wasLive := w.live[s.req.P]
 			if wasLive != resp.Found {
 				w.fail(&w.consistency, fmt.Errorf("delete %v: found=%v, model live=%v", s.req.P, resp.Found, wasLive))
 			}
 		}
-		w.modelDelete(s.req.P)
+		w.applyWrite(s.req.P, false, retried, wasUnknown, settled)
 	case OpBatch:
 		w.writes++
 		if len(resp.Results) != len(s.req.Batch) {
@@ -517,7 +644,8 @@ func (w *loadWorker) applyResponse(s sentOp, resp Response, retried bool, err er
 		}
 		for i, e := range s.req.Batch {
 			_, wasUnknown := w.unknown[e.P]
-			check := w.cfg.Verify && !retried && !wasUnknown
+			settled := w.wpending[e.P] == 0
+			check := w.cfg.Verify && !retried && !wasUnknown && settled
 			if e.Kind == BatchDelete {
 				if check {
 					_, wasLive := w.live[e.P]
@@ -526,7 +654,7 @@ func (w *loadWorker) applyResponse(s sentOp, resp Response, retried bool, err er
 						w.fail(&w.consistency, fmt.Errorf("batch delete %v: code=%d, model live=%v", e.P, resp.Results[i], wasLive))
 					}
 				}
-				w.modelDelete(e.P)
+				w.applyWrite(e.P, false, retried, wasUnknown, settled)
 			} else {
 				if check {
 					_, wasLive := w.live[e.P]
@@ -539,14 +667,14 @@ func (w *loadWorker) applyResponse(s sentOp, resp Response, retried bool, err er
 						w.fail(&w.consistency, fmt.Errorf("batch insert %v: unexpected duplicate", e.P))
 					}
 				}
-				w.modelInsert(e.P)
+				w.applyWrite(e.P, true, retried, wasUnknown, settled)
 			}
 		}
 	case OpQuery3, OpQuery4:
 		w.reads++
 		w.pointsRead += uint64(len(resp.Points))
 		if w.cfg.Verify {
-			w.verifyQuery(s.req, resp.Points)
+			w.verifyQuery(s, resp.Points)
 		}
 	}
 }
@@ -556,20 +684,29 @@ func (w *loadWorker) applyResponse(s sentOp, resp Response, retried bool, err er
 // worker's stripe must equal the model's live set in the rectangle. In
 // containment mode (pre-populated index) only this run's effects are
 // checked: every model-live point in the rectangle must appear, and no
-// point this worker deleted may appear.
-func (w *loadWorker) verifyQuery(req Request, pts []geom.Point) {
+// point this worker deleted may appear. Either way, points whose
+// membership the model cannot pin down for THIS query — timed-out
+// writes, and writes in flight around the query in resilient mode (see
+// sentOp.ambig) — are excluded from both sides.
+func (w *loadWorker) verifyQuery(s sentOp, pts []geom.Point) {
+	req := s.req
 	if w.strict {
 		var got []geom.Point
 		for _, p := range pts {
-			if _, ambiguous := w.unknown[p]; ambiguous {
-				continue // a timed-out write may have put it there
+			if w.ambiguousAt(s, p) {
+				continue // an unsettled write may have put it there
 			}
 			if w.inStripe(p) {
 				got = append(got, p)
 			}
 		}
 		sortPoints(got)
-		want := w.expectStripe(req.Rect)
+		var want []geom.Point
+		for _, p := range w.expectStripe(req.Rect) {
+			if !w.ambiguousAt(s, p) {
+				want = append(want, p)
+			}
+		}
 		if !equalPoints(got, want) {
 			w.fail(&w.consistency, fmt.Errorf("%s %+v: got %d stripe points, want %d", OpName(req.Op), req.Rect, len(got), len(want)))
 		}
@@ -578,13 +715,13 @@ func (w *loadWorker) verifyQuery(req Request, pts []geom.Point) {
 	got := make(map[geom.Point]struct{}, len(pts))
 	for _, p := range pts {
 		got[p] = struct{}{}
-		if _, deleted := w.dead[p]; deleted {
+		if _, deleted := w.dead[p]; deleted && !w.ambiguousAt(s, p) {
 			w.fail(&w.consistency, fmt.Errorf("%s %+v: returned %v, which this worker deleted", OpName(req.Op), req.Rect, p))
 			return
 		}
 	}
 	for _, p := range w.expectStripe(req.Rect) {
-		if _, ok := got[p]; !ok {
+		if _, ok := got[p]; !ok && !w.ambiguousAt(s, p) {
 			w.fail(&w.consistency, fmt.Errorf("%s %+v: missing %v, which this worker inserted", OpName(req.Op), req.Rect, p))
 			return
 		}
@@ -603,14 +740,27 @@ func equalPoints(a, b []geom.Point) bool {
 	return true
 }
 
-// run drives the closed loop until deadline, then drains the window.
+// run drives the closed loop until deadline (or an early Stop), then
+// drains the window.
 func (w *loadWorker) run(deadline time.Time) {
-	for time.Now().Before(deadline) && w.firstErr == nil {
+	stopped := func() bool {
+		select {
+		case <-w.cfg.Stop:
+			return true
+		default:
+			return false
+		}
+	}
+	for time.Now().Before(deadline) && w.firstErr == nil && !stopped() {
 		// Fill the pipeline window.
 		for w.conn.pending() < w.cfg.Pipeline {
 			req := w.nextRequest()
 			w.maybeTrace(&req)
-			if err := w.conn.send(req); err != nil {
+			s := sentOp{req: req, start: time.Now()}
+			if w.wpending != nil {
+				w.trackSend(&s)
+			}
+			if err := w.conn.send(s); err != nil {
 				w.fail(&w.txp, err)
 				return
 			}
@@ -635,7 +785,10 @@ func (w *loadWorker) run(deadline time.Time) {
 // in resilient mode (so a restarting server doesn't fail the probe).
 func fetchStats(cfg LoadConfig) ([]byte, error) {
 	if cfg.Resilient {
-		rc := NewResilient(cfg.Addr, ResilientOptions{Client: cfg.Client, Retry: cfg.Retry, Seed: cfg.Seed})
+		rc := NewResilient(cfg.Addr, ResilientOptions{
+			Client: cfg.Client, Retry: cfg.Retry, Seed: cfg.Seed,
+			FailoverAddrs: cfg.FailoverAddrs,
+		})
 		defer rc.Close()
 		return rc.ServerStats()
 	}
@@ -688,13 +841,18 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			traceEvery: sampleInterval(cfg.TraceSample),
 		}
 		if cfg.Resilient {
+			if cfg.Verify {
+				w.wpending = map[geom.Point]int{}
+			}
 			w.rc = NewResilient(cfg.Addr, ResilientOptions{
 				Client: cfg.Client,
 				Retry:  cfg.Retry,
 				// Jitter is seeded per worker; the idempotency client id
 				// stays crypto-random so windows never collide across runs
 				// against the same server.
-				Seed: cfg.Seed + int64(i)*104729,
+				Seed:          cfg.Seed + int64(i)*104729,
+				ReadAddrs:     cfg.ReadAddrs,
+				FailoverAddrs: cfg.FailoverAddrs,
 			})
 			w.conn = &resilientConn{rc: w.rc}
 		} else {
@@ -757,6 +915,11 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			rep.Resent += st.Resent
 			rep.BusyRetries += st.BusyRetries
 			rep.TimeoutRetries += st.TimeoutRetries
+			rep.ReplicaReads += st.ReplicaReads
+			rep.StaleFallbacks += st.StaleFallbacks
+			rep.ReplicaFallbacks += st.ReplicaFallbacks
+			rep.Failovers += st.Failovers
+			rep.DiskFullRetries += st.DiskFullRetries
 		}
 		if w.firstErr != nil && rep.FirstError == "" {
 			rep.FirstError = fmt.Sprintf("worker %d: %v", w.id, w.firstErr)

@@ -38,6 +38,9 @@ type Metrics struct {
 	evicted    atomic.Uint64 // connections closed for missing a write deadline
 	idemReplay atomic.Uint64 // IDEM retries answered from the dedup window
 	idemExec   atomic.Uint64 // IDEM envelopes executed (window miss)
+	stale      atomic.Uint64 // barrier reads answered StatusStale
+	notPrimary atomic.Uint64 // writes rejected StatusNotPrimary (replica role)
+	diskFull   atomic.Uint64 // writes rejected StatusDiskFull (ENOSPC)
 }
 
 // observe records one completed RPC.
@@ -113,6 +116,15 @@ func (m *Metrics) Evicted() uint64 { return m.evicted.Load() }
 // the idempotency dedup window instead of re-executing.
 func (m *Metrics) IdemReplays() uint64 { return m.idemReplay.Load() }
 
+// Stale returns the number of barrier reads answered StatusStale.
+func (m *Metrics) Stale() uint64 { return m.stale.Load() }
+
+// NotPrimary returns the number of writes rejected StatusNotPrimary.
+func (m *Metrics) NotPrimary() uint64 { return m.notPrimary.Load() }
+
+// DiskFull returns the number of writes rejected StatusDiskFull.
+func (m *Metrics) DiskFull() uint64 { return m.diskFull.Load() }
+
 // OpMetricsSnapshot is the JSON-friendly per-opcode view.
 type OpMetricsSnapshot struct {
 	Count    uint64                `json:"count"`
@@ -143,6 +155,9 @@ type MetricsSnapshot struct {
 	Evicted     uint64                       `json:"evicted"`
 	IdemReplays uint64                       `json:"idem_replays"`
 	IdemExecs   uint64                       `json:"idem_execs"`
+	Stale       uint64                       `json:"stale,omitempty"`
+	NotPrimary  uint64                       `json:"not_primary,omitempty"`
+	DiskFull    uint64                       `json:"disk_full,omitempty"`
 	Spans       uint64                       `json:"spans,omitempty"`
 	Ops         map[string]OpMetricsSnapshot `json:"ops"`
 	// Phases holds p50/p99 per trace phase (only phases with samples).
@@ -166,6 +181,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Evicted:     m.evicted.Load(),
 		IdemReplays: m.idemReplay.Load(),
 		IdemExecs:   m.idemExec.Load(),
+		Stale:       m.stale.Load(),
+		NotPrimary:  m.notPrimary.Load(),
+		DiskFull:    m.diskFull.Load(),
 		Spans:       m.spans.Load(),
 		Ops:         map[string]OpMetricsSnapshot{},
 	}

@@ -29,6 +29,8 @@
 //	TRACE  0x09  trace id (16 B) + flags (u8, bit0 = sampled, rest zero)
 //	             then any request body except another TRACE — a tracing
 //	             envelope (see below)
+//	BARRIER 0x0A min term (u64) + min LSN (u64), not both zero, then one
+//	             QUERY3/QUERY4 body — a read barrier envelope (see below)
 //
 // Responses:
 //
@@ -42,10 +44,38 @@
 //	              apply after this response. Safe to retry only under an
 //	              idempotency envelope (writes) or when naturally
 //	              idempotent (reads).
+//	STALE   0x04  applied term (u64) + applied LSN (u64); a BARRIER read
+//	              reached a node whose replayed position is below the
+//	              barrier (or whose timeline is older than the barrier's
+//	              term). The query was NOT executed — retry it on the
+//	              primary (or on a caught-up replica).
+//	NOTPRIMARY 0x05  empty; a write reached a read-only replica or a fenced
+//	              former primary. The write was NOT executed and will never
+//	              succeed here — redirect to the current primary.
+//	DISKFULL 0x06 empty, or retry-after hint in ms (u32 > 0); the write's
+//	              commit was refused because the backing device is full.
+//	              Like BUSY the operation was NOT executed and the
+//	              connection stays healthy — reads keep working — but
+//	              unlike BUSY the condition clears only when space is
+//	              reclaimed, so clients should back off harder.
 //
 // A BUSY response is load shedding, not an error: the server refuses to
 // queue beyond its in-flight budget so that latency stays bounded and
 // memory cannot grow with offered load.
+//
+// The BARRIER envelope carries session consistency to read replicas: a
+// client that has seen its writes acknowledged at (term T, LSN L) stamps
+// reads with that pair, and a node answers only from a timeline at least
+// as new (STALE otherwise, with its own position). LSNs are comparable
+// only within one term's timeline, so the rule is lexicographic: a node
+// at a term above T serves unconditionally (promotion preserves every
+// acknowledged write of older terms), a node at exactly T must have
+// applied L, and a node below T always answers STALE — it may hold a
+// divergent pre-promotion suffix whose LSNs numerically satisfy L while
+// missing newer-term writes. Write acknowledgements carry the primary's
+// (term, durable LSN) precisely so clients have the pair on hand.
+// BARRIER may wrap only QUERY3/QUERY4 and sits inside a TRACE envelope
+// when both are present.
 //
 // The IDEM envelope makes write retries safe after an ambiguous failure (a
 // dropped connection or TIMEOUT leaves the client unable to tell whether
@@ -90,16 +120,20 @@ const (
 	OpQuery4 byte = 0x05
 	OpBatch  byte = 0x06
 	OpStats  byte = 0x07
-	OpIdem   byte = 0x08
-	OpTrace  byte = 0x09
+	OpIdem    byte = 0x08
+	OpTrace   byte = 0x09
+	OpBarrier byte = 0x0A
 )
 
 // Response status bytes.
 const (
-	StatusOK      byte = 0x00
-	StatusErr     byte = 0x01
-	StatusBusy    byte = 0x02
-	StatusTimeout byte = 0x03
+	StatusOK         byte = 0x00
+	StatusErr        byte = 0x01
+	StatusBusy       byte = 0x02
+	StatusTimeout    byte = 0x03
+	StatusStale      byte = 0x04
+	StatusNotPrimary byte = 0x05
+	StatusDiskFull   byte = 0x06
 )
 
 // Batch entry kinds.
@@ -133,6 +167,17 @@ var (
 	// request's execution deadline expired server-side and its outcome is
 	// unknown.
 	ErrTimeout = errors.New("server: request execution deadline expired (outcome unknown)")
+	// ErrStale is returned by the client on a STALE response: the replica
+	// has not replayed up to the request's read barrier. Retry on the
+	// primary.
+	ErrStale = errors.New("server: replica behind read barrier")
+	// ErrNotPrimary is returned by the client on a NOTPRIMARY response: the
+	// node cannot execute writes. Redirect to the current primary.
+	ErrNotPrimary = errors.New("server: node is not the primary")
+	// ErrDiskFull is returned by the client on a DISKFULL response: the
+	// write was refused because the server's device is full. Retryable, but
+	// only reclamation clears it.
+	ErrDiskFull = errors.New("server: disk full, write not executed")
 )
 
 // OpName returns the human-readable opcode name ("insert", "query3", ...).
@@ -156,6 +201,8 @@ func OpName(op byte) string {
 		return "idem"
 	case OpTrace:
 		return "trace"
+	case OpBarrier:
+		return "barrier"
 	default:
 		return fmt.Sprintf("op(0x%02x)", op)
 	}
@@ -223,6 +270,11 @@ type Request struct {
 	// Trace, when non-nil, wraps the request (outermost, outside any IDEM
 	// envelope) in a TRACE tracing envelope. Any opcode may carry one.
 	Trace *TraceInfo
+	// MinTerm and MinLSN, when not both zero, wrap a QUERY3/QUERY4 in a
+	// BARRIER envelope: the serving node must be on a timeline at least as
+	// new as (MinTerm, MinLSN) — lexicographically — or answer STALE.
+	MinTerm uint64
+	MinLSN  uint64
 }
 
 // TraceInfo is the decoded TRACE envelope header: the client-chosen
@@ -251,6 +303,15 @@ type IdemID struct {
 
 // idemHdrSize is the wire size of the IDEM envelope header.
 const idemHdrSize = 16
+
+// barrierHdrSize is the wire size of the BARRIER envelope header:
+// min term (u64) followed by min LSN (u64).
+const barrierHdrSize = 16
+
+// barrierable reports whether op may carry a BARRIER read envelope.
+func barrierable(op byte) bool {
+	return op == OpQuery3 || op == OpQuery4
+}
 
 // idempotent reports whether op may be wrapped in an IDEM envelope: only
 // writes need retry protection, and keeping reads out of the envelope
@@ -295,6 +356,20 @@ func EncodeRequest(dst []byte, r Request) ([]byte, error) {
 		dst = append(dst, hdr[:]...)
 		inner := r
 		inner.Trace = nil
+		return EncodeRequest(dst, inner)
+	}
+	if r.MinLSN != 0 || r.MinTerm != 0 {
+		if !barrierable(r.Op) {
+			return nil, fmt.Errorf("%w: barrier envelope around %s", ErrProto, OpName(r.Op))
+		}
+		var hdr [1 + barrierHdrSize]byte
+		hdr[0] = OpBarrier
+		binary.BigEndian.PutUint64(hdr[1:9], r.MinTerm)
+		binary.BigEndian.PutUint64(hdr[9:17], r.MinLSN)
+		dst = append(dst, hdr[:]...)
+		inner := r
+		inner.MinTerm = 0
+		inner.MinLSN = 0
 		return EncodeRequest(dst, inner)
 	}
 	if r.Idem != nil {
@@ -435,6 +510,26 @@ func DecodeRequest(body []byte, maxBatchOps int) (Request, error) {
 		}
 		r.Idem = &id
 		return r, nil
+	case OpBarrier:
+		if len(payload) < barrierHdrSize+1 {
+			return Request{}, fmt.Errorf("%w: barrier envelope truncated", ErrProto)
+		}
+		minTerm := binary.BigEndian.Uint64(payload[0:8])
+		minLSN := binary.BigEndian.Uint64(payload[8:16])
+		if minTerm == 0 && minLSN == 0 {
+			// Canonical form: a zero barrier must omit the envelope.
+			return Request{}, fmt.Errorf("%w: barrier envelope with zero barrier", ErrProto)
+		}
+		if inner := payload[barrierHdrSize]; !barrierable(inner) {
+			return Request{}, fmt.Errorf("%w: barrier envelope around %s", ErrProto, OpName(inner))
+		}
+		r, err := DecodeRequest(payload[barrierHdrSize:], maxBatchOps)
+		if err != nil {
+			return Request{}, err
+		}
+		r.MinTerm = minTerm
+		r.MinLSN = minLSN
+		return r, nil
 	case OpTrace:
 		if len(payload) < traceHdrSize+1 {
 			return Request{}, fmt.Errorf("%w: trace envelope truncated", ErrProto)
@@ -466,13 +561,23 @@ func DecodeRequest(body []byte, maxBatchOps int) (Request, error) {
 // Response is one decoded server response. Which fields are meaningful
 // depends on the opcode of the request it answers.
 type Response struct {
-	// Status is StatusOK, StatusErr, StatusBusy or StatusTimeout.
+	// Status is one of the Status... bytes.
 	Status byte
 	// Msg is the error message of a StatusErr response.
 	Msg string
-	// RetryAfterMs is the backoff hint of a StatusBusy response, in
-	// milliseconds (0 = no hint).
+	// RetryAfterMs is the backoff hint of a StatusBusy or StatusDiskFull
+	// response, in milliseconds (0 = no hint).
 	RetryAfterMs uint32
+	// LSN is the server's durable log position: on a write OK it is ≥ the
+	// LSN the write committed at (the value to use as a later read
+	// barrier); on a STALE response it is the replica's current applied
+	// position. Zero on non-durable backends.
+	LSN uint64
+	// Term is the server's replication term alongside LSN on write OKs and
+	// STALE responses: LSNs are comparable only within one term's
+	// timeline, so a read barrier is the (Term, LSN) pair. Zero on
+	// un-replicated servers.
+	Term uint64
 	// Duplicate reports an INSERT of an already-present point (a benign
 	// per-operation outcome, not an error).
 	Duplicate bool
@@ -500,15 +605,20 @@ func EncodeResponse(dst []byte, op byte, r Response) []byte {
 	switch r.Status {
 	case StatusErr:
 		return append(dst, r.Msg...)
-	case StatusBusy:
+	case StatusBusy, StatusDiskFull:
 		if r.RetryAfterMs > 0 {
 			var hint [4]byte
 			binary.BigEndian.PutUint32(hint[:], r.RetryAfterMs)
 			dst = append(dst, hint[:]...)
 		}
 		return dst
-	case StatusTimeout:
+	case StatusTimeout, StatusNotPrimary:
 		return dst
+	case StatusStale:
+		var pos [16]byte
+		binary.BigEndian.PutUint64(pos[0:8], r.Term)
+		binary.BigEndian.PutUint64(pos[8:16], r.LSN)
+		return append(dst, pos[:]...)
 	}
 	switch op {
 	case OpPing, OpStats:
@@ -519,12 +629,14 @@ func EncodeResponse(dst []byte, op byte, r Response) []byte {
 		} else {
 			dst = append(dst, 0)
 		}
+		dst = appendPosition(dst, r)
 	case OpDelete:
 		if r.Found {
 			dst = append(dst, 1)
 		} else {
 			dst = append(dst, 0)
 		}
+		dst = appendPosition(dst, r)
 	case OpQuery3, OpQuery4:
 		var cnt [4]byte
 		binary.BigEndian.PutUint32(cnt[:], uint32(len(r.Points)))
@@ -539,8 +651,18 @@ func EncodeResponse(dst []byte, op byte, r Response) []byte {
 		binary.BigEndian.PutUint32(cnt[:], uint32(len(r.Results)))
 		dst = append(dst, cnt[:]...)
 		dst = append(dst, r.Results...)
+		dst = appendPosition(dst, r)
 	}
 	return dst
+}
+
+// appendPosition appends the (LSN, term) trailer write acknowledgements
+// carry so clients can maintain a read barrier.
+func appendPosition(dst []byte, r Response) []byte {
+	var pos [16]byte
+	binary.BigEndian.PutUint64(pos[0:8], r.LSN)
+	binary.BigEndian.PutUint64(pos[8:16], r.Term)
+	return append(dst, pos[:]...)
 }
 
 // DecodeResponse parses a frame body into the Response to a request with
@@ -553,7 +675,7 @@ func DecodeResponse(body []byte, op byte) (Response, error) {
 	switch status {
 	case StatusErr:
 		return Response{Status: status, Msg: string(payload)}, nil
-	case StatusBusy:
+	case StatusBusy, StatusDiskFull:
 		switch len(payload) {
 		case 0:
 			return Response{Status: status}, nil
@@ -561,17 +683,26 @@ func DecodeResponse(body []byte, op byte) (Response, error) {
 			// A zero hint must be encoded as no payload (canonical form).
 			hint := binary.BigEndian.Uint32(payload)
 			if hint == 0 {
-				return Response{}, fmt.Errorf("%w: busy retry-after hint of 0", ErrProto)
+				return Response{}, fmt.Errorf("%w: %s retry-after hint of 0", ErrProto, statusName(status))
 			}
 			return Response{Status: status, RetryAfterMs: hint}, nil
 		default:
-			return Response{}, fmt.Errorf("%w: busy response payload of %d bytes", ErrProto, len(payload))
+			return Response{}, fmt.Errorf("%w: %s response payload of %d bytes", ErrProto, statusName(status), len(payload))
 		}
-	case StatusTimeout:
+	case StatusTimeout, StatusNotPrimary:
 		if len(payload) != 0 {
-			return Response{}, fmt.Errorf("%w: timeout response carries payload", ErrProto)
+			return Response{}, fmt.Errorf("%w: %s response carries payload", ErrProto, statusName(status))
 		}
 		return Response{Status: status}, nil
+	case StatusStale:
+		if len(payload) != 16 {
+			return Response{}, fmt.Errorf("%w: stale response payload of %d bytes", ErrProto, len(payload))
+		}
+		return Response{
+			Status: status,
+			Term:   binary.BigEndian.Uint64(payload[0:8]),
+			LSN:    binary.BigEndian.Uint64(payload[8:16]),
+		}, nil
 	case StatusOK:
 	default:
 		return Response{}, fmt.Errorf("%w: unknown status 0x%02x", ErrProto, status)
@@ -581,15 +712,19 @@ func DecodeResponse(body []byte, op byte) (Response, error) {
 	case OpPing, OpStats:
 		r.Data = payload
 	case OpInsert:
-		if len(payload) != 1 || payload[0] > 1 {
+		if len(payload) != 1+16 || payload[0] > 1 {
 			return Response{}, fmt.Errorf("%w: insert response payload", ErrProto)
 		}
 		r.Duplicate = payload[0] == 1
+		r.LSN = binary.BigEndian.Uint64(payload[1:9])
+		r.Term = binary.BigEndian.Uint64(payload[9:17])
 	case OpDelete:
-		if len(payload) != 1 || payload[0] > 1 {
+		if len(payload) != 1+16 || payload[0] > 1 {
 			return Response{}, fmt.Errorf("%w: delete response payload", ErrProto)
 		}
 		r.Found = payload[0] == 1
+		r.LSN = binary.BigEndian.Uint64(payload[1:9])
+		r.Term = binary.BigEndian.Uint64(payload[9:17])
 	case OpQuery3, OpQuery4:
 		if len(payload) < 4 {
 			return Response{}, fmt.Errorf("%w: query response truncated", ErrProto)
@@ -606,20 +741,23 @@ func DecodeResponse(body []byte, op byte) (Response, error) {
 			}
 		}
 	case OpBatch:
-		if len(payload) < 4 {
+		if len(payload) < 4+16 {
 			return Response{}, fmt.Errorf("%w: batch response truncated", ErrProto)
 		}
 		n := binary.BigEndian.Uint32(payload[:4])
 		rest := payload[4:]
-		if len(rest) != int(n) {
+		if len(rest) != int(n)+16 {
 			return Response{}, fmt.Errorf("%w: batch response %d bytes for %d results", ErrProto, len(rest), n)
 		}
-		for _, code := range rest {
+		codes := rest[:n]
+		for _, code := range codes {
 			if code > BatchNotFound {
 				return Response{}, fmt.Errorf("%w: batch result code 0x%02x", ErrProto, code)
 			}
 		}
-		r.Results = rest
+		r.Results = codes
+		r.LSN = binary.BigEndian.Uint64(rest[n : n+8])
+		r.Term = binary.BigEndian.Uint64(rest[n+8:])
 	default:
 		return Response{}, fmt.Errorf("%w: unknown opcode 0x%02x", ErrProto, op)
 	}

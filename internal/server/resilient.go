@@ -61,9 +61,22 @@ type ResilientOptions struct {
 	// failure then re-execute instead of replaying, which is safe only if
 	// the caller can tolerate stale Duplicate/Found flags.
 	NoIdempotency bool
-	// NoRetryBusy surfaces BUSY responses to the caller instead of
-	// retrying them after the server's retry-after hint.
+	// NoRetryBusy surfaces BUSY (and DISKFULL) responses to the caller
+	// instead of retrying them after the server's retry-after hint.
 	NoRetryBusy bool
+	// ReadAddrs lists replica addresses. When non-empty, queries fan out
+	// across them round-robin, stamped with a BARRIER envelope at the
+	// session's last acked write LSN — read-your-writes holds even though
+	// the replica applies asynchronously. A STALE answer, a connection
+	// failure, or an undialable replica falls the read back to the
+	// primary; replicas are re-tried on later reads.
+	ReadAddrs []string
+	// FailoverAddrs lists candidate primary addresses beyond the one the
+	// client was built with. On NOTPRIMARY (the node was demoted, or a
+	// replica answered a write) or on repeated dial failure the client
+	// rotates to the next candidate, so it follows a promotion without
+	// outside help.
+	FailoverAddrs []string
 }
 
 // RecvResult is one delivered response: the request it answers, the tag
@@ -84,16 +97,33 @@ type ResilientStats struct {
 	Resent         uint64 `json:"resent"`
 	BusyRetries    uint64 `json:"busy_retries"`
 	TimeoutRetries uint64 `json:"timeout_retries"`
+	// ReplicaReads counts queries issued to a replica connection;
+	// StaleFallbacks those answered STALE and re-run on the primary;
+	// ReplicaFallbacks those re-routed to the primary after a replica
+	// connection failure.
+	ReplicaReads     uint64 `json:"replica_reads,omitempty"`
+	StaleFallbacks   uint64 `json:"stale_fallbacks,omitempty"`
+	ReplicaFallbacks uint64 `json:"replica_fallbacks,omitempty"`
+	// Failovers counts primary-candidate rotations after NOTPRIMARY.
+	Failovers uint64 `json:"failovers,omitempty"`
+	// DiskFullRetries counts DISKFULL responses absorbed and retried.
+	DiskFullRetries uint64 `json:"disk_full_retries,omitempty"`
 }
 
 // pendingReq is one sent-but-unanswered request, mirrored in order with
-// the underlying connection's pipeline.
+// the pipeline of the connection it rides on: route is routePrimary or
+// the index of the replica connection carrying it. The entries sharing a
+// route are, in pending order, exactly that connection's FIFO.
 type pendingReq struct {
 	req      Request
 	tag      interface{}
 	attempts int
 	retried  bool
+	route    int
 }
+
+// routePrimary routes a pendingReq over the primary connection.
+const routePrimary = -1
 
 // ResilientClient is a Client that survives the network: it reconnects
 // with bounded exponential backoff plus jitter, transparently re-sends
@@ -109,14 +139,26 @@ type pendingReq struct {
 // Per-request ordering relative to the server stays consistent: effects
 // apply in the order responses are delivered.
 type ResilientClient struct {
-	addr string
-	opts ResilientOptions
-	rng  *rand.Rand
+	primaries []string // candidate primary addrs; pi is the current one
+	pi        int
+	opts      ResilientOptions
+	rng       *rand.Rand
 
 	cl       *Client // nil while disconnected
 	clientID uint64
 	seq      uint64
 	pending  []pendingReq
+
+	// replicas holds one lazily dialed connection per ReadAddrs entry
+	// (nil while down); rr is the round-robin cursor. (lastTerm, lastLSN)
+	// is the lexicographic max position any write ack carried — the
+	// session's read barrier. The pair matters: LSNs are comparable only
+	// within one term's timeline, so after a failover the term is what
+	// keeps a divergent ex-primary from satisfying the barrier.
+	replicas []*Client
+	rr       int
+	lastTerm uint64
+	lastLSN  uint64
 
 	stats ResilientStats
 }
@@ -142,7 +184,13 @@ func NewResilient(addr string, opts ResilientOptions) *ResilientClient {
 		}
 		id = binary.LittleEndian.Uint64(b[:])
 	}
-	return &ResilientClient{addr: addr, opts: opts, rng: rng, clientID: id}
+	return &ResilientClient{
+		primaries: append([]string{addr}, opts.FailoverAddrs...),
+		opts:      opts,
+		rng:       rng,
+		clientID:  id,
+		replicas:  make([]*Client, len(opts.ReadAddrs)),
+	}
 }
 
 // ClientID returns the idempotency session id writes are stamped with.
@@ -154,9 +202,39 @@ func (c *ResilientClient) Stats() ResilientStats { return c.stats }
 // Pending returns the number of sent-but-unanswered requests.
 func (c *ResilientClient) Pending() int { return len(c.pending) }
 
-// Close drops the connection and forgets the pipeline.
+// Primary returns the primary address the client currently targets (it
+// moves along the failover candidates on NOTPRIMARY).
+func (c *ResilientClient) Primary() string { return c.primaries[c.pi] }
+
+// LastLSN returns the LSN half of the session's read barrier: the
+// highest position carried by a write ack this client has received.
+func (c *ResilientClient) LastLSN() uint64 { return c.lastLSN }
+
+// LastTerm returns the term half of the session's read barrier.
+func (c *ResilientClient) LastTerm() uint64 { return c.lastTerm }
+
+// barrierAfter reports whether the session barrier is lexicographically
+// past (term, lsn) — i.e. stamping it on a request would raise it.
+func (c *ResilientClient) barrierAfter(term, lsn uint64) bool {
+	return c.lastTerm > term || (c.lastTerm == term && c.lastLSN > lsn)
+}
+
+// rotatePrimary advances to the next primary candidate.
+func (c *ResilientClient) rotatePrimary() {
+	if len(c.primaries) > 1 {
+		c.pi = (c.pi + 1) % len(c.primaries)
+	}
+}
+
+// Close drops every connection and forgets the pipeline.
 func (c *ResilientClient) Close() error {
 	c.pending = nil
+	for i, rcl := range c.replicas {
+		if rcl != nil {
+			rcl.Close()
+			c.replicas[i] = nil
+		}
+	}
 	if c.cl == nil {
 		return nil
 	}
@@ -185,17 +263,20 @@ func (c *ResilientClient) dropConn() {
 }
 
 // reconnect dials (under the retry policy) and re-sends every pending
-// request in pipeline order. Re-sent requests are marked retried: their
-// original may have executed before the connection died.
+// primary-routed request in pipeline order. Re-sent requests are marked
+// retried: their original may have executed before the connection died.
+// Each dial failure rotates to the next primary candidate, so exhausting
+// the budget walks the whole failover ring.
 func (c *ResilientClient) reconnect() error {
 	var lastErr error
 	for attempt := 1; attempt <= c.opts.Retry.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			c.backoff(attempt - 1)
 		}
-		cl, err := Dial(c.addr, c.opts.Client)
+		cl, err := Dial(c.Primary(), c.opts.Client)
 		if err != nil {
 			c.stats.DialFailures++
+			c.rotatePrimary()
 			lastErr = err
 			continue
 		}
@@ -210,11 +291,14 @@ func (c *ResilientClient) reconnect() error {
 		return nil
 	}
 	return fmt.Errorf("server: resilient: reconnect to %s failed after %d attempts: %w",
-		c.addr, c.opts.Retry.MaxAttempts, lastErr)
+		c.Primary(), c.opts.Retry.MaxAttempts, lastErr)
 }
 
 func (c *ResilientClient) resend(cl *Client) error {
 	for i := range c.pending {
+		if c.pending[i].route != routePrimary {
+			continue
+		}
 		if err := cl.Send(c.pending[i].req); err != nil {
 			return err
 		}
@@ -222,6 +306,76 @@ func (c *ResilientClient) resend(cl *Client) error {
 		c.stats.Resent++
 	}
 	return cl.Flush()
+}
+
+// replica returns the i-th replica connection, dialing it if down. nil
+// means the replica is unreachable right now (one dial attempt per read;
+// the primary is the always-available fallback, so no backoff here).
+func (c *ResilientClient) replica(i int) *Client {
+	if c.replicas[i] != nil {
+		return c.replicas[i]
+	}
+	cl, err := Dial(c.opts.ReadAddrs[i], c.opts.Client)
+	if err != nil {
+		c.stats.DialFailures++
+		return nil
+	}
+	c.replicas[i] = cl
+	return cl
+}
+
+// routeRead picks a connection for a query: the next live replica in
+// round-robin order, or the primary when there are no replicas (or none
+// is reachable). Every barrierable read is stamped with the session's
+// read barrier, whatever the route: a true primary trivially satisfies
+// it (acks are issued after the epoch publish, so its applied position
+// covers every LSN this session has seen), while a replica the failover
+// ring mistook for the primary answers STALE instead of old data.
+func (c *ResilientClient) routeRead(r *Request) int {
+	if !barrierable(r.Op) || r.MinLSN != 0 || r.MinTerm != 0 {
+		return routePrimary
+	}
+	r.MinTerm, r.MinLSN = c.lastTerm, c.lastLSN
+	for k := 0; k < len(c.replicas); k++ {
+		i := c.rr % len(c.replicas)
+		c.rr++
+		if c.replica(i) != nil {
+			return i
+		}
+	}
+	return routePrimary
+}
+
+// dropReplica closes a failed replica connection and re-routes every
+// pending request riding on it to the primary: each moves to the tail of
+// the logical pipeline (Recv identifies responses per request, so
+// reordering is within contract) with its barrier kept — a true primary
+// satisfies it for free, and during a failover window it is the only
+// thing standing between the read and a stale ex-replica.
+func (c *ResilientClient) dropReplica(i int) {
+	if cl := c.replicas[i]; cl != nil {
+		cl.Close()
+		c.replicas[i] = nil
+	}
+	var keep, moved []pendingReq
+	for _, p := range c.pending {
+		if p.route == i {
+			p.route = routePrimary
+			moved = append(moved, p)
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	c.pending = append(keep, moved...)
+	for _, p := range moved {
+		c.stats.ReplicaFallbacks++
+		if c.cl == nil {
+			continue // reconnect's resend will carry it
+		}
+		if err := c.cl.Send(p.req); err != nil {
+			c.dropConn()
+		}
+	}
 }
 
 // ensure returns a live connection, reconnecting if needed.
@@ -232,15 +386,28 @@ func (c *ResilientClient) ensure() error {
 	return c.reconnect()
 }
 
-// Send stamps writes with an idempotency ID, queues the request, and puts
-// it on the wire if a connection is up (a dead connection defers the send
-// to the next Recv's reconnect). tag is handed back with the response.
+// Send stamps writes with an idempotency ID, routes queries to a replica
+// when a read pool is configured, queues the request, and puts it on the
+// wire if its connection is up (a dead primary defers the send to the
+// next Recv's reconnect). tag is handed back with the response.
 func (c *ResilientClient) Send(r Request, tag interface{}) error {
 	if !c.opts.NoIdempotency && r.Idem == nil && idempotent(r.Op) {
 		c.seq++
 		r.Idem = &IdemID{Client: c.clientID, Seq: c.seq}
 	}
-	c.pending = append(c.pending, pendingReq{req: r, tag: tag})
+	route := c.routeRead(&r)
+	c.pending = append(c.pending, pendingReq{req: r, tag: tag, route: route})
+	if route != routePrimary {
+		c.stats.ReplicaReads++
+		if err := c.replicas[route].Send(r); err != nil {
+			if errors.Is(err, ErrProto) {
+				c.pending = c.pending[:len(c.pending)-1]
+				return err
+			}
+			c.dropReplica(route)
+		}
+		return nil
+	}
 	if c.cl == nil {
 		return nil
 	}
@@ -256,15 +423,38 @@ func (c *ResilientClient) Send(r Request, tag interface{}) error {
 }
 
 // Recv delivers the next response, absorbing transport failures
-// (reconnect + re-send), BUSY (hinted backoff + retry) and TIMEOUT
-// (idempotent re-send) up to the retry budget. An error means the budget
-// is exhausted or the pipeline is empty.
+// (reconnect + re-send), BUSY and DISKFULL (hinted backoff + retry),
+// TIMEOUT (idempotent re-send), STALE (replica behind the read barrier —
+// re-run on the primary) and NOTPRIMARY (rotate to the next failover
+// candidate) up to the retry budget. An error means the budget is
+// exhausted or the pipeline is empty.
 func (c *ResilientClient) Recv() (RecvResult, error) {
 	if len(c.pending) == 0 {
 		return RecvResult{}, fmt.Errorf("%w: Recv with no pending request", ErrProto)
 	}
 	episodes := 0
 	for {
+		// The logical head decides which connection to read: each route's
+		// entries mirror that connection's FIFO, so the head's response is
+		// the next frame on its own connection.
+		if c.pending[0].route != routePrimary {
+			route := c.pending[0].route
+			resp, err := c.replicas[route].Recv()
+			if err != nil {
+				// The replica died: every read riding on it (head included)
+				// falls back to the primary, and the loop re-examines the
+				// new head. No episode charge — the primary is intact.
+				c.dropReplica(route)
+				continue
+			}
+			head := c.pending[0]
+			c.pending = c.pending[:copy(c.pending, c.pending[1:])]
+			res, retry := c.dispose(head, resp)
+			if !retry {
+				return res, nil
+			}
+			continue
+		}
 		if err := c.ensure(); err != nil {
 			return RecvResult{}, err
 		}
@@ -285,54 +475,119 @@ func (c *ResilientClient) Recv() (RecvResult, error) {
 		}
 		head := c.pending[0]
 		c.pending = c.pending[:copy(c.pending, c.pending[1:])]
-
-		switch resp.Status {
-		case StatusBusy:
-			if c.opts.NoRetryBusy || head.attempts+1 >= c.opts.Retry.MaxAttempts {
-				return RecvResult{Req: head.req, Tag: head.tag, Resp: resp, Retried: head.retried}, nil
-			}
-			// The server shed the request without executing it: honor the
-			// hint (or backoff), then re-enqueue at the pipeline tail.
-			c.stats.BusyRetries++
-			head.attempts++
-			if resp.RetryAfterMs > 0 {
-				c.opts.Retry.Sleep(time.Duration(resp.RetryAfterMs) * time.Millisecond)
-			} else {
-				c.backoff(head.attempts)
-			}
-			if err := c.requeue(head); err != nil {
-				return RecvResult{}, err
-			}
-		case StatusTimeout:
-			if head.attempts+1 >= c.opts.Retry.MaxAttempts {
-				return RecvResult{Req: head.req, Tag: head.tag, Resp: resp, Retried: head.retried}, nil
-			}
-			// Outcome unknown: safe to re-send because writes carry an
-			// idempotency ID (the server replays or converges) and reads
-			// are naturally idempotent.
-			c.stats.TimeoutRetries++
-			head.attempts++
-			head.retried = true
-			if err := c.requeue(head); err != nil {
-				return RecvResult{}, err
-			}
-		default:
-			return RecvResult{Req: head.req, Tag: head.tag, Resp: resp, Retried: head.retried}, nil
+		res, retry := c.dispose(head, resp)
+		if !retry {
+			return res, nil
 		}
 	}
 }
 
-// requeue puts a retried request back at the pipeline tail and on the
-// wire.
-func (c *ResilientClient) requeue(p pendingReq) error {
+// dispose folds one response into the retry machinery: either it is
+// deliverable (retry false) or the request went back into the pipeline
+// (retry true). head has already been popped.
+func (c *ResilientClient) dispose(head pendingReq, resp Response) (RecvResult, bool) {
+	deliver := func() (RecvResult, bool) {
+		if resp.Status == StatusOK && (resp.Term != 0 || resp.LSN != 0) &&
+			!c.barrierAfter(resp.Term, resp.LSN) {
+			// A write ack carries the server's (term, durable LSN):
+			// advance the session barrier — lexicographically, so a
+			// straggler ack from a pre-failover timeline never lowers it —
+			// and later replica reads see this write.
+			c.lastTerm, c.lastLSN = resp.Term, resp.LSN
+		}
+		return RecvResult{Req: head.req, Tag: head.tag, Resp: resp, Retried: head.retried}, false
+	}
+	switch resp.Status {
+	case StatusBusy, StatusDiskFull:
+		if c.opts.NoRetryBusy || head.attempts+1 >= c.opts.Retry.MaxAttempts {
+			return deliver()
+		}
+		// The server shed the request without executing it (admission gate
+		// or a full disk): honor the hint (or backoff), then re-enqueue at
+		// the pipeline tail — on the primary, whatever route it came in on.
+		if resp.Status == StatusDiskFull {
+			c.stats.DiskFullRetries++
+		} else {
+			c.stats.BusyRetries++
+		}
+		head.attempts++
+		if resp.RetryAfterMs > 0 {
+			c.opts.Retry.Sleep(time.Duration(resp.RetryAfterMs) * time.Millisecond)
+		} else {
+			c.backoff(head.attempts)
+		}
+		c.requeue(head)
+	case StatusTimeout:
+		if head.attempts+1 >= c.opts.Retry.MaxAttempts {
+			return deliver()
+		}
+		// Outcome unknown: safe to re-send because writes carry an
+		// idempotency ID (the server replays or converges) and reads
+		// are naturally idempotent.
+		c.stats.TimeoutRetries++
+		head.attempts++
+		head.retried = true
+		c.requeue(head)
+	case StatusStale:
+		if head.attempts+1 >= c.opts.Retry.MaxAttempts {
+			return deliver()
+		}
+		head.attempts++
+		if head.route == routePrimary {
+			// A current primary never answers STALE — its term is the
+			// newest this session can have seen and its applied position
+			// covers every LSN it has ever acked. This node is a replica
+			// (or a deposed ex-primary on an older term) the failover ring
+			// landed on mid-promotion: rotate exactly as NOTPRIMARY would
+			// (reads alone never elicit NOTPRIMARY, so the barrier is what
+			// surfaces the misdirected route).
+			c.stats.Failovers++
+			c.rotatePrimary()
+			c.dropConn()
+			c.backoff(head.attempts)
+		} else {
+			// The replica has not applied up to the read barrier: re-run
+			// on the primary, which satisfies any barrier this session
+			// holds.
+			c.stats.StaleFallbacks++
+		}
+		c.requeue(head)
+	case StatusNotPrimary:
+		if head.attempts+1 >= c.opts.Retry.MaxAttempts {
+			return deliver()
+		}
+		// The node was demoted (or never was the primary): rotate to the
+		// next candidate and re-send there. The write did not execute, so
+		// this is not ambiguous. The backoff paces a promotion in flight.
+		c.stats.Failovers++
+		head.attempts++
+		c.rotatePrimary()
+		c.dropConn()
+		c.backoff(head.attempts)
+		c.requeue(head)
+	default:
+		return deliver()
+	}
+	return RecvResult{}, true
+}
+
+// requeue puts a retried request back at the pipeline tail, routed to
+// the primary, and on the wire. A barrierable read keeps its read
+// barrier — raised to the session's current position in case an ack
+// advanced it since the original send — so that a mis-aimed primary
+// route (a replica mid-failover) answers STALE rather than stale data.
+func (c *ResilientClient) requeue(p pendingReq) {
+	p.route = routePrimary
+	if barrierable(p.req.Op) && c.barrierAfter(p.req.MinTerm, p.req.MinLSN) {
+		p.req.MinTerm, p.req.MinLSN = c.lastTerm, c.lastLSN
+	}
 	c.pending = append(c.pending, p)
 	if c.cl == nil {
-		return nil
+		return
 	}
 	if err := c.cl.Send(p.req); err != nil {
 		c.dropConn()
 	}
-	return nil
 }
 
 // Do sends one request and waits for its response — the non-pipelined

@@ -13,8 +13,49 @@ import (
 	"time"
 
 	"rangesearch/internal/core"
+	"rangesearch/internal/eio"
+	"rangesearch/internal/geom"
 	"rangesearch/internal/trace"
 )
+
+// Backend is what the server serves: the traced entry points of
+// core.Concurrent plus the durable-position probe the read barrier needs.
+// *core.Concurrent satisfies it directly; repl.Node wraps one to serve a
+// replica (reads delegate, writes fail core.ErrNotPrimary until promotion).
+type Backend interface {
+	InsertTraced(p geom.Point, sp *trace.Span) error
+	DeleteTraced(p geom.Point, sp *trace.Span) (bool, error)
+	QueryTraced(dst []geom.Point, q geom.Rect, sp *trace.Span) ([]geom.Point, error)
+	ApplyBatchTraced(ops []core.BatchOp, sp *trace.Span) []core.BatchResult
+	Len() (int, error)
+	Epoch() uint64
+	PageSize() int
+	// AppliedLSN is the LSN of the last locally durable commit: what a
+	// BARRIER envelope compares against, and what write acks carry.
+	AppliedLSN() uint64
+}
+
+// ReplInfo is a node's replication identity, reported inside STATS when
+// the server is given a ReplInfo callback. All fields are point-in-time.
+type ReplInfo struct {
+	// Role is "primary", "replica", or "fenced" (an ex-primary refusing
+	// writes after learning of a newer term).
+	Role string `json:"role"`
+	// Term is the fencing term from the manifest: a promotion bumps it,
+	// and a node never accepts records from a lower term.
+	Term uint64 `json:"term"`
+	// AppliedLSN is the node's durable position.
+	AppliedLSN uint64 `json:"applied_lsn"`
+	// PrimaryLSN is the highest LSN the node has heard from its primary
+	// (replica only; equals AppliedLSN when caught up).
+	PrimaryLSN uint64 `json:"primary_lsn,omitempty"`
+	// StalenessMs is how long ago the node last heard from its primary
+	// (replica only).
+	StalenessMs float64 `json:"staleness_ms,omitempty"`
+	// Replicas is the number of connected downstream replicas (primary
+	// side of a shipping link).
+	Replicas int `json:"replicas,omitempty"`
+}
 
 // Config tunes a Server. The zero value serves with the documented
 // defaults.
@@ -65,6 +106,15 @@ type Config struct {
 	// Spans, when non-nil, receives the record of every sampled span
 	// after its response flushes (ring buffer, JSONL spool, ...).
 	Spans SpanRecorder
+	// Repl, when non-nil, is polled by STATS for the node's replication
+	// identity (role, term, LSNs, staleness). Nil omits the repl section.
+	Repl func() ReplInfo
+	// Term, when non-nil, reports the node's current replication term for
+	// (term, LSN) read barriers and write-ack stamping. It must be
+	// coherent with the serving engine: a caller observing term T must be
+	// served by an engine on timeline T (the repl.Node swaps both under
+	// one lock). Nil means an un-replicated node, which serves at term 0.
+	Term func() uint64
 	// Metrics, when non-nil, receives every signal the server emits; use
 	// PublishMetrics to put it on the expvar surface. Nil disables.
 	Metrics *Metrics
@@ -111,7 +161,7 @@ func (c Config) withDefaults() Config {
 // core.Concurrent already performs: one WAL record and fsync schedule per
 // committed group, however many clients contributed.
 type Server struct {
-	idx *core.Concurrent
+	idx Backend
 	cfg Config
 
 	gate  chan struct{}
@@ -130,7 +180,7 @@ type Server struct {
 }
 
 // New builds a Server over idx.
-func New(idx *core.Concurrent, cfg Config) *Server {
+func New(idx Backend, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		idx:        idx,
@@ -367,11 +417,13 @@ func (s *Server) lookupIdem(req Request) ([]byte, bool) {
 }
 
 // completeIdem records the response of an executed IDEM write so a retry
-// replays it instead of re-executing. BUSY means the write did not run
-// (the retry must execute it) and TIMEOUT never reaches here — the
+// replays it instead of re-executing. BUSY, DISKFULL and NOTPRIMARY all
+// mean the write did not run (the retry must execute it — possibly
+// elsewhere, for NOTPRIMARY) and TIMEOUT never reaches here — the
 // executing goroutine records the real outcome when it finishes.
 func (s *Server) completeIdem(req Request, resp Response) {
-	if req.Idem == nil || resp.Status == StatusBusy {
+	if req.Idem == nil || resp.Status == StatusBusy ||
+		resp.Status == StatusDiskFull || resp.Status == StatusNotPrimary {
 		return
 	}
 	s.idem.store(*req.Idem, EncodeResponse(nil, req.Op, resp))
@@ -480,6 +532,31 @@ func (s *Server) handle(req Request, sp *trace.Span) Response {
 		sp.AddPhase(trace.PhaseExecute, time.Since(t0))
 		return resp
 	}
+	// Read barrier: a BARRIER envelope asks "answer only from a timeline
+	// at least as new as (MinTerm, MinLSN)". Checked before admission — a
+	// stale replica answers from two atomic loads, without spending a gate
+	// token the primary-bound retry will need elsewhere. LSNs are
+	// comparable only within one term, so the comparison is lexicographic:
+	// a node above the barrier's term serves unconditionally (promotion
+	// with synchronous acks preserves every acknowledged older-term
+	// write), a node at the term must have applied the LSN, and a node
+	// below the term is always stale — its numerically-high LSNs may name
+	// a divergent pre-promotion suffix. A current primary is never stale:
+	// its term is the newest and its AppliedLSN ≥ every LSN it ever acked.
+	if req.MinLSN > 0 || req.MinTerm > 0 {
+		term := s.curTerm()
+		stale := term < req.MinTerm
+		lsn := s.idx.AppliedLSN()
+		if !stale && term == req.MinTerm {
+			stale = lsn < req.MinLSN
+		}
+		if stale {
+			if m := s.cfg.Metrics; m != nil {
+				m.stale.Add(1)
+			}
+			return Response{Status: StatusStale, LSN: lsn, Term: term}
+		}
+	}
 	var admitStart time.Time
 	if sp != nil {
 		admitStart = time.Now()
@@ -505,22 +582,22 @@ func (s *Server) handle(req Request, sp *trace.Span) Response {
 	case OpInsert:
 		err := s.idx.InsertTraced(req.P, sp)
 		if errors.Is(err, core.ErrDuplicate) {
-			return Response{Status: StatusOK, Duplicate: true}
+			return Response{Status: StatusOK, Duplicate: true, LSN: s.idx.AppliedLSN(), Term: s.curTerm()}
 		}
 		if err != nil {
-			return errResponse(err)
+			return s.errResponse(err)
 		}
-		return Response{Status: StatusOK}
+		return Response{Status: StatusOK, LSN: s.idx.AppliedLSN(), Term: s.curTerm()}
 	case OpDelete:
 		found, err := s.idx.DeleteTraced(req.P, sp)
 		if err != nil {
-			return errResponse(err)
+			return s.errResponse(err)
 		}
-		return Response{Status: StatusOK, Found: found}
+		return Response{Status: StatusOK, Found: found, LSN: s.idx.AppliedLSN(), Term: s.curTerm()}
 	case OpQuery3, OpQuery4:
 		pts, err := s.idx.QueryTraced(nil, req.Rect, sp)
 		if err != nil {
-			return errResponse(err)
+			return s.errResponse(err)
 		}
 		return Response{Status: StatusOK, Points: pts}
 	case OpBatch:
@@ -553,10 +630,22 @@ func (s *Server) handleBatch(entries []BatchEntry, sp *trace.Span) Response {
 		case errors.Is(r.Err, core.ErrDuplicate):
 			codes[i] = BatchDup
 		default:
-			return errResponse(r.Err)
+			return s.errResponse(r.Err)
 		}
 	}
-	return Response{Status: StatusOK, Results: codes}
+	return Response{Status: StatusOK, Results: codes, LSN: s.idx.AppliedLSN(), Term: s.curTerm()}
+}
+
+// curTerm is the node's replication term (0 on an un-replicated node).
+// A term read after a write committed may run ahead of the term the
+// write committed under; that only tightens the client's barrier, and
+// synchronous replication guarantees every committed write is already
+// part of any newer term's timeline.
+func (s *Server) curTerm() uint64 {
+	if s.cfg.Term == nil {
+		return 0
+	}
+	return s.cfg.Term()
 }
 
 // StatsSnapshot is the JSON payload of a STATS response: the index's
@@ -581,6 +670,12 @@ type StatsSnapshot struct {
 	// (0..1): 1 with a slow-query log armed, 1/interval with counter
 	// sampling, 0 when only client-stamped envelopes are traced.
 	TraceSampleRate float64 `json:"trace_sample_rate"`
+	// AppliedLSN is the node's durable commit position — the value
+	// barrier reads compare against. 0 on a non-durable (memory) stack.
+	AppliedLSN uint64 `json:"applied_lsn"`
+	// Repl is the node's replication identity (nil when the server was
+	// built without a Repl callback, i.e. a standalone node).
+	Repl *ReplInfo `json:"repl,omitempty"`
 	// Metrics is the server's metric snapshot (nil without a Metrics).
 	// When spans have been sampled it includes the per-phase latency
 	// quantiles, so rsload can print a phase breakdown from STATS alone.
@@ -590,7 +685,7 @@ type StatsSnapshot struct {
 func (s *Server) handleStats() Response {
 	n, err := s.idx.Len()
 	if err != nil {
-		return errResponse(err)
+		return s.errResponse(err)
 	}
 	snap := StatsSnapshot{
 		UptimeS:         time.Since(s.start).Seconds(),
@@ -599,19 +694,62 @@ func (s *Server) handleStats() Response {
 		InFlight:        len(s.gate),
 		MaxInFlight:     s.cfg.MaxInFlight,
 		TraceSampleRate: s.traceRate(),
+		AppliedLSN:      s.idx.AppliedLSN(),
 	}
 	snap.IdemClients, snap.IdemEntries = s.idem.stats()
+	if s.cfg.Repl != nil {
+		ri := s.cfg.Repl()
+		snap.Repl = &ri
+	}
 	if m := s.cfg.Metrics; m != nil {
 		ms := m.Snapshot()
 		snap.Metrics = &ms
 	}
 	data, err := json.Marshal(snap)
 	if err != nil {
-		return errResponse(err)
+		return s.errResponse(err)
 	}
 	return Response{Status: StatusOK, Data: data}
 }
 
-func errResponse(err error) Response {
+// errResponse maps an execution error to its wire status. Three errors
+// are flow control, not failures:
+//
+//   - core.ErrNotPrimary: this node is a replica — the client must
+//     redirect the write, so the response carries no hint and is never
+//     cached in the dedup window.
+//   - eio.ErrNoSpace: the disk is full. The store is undamaged and reads
+//     keep working; the write is retryable (an operator freeing space
+//     un-wedges it), so it gets the BUSY-style retry hint.
+//   - core.ErrReplicationStall: the commit gate timed out waiting for
+//     replica acks. The write's outcome is UNKNOWN to the client (it is
+//     durable locally but unacked downstream) — TIMEOUT is the one status
+//     with exactly those retry semantics.
+func (s *Server) errResponse(err error) Response {
+	switch {
+	case errors.Is(err, core.ErrNotPrimary):
+		if m := s.cfg.Metrics; m != nil {
+			m.notPrimary.Add(1)
+		}
+		return Response{Status: StatusNotPrimary}
+	case errors.Is(err, eio.ErrNoSpace):
+		if m := s.cfg.Metrics; m != nil {
+			m.diskFull.Add(1)
+		}
+		resp := Response{Status: StatusDiskFull}
+		if s.cfg.RetryAfterHint > 0 {
+			ms := s.cfg.RetryAfterHint.Milliseconds()
+			if ms < 1 {
+				ms = 1
+			}
+			resp.RetryAfterMs = uint32(ms)
+		}
+		return resp
+	case errors.Is(err, core.ErrReplicationStall):
+		if m := s.cfg.Metrics; m != nil {
+			m.timeouts.Add(1)
+		}
+		return Response{Status: StatusTimeout}
+	}
 	return Response{Status: StatusErr, Msg: err.Error()}
 }

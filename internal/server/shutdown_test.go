@@ -1,0 +1,160 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"rangesearch/internal/geom"
+	"rangesearch/internal/trace"
+)
+
+// drainRecorder is a SpanRecorder that remembers how many spans it saw
+// and whether any arrived after the drain supposedly finished — the
+// handler contract is that a request's span is recorded before its
+// response flushes, so Shutdown returning means no recorder call can
+// still be in flight.
+type drainRecorder struct {
+	mu      sync.Mutex
+	spans   int
+	drained bool
+	late    int
+}
+
+func (r *drainRecorder) RecordSpan(trace.Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spans++
+	if r.drained {
+		r.late++
+	}
+}
+
+func (r *drainRecorder) markDrained() (spans int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.drained = true
+	return r.spans
+}
+
+// TestShutdownDrainsTracedIdemWrites races Server.Shutdown against
+// pipelines of in-flight writes wearing both envelopes at once (TRACE
+// outermost, IDEM inside — the deepest decode path a write can take).
+// The drain contract under test:
+//
+//   - a connection finishes the request it is handling and flushes that
+//     complete response before closing — so every Recv that succeeds
+//     decodes cleanly, and a cut pipeline fails with a transport error,
+//     never a framing (ErrProto) error from a torn flush;
+//   - sampled spans are recorded before the response flushes, so no span
+//     arrives after Shutdown returns;
+//   - every write acked OK with Duplicate=false is present in the index
+//     afterwards (distinct points per client make the count exact).
+//
+// Run under -race for the full claim.
+func TestShutdownDrainsTracedIdemWrites(t *testing.T) {
+	rec := &drainRecorder{}
+	ts := newTestServer(t, Config{Spans: rec, RequestTimeout: 5 * time.Second})
+
+	const (
+		clients  = 4
+		pipeline = 16
+	)
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		acked   int
+		tornErr error
+	)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cl, err := Dial(ts.addr, ClientOptions{})
+			if err != nil {
+				t.Errorf("client %d: dial: %v", ci, err)
+				return
+			}
+			defer cl.Close()
+			seq := uint64(0)
+			clientID := uint64(0xD0A10 + ci)
+			for round := 0; ; round++ {
+				sent := 0
+				for k := 0; k < pipeline; k++ {
+					seq++
+					r := Request{
+						Op: OpInsert,
+						// Distinct per client and op: X carries the client,
+						// Y the sequence, so acked inserts count exactly.
+						P:     geom.Point{X: int64(ci), Y: int64(seq)},
+						Idem:  &IdemID{Client: clientID, Seq: seq},
+						Trace: &TraceInfo{ID: trace.NewID(), Sampled: true},
+					}
+					if err := cl.Send(r); err != nil {
+						return // connection gone mid-drain: fine
+					}
+					sent++
+				}
+				for k := 0; k < sent; k++ {
+					resp, err := cl.Recv()
+					if err != nil {
+						if errors.Is(err, ErrProto) {
+							mu.Lock()
+							if tornErr == nil {
+								tornErr = err
+							}
+							mu.Unlock()
+						}
+						return
+					}
+					if resp.Status == StatusOK && !resp.Duplicate {
+						mu.Lock()
+						acked++
+						mu.Unlock()
+					}
+				}
+			}
+		}(ci)
+	}
+
+	// Let the pipelines build up real in-flight depth, then pull the rug.
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ts.srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	spansAtDrain := rec.markDrained()
+	select {
+	case err := <-ts.served:
+		if err != nil {
+			t.Fatalf("Serve returned %v after Shutdown, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+	wg.Wait()
+
+	if tornErr != nil {
+		t.Fatalf("a drained connection flushed a torn frame: %v", tornErr)
+	}
+	rec.mu.Lock()
+	late := rec.late
+	rec.mu.Unlock()
+	if late != 0 {
+		t.Fatalf("%d spans recorded after Shutdown returned", late)
+	}
+	if acked == 0 || spansAtDrain == 0 {
+		t.Fatalf("test did no work: acked=%d spans=%d", acked, spansAtDrain)
+	}
+	n, err := ts.conc.Len()
+	if err != nil {
+		t.Fatalf("Len: %v", err)
+	}
+	if n < acked {
+		t.Fatalf("index holds %d points, but %d distinct inserts were acked OK", n, acked)
+	}
+	t.Logf("drain race: %d acked inserts, %d points, %d spans", acked, n, spansAtDrain)
+}

@@ -154,6 +154,12 @@ func statusName(st byte) string {
 		return "busy"
 	case StatusTimeout:
 		return "timeout"
+	case StatusStale:
+		return "stale"
+	case StatusNotPrimary:
+		return "notprimary"
+	case StatusDiskFull:
+		return "diskfull"
 	}
 	return fmt.Sprintf("status(0x%02x)", st)
 }

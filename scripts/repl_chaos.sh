@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Replicated kill-and-recover chaos run: rschaos spawns a primary plus
+# REPLICAS log-shipping replicas on fresh durable stores and drives
+# verified resilient load with replica read fan-out while every cycle
+# kills a replica, degrades the replication link, and SIGKILLs the
+# primary followed by an explicit promotion. Acceptance: zero lost or
+# duplicated acked writes, final term == promotions, the fleet
+# converges within the staleness budget, and every node's store reopens
+# scrub-clean with the primary's point count. `make chaos-repl` runs
+# this; CI runs it with a smaller cycle count.
+set -eu
+
+GO=${GO:-go}
+WORKDIR=$(mktemp -d /tmp/replchaos.XXXXXX)
+trap 'rm -rf "$WORKDIR"' EXIT
+
+REPLICAS=${REPLICAS:-2}
+CYCLES=${CYCLES:-5}
+PERIOD=${PERIOD:-700ms}
+WORKERS=${WORKERS:-4}
+SEED=${SEED:-1}
+JSON_OUT=${JSON_OUT:-$WORKDIR/chaos-repl.json}
+
+echo "== build =="
+$GO build -o "$WORKDIR/bin/" ./cmd/rsserve ./cmd/rschaos
+
+echo "== chaos-repl: $CYCLES cycles (replica kill + link fault + primary kill/promote), $REPLICAS replicas =="
+"$WORKDIR/bin/rschaos" \
+    -server "$WORKDIR/bin/rsserve" \
+    -dir "$WORKDIR/fleet" -replicas "$REPLICAS" \
+    -cycles "$CYCLES" -period "$PERIOD" -workers "$WORKERS" -seed "$SEED" \
+    -json "$JSON_OUT"
+
+# Keep the report where CI can pick it up as an artifact.
+if [ -n "${ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$ARTIFACT_DIR"
+    cp "$JSON_OUT" "$ARTIFACT_DIR/chaos-repl.json"
+fi
+
+echo "== chaos-repl OK =="
