@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench cover vet fmt sweep recover-sweep fuzz-short bound experiments examples clean soak model trajectory serve load serve-smoke chaos repl-smoke chaos-repl
+.PHONY: all build test race bench cover vet fmt sweep recover-sweep fuzz-short bound experiments examples clean soak model trajectory serve load serve-smoke chaos repl-smoke chaos-repl shard-smoke chaos-shard
 
 all: build vet test
 
@@ -46,6 +46,8 @@ fuzz-short:
 	$(GO) test ./internal/server -run '^$$' -fuzz 'FuzzDecodeResponse' -fuzztime 10s
 	$(GO) test ./internal/server -run '^$$' -fuzz 'FuzzReadFrame' -fuzztime 10s
 	$(GO) test ./internal/server -run '^$$' -fuzz 'FuzzFrameSizeRejection' -fuzztime 10s
+	$(GO) test ./internal/router -run '^$$' -fuzz 'FuzzDecodeTopology' -fuzztime 10s
+	$(GO) test ./internal/router -run '^$$' -fuzz 'FuzzParseShards' -fuzztime 10s
 
 # Concurrency soak: snapshot readers vs a group-committing writer under
 # the race detector, with the single-writer linearizability checks
@@ -105,6 +107,20 @@ repl-smoke:
 # replicas, scrub-clean stores — or it exits nonzero.
 chaos-repl:
 	./scripts/repl_chaos.sh
+
+# Sharded serving smoke: three durable shards behind rsrouter on a static
+# x-range shard map, verified rsload -cluster through the router, clean
+# fleet drain, per-shard scrub, and sum-of-shards == router total.
+# CI runs this too.
+shard-smoke:
+	./scripts/shard_smoke.sh
+
+# Sharded kill-and-recover chaos: SIGKILL/restart a rotating shard under
+# verified load through a real rsrouter. Zero lost or duplicated acked
+# writes, clean drains, leak-free stores, exact fleet accounting — or it
+# exits nonzero.
+chaos-shard:
+	$(GO) test ./internal/server/chaos -run TestChaosSharded -count=1 -v
 
 # Operation-level + per-experiment benchmarks (quick instances).
 bench:

@@ -13,6 +13,14 @@
 //
 // The report is printed as JSON and optionally written to -json.
 //
+// With -router PATH and -shards N (N > 0) it instead runs the sharded
+// fleet harness: N x-range-partitioned rsserve shards behind a real
+// rsrouter process, verified load aimed at the router, one shard
+// SIGKILLed and restarted per kill cycle. The pass criteria extend to:
+// router and every shard drain clean, every shard store reopens
+// leak-free, and the shard stores' point counts sum to the fleet total
+// the router reported.
+//
 // With -replicas N (N > 0) it instead runs the replicated fleet harness:
 // a primary plus N log-shipping replicas under verified load with
 // replica read fan-out, where every cycle kills a replica, degrades the
@@ -25,6 +33,7 @@
 //
 //	rschaos -server ./rsserve -store /tmp/chaos.db -cycles 10
 //	rschaos -server ./rsserve -dir /tmp/fleet -replicas 2 -cycles 5
+//	rschaos -server ./rsserve -router ./rsrouter -dir /tmp/fleet -shards 3 -cycles 6
 package main
 
 import (
@@ -59,9 +68,12 @@ func main() {
 		graceT = flag.Duration("load-grace", 0, "max wait past nominal load duration (0 = harness default)")
 
 		replicas = flag.Int("replicas", 0, "replicated mode: log-shipping replicas behind the primary (0 = single-node mode)")
-		dir      = flag.String("dir", "", "replicated mode: fleet working directory (required; created fresh)")
+		dir      = flag.String("dir", "", "replicated/sharded mode: fleet working directory (required; created fresh)")
 		sync     = flag.Int("sync", 0, "replicated mode: -repl-sync acks per commit (0 = all replicas, <0 = async)")
 		staleMax = flag.Duration("staleness-max", 0, "replicated mode: convergence budget after the run (0 = harness default)")
+
+		routerBin = flag.String("router", "", "sharded mode: path to an rsrouter binary")
+		shards    = flag.Int("shards", 0, "sharded mode: x-range-partitioned shards behind the router (0 = off)")
 	)
 	flag.Parse()
 	if *serverBin == "" {
@@ -77,6 +89,30 @@ func main() {
 		logf = nil
 	}
 
+	if *shards > 0 {
+		if *routerBin == "" || *dir == "" {
+			fmt.Fprintln(os.Stderr, "rschaos: -router and -dir are required with -shards")
+			flag.Usage()
+			os.Exit(1)
+		}
+		runSharded(chaos.ShardedConfig{
+			ServerBin:      *serverBin,
+			RouterBin:      *routerBin,
+			Dir:            *dir,
+			Shards:         *shards,
+			Kills:          *cycles,
+			Period:         *period,
+			Workers:        *workers,
+			Pipeline:       *pipeline,
+			Seed:           *seed,
+			RequestTimeout: *reqT,
+			ReadyTimeout:   *readyT,
+			DrainTimeout:   *drainT,
+			LoadGrace:      *graceT,
+			Logf:           logf,
+		}, *jsonOut)
+		return
+	}
 	if *replicas > 0 {
 		if *dir == "" {
 			fmt.Fprintln(os.Stderr, "rschaos: -dir is required with -replicas")
@@ -159,6 +195,29 @@ func emitReport(rep interface{}, jsonOut string) {
 			os.Exit(1)
 		}
 	}
+}
+
+// runSharded drives the sharded fleet harness and exits with the run's
+// verdict.
+func runSharded(cfg chaos.ShardedConfig, jsonOut string) {
+	rep, err := chaos.RunSharded(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rschaos: %v\n", err)
+		os.Exit(1)
+	}
+
+	emitReport(rep, jsonOut)
+
+	if rep.Failed() {
+		first := ""
+		if rep.Load != nil {
+			first = rep.Load.FirstError
+		}
+		fmt.Fprintf(os.Stderr, "rschaos: FAILED: failures=%v first=%s\n", rep.Failures, first)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "rschaos: ok: %d shard kills survived across %d shards, %d ops (%d resent, %d unknown), %d points across the fleet, 0 leaks\n",
+		rep.Kills, rep.Shards, rep.Load.Ops, rep.Load.Resent, rep.Load.UnknownWrites, rep.RouterLen)
 }
 
 // runRepl drives the replicated fleet harness and exits with the run's

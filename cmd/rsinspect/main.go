@@ -14,6 +14,7 @@
 //	rsinspect scrub -store points.db -kind epst -hdr 12 [-anchor 1] [-dry] [-json]
 //	rsinspect wal -store points.db [-anchor 1] [-json]
 //	rsinspect trace -f trace.jsonl
+//	rsinspect splitplan -store points.db -n 3
 //
 // The verify subcommand checks the file itself without attaching to any
 // structure: superblock slots, per-page checksums and the free list. Its
@@ -42,6 +43,10 @@
 // obs.JSONLSink and summarizes it: per-operation counts and latency
 // quantiles, per-scope attribution, error counts and the hottest pages.
 // With -v it also reprints every event.
+//
+// The splitplan subcommand reads a store's x-distribution and proposes
+// shard boundaries splitting it into N balanced parts, emitted as the
+// bounds-only -shards spec rsrouter consumes ("x<100,x<200,rest").
 //
 // The spans subcommand replays a request-span JSONL spool (rsserve
 // -spans, or a dump of the /spans endpoint) and summarizes it: per-op
@@ -93,6 +98,9 @@ func main() {
 			return
 		case "prom":
 			promMain(os.Args[2:])
+			return
+		case "splitplan":
+			splitplanMain(os.Args[2:])
 			return
 		}
 	}

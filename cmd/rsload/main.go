@@ -17,6 +17,13 @@
 //	rsload -addr 127.0.0.1:9035 -resilient -verify \
 //	    -read-addrs 127.0.0.1:9036,127.0.0.1:9037 \
 //	    -failover-addrs 127.0.0.1:9036,127.0.0.1:9037
+//	rsload -addr 127.0.0.1:9040 -cluster -verify
+//
+// With -cluster the target must be an rsrouter: the run first fetches the
+// TOPOLOGY frame, records the shard map in the report, and then verifies
+// the same way — the router speaks the same protocol, so a zero-error
+// -cluster run proves the sharded fleet is indistinguishable from one
+// server.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"rangesearch/internal/router"
 	"rangesearch/internal/server"
 )
 
@@ -55,6 +63,8 @@ func main() {
 
 		readAddrs     = flag.String("read-addrs", "", "resilient: comma-separated replica addresses for barrier-stamped read fan-out")
 		failoverAddrs = flag.String("failover-addrs", "", "resilient: comma-separated additional primary candidates for write failover")
+
+		cluster = flag.Bool("cluster", false, "require -addr to be an rsrouter: fetch its TOPOLOGY and record the shard map in the report")
 	)
 	flag.Parse()
 
@@ -73,6 +83,17 @@ func main() {
 	if (*readAddrs != "" || *failoverAddrs != "") && !*resilient {
 		fmt.Fprintln(os.Stderr, "rsload: -read-addrs and -failover-addrs require -resilient")
 		os.Exit(1)
+	}
+
+	var clusterInfo *server.ClusterLoadInfo
+	if *cluster {
+		m, err := fetchTopology(*addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rsload: -cluster: %v (is %s an rsrouter?)\n", err, *addr)
+			os.Exit(1)
+		}
+		clusterInfo = &server.ClusterLoadInfo{Shards: len(m.Shards), Spec: m.Spec()}
+		fmt.Fprintf(os.Stderr, "rsload: cluster: %d shards (%s)\n", clusterInfo.Shards, clusterInfo.Spec)
 	}
 
 	rep, err := server.RunLoad(server.LoadConfig{
@@ -102,6 +123,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rsload: %v\n", err)
 		os.Exit(1)
 	}
+	rep.Cluster = clusterInfo
 
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -131,6 +153,9 @@ func main() {
 				rep.ReplicaReads, rep.StaleFallbacks, rep.ReplicaFallbacks, rep.Failovers)
 		}
 	}
+	if c := rep.Cluster; c != nil {
+		fmt.Fprintf(os.Stderr, "rsload: cluster: verified through %d shards (%s)\n", c.Shards, c.Spec)
+	}
 	if st := rep.ServerStats; st != nil {
 		fmt.Fprintf(os.Stderr, "rsload: server: uptime=%.1fs epoch=%d len=%d in_flight=%d idem_clients=%d\n",
 			st.UptimeS, st.Epoch, st.Len, st.InFlight, st.IdemClients)
@@ -148,4 +173,18 @@ func main() {
 			}
 		}
 	}
+}
+
+// fetchTopology asks the target for its shard map via the TOPOLOGY frame.
+func fetchTopology(addr string) (*router.Map, error) {
+	cl, err := server.Dial(addr, server.ClientOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	raw, err := cl.Topology()
+	if err != nil {
+		return nil, err
+	}
+	return router.DecodeTopology(raw)
 }

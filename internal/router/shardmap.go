@@ -1,0 +1,207 @@
+// Package router is the horizontal-sharding layer: an x-range
+// partitioning of the keyspace across N rsserve shards, each optionally a
+// primary+replicas group, fronted by a scatter-gather router that speaks
+// the same length-prefixed wire protocol on both sides.
+//
+// The partitioning is the natural one for the paper's structures: every
+// index orders primarily by x, QUERY3/QUERY4 are x-interval queries, so
+// splitting the x-axis into contiguous ranges keeps each shard's workload
+// an ordinary (smaller) instance of the same problem — the per-shard
+// Theorem 6/7 I/O bounds still apply shard-locally, and a query touches
+// exactly the shards its x-interval overlaps.
+//
+// A shard map is a sorted list of disjoint closed x-intervals covering
+// [MinCoord, MaxCoord]. The textual form mirrors the -shards flag:
+//
+//	spec  := shard ("," shard)*
+//	shard := bound ["@" addr ("|" addr)*]
+//	bound := "x<" int | "rest"
+//
+// "x<B" ends the shard at x = B-1 (exclusive upper bound B); bounds must
+// be strictly increasing and "rest" — covering everything from the
+// previous bound through +∞ — must be last and present. The first addr of
+// a shard is its primary; addrs after "|" are failover candidates (the
+// shard's replicas, promotable via SIGUSR1). The pure-bounds form without
+// addresses ("x<100,x<200,rest") is accepted wherever only the partition
+// matters (rsinspect splitplan emits it).
+package router
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rangesearch/internal/geom"
+)
+
+// Shard is one x-range partition and the node group serving it.
+type Shard struct {
+	// Lo and Hi bound the shard's closed x-interval [Lo, Hi].
+	Lo, Hi int64
+	// Addrs are the shard's serving addresses: Addrs[0] is the primary,
+	// the rest are failover candidates in promotion order. Empty in a
+	// bounds-only map.
+	Addrs []string
+}
+
+// Map is a complete x-range partition: shards are sorted by Lo, disjoint,
+// and cover [MinCoord, MaxCoord] with no gaps.
+type Map struct {
+	Shards []Shard
+}
+
+// ParseShards parses the -shards spec. Every shard must carry at least
+// one address; use ParseBounds for the bounds-only form.
+func ParseShards(spec string) (*Map, error) {
+	m, err := parse(spec, true)
+	if err != nil {
+		return nil, fmt.Errorf("router: shard spec %q: %w", spec, err)
+	}
+	return m, nil
+}
+
+// ParseBounds parses a bounds-only spec ("x<100,x<200,rest") describing a
+// partition with no serving addresses.
+func ParseBounds(spec string) (*Map, error) {
+	m, err := parse(spec, false)
+	if err != nil {
+		return nil, fmt.Errorf("router: bounds spec %q: %w", spec, err)
+	}
+	return m, nil
+}
+
+func parse(spec string, wantAddrs bool) (*Map, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) == 0 || spec == "" {
+		return nil, fmt.Errorf("empty spec")
+	}
+	if len(parts) > maxTopologyShards {
+		return nil, fmt.Errorf("%d shards (limit %d)", len(parts), maxTopologyShards)
+	}
+	m := &Map{Shards: make([]Shard, 0, len(parts))}
+	lo := int64(geom.MinCoord)
+	sawRest := false
+	for i, part := range parts {
+		if sawRest {
+			return nil, fmt.Errorf("shard after \"rest\"")
+		}
+		bound, addrPart, hasAddrs := strings.Cut(part, "@")
+		var hi int64
+		switch {
+		case bound == "rest":
+			hi = geom.MaxCoord
+			sawRest = true
+		case strings.HasPrefix(bound, "x<"):
+			b, err := strconv.ParseInt(bound[2:], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: bad bound %q", i, bound)
+			}
+			if b == geom.MinCoord {
+				return nil, fmt.Errorf("shard %d: bound %d leaves an empty shard", i, b)
+			}
+			hi = b - 1
+			if hi < lo {
+				return nil, fmt.Errorf("shard %d: bound %d not above previous bound", i, b)
+			}
+		default:
+			return nil, fmt.Errorf("shard %d: bound %q (want \"x<N\" or \"rest\")", i, bound)
+		}
+		sh := Shard{Lo: lo, Hi: hi}
+		if hasAddrs {
+			for _, a := range strings.Split(addrPart, "|") {
+				if a == "" || len(a) > 255 || !validAddr(a) {
+					return nil, fmt.Errorf("shard %d: malformed address %q", i, a)
+				}
+				sh.Addrs = append(sh.Addrs, a)
+			}
+			if len(sh.Addrs) > maxShardAddrs {
+				return nil, fmt.Errorf("shard %d: %d addresses (limit %d)", i, len(sh.Addrs), maxShardAddrs)
+			}
+		}
+		if wantAddrs && len(sh.Addrs) == 0 {
+			return nil, fmt.Errorf("shard %d: missing \"@addr\"", i)
+		}
+		if !wantAddrs && hasAddrs {
+			return nil, fmt.Errorf("shard %d: unexpected address in bounds-only spec", i)
+		}
+		m.Shards = append(m.Shards, sh)
+		if hi != geom.MaxCoord {
+			lo = hi + 1
+		}
+	}
+	if !sawRest {
+		return nil, fmt.Errorf("spec must end with \"rest\"")
+	}
+	return m, nil
+}
+
+// Spec renders the map back in the -shards grammar. Parse∘Spec is the
+// identity on valid maps (the canonical re-encode the fuzzer pins).
+func (m *Map) Spec() string {
+	var b strings.Builder
+	for i, sh := range m.Shards {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if sh.Hi == geom.MaxCoord {
+			b.WriteString("rest")
+		} else {
+			b.WriteString("x<")
+			b.WriteString(strconv.FormatInt(sh.Hi+1, 10))
+		}
+		if len(sh.Addrs) > 0 {
+			b.WriteByte('@')
+			b.WriteString(strings.Join(sh.Addrs, "|"))
+		}
+	}
+	return b.String()
+}
+
+// ShardFor returns the index of the shard owning x.
+func (m *Map) ShardFor(x int64) int {
+	// First shard whose Hi ≥ x; total coverage guarantees it exists.
+	return sort.Search(len(m.Shards), func(i int) bool { return m.Shards[i].Hi >= x })
+}
+
+// Overlap returns the half-open index range [lo, hi) of shards whose
+// x-interval intersects [xlo, xhi]. Empty (lo == hi) when xlo > xhi.
+func (m *Map) Overlap(xlo, xhi int64) (lo, hi int) {
+	if xlo > xhi {
+		return 0, 0
+	}
+	lo = m.ShardFor(xlo)
+	hi = m.ShardFor(xhi) + 1
+	return lo, hi
+}
+
+// validate checks the structural invariants a decoded (wire) map must
+// satisfy: non-empty, sorted, disjoint, gap-free, total coverage.
+func (m *Map) validate(wantAddrs bool) error {
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("empty shard map")
+	}
+	lo := int64(geom.MinCoord)
+	for i, sh := range m.Shards {
+		if sh.Lo != lo {
+			return fmt.Errorf("shard %d starts at %d, want %d", i, sh.Lo, lo)
+		}
+		if sh.Hi < sh.Lo {
+			return fmt.Errorf("shard %d empty interval [%d, %d]", i, sh.Lo, sh.Hi)
+		}
+		if wantAddrs && len(sh.Addrs) == 0 {
+			return fmt.Errorf("shard %d has no addresses", i)
+		}
+		if i == len(m.Shards)-1 {
+			if sh.Hi != geom.MaxCoord {
+				return fmt.Errorf("last shard ends at %d, not +inf", sh.Hi)
+			}
+		} else {
+			if sh.Hi == geom.MaxCoord {
+				return fmt.Errorf("shard %d ends at +inf before the last", i)
+			}
+			lo = sh.Hi + 1
+		}
+	}
+	return nil
+}

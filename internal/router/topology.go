@@ -1,0 +1,139 @@
+package router
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rangesearch/internal/geom"
+)
+
+// The TOPOLOGY response payload carries the router's shard map so clients
+// (rsload -cluster, the resilient client) can learn the partition and
+// optionally route client-side. The encoding is canonical — one byte
+// string per map — so the decoder can be fuzzed for totality and exact
+// re-encode:
+//
+//	payload := version(u8 = 1) count(u16 BE) shard*
+//	shard   := hi(u64 BE, two's-complement x upper bound, inclusive)
+//	           naddr(u8) (alen(u8) addr(alen bytes))*
+//
+// Lo bounds are implicit (the partition is gap-free: shard 0 starts at
+// MinCoord, shard i+1 at shard i's hi + 1), his are strictly increasing,
+// and the last hi is MaxCoord. naddr may be 0 only if the map carries no
+// addresses at all is NOT allowed on the wire: a served topology always
+// names at least a primary per shard.
+const (
+	topologyVersion byte = 1
+	// maxTopologyShards bounds a decoded map: far above any real fleet,
+	// small enough that a hostile count cannot balloon allocation.
+	maxTopologyShards = 4096
+	// maxShardAddrs bounds one shard's primary+failover list.
+	maxShardAddrs = 16
+)
+
+// ErrTopology reports a malformed TOPOLOGY payload.
+var ErrTopology = errors.New("router: malformed topology")
+
+// EncodeTopology appends the canonical wire form of m to dst.
+func EncodeTopology(dst []byte, m *Map) []byte {
+	dst = append(dst, topologyVersion)
+	var cnt [2]byte
+	binary.BigEndian.PutUint16(cnt[:], uint16(len(m.Shards)))
+	dst = append(dst, cnt[:]...)
+	for _, sh := range m.Shards {
+		var hi [8]byte
+		binary.BigEndian.PutUint64(hi[:], uint64(sh.Hi))
+		dst = append(dst, hi[:]...)
+		dst = append(dst, byte(len(sh.Addrs)))
+		for _, a := range sh.Addrs {
+			dst = append(dst, byte(len(a)))
+			dst = append(dst, a...)
+		}
+	}
+	return dst
+}
+
+// DecodeTopology parses a TOPOLOGY payload. It is total over arbitrary
+// input — any malformed payload yields an error wrapping ErrTopology,
+// never a panic — and strict: every accepted payload re-encodes
+// byte-identically (the fuzz target pins both).
+func DecodeTopology(body []byte) (*Map, error) {
+	if len(body) < 3 {
+		return nil, fmt.Errorf("%w: truncated header", ErrTopology)
+	}
+	if body[0] != topologyVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrTopology, body[0])
+	}
+	n := int(binary.BigEndian.Uint16(body[1:3]))
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty shard map", ErrTopology)
+	}
+	if n > maxTopologyShards {
+		return nil, fmt.Errorf("%w: %d shards (limit %d)", ErrTopology, n, maxTopologyShards)
+	}
+	rest := body[3:]
+	m := &Map{Shards: make([]Shard, 0, n)}
+	lo := int64(geom.MinCoord)
+	for i := 0; i < n; i++ {
+		if len(rest) < 9 {
+			return nil, fmt.Errorf("%w: shard %d truncated", ErrTopology, i)
+		}
+		hi := int64(binary.BigEndian.Uint64(rest[:8]))
+		naddr := int(rest[8])
+		rest = rest[9:]
+		if naddr == 0 {
+			return nil, fmt.Errorf("%w: shard %d has no addresses", ErrTopology, i)
+		}
+		if naddr > maxShardAddrs {
+			return nil, fmt.Errorf("%w: shard %d has %d addresses (limit %d)", ErrTopology, i, naddr, maxShardAddrs)
+		}
+		sh := Shard{Lo: lo, Hi: hi, Addrs: make([]string, 0, naddr)}
+		for j := 0; j < naddr; j++ {
+			if len(rest) < 1 {
+				return nil, fmt.Errorf("%w: shard %d address %d truncated", ErrTopology, i, j)
+			}
+			alen := int(rest[0])
+			rest = rest[1:]
+			if alen == 0 {
+				return nil, fmt.Errorf("%w: shard %d address %d empty", ErrTopology, i, j)
+			}
+			if len(rest) < alen {
+				return nil, fmt.Errorf("%w: shard %d address %d truncated", ErrTopology, i, j)
+			}
+			addr := string(rest[:alen])
+			rest = rest[alen:]
+			if !validAddr(addr) {
+				return nil, fmt.Errorf("%w: shard %d address %d malformed", ErrTopology, i, j)
+			}
+			sh.Addrs = append(sh.Addrs, addr)
+		}
+		m.Shards = append(m.Shards, sh)
+		if i < n-1 {
+			if hi == geom.MaxCoord {
+				return nil, fmt.Errorf("%w: shard %d ends at +inf before the last", ErrTopology, i)
+			}
+			lo = hi + 1
+		}
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrTopology, len(rest))
+	}
+	if err := m.validate(true); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTopology, err)
+	}
+	return m, nil
+}
+
+// validAddr rejects address strings that would break the textual -shards
+// grammar on round-trip: the spec's own separators and non-printable
+// bytes. Real host:port strings never contain any of these.
+func validAddr(a string) bool {
+	for i := 0; i < len(a); i++ {
+		c := a[i]
+		if c <= ' ' || c >= 0x7f || c == ',' || c == '|' || c == '@' {
+			return false
+		}
+	}
+	return true
+}

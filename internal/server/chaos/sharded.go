@@ -1,0 +1,443 @@
+package chaos
+
+// Sharded chaos: an x-range-partitioned rsserve fleet behind a real
+// rsrouter process, under verified load aimed at the router, while shard
+// processes are SIGKILLed and restarted mid-traffic.
+//
+// The run exercises the router's whole failure surface at once: a killed
+// shard's sub-requests exhaust the router's shard-client retries and
+// surface as BUSY/TIMEOUT to the load generator, whose idempotent retries
+// re-route through the router onto the recovered shard and deduplicate
+// there — so "zero lost or duplicated acked writes" holds across the
+// extra hop. Each restart reopens the shard's store through WAL crash
+// recovery while traffic to the other shards keeps flowing (queries that
+// do not overlap the dead shard's x-range are unaffected by construction).
+//
+// Acceptance: the verified load reports zero protocol and consistency
+// errors, the router and every shard drain clean on SIGTERM, every shard
+// store is leak-free and checksum-clean, and the shards' point counts sum
+// to exactly the fleet total the router reported.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"rangesearch/internal/server"
+)
+
+// ShardedConfig tunes a sharded chaos run. ServerBin, RouterBin and Dir
+// are required.
+type ShardedConfig struct {
+	// ServerBin is the path to an rsserve binary; RouterBin to rsrouter.
+	ServerBin string
+	RouterBin string
+	// Dir is a scratch directory for the shard stores (created).
+	Dir string
+	// Shards is the fleet size (default 3).
+	Shards int
+	// Kills is the number of SIGKILL/restart cycles; victims rotate
+	// round-robin across the shards (default 3).
+	Kills int
+	// Period is the dwell between fault phases (default 700ms).
+	Period time.Duration
+	// Workers / Pipeline size the load (defaults 4 / 4).
+	Workers  int
+	Pipeline int
+	// Seed seeds the workload RNG (default 1).
+	Seed int64
+	// Domain is the coordinate domain [0, Domain) the load draws from;
+	// shard bounds split it evenly (default 1<<16).
+	Domain int64
+	// RequestTimeout is passed to rsserve -request-timeout (default 5s).
+	RequestTimeout time.Duration
+	// ReadyTimeout bounds each process's startup (default 15s).
+	ReadyTimeout time.Duration
+	// DrainTimeout bounds each SIGTERM drain (default 60s).
+	DrainTimeout time.Duration
+	// LoadGrace is how long the harness waits for the load generator
+	// after stopping it (default 2m).
+	LoadGrace time.Duration
+	// Logf, when non-nil, receives progress lines. Nil discards.
+	Logf func(format string, args ...interface{})
+}
+
+func (c ShardedConfig) withDefaults() ShardedConfig {
+	if c.Shards <= 0 {
+		c.Shards = 3
+	}
+	if c.Kills <= 0 {
+		c.Kills = 3
+	}
+	if c.Period <= 0 {
+		c.Period = 700 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Domain <= 0 {
+		c.Domain = 1 << 16
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.ReadyTimeout <= 0 {
+		c.ReadyTimeout = 15 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 60 * time.Second
+	}
+	if c.LoadGrace <= 0 {
+		c.LoadGrace = 2 * time.Minute
+	}
+	return c
+}
+
+// ShardedReport is the JSON result of a sharded chaos run.
+type ShardedReport struct {
+	Shards int    `json:"shards"`
+	Spec   string `json:"spec"`
+	Kills  int    `json:"kills"`
+
+	Load *server.LoadReport `json:"load"`
+
+	// RouterLen is the fleet-total point count the router's STATS
+	// reported after the load stopped; ShardPoints are the drained
+	// stores' own counts, which must sum to it.
+	RouterLen   int            `json:"router_len"`
+	ShardPoints map[string]int `json:"shard_points"`
+	// DrainExits maps process name ("router", "shard0", ...) to its
+	// SIGTERM exit code; all must be 0.
+	DrainExits map[string]int `json:"drain_exits"`
+	// Leaked is the total page-leak count across every shard store.
+	Leaked int `json:"leaked"`
+
+	DurationS float64 `json:"duration_s"`
+	// Failures lists every acceptance violation the harness observed.
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Failed reports whether the run violated any acceptance criterion.
+func (r *ShardedReport) Failed() bool {
+	return r.Load == nil || r.Load.Failed() || len(r.Failures) > 0
+}
+
+func (r *ShardedReport) failf(format string, args ...interface{}) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+// shardProc is one child process of the sharded fleet.
+type shardProc struct {
+	name  string
+	store string // empty for the router
+	addr  string
+	args  []string
+	out   *logBuffer
+	proc  *exec.Cmd
+	alive bool
+}
+
+// sharness owns the sharded fleet.
+type sharness struct {
+	cfg    ShardedConfig
+	shards []*shardProc
+	router *shardProc
+	rep    *ShardedReport
+}
+
+func (h *sharness) logf(format string, args ...interface{}) {
+	if h.cfg.Logf != nil {
+		h.cfg.Logf(format, args...)
+	}
+}
+
+// startProc spawns p (shard or router) and waits until it answers a Ping.
+func (h *sharness) startProc(bin string, p *shardProc) error {
+	cmd := exec.Command(bin, p.args...)
+	cmd.Stdout = p.out
+	cmd.Stderr = p.out
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("chaos: start %s: %w", p.name, err)
+	}
+	p.proc = cmd
+	p.alive = true
+	deadline := time.Now().Add(h.cfg.ReadyTimeout)
+	for time.Now().Before(deadline) {
+		cl, err := server.Dial(p.addr, server.ClientOptions{DialTimeout: 200 * time.Millisecond})
+		if err == nil {
+			err = cl.Ping([]byte("chaos"))
+			cl.Close()
+			if err == nil {
+				return nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	h.killProc(p)
+	return fmt.Errorf("chaos: %s on %s never became ready", p.name, p.addr)
+}
+
+func (h *sharness) killProc(p *shardProc) {
+	if !p.alive {
+		return
+	}
+	_ = p.proc.Process.Kill()
+	_ = p.proc.Wait()
+	p.alive = false
+}
+
+// stopProc SIGTERMs p and returns its exit code (drain must be clean).
+func (h *sharness) stopProc(p *shardProc) (int, error) {
+	if !p.alive {
+		return 0, nil
+	}
+	p.alive = false
+	done := make(chan error, 1)
+	if err := p.proc.Process.Signal(syscall.SIGTERM); err != nil {
+		return -1, fmt.Errorf("chaos: SIGTERM %s: %w", p.name, err)
+	}
+	go func() { done <- p.proc.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			return 0, nil
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode(), nil
+		}
+		return -1, err
+	case <-time.After(h.cfg.DrainTimeout):
+		_ = p.proc.Process.Kill()
+		<-done
+		return -1, fmt.Errorf("chaos: %s drain timed out", p.name)
+	}
+}
+
+// routerLen asks the router's STATS for the fleet-total point count.
+func routerLen(addr string) (int, error) {
+	cl, err := server.Dial(addr, server.ClientOptions{DialTimeout: time.Second})
+	if err != nil {
+		return 0, err
+	}
+	defer cl.Close()
+	raw, err := cl.Stats()
+	if err != nil {
+		return 0, err
+	}
+	var st struct {
+		Len int `json:"len"`
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return 0, err
+	}
+	return st.Len, nil
+}
+
+// RunSharded executes one sharded chaos run. A non-nil error means the
+// harness itself broke; acceptance violations are reported via
+// ShardedReport.Failed.
+func RunSharded(cfg ShardedConfig) (*ShardedReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ServerBin == "" || cfg.RouterBin == "" || cfg.Dir == "" {
+		return nil, fmt.Errorf("chaos: ServerBin, RouterBin and Dir are required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	h := &sharness{
+		cfg: cfg,
+		rep: &ShardedReport{
+			Shards:      cfg.Shards,
+			DrainExits:  map[string]int{},
+			ShardPoints: map[string]int{},
+		},
+	}
+	defer func() {
+		for _, s := range h.shards {
+			h.killProc(s)
+		}
+		if h.router != nil {
+			h.killProc(h.router)
+		}
+	}()
+
+	// Even x-split of the load's domain: shard i ends at Domain·(i+1)/N,
+	// the last covers the rest (including everything outside the domain).
+	var specParts []string
+	for i := 0; i < cfg.Shards; i++ {
+		name := fmt.Sprintf("shard%d", i)
+		addr, err := freePort()
+		if err != nil {
+			return nil, err
+		}
+		s := &shardProc{
+			name:  name,
+			store: filepath.Join(cfg.Dir, name+".db"),
+			addr:  addr,
+			out:   &logBuffer{logf: cfg.Logf, tag: name},
+		}
+		s.args = []string{
+			"-addr", s.addr,
+			"-store", s.store,
+			"-request-timeout", cfg.RequestTimeout.String(),
+		}
+		h.shards = append(h.shards, s)
+		if i < cfg.Shards-1 {
+			bound := cfg.Domain * int64(i+1) / int64(cfg.Shards)
+			specParts = append(specParts, fmt.Sprintf("x<%d@%s", bound, s.addr))
+		} else {
+			specParts = append(specParts, "rest@"+s.addr)
+		}
+		if err := h.startProc(cfg.ServerBin, s); err != nil {
+			return nil, err
+		}
+	}
+	spec := strings.Join(specParts, ",")
+	h.rep.Spec = spec
+
+	raddr, err := freePort()
+	if err != nil {
+		return nil, err
+	}
+	h.router = &shardProc{
+		name: "router",
+		addr: raddr,
+		out:  &logBuffer{logf: cfg.Logf, tag: "rsrouter"},
+		args: []string{
+			"-addr", raddr,
+			"-shards", spec,
+			// A killed shard stays down for a full period; give the shard
+			// clients enough retry budget to bridge it so most sub-requests
+			// land after the restart instead of surfacing TIMEOUT.
+			"-shard-attempts", "60",
+		},
+	}
+	if err := h.startProc(cfg.RouterBin, h.router); err != nil {
+		return nil, err
+	}
+	h.logf("chaos: sharded fleet up: router %s fronting %d shards (%s)", raddr, cfg.Shards, spec)
+
+	// The verified load talks ONLY to the router for the whole schedule;
+	// its idempotent retries are what turn a mid-kill TIMEOUT into an
+	// exactly-once write on the recovered shard.
+	stop := make(chan struct{})
+	loadDone := make(chan struct{})
+	var loadRep *server.LoadReport
+	var loadErr error
+	start := time.Now()
+	go func() {
+		defer close(loadDone)
+		loadRep, loadErr = server.RunLoad(server.LoadConfig{
+			Addr:      raddr,
+			Workers:   cfg.Workers,
+			Pipeline:  cfg.Pipeline,
+			Duration:  time.Hour, // backstop; Stop ends the run
+			Stop:      stop,
+			Domain:    cfg.Domain,
+			Seed:      cfg.Seed,
+			Verify:    true,
+			Resilient: true,
+			Retry: server.RetryPolicy{
+				MaxAttempts: 120,
+				BaseDelay:   5 * time.Millisecond,
+				MaxDelay:    250 * time.Millisecond,
+			},
+			Client: server.ClientOptions{DialTimeout: time.Second, IOTimeout: 10 * time.Second},
+		})
+	}()
+
+	var schedErr error
+	for kill := 1; kill <= cfg.Kills && schedErr == nil; kill++ {
+		time.Sleep(cfg.Period)
+		victim := h.shards[(kill-1)%cfg.Shards]
+		h.logf("chaos: kill %d/%d: SIGKILL %s", kill, cfg.Kills, victim.name)
+		h.killProc(victim)
+		h.rep.Kills++
+		time.Sleep(cfg.Period)
+		if err := h.startProc(cfg.ServerBin, victim); err != nil {
+			schedErr = fmt.Errorf("chaos: kill %d: restart: %w", kill, err)
+		}
+	}
+	time.Sleep(cfg.Period) // settle: let retries land before stopping
+
+	close(stop)
+	select {
+	case <-loadDone:
+	case <-time.After(cfg.LoadGrace):
+		return nil, fmt.Errorf("chaos: load generator hung after stop")
+	}
+	if schedErr != nil {
+		return nil, schedErr
+	}
+	if loadErr != nil {
+		return nil, fmt.Errorf("chaos: load: %w", loadErr)
+	}
+	h.rep.Load = loadRep
+
+	// The router's aggregate view, before anything drains: the fleet
+	// total the drained stores must account for exactly.
+	n, err := routerLen(raddr)
+	if err != nil {
+		h.rep.failf("router stats: %v", err)
+	}
+	h.rep.RouterLen = n
+
+	// Drain the router first (it holds client-side state only), then the
+	// shards; every exit must be 0.
+	code, err := h.stopProc(h.router)
+	if err != nil {
+		h.rep.failf("drain router: %v", err)
+	}
+	h.rep.DrainExits["router"] = code
+	if code != 0 {
+		h.rep.failf("drain router: exit %d", code)
+	}
+	for _, s := range h.shards {
+		code, err := h.stopProc(s)
+		if err != nil {
+			h.rep.failf("drain %s: %v", s.name, err)
+		}
+		h.rep.DrainExits[s.name] = code
+		if code != 0 {
+			h.rep.failf("drain %s: exit %d", s.name, code)
+		}
+	}
+
+	// Post-mortem every shard store: page-exact, checksum-clean, and the
+	// point counts must sum to the router's fleet total.
+	sum := 0
+	for _, s := range h.shards {
+		points, _, leaked, err := inspectStore(s.store, true)
+		if err != nil {
+			h.rep.failf("post-mortem %s: %v", s.name, err)
+			continue
+		}
+		h.rep.ShardPoints[s.name] = points
+		h.rep.Leaked += leaked
+		if leaked != 0 {
+			h.rep.failf("%s leaked %d pages", s.name, leaked)
+		}
+		sum += points
+	}
+	if sum != h.rep.RouterLen {
+		h.rep.failf("shard stores hold %d points, router reported %d", sum, h.rep.RouterLen)
+	}
+
+	h.rep.DurationS = time.Since(start).Seconds()
+	h.logf("chaos: sharded done: kills=%d ops=%d busy=%d timeouts=%d resent=%d points=%d failures=%d",
+		h.rep.Kills, h.rep.Load.Ops, h.rep.Load.Busy, h.rep.Load.TimeoutRetries, h.rep.Load.Resent,
+		h.rep.RouterLen, len(h.rep.Failures))
+	return h.rep, nil
+}

@@ -218,3 +218,14 @@ func (c *Client) Stats() ([]byte, error) {
 	}
 	return r.Data, statusErr(r)
 }
+
+// Topology fetches the serving node's encoded shard map (internal/router
+// owns the codec). A plain rsserve has no topology and answers ERR, which
+// surfaces here as an error.
+func (c *Client) Topology() ([]byte, error) {
+	r, err := c.Do(Request{Op: OpTopology})
+	if err != nil {
+		return nil, err
+	}
+	return r.Data, statusErr(r)
+}

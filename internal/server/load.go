@@ -196,6 +196,12 @@ type LoadReport struct {
 	// after the run (nil if the server was unreachable).
 	ServerStats *StatsSnapshot `json:"server_stats,omitempty"`
 
+	// Cluster records the shard topology of a run verified through an
+	// rsrouter (rsload -cluster). The load path is identical — the router
+	// speaks the same protocol — so this is provenance, set by the caller
+	// after a TOPOLOGY probe, not a behavior switch.
+	Cluster *ClusterLoadInfo `json:"cluster,omitempty"`
+
 	// VerifyMode records how query results were checked: "exact" (the
 	// index started empty, so each worker's stripe model is the complete
 	// truth), "containment" (the index was pre-populated, so only
@@ -204,6 +210,15 @@ type LoadReport struct {
 
 	// FirstError preserves one representative failure for diagnostics.
 	FirstError string `json:"first_error,omitempty"`
+}
+
+// ClusterLoadInfo identifies the sharded fleet a load run went through:
+// the shard count and the canonical shard-map spec from the router's
+// TOPOLOGY frame (internal/router owns the codec, so the probe lives in
+// cmd/rsload rather than here).
+type ClusterLoadInfo struct {
+	Shards int    `json:"shards"`
+	Spec   string `json:"spec"`
 }
 
 // TraceLoadStats merges the two ends of the traced requests: what the

@@ -31,6 +31,9 @@
 //	             envelope (see below)
 //	BARRIER 0x0A min term (u64) + min LSN (u64), not both zero, then one
 //	             QUERY3/QUERY4 body — a read barrier envelope (see below)
+//	TOPOLOGY 0x0B empty; response payload is the serving node's shard map
+//	             (see internal/router's topology codec). A plain rsserve
+//	             answers ERR — only routers own a topology.
 //
 // Responses:
 //
@@ -123,6 +126,10 @@ const (
 	OpIdem    byte = 0x08
 	OpTrace   byte = 0x09
 	OpBarrier byte = 0x0A
+	// OpTopology asks the serving node for its shard map (empty request
+	// payload, opaque response payload — internal/router owns the codec).
+	// A single rsserve has no topology and answers ERR.
+	OpTopology byte = 0x0B
 )
 
 // Response status bytes.
@@ -203,6 +210,8 @@ func OpName(op byte) string {
 		return "trace"
 	case OpBarrier:
 		return "barrier"
+	case OpTopology:
+		return "topology"
 	default:
 		return fmt.Sprintf("op(0x%02x)", op)
 	}
@@ -419,7 +428,7 @@ func EncodeRequest(dst []byte, r Request) ([]byte, error) {
 			putPoint(buf[1:], e.P)
 			dst = append(dst, buf[:]...)
 		}
-	case OpStats:
+	case OpStats, OpTopology:
 		// no payload
 	default:
 		return nil, fmt.Errorf("%w: unknown opcode 0x%02x", ErrProto, r.Op)
@@ -489,9 +498,9 @@ func DecodeRequest(body []byte, maxBatchOps int) (Request, error) {
 				r.Batch[i] = BatchEntry{Kind: e[0], P: getPoint(e[1:])}
 			}
 		}
-	case OpStats:
+	case OpStats, OpTopology:
 		if len(payload) != 0 {
-			return Request{}, fmt.Errorf("%w: stats payload must be empty", ErrProto)
+			return Request{}, fmt.Errorf("%w: %s payload must be empty", ErrProto, OpName(op))
 		}
 	case OpIdem:
 		if len(payload) < idemHdrSize+1 {
@@ -621,7 +630,7 @@ func EncodeResponse(dst []byte, op byte, r Response) []byte {
 		return append(dst, pos[:]...)
 	}
 	switch op {
-	case OpPing, OpStats:
+	case OpPing, OpStats, OpTopology:
 		dst = append(dst, r.Data...)
 	case OpInsert:
 		if r.Duplicate {
@@ -709,7 +718,7 @@ func DecodeResponse(body []byte, op byte) (Response, error) {
 	}
 	r := Response{Status: StatusOK}
 	switch op {
-	case OpPing, OpStats:
+	case OpPing, OpStats, OpTopology:
 		r.Data = payload
 	case OpInsert:
 		if len(payload) != 1+16 || payload[0] > 1 {

@@ -119,7 +119,12 @@ type pendingReq struct {
 	tag      interface{}
 	attempts int
 	retried  bool
-	route    int
+	// sent records whether the request has ever been put on (or may have
+	// reached) its connection's wire. A reconnect only marks previously
+	// sent entries retried: a deferred first send (primary down at Send
+	// time) is a first transmission, not an ambiguous re-send.
+	sent  bool
+	route int
 }
 
 // routePrimary routes a pendingReq over the primary connection.
@@ -302,8 +307,11 @@ func (c *ResilientClient) resend(cl *Client) error {
 		if err := cl.Send(c.pending[i].req); err != nil {
 			return err
 		}
-		c.pending[i].retried = true
-		c.stats.Resent++
+		if c.pending[i].sent {
+			c.pending[i].retried = true
+			c.stats.Resent++
+		}
+		c.pending[i].sent = true
 	}
 	return cl.Flush()
 }
@@ -367,14 +375,18 @@ func (c *ResilientClient) dropReplica(i int) {
 		}
 	}
 	c.pending = append(keep, moved...)
-	for _, p := range moved {
+	tail := c.pending[len(c.pending)-len(moved):]
+	for i := range tail {
 		c.stats.ReplicaFallbacks++
+		tail[i].sent = false // first transmission on the primary route
 		if c.cl == nil {
 			continue // reconnect's resend will carry it
 		}
-		if err := c.cl.Send(p.req); err != nil {
+		if err := c.cl.Send(tail[i].req); err != nil {
 			c.dropConn()
+			continue
 		}
+		tail[i].sent = true
 	}
 }
 
@@ -405,7 +417,9 @@ func (c *ResilientClient) Send(r Request, tag interface{}) error {
 				return err
 			}
 			c.dropReplica(route)
+			return nil
 		}
+		c.pending[len(c.pending)-1].sent = true
 		return nil
 	}
 	if c.cl == nil {
@@ -419,6 +433,9 @@ func (c *ResilientClient) Send(r Request, tag interface{}) error {
 		}
 		c.dropConn()
 	}
+	// A transport error may have flushed bytes before failing, so the
+	// request counts as sent (ambiguous) either way once attempted.
+	c.pending[len(c.pending)-1].sent = true
 	return nil
 }
 
@@ -578,6 +595,7 @@ func (c *ResilientClient) dispose(head pendingReq, resp Response) (RecvResult, b
 // route (a replica mid-failover) answers STALE rather than stale data.
 func (c *ResilientClient) requeue(p pendingReq) {
 	p.route = routePrimary
+	p.sent = false
 	if barrierable(p.req.Op) && c.barrierAfter(p.req.MinTerm, p.req.MinLSN) {
 		p.req.MinTerm, p.req.MinLSN = c.lastTerm, c.lastLSN
 	}
@@ -588,6 +606,7 @@ func (c *ResilientClient) requeue(p pendingReq) {
 	if err := c.cl.Send(p.req); err != nil {
 		c.dropConn()
 	}
+	c.pending[len(c.pending)-1].sent = true
 }
 
 // Do sends one request and waits for its response — the non-pipelined

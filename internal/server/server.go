@@ -531,6 +531,9 @@ func (s *Server) handle(req Request, sp *trace.Span) Response {
 		resp := s.handleStats()
 		sp.AddPhase(trace.PhaseExecute, time.Since(t0))
 		return resp
+	case OpTopology:
+		// Only routers own a shard map; a single node is not a cluster.
+		return Response{Status: StatusErr, Msg: "server: no topology (standalone node, not a router)"}
 	}
 	// Read barrier: a BARRIER envelope asks "answer only from a timeline
 	// at least as new as (MinTerm, MinLSN)". Checked before admission — a
