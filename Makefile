@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench cover vet fmt sweep recover-sweep fuzz-short bound experiments examples clean soak model trajectory serve load serve-smoke chaos repl-smoke chaos-repl shard-smoke chaos-shard
+.PHONY: all build test race bench cover vet fmt sweep recover-sweep fuzz-short bound experiments examples clean soak model trajectory serve load serve-smoke chaos repl-smoke chaos-repl shard-smoke chaos-shard writeopt-smoke chaos-writeopt
 
 all: build vet test
 
@@ -31,7 +31,7 @@ sweep:
 # backing-store operation, reopen, run WAL recovery, and assert the state
 # is exactly pre-op or post-op with invariants intact and a clean file.
 recover-sweep:
-	$(GO) test ./internal/... -run 'TestRecoverySweep|TestTxRecoverySweepRaw' -v
+	$(GO) test ./internal/... -run 'TestRecoverySweep|TestTxRecoverySweepRaw|TestJournalRecoverySweep' -v
 
 # Short coverage-guided fuzz of the hostile-input parsers: WAL records,
 # anchors, whole store files, and the rsserve wire-protocol decoders.
@@ -48,6 +48,7 @@ fuzz-short:
 	$(GO) test ./internal/server -run '^$$' -fuzz 'FuzzFrameSizeRejection' -fuzztime 10s
 	$(GO) test ./internal/router -run '^$$' -fuzz 'FuzzDecodeTopology' -fuzztime 10s
 	$(GO) test ./internal/router -run '^$$' -fuzz 'FuzzParseShards' -fuzztime 10s
+	$(GO) test ./internal/wbuf -run '^$$' -fuzz 'FuzzDecodeBufJournal' -fuzztime 10s
 
 # Concurrency soak: snapshot readers vs a group-committing writer under
 # the race detector, with the single-writer linearizability checks
@@ -69,7 +70,7 @@ bound:
 # Regenerate the committed trajectory snapshots that the I/O regression
 # guard (internal/bench/regression_test.go) replays with tolerance zero.
 trajectory:
-	$(GO) run ./cmd/rsbench -quick -exp e7,concurrent -workers 8 -json -outdir trajectory
+	$(GO) run ./cmd/rsbench -quick -exp e7,concurrent,writeopt -workers 8 -json -outdir trajectory
 
 # Boot a durable file-backed rsserve on a throwaway store (Ctrl-C drains
 # and leak-checks it). STORE/ADDR are overridable.
@@ -121,6 +122,20 @@ shard-smoke:
 # exits nonzero.
 chaos-shard:
 	$(GO) test ./internal/server/chaos -run TestChaosSharded -count=1 -v
+
+# Write-optimized serving smoke: boot rsserve -write-buffer on a temp
+# store, run a verified write-heavy zipfian burst, SIGKILL mid-burst,
+# reopen (journal replay), re-verify under load, drain, and scrub.
+# CI runs this too.
+writeopt-smoke:
+	./scripts/writeopt_smoke.sh
+
+# Buffered kill-and-recover chaos: SIGKILL/restart an rsserve running
+# -write-buffer under verified resilient load. Every acknowledged
+# buffered write must survive the kill via journal replay — zero lost or
+# duplicated acked writes, clean drain, scrub-clean store.
+chaos-writeopt:
+	$(GO) test ./internal/server/chaos -run TestChaosWriteBuffered -count=1 -v
 
 # Operation-level + per-experiment benchmarks (quick instances).
 bench:

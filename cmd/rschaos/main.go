@@ -60,6 +60,8 @@ func main() {
 		reqT      = flag.Duration("request-timeout", 5*time.Second, "rsserve per-request deadline")
 		traceS    = flag.Float64("trace-sample", 0, "run with request tracing live at this sample rate (0 disables)")
 		slowlog   = flag.Duration("slowlog", 0, "rsserve slow-query threshold (0 disables)")
+		wbuf      = flag.Bool("write-buffer", false, "single-node mode: run rsserve write-optimized; kills must recover acked writes by journal replay")
+		wbufOps   = flag.Int("write-buffer-ops", 0, "flush threshold for -write-buffer (0 = harness default)")
 		jsonOut   = flag.String("json", "", "also write the report to this file")
 		quiet     = flag.Bool("quiet", false, "suppress progress logging")
 
@@ -159,6 +161,8 @@ func main() {
 		RequestTimeout: *reqT,
 		TraceSample:    *traceS,
 		SlowLog:        *slowlog,
+		WriteBuffer:    *wbuf,
+		WriteBufferOps: *wbufOps,
 		ReadyTimeout:   *readyT,
 		DrainTimeout:   *drainT,
 		LoadGrace:      *graceT,

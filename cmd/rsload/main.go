@@ -48,6 +48,8 @@ func main() {
 		deleteFrac = flag.Float64("delete-frac", 0.3, "fraction of writes that are deletes (negative = none)")
 		fourFrac   = flag.Float64("four-frac", 0.5, "fraction of queries that are 4-sided (negative = none)")
 		domain     = flag.Int64("domain", 1<<20, "coordinate domain [0, domain)")
+		distName   = flag.String("dist", "uniform", "write-key distribution: uniform, zipf (skew via -theta), hotspot (90/10)")
+		theta      = flag.Float64("theta", 0.99, "zipfian skew for -dist zipf, in (0, 1)")
 		batchEvery = flag.Int("batch-every", 0, "make every Nth write a BATCH (0 = never)")
 		batchSize  = flag.Int("batch-size", 16, "operations per BATCH request")
 		seed       = flag.Int64("seed", 1, "workload RNG seed")
@@ -105,6 +107,8 @@ func main() {
 		DeleteFrac:    *deleteFrac,
 		FourFrac:      *fourFrac,
 		Domain:        *domain,
+		Dist:          *distName,
+		Theta:         *theta,
 		BatchEvery:    *batchEvery,
 		BatchSize:     *batchSize,
 		Seed:          *seed,

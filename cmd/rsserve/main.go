@@ -23,17 +23,31 @@
 // stranded mid-copy-on-write, so a SIGKILL/restart cycle converges back to
 // a leak-free store.
 //
+// Write-optimized mode (-write-buffer) puts the dynamic-indexability
+// buffered-update decorator (internal/wbuf) between the server and the
+// engine: inserts and deletes stage in an in-memory delta buffer —
+// journaled to a checksummed sidecar next to the store (X.wbuf), so an
+// acknowledged write survives SIGKILL — and bulk-flush through the
+// group-commit engine when the buffer crosses -write-buffer-ops entries
+// or its oldest entry exceeds -write-buffer-age. Queries merge buffered
+// deltas with base results, so reads are exact at all times. A journal
+// left behind by a crashed (or de-flagged) buffered run is replayed on
+// the next boot regardless of flags. Incompatible with replication:
+// buffered writes are not in the shipped WAL.
+//
 // On SIGTERM/SIGINT the server drains: the listener closes, in-flight
-// requests finish and flush, the last epoch commits, and the process exits
-// 0 only if the store is verifiably scrub-clean (no leaked pages) and
-// synced. `rsinspect scrub -dry` on the store afterwards must find
-// nothing — the CI smoke job asserts exactly that.
+// requests finish and flush, the write buffer (if any) folds into the
+// base and truncates its journal, the last epoch commits, and the
+// process exits 0 only if the store is verifiably scrub-clean (no leaked
+// pages) and synced. `rsinspect scrub -dry` on the store afterwards must
+// find nothing — the CI smoke job asserts exactly that.
 //
 // Usage:
 //
 //	rsserve -addr :9035 -mem
 //	rsserve -addr :9035 -store points.db
 //	rsserve -addr :9035 -store points.db -metrics 127.0.0.1:6060
+//	rsserve -addr :9035 -store points.db -write-buffer -write-buffer-ops 4096
 //	rsserve -addr :9035 -store points.db -trace-sample 0.01 -slowlog 50ms -spans spans.jsonl
 //
 // Request tracing: -trace-sample traces every Nth request end to end
@@ -63,6 +77,7 @@ import (
 	"rangesearch/internal/obs"
 	"rangesearch/internal/repl"
 	"rangesearch/internal/server"
+	"rangesearch/internal/wbuf"
 )
 
 // manifest remembers, next to a file-backed store, everything needed to
@@ -83,9 +98,35 @@ type manifest struct {
 	// "fenced" (an ex-primary that learned of a newer term and must not
 	// accept writes until re-replicated or explicitly forced).
 	Role string `json:"role,omitempty"`
+	// WriteBuffer records that the store last ran in write-optimized
+	// mode, so tooling (and the next boot) knows a sidecar write-buffer
+	// journal may hold acknowledged-but-unflushed updates. The journal is
+	// replayed on reopen even if -write-buffer is absent — acked writes
+	// must never depend on the operator remembering a flag.
+	WriteBuffer bool `json:"write_buffer,omitempty"`
+	// WriteBufferOps is the flush threshold the buffer last ran with.
+	WriteBufferOps int `json:"write_buffer_ops,omitempty"`
 }
 
 func manifestPath(storePath string) string { return storePath + ".manifest.json" }
+
+// wbufJournalPath is the sidecar write-buffer journal, next to the store
+// like the manifest is.
+func wbufJournalPath(storePath string) string { return storePath + ".wbuf" }
+
+func fileNonEmpty(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.Size() > 0
+}
+
+// manifestBufOps is what the manifest records as the buffer threshold:
+// the configured value when buffering, zero when not.
+func manifestBufOps(on bool, ops int) int {
+	if on {
+		return ops
+	}
+	return 0
+}
 
 // validate rejects manifests that parse but cannot describe a real store
 // — a truncated or hand-edited file must fail here with a diagnostic, not
@@ -100,6 +141,8 @@ func (m *manifest) validate(path string) error {
 		return fmt.Errorf("manifest %s: durable store without an anchor — cannot run WAL recovery", path)
 	case m.WALPages < 0:
 		return fmt.Errorf("manifest %s: negative wal_pages %d", path, m.WALPages)
+	case m.WriteBufferOps < 0:
+		return fmt.Errorf("manifest %s: negative write_buffer_ops %d", path, m.WriteBufferOps)
 	}
 	switch m.Role {
 	case "", "primary", "replica", "fenced":
@@ -353,6 +396,10 @@ func main() {
 		spansPath   = flag.String("spans", "", "spool sampled spans to this JSONL file")
 		spanRing    = flag.Int("span-ring", 256, "sampled spans retained for the /spans endpoint")
 
+		writeBuffer    = flag.Bool("write-buffer", false, "write-optimized mode: buffer updates in memory (journaled next to the store), merge-on-read queries, bulk flushes")
+		writeBufferOps = flag.Int("write-buffer-ops", wbuf.DefaultMaxOps, "write buffer flush threshold in buffered operations")
+		writeBufferAge = flag.Duration("write-buffer-age", wbuf.DefaultMaxAge, "flush the write buffer when its oldest entry exceeds this age (0 = size-only)")
+
 		replListen    = flag.String("repl-listen", "", "serve the replication protocol (log shipping, PROMOTE RPC) on this address")
 		replicateFrom = flag.String("replicate-from", "", "run as a read replica of the primary at this replication address")
 		replSync      = flag.Int("repl-sync", 0, "semi-sync: each write's OK waits until this many replicas are durable (0 = async)")
@@ -369,6 +416,17 @@ func main() {
 	replicated := *replListen != "" || *replicateFrom != ""
 	if replicated && (*mem || !*durable || *store == "") {
 		fmt.Fprintln(os.Stderr, "rsserve: replication requires a durable file store (-store, -durable)")
+		os.Exit(2)
+	}
+	if *writeBuffer && replicated {
+		// Buffered writes are durable in the sidecar journal, not the base
+		// WAL, so log shipping would silently omit them. Refuse rather than
+		// replicate a lie.
+		fmt.Fprintln(os.Stderr, "rsserve: -write-buffer is incompatible with replication (buffered writes are not in the shipped WAL)")
+		os.Exit(2)
+	}
+	if *writeBufferOps < 1 {
+		fmt.Fprintln(os.Stderr, "rsserve: -write-buffer-ops must be at least 1")
 		os.Exit(2)
 	}
 	logf := func(format string, args ...interface{}) {
@@ -414,6 +472,67 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Write-optimized mode: wrap the engine in the buffered-update
+	// decorator. Even without -write-buffer, a sidecar journal left behind
+	// by a buffered run (crash, or the operator dropping the flag) is
+	// replayed and folded into the base first — acknowledged writes must
+	// never depend on the next boot remembering a flag.
+	var buf *wbuf.Buffered
+	if st != nil {
+		switch {
+		case *writeBuffer && st.tx != nil:
+			// One durability barrier before the first buffered ack: with
+			// every update absorbed by the buffer, the base may not commit
+			// (and persist its allocation superblock) until the first
+			// flush, and a SIGKILL before then would leave a store whose
+			// creation epoch never reached disk — unopenable, journal or
+			// no journal.
+			jpath := wbufJournalPath(*store)
+			if err = st.tx.Sync(); err == nil {
+				buf, err = wbuf.NewBuffered(st.conc, wbuf.Options{
+					MaxOps:  *writeBufferOps,
+					MaxAge:  *writeBufferAge,
+					Journal: jpath,
+				})
+			}
+			if err == nil {
+				logf("write buffer on: flush at %d ops / %s age, journal %s", *writeBufferOps, *writeBufferAge, jpath)
+				if r := buf.WriteBufferStats().Replayed; r > 0 {
+					logf("write buffer: replayed %d journaled ops into the store", r)
+				}
+			}
+		case *writeBuffer:
+			// -mem or a non-durable file store: a journal could not promise
+			// more than the base itself does, so the buffer runs volatile.
+			buf, err = wbuf.NewBuffered(st.conc, wbuf.Options{MaxOps: *writeBufferOps, MaxAge: *writeBufferAge})
+			if err == nil {
+				logf("write buffer on (volatile): flush at %d ops / %s age", *writeBufferOps, *writeBufferAge)
+			}
+		case *store != "":
+			if jpath := wbufJournalPath(*store); fileNonEmpty(jpath) {
+				var tmp *wbuf.Buffered
+				if tmp, err = wbuf.NewBuffered(st.conc, wbuf.Options{Journal: jpath}); err == nil {
+					err = tmp.Close() // replay happened in NewBuffered; Close flushes and truncates
+				}
+				if err == nil {
+					logf("replayed leftover write-buffer journal %s into the store", jpath)
+				}
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rsserve: write buffer: %v\n", err)
+			os.Exit(1)
+		}
+		if *store != "" && (st.m.WriteBuffer != (buf != nil) || st.m.WriteBufferOps != manifestBufOps(buf != nil, *writeBufferOps)) {
+			st.m.WriteBuffer = buf != nil
+			st.m.WriteBufferOps = manifestBufOps(buf != nil, *writeBufferOps)
+			if err := writeManifest(*store, st.m); err != nil {
+				fmt.Fprintf(os.Stderr, "rsserve: manifest: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
 	if *replListen != "" {
 		if rn != nil {
 			// A replica's repl port exists for the PROMOTE RPC now and
@@ -448,6 +567,11 @@ func main() {
 
 	metrics := &server.Metrics{}
 	server.PublishMetrics("main", metrics)
+	var wbStats func() obs.WriteBufferStats
+	if buf != nil {
+		obs.PublishWriteBuffer("serve", buf)
+		wbStats = buf.WriteBufferStats
+	}
 
 	// Sampled spans always land in a ring (drained by the /spans
 	// endpoint and dumped on drain); -spans additionally spools them to
@@ -499,7 +623,11 @@ func main() {
 			return info
 		}
 	default:
-		backend = st.conc
+		if buf != nil {
+			backend = buf
+		} else {
+			backend = st.conc
+		}
 	}
 	if node != nil {
 		// (term, LSN) barrier checks and write-ack stamping read the term
@@ -522,6 +650,7 @@ func main() {
 		Repl:           replInfoFn,
 		Term:           termFn,
 		Metrics:        metrics,
+		WriteBuffer:    wbStats,
 		TraceSample:    *traceSample,
 		SlowLog:        *slowLog,
 		Spans:          spans,
@@ -591,6 +720,19 @@ wait:
 	} else {
 		if shipper != nil {
 			shipper.Close()
+		}
+		if buf != nil {
+			// Fold every buffered write into the base and truncate the
+			// journal, so the drained store is complete and scrub-clean on
+			// its own — the journal holds nothing after a clean exit.
+			if cerr := buf.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "rsserve: write buffer drain: %v\n", cerr)
+				os.Exit(1)
+			}
+			if d := buf.Depth(); d != 0 {
+				fmt.Fprintf(os.Stderr, "rsserve: write buffer drain left %d buffered ops\n", d)
+				os.Exit(3)
+			}
 		}
 		leaked, err = st.drainClean()
 	}

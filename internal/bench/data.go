@@ -8,6 +8,7 @@ package bench
 import (
 	"math/rand"
 
+	"rangesearch/internal/dist"
 	"rangesearch/internal/geom"
 	"rangesearch/internal/indexability"
 )
@@ -81,6 +82,50 @@ func Clustered(seed int64, n int, coordRange int64, c int) []geom.Point {
 // Lattice returns the Fibonacci lattice for N = Fib(k) — the paper's
 // worst-case distribution.
 func Lattice(k int) []geom.Point { return indexability.FibonacciLattice(k) }
+
+// Zipf returns n distinct points whose x-coordinates follow a
+// YCSB-style zipfian rank distribution over [0, coordRange) (theta in
+// (0, 1); rank 0 — x = 0 — is the hottest column) with uniform y. This
+// is the write-skew shape buffered updates matter most for: a few x
+// columns absorb most of the traffic.
+func Zipf(seed int64, n int, coordRange int64, theta float64) []geom.Point {
+	z, err := dist.NewZipfian(coordRange, theta)
+	if err != nil {
+		panic(err) // caller bug: bench data shapes are compile-time choices
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[geom.Point]bool, n)
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		p := geom.Point{X: z.Next(rng.Float64()), Y: rng.Int63n(coordRange)}
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+// HotspotData returns n distinct points where hotProb of the mass lands
+// in the first hotFrac of the x-domain (the classic 90/10 skew is
+// hotFrac=0.1, hotProb=0.9), uniform y.
+func HotspotData(seed int64, n int, coordRange int64, hotFrac, hotProb float64) []geom.Point {
+	h, err := dist.NewHotspot(coordRange, hotFrac, hotProb)
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[geom.Point]bool, n)
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		p := geom.Point{X: h.Next(rng.Float64(), rng.Float64()), Y: rng.Int63n(coordRange)}
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
 
 func clamp(v, lo, hi int64) int64 {
 	if v < lo {

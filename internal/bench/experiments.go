@@ -44,6 +44,7 @@ func All() []Experiment {
 		{"e14", "bound check: per-op overhead vs Thms 6-7 allowances", E14},
 		{"concurrent", "serving layer: snapshot reads scale, group commits coalesce, per-query I/O unchanged", EConcurrent},
 		{"serve", "network layer: end-to-end RPC throughput and latency under the rsload closed loop", EServe},
+		{"writeopt", "write-optimized mode: buffered updates amortize below per-op O(log_B N), durable insert throughput multiplies", EWriteopt},
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"rangesearch/internal/epst"
 	"rangesearch/internal/geom"
 	"rangesearch/internal/range4"
+	"rangesearch/internal/wbuf"
 )
 
 const coordRange = 1 << 20
@@ -121,6 +122,26 @@ func openFourSided(s eio.Store, hdr eio.PageID) (core.Index, error) {
 	return core.OpenFourSided(s, hdr)
 }
 
+// bufferedly decorates a factory with the write buffer, using a small
+// flush threshold so a 10k-op replay exercises dozens of flush/merge
+// cycles, not just the staging path. No journal: crash recovery has its
+// own sweep in internal/wbuf; here the differential target is the
+// buffer/merge/flush semantics.
+func bufferedly(mk Factory) Factory {
+	return func() (core.Index, func(), error) {
+		idx, closeFn, err := mk()
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := wbuf.NewBuffered(idx, wbuf.Options{MaxOps: 64})
+		if err != nil {
+			closeFn()
+			return nil, nil, err
+		}
+		return b, func() { b.Close(); closeFn() }, nil
+	}
+}
+
 // configs is the full differential matrix: both paper structures crossed
 // with every wrapper in the serving stack.
 func configs() []Config {
@@ -133,17 +154,22 @@ func configs() []Config {
 			return core.NewSynced(idx), closeFn, nil
 		}
 	}
+	epstDurable := durably(func(s eio.Store) (core.Index, error) { return core.NewThreeSided(s, epst.Options{}) })
 	return []Config{
 		{Name: "epst-plain", New: epstFactory},
 		{Name: "epst-synced", New: syncedly(epstFactory)},
-		{Name: "epst-durable", New: durably(func(s eio.Store) (core.Index, error) { return core.NewThreeSided(s, epst.Options{}) })},
+		{Name: "epst-durable", New: epstDurable},
 		{Name: "epst-concurrent", New: concurrently(createThreeSided, openThreeSided, false)},
 		{Name: "epst-concurrent-durable", New: concurrently(createThreeSided, openThreeSided, true)},
+		{Name: "epst-buffered", New: bufferedly(epstFactory)},
+		{Name: "epst-buffered-durable", New: bufferedly(epstDurable)},
+		{Name: "epst-buffered-concurrent", New: bufferedly(concurrently(createThreeSided, openThreeSided, true))},
 		{Name: "range4-plain", New: range4Factory},
 		{Name: "range4-synced", New: syncedly(range4Factory)},
 		{Name: "range4-durable", New: durably(func(s eio.Store) (core.Index, error) { return core.NewFourSided(s, range4.Options{}) })},
 		{Name: "range4-concurrent", New: concurrently(createFourSided, openFourSided, false)},
 		{Name: "range4-concurrent-durable", New: concurrently(createFourSided, openFourSided, true)},
+		{Name: "range4-buffered", New: bufferedly(range4Factory)},
 	}
 }
 

@@ -1,0 +1,128 @@
+// Package dist holds the skewed key-distribution generators shared by
+// the bench data builders and the rsload workload workers: a YCSB-style
+// Zipfian rank sampler and a hotspot (hot-set) sampler. It is a
+// dependency leaf (stdlib only) so both internal/bench and
+// internal/server can draw from one implementation.
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Zipfian samples ranks in [0, n) with P(rank) ∝ 1/(rank+1)^theta — the
+// Gray et al. / YCSB "zipfian" generator: rank 0 is the hottest key.
+// theta must be in (0, 1); YCSB's default skew is 0.99 (a handful of
+// keys absorb most of the traffic). Construction is O(n) (one zeta
+// sum); sampling is O(1).
+type Zipfian struct {
+	n     int64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // 0.5^theta
+}
+
+// NewZipfian builds a sampler over [0, n). It returns an error for
+// n < 1 or theta outside (0, 1).
+func NewZipfian(n int64, theta float64) (*Zipfian, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: zipfian over %d keys", n)
+	}
+	if theta <= 0 || theta >= 1 {
+		return nil, fmt.Errorf("dist: zipfian theta %v outside (0, 1)", theta)
+	}
+	zetan := zeta(n, theta)
+	zeta2 := zeta(2, theta)
+	z := &Zipfian{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		half:  math.Pow(0.5, theta),
+	}
+	if n > 1 {
+		z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan)
+	}
+	return z, nil
+}
+
+// zeta returns the generalized harmonic number Σ_{i=1..n} 1/i^theta.
+func zeta(n int64, theta float64) float64 {
+	sum := 0.0
+	for i := int64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// N returns the sampler's key-space size.
+func (z *Zipfian) N() int64 { return z.n }
+
+// Next maps one uniform variate u ∈ [0, 1) to a rank in [0, n).
+// Deterministic in u, so callers own the RNG (per-worker seeding, replay).
+func (z *Zipfian) Next(u float64) int64 {
+	if u < 0 {
+		u = 0
+	} else if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if z.n == 1 || uz < 1+z.half {
+		return 1 % z.n
+	}
+	r := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r < 0 {
+		r = 0
+	}
+	if r >= z.n {
+		r = z.n - 1
+	}
+	return r
+}
+
+// Hotspot samples ranks in [0, n): with probability hotProb the rank is
+// uniform over the hot set (the first ⌈hotFrac·n⌉ ranks), otherwise
+// uniform over the cold remainder. The classic 90/10 skew is
+// Hotspot{hotFrac: 0.1, hotProb: 0.9}.
+type Hotspot struct {
+	n   int64
+	hot int64
+	p   float64
+}
+
+// NewHotspot builds a hotspot sampler over [0, n). hotFrac and hotProb
+// must be in (0, 1].
+func NewHotspot(n int64, hotFrac, hotProb float64) (*Hotspot, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: hotspot over %d keys", n)
+	}
+	if hotFrac <= 0 || hotFrac > 1 || hotProb < 0 || hotProb > 1 {
+		return nil, fmt.Errorf("dist: hotspot frac %v / prob %v outside (0, 1]", hotFrac, hotProb)
+	}
+	hot := int64(math.Ceil(hotFrac * float64(n)))
+	if hot < 1 {
+		hot = 1
+	}
+	if hot > n {
+		hot = n
+	}
+	return &Hotspot{n: n, hot: hot, p: hotProb}, nil
+}
+
+// Next maps two uniform variates (set selector, position) to a rank.
+func (h *Hotspot) Next(uSet, uPos float64) int64 {
+	if uPos < 0 {
+		uPos = 0
+	} else if uPos >= 1 {
+		uPos = math.Nextafter(1, 0)
+	}
+	if uSet < h.p || h.hot == h.n {
+		return int64(uPos * float64(h.hot))
+	}
+	return h.hot + int64(uPos*float64(h.n-h.hot))
+}

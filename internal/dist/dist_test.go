@@ -1,0 +1,90 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestZipfianSkew(t *testing.T) {
+	const n = 1 << 14
+	z, err := NewZipfian(n, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const draws = 200000
+	counts := make(map[int64]int)
+	for i := 0; i < draws; i++ {
+		r := z.Next(rng.Float64())
+		if r < 0 || r >= n {
+			t.Fatalf("rank %d out of [0,%d)", r, n)
+		}
+		counts[r]++
+	}
+	// The hottest 1% of ranks must absorb well over half the draws at
+	// theta=0.99 (true mass is ~70%+); uniform would give them 1%.
+	hot := 0
+	for r, c := range counts {
+		if r < n/100 {
+			hot += c
+		}
+	}
+	if frac := float64(hot) / draws; frac < 0.5 {
+		t.Fatalf("hottest 1%% drew %.1f%% of traffic, want > 50%% at theta=0.99", frac*100)
+	}
+	// Rank 0 is the mode.
+	for r, c := range counts {
+		if c > counts[0] {
+			t.Fatalf("rank %d (%d draws) hotter than rank 0 (%d)", r, c, counts[0])
+		}
+	}
+}
+
+func TestZipfianValidation(t *testing.T) {
+	for _, tc := range []struct {
+		n     int64
+		theta float64
+	}{{0, 0.5}, {10, 0}, {10, 1}, {10, -1}, {10, 1.5}} {
+		if _, err := NewZipfian(tc.n, tc.theta); err == nil {
+			t.Fatalf("NewZipfian(%d, %v) accepted", tc.n, tc.theta)
+		}
+	}
+	z, err := NewZipfian(1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []float64{0, 0.5, 0.999, 1, -1} {
+		if r := z.Next(u); r != 0 {
+			t.Fatalf("n=1 sampler returned %d", r)
+		}
+	}
+}
+
+func TestHotspot(t *testing.T) {
+	const n = 1000
+	h, err := NewHotspot(n, 0.1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	const draws = 100000
+	inHot := 0
+	for i := 0; i < draws; i++ {
+		r := h.Next(rng.Float64(), rng.Float64())
+		if r < 0 || r >= n {
+			t.Fatalf("rank %d out of [0,%d)", r, n)
+		}
+		if r < n/10 {
+			inHot++
+		}
+	}
+	if frac := float64(inHot) / draws; frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot set drew %.1f%%, want ~90%%", frac*100)
+	}
+	if _, err := NewHotspot(0, 0.1, 0.9); err == nil {
+		t.Fatal("accepted n=0")
+	}
+	if _, err := NewHotspot(10, 0, 0.9); err == nil {
+		t.Fatal("accepted hotFrac=0")
+	}
+}

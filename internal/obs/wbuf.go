@@ -1,0 +1,71 @@
+package obs
+
+// WriteBufferStats is a point-in-time view of a write buffer
+// (internal/wbuf.Buffered): how deep it is, what it has flushed, and
+// what its journal has absorbed. The decorator implements
+// WriteBufferSource; PublishWriteBuffer puts the snapshot on the
+// expvar surface, where the Prometheus exposition flattens it into
+// rangesearch_wbuf_* series.
+type WriteBufferStats struct {
+	// Depth is the number of distinct points currently buffered;
+	// NetDelta the inserts-minus-deletes the buffer contributes to Len.
+	Depth    int `json:"depth"`
+	NetDelta int `json:"net_delta"`
+	// CapOps is the size threshold a flush triggers at.
+	CapOps int `json:"cap_ops"`
+
+	Flushes      uint64 `json:"flushes"`
+	FlushedOps   uint64 `json:"flushed_ops"`
+	LastFlushOps int    `json:"last_flush_ops"`
+
+	// Probes counts base point-queries the staging path issued to
+	// resolve duplicate/found semantics. Replayed counts journaled ops
+	// re-staged at open — nonzero exactly when this process recovered
+	// acknowledged writes from a predecessor's crash.
+	Probes   uint64 `json:"probes"`
+	Replayed uint64 `json:"replayed"`
+
+	FlushP50Ms  float64 `json:"flush_p50_ms"`
+	FlushP99Ms  float64 `json:"flush_p99_ms"`
+	FlushMaxMs  float64 `json:"flush_max_ms"`
+	FlushOpsP50 uint64  `json:"flush_ops_p50"`
+	FlushOpsMax uint64  `json:"flush_ops_max"`
+
+	JournalBytes   int64  `json:"journal_bytes"`
+	JournalAppends uint64 `json:"journal_appends"`
+	JournalSyncs   uint64 `json:"journal_syncs"`
+}
+
+// WriteBufferSource is anything that can snapshot write-buffer stats —
+// satisfied by *wbuf.Buffered.
+type WriteBufferSource interface {
+	WriteBufferStats() WriteBufferStats
+}
+
+// PublishWriteBuffer exports src's snapshot as the expvar
+// "rangesearch.wbuf.<name>" (repointable, like every obs publisher), so
+// buffer depth, flush counts/sizes and flush-latency quantiles reach
+// /debug/vars and the Prometheus /metrics exposition.
+func PublishWriteBuffer(name string, src WriteBufferSource) {
+	publish("rangesearch.wbuf."+name, func() interface{} {
+		s := src.WriteBufferStats()
+		return map[string]interface{}{
+			"depth":           s.Depth,
+			"net_delta":       s.NetDelta,
+			"cap_ops":         s.CapOps,
+			"flushes":         s.Flushes,
+			"flushed_ops":     s.FlushedOps,
+			"last_flush_ops":  s.LastFlushOps,
+			"probes":          s.Probes,
+			"replayed":        s.Replayed,
+			"flush_p50_ms":    s.FlushP50Ms,
+			"flush_p99_ms":    s.FlushP99Ms,
+			"flush_max_ms":    s.FlushMaxMs,
+			"flush_ops_p50":   s.FlushOpsP50,
+			"flush_ops_max":   s.FlushOpsMax,
+			"journal_bytes":   s.JournalBytes,
+			"journal_appends": s.JournalAppends,
+			"journal_syncs":   s.JournalSyncs,
+		}
+	})
+}

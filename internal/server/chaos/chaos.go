@@ -80,6 +80,18 @@ type Config struct {
 	TraceSample float64
 	// SlowLog is passed to rsserve -slowlog when > 0.
 	SlowLog time.Duration
+	// WriteBuffer starts rsserve in write-optimized mode (-write-buffer):
+	// acknowledged writes live in the in-memory buffer plus the sidecar
+	// journal until a flush, so every SIGKILL additionally exercises
+	// journal replay on the next boot — an acked buffered write that a
+	// kill erased would surface as a consistency error in the verified
+	// load.
+	WriteBuffer bool
+	// WriteBufferOps / WriteBufferAge are passed through when WriteBuffer
+	// is set (defaults 4096 ops / 30s — thresholds high enough that kills
+	// reliably land on a non-empty buffer).
+	WriteBufferOps int
+	WriteBufferAge time.Duration
 	// Logf, when non-nil, receives progress lines. Nil discards.
 	Logf func(format string, args ...interface{})
 }
@@ -112,16 +124,27 @@ func (c Config) withDefaults() Config {
 	if c.LoadGrace <= 0 {
 		c.LoadGrace = 2 * time.Minute
 	}
+	if c.WriteBuffer {
+		if c.WriteBufferOps <= 0 {
+			c.WriteBufferOps = 4096
+		}
+		if c.WriteBufferAge <= 0 {
+			c.WriteBufferAge = 30 * time.Second
+		}
+	}
 	return c
 }
 
 // Report is the JSON result of a chaos run.
 type Report struct {
-	Cycles     int     `json:"cycles"`
-	Kills      int     `json:"kills"`
-	Restarts   int     `json:"restarts"`
-	BootScrubs int     `json:"boot_scrubs"` // restarts that reclaimed crash-leaked pages
-	DurationS  float64 `json:"duration_s"`
+	Cycles     int `json:"cycles"`
+	Kills      int `json:"kills"`
+	Restarts   int `json:"restarts"`
+	BootScrubs int `json:"boot_scrubs"` // restarts that reclaimed crash-leaked pages
+	// JournalReplays is how many restarts recovered acked writes from the
+	// write-buffer journal (always 0 unless Config.WriteBuffer).
+	JournalReplays int     `json:"journal_replays,omitempty"`
+	DurationS      float64 `json:"duration_s"`
 
 	Load  *server.LoadReport `json:"load"`
 	Proxy netfault.Stats     `json:"proxy"`
@@ -210,6 +233,12 @@ func (h *harness) start() error {
 	}
 	if h.cfg.SlowLog > 0 {
 		args = append(args, "-slowlog", h.cfg.SlowLog.String())
+	}
+	if h.cfg.WriteBuffer {
+		args = append(args,
+			"-write-buffer",
+			"-write-buffer-ops", fmt.Sprint(h.cfg.WriteBufferOps),
+			"-write-buffer-age", h.cfg.WriteBufferAge.String())
 	}
 	cmd := exec.Command(h.cfg.ServerBin, args...)
 	cmd.Stdout = h.out
@@ -443,10 +472,19 @@ func Run(cfg Config) (*Report, error) {
 	rep.FinalDrainExit = exit
 	rep.Proxy = h.proxy.Stats()
 	rep.BootScrubs = h.out.count("boot scrub: reclaimed")
+	rep.JournalReplays = h.out.count("write buffer: replayed")
 	rep.DurationS = time.Since(start).Seconds()
 
 	if err := postMortem(cfg.StorePath, rep); err != nil {
 		return nil, err
+	}
+	// A clean drain folds the buffer into the base and truncates the
+	// journal; bytes left behind would mean acked writes the tree never
+	// absorbed.
+	if cfg.WriteBuffer {
+		if fi, err := os.Stat(cfg.StorePath + ".wbuf"); err == nil && fi.Size() > 0 {
+			return nil, fmt.Errorf("chaos: post-mortem: write-buffer journal still holds %d bytes after drain", fi.Size())
+		}
 	}
 	h.logf("chaos: done: kills=%d ops=%d reconnects=%d resent=%d boot_scrubs=%d leaked=%d points=%d",
 		rep.Kills, rep.Load.Ops, rep.Load.Reconnects, rep.Load.Resent, rep.BootScrubs, rep.PostLeaked, rep.PostPoints)

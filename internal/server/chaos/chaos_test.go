@@ -74,3 +74,61 @@ func TestChaosKillRecover(t *testing.T) {
 		t.Fatal("tracing was enabled but no traced ops completed")
 	}
 }
+
+// TestChaosWriteBuffered reruns the kill-and-recover gate with rsserve
+// in write-optimized mode (-write-buffer): acknowledged writes live in
+// the delta buffer plus the sidecar journal until a flush, so every
+// SIGKILL lands on state the WAL has never seen and the restart must
+// recover it by journal replay. The verified load's per-worker stripe
+// models make the check end to end: a buffered write that was acked and
+// then lost (or double-applied by replay) is a consistency error.
+func TestChaosWriteBuffered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real server binary; skipped in -short")
+	}
+	bin := buildRsserve(t)
+	store := filepath.Join(t.TempDir(), "chaos-wbuf.store")
+
+	rep, err := Run(Config{
+		ServerBin: bin,
+		StorePath: store,
+		Cycles:    3,
+		Period:    500 * time.Millisecond,
+		Workers:   4,
+		Pipeline:  4,
+		Seed:      43,
+		Latency:   200 * time.Microsecond,
+		Jitter:    300 * time.Microsecond,
+		// Thresholds high enough that no size/age flush races the kill:
+		// each SIGKILL should land on a non-empty buffer, forcing real
+		// journal replays.
+		WriteBuffer:    true,
+		WriteBufferOps: 4096,
+		WriteBufferAge: 30 * time.Second,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("chaos.Run: %v", err)
+	}
+	t.Logf("chaos-wbuf: kills=%d restarts=%d replays=%d ops=%d writes=%d reconnects=%d resent=%d boot_scrubs=%d points=%d",
+		rep.Kills, rep.Restarts, rep.JournalReplays, rep.Load.Ops, rep.Load.Writes,
+		rep.Load.Reconnects, rep.Load.Resent, rep.BootScrubs, rep.PostPoints)
+
+	if rep.Failed() {
+		t.Fatalf("chaos-wbuf run failed: drain_exit=%d leaked=%d load: proto=%d consistency=%d transport=%d first=%s",
+			rep.FinalDrainExit, rep.PostLeaked,
+			rep.Load.ProtoErrors, rep.Load.ConsistencyErrors, rep.Load.TransportErrors, rep.Load.FirstError)
+	}
+	if rep.Kills != 3 || rep.Restarts != 3 {
+		t.Fatalf("kills=%d restarts=%d, want 3/3", rep.Kills, rep.Restarts)
+	}
+	if rep.Load.Ops == 0 || rep.Load.Writes == 0 {
+		t.Fatalf("chaos load did no work: %+v", rep.Load)
+	}
+	// The point of the buffered variant: at least one restart must have
+	// recovered acked writes from the journal, or the kills only ever hit
+	// an empty buffer and the replay path went untested.
+	if rep.JournalReplays == 0 {
+		t.Fatal("no journal replays recorded; kills never landed on buffered state")
+	}
+}

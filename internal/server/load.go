@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"rangesearch/internal/dist"
 	"rangesearch/internal/geom"
 	"rangesearch/internal/obs"
 	"rangesearch/internal/trace"
@@ -45,6 +46,15 @@ type LoadConfig struct {
 	// QuerySpan is the x-extent of generated query rectangles (default
 	// Domain/64).
 	QuerySpan int64
+	// Dist selects the write-key distribution over each worker's stripe:
+	// "uniform" (default), "zipf" (YCSB zipfian ranks — a few hot x
+	// columns absorb most writes; skew set by Theta), or "hotspot"
+	// (90% of writes in the first 10% of the stripe). Queries stay
+	// uniform: skew is a write phenomenon here.
+	Dist string
+	// Theta is the zipfian skew for Dist "zipf", in (0, 1); 0 means the
+	// YCSB default 0.99.
+	Theta float64
 	// Seed seeds the per-worker RNGs (default 1).
 	Seed int64
 	// Verify, when set, checks every query result against the worker's
@@ -120,6 +130,12 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 16
+	}
+	if c.Dist == "" {
+		c.Dist = "uniform"
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.99
 	}
 	return c
 }
@@ -343,6 +359,11 @@ type loadWorker struct {
 	// empty); otherwise only containment of this run's effects is checked.
 	strict bool
 
+	// zipf/hotspot, when non-nil, skew stripePoint's stripe-local rank
+	// (LoadConfig.Dist); both nil means uniform.
+	zipf    *dist.Zipfian
+	hotspot *dist.Hotspot
+
 	ops, reads, writes, pointsRead   uint64
 	busy, protoErr, consistency, txp uint64
 	timeouts, unknownWrites          uint64
@@ -365,11 +386,23 @@ func (w *loadWorker) fail(class *uint64, err error) {
 	}
 }
 
-// stripePoint draws a random point in this worker's x-stripe.
+// stripePoint draws a random point in this worker's x-stripe. The
+// stripe-local rank comes from the configured key distribution (rank 0
+// is the stripe's hottest column under skew); the rank-to-x mapping
+// x = rank·Workers + id keeps each worker's hot set disjoint from every
+// other's, so verification stays per-stripe sound under skew.
 func (w *loadWorker) stripePoint() geom.Point {
 	n := int64(w.cfg.Workers)
-	x := w.rng.Int63n((w.cfg.Domain+n-1)/n)*n + int64(w.id)
-	return geom.Point{X: x, Y: w.rng.Int63n(w.cfg.Domain)}
+	var rank int64
+	switch {
+	case w.zipf != nil:
+		rank = w.zipf.Next(w.rng.Float64())
+	case w.hotspot != nil:
+		rank = w.hotspot.Next(w.rng.Float64(), w.rng.Float64())
+	default:
+		rank = w.rng.Int63n((w.cfg.Domain + n - 1) / n)
+	}
+	return geom.Point{X: rank*n + int64(w.id), Y: w.rng.Int63n(w.cfg.Domain)}
 }
 
 // nextRequest draws the next operation from the configured mix.
@@ -822,6 +855,11 @@ func fetchStats(cfg LoadConfig) ([]byte, error) {
 // concurrency: no other connection ever writes the stripe a worker checks.
 func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	cfg = cfg.withDefaults()
+	switch cfg.Dist {
+	case "uniform", "zipf", "hotspot":
+	default:
+		return nil, fmt.Errorf("load: unknown key distribution %q (uniform, zipf, hotspot)", cfg.Dist)
+	}
 
 	// Exact verification is sound only when the index starts empty (the
 	// stripe model then is the whole truth about the stripe); against a
@@ -840,6 +878,25 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		strict = st.Len == 0
 	}
 
+	// One sampler serves every worker: stripes are all the same size and
+	// the samplers are stateless in the RNG (each Next consumes the
+	// worker's own uniform variates).
+	var zipfian *dist.Zipfian
+	var hotspot *dist.Hotspot
+	stripe := (cfg.Domain + int64(cfg.Workers) - 1) / int64(cfg.Workers)
+	switch cfg.Dist {
+	case "zipf":
+		var err error
+		if zipfian, err = dist.NewZipfian(stripe, cfg.Theta); err != nil {
+			return nil, err
+		}
+	case "hotspot":
+		var err error
+		if hotspot, err = dist.NewHotspot(stripe, 0.1, 0.9); err != nil {
+			return nil, err
+		}
+	}
+
 	workers := make([]*loadWorker, cfg.Workers)
 	for i := range workers {
 		w := &loadWorker{
@@ -854,6 +911,8 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 				OpInsert: {}, OpDelete: {}, OpQuery3: {}, OpQuery4: {}, OpBatch: {},
 			},
 			traceEvery: sampleInterval(cfg.TraceSample),
+			zipf:       zipfian,
+			hotspot:    hotspot,
 		}
 		if cfg.Resilient {
 			if cfg.Verify {

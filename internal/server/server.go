@@ -15,6 +15,7 @@ import (
 	"rangesearch/internal/core"
 	"rangesearch/internal/eio"
 	"rangesearch/internal/geom"
+	"rangesearch/internal/obs"
 	"rangesearch/internal/trace"
 )
 
@@ -109,6 +110,10 @@ type Config struct {
 	// Repl, when non-nil, is polled by STATS for the node's replication
 	// identity (role, term, LSNs, staleness). Nil omits the repl section.
 	Repl func() ReplInfo
+	// WriteBuffer, when non-nil, is polled by STATS for the node's
+	// write-buffer snapshot (depth, flush counts, journal size). Nil
+	// omits the section (unbuffered node).
+	WriteBuffer func() obs.WriteBufferStats
 	// Term, when non-nil, reports the node's current replication term for
 	// (term, LSN) read barriers and write-ack stamping. It must be
 	// coherent with the serving engine: a caller observing term T must be
@@ -679,6 +684,9 @@ type StatsSnapshot struct {
 	// Repl is the node's replication identity (nil when the server was
 	// built without a Repl callback, i.e. a standalone node).
 	Repl *ReplInfo `json:"repl,omitempty"`
+	// WriteBuffer is the write-buffer snapshot (nil when the server was
+	// built without a WriteBuffer callback, i.e. an unbuffered node).
+	WriteBuffer *obs.WriteBufferStats `json:"write_buffer,omitempty"`
 	// Metrics is the server's metric snapshot (nil without a Metrics).
 	// When spans have been sampled it includes the per-phase latency
 	// quantiles, so rsload can print a phase breakdown from STATS alone.
@@ -703,6 +711,10 @@ func (s *Server) handleStats() Response {
 	if s.cfg.Repl != nil {
 		ri := s.cfg.Repl()
 		snap.Repl = &ri
+	}
+	if s.cfg.WriteBuffer != nil {
+		wb := s.cfg.WriteBuffer()
+		snap.WriteBuffer = &wb
 	}
 	if m := s.cfg.Metrics; m != nil {
 		ms := m.Snapshot()

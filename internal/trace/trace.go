@@ -76,9 +76,14 @@ func ParseID(s string) (ID, error) {
 //	sync         durability barriers (checkpoint, commit-point, apply)
 //	commit       the rest of commit: in-place apply, anchor, epoch publish
 //	reply_flush  encoding the response and flushing it to the socket
+//	flush        draining a write buffer into the base structure (the
+//	             bulk apply a buffered write triggered by crossing the
+//	             size threshold; see internal/wbuf)
 //
 // Reads have only admission, execute and reply_flush; the group-commit
-// phases stay zero.
+// phases stay zero. The flush phase is zero for every request except the
+// unlucky buffered write that crossed the flush threshold and paid for
+// the whole drain.
 type Phase int
 
 const (
@@ -90,6 +95,7 @@ const (
 	PhaseSync
 	PhaseCommit
 	PhaseReplyFlush
+	PhaseFlush
 
 	// NumPhases is the number of defined phases; valid phases are
 	// 0 <= p < NumPhases.
@@ -105,6 +111,7 @@ var phaseNames = [NumPhases]string{
 	"sync",
 	"commit",
 	"reply_flush",
+	"flush",
 }
 
 // String returns the snake_case phase name used in JSON records,

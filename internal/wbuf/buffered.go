@@ -1,0 +1,643 @@
+package wbuf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rangesearch/internal/core"
+	"rangesearch/internal/geom"
+	"rangesearch/internal/obs"
+	"rangesearch/internal/trace"
+)
+
+// Default thresholds: flush when the buffer holds DefaultMaxOps entries
+// or its oldest entry is DefaultMaxAge old, whichever comes first.
+const (
+	DefaultMaxOps     = 4096
+	DefaultFlushChunk = 256
+)
+
+// DefaultMaxAge bounds how long an acknowledged write may sit in the
+// buffer before a background flush folds it into the base structure.
+const DefaultMaxAge = 2 * time.Second
+
+// Options tunes a Buffered decorator. The zero value buffers up to
+// DefaultMaxOps operations with no journal (not crash-safe — fine for
+// purely in-memory stacks and model tests, wrong for a durable server).
+type Options struct {
+	// MaxOps is the size threshold: staging the MaxOps-th distinct point
+	// triggers a synchronous flush on the staging writer. 0 means
+	// DefaultMaxOps; 1 degenerates to write-through.
+	MaxOps int
+	// MaxAge, when > 0, arms a background flusher that drains the buffer
+	// whenever its oldest entry is older than MaxAge, bounding how stale
+	// the base structure may get under a trickle of writes.
+	MaxAge time.Duration
+	// Journal is the sidecar journal path; "" disables journaling and
+	// with it crash safety of buffered writes.
+	Journal string
+	// NoSync skips the per-acknowledgement journal fsync (the append
+	// still happens). Benchmarks measuring pure staging cost use it;
+	// servers must not.
+	NoSync bool
+	// FlushChunk bounds how many collapsed operations one Durable.Batch
+	// transaction may carry, so a flush never overflows the WAL.
+	// 0 means DefaultFlushChunk. Concurrent bases chunk internally and
+	// ignore it.
+	FlushChunk int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxOps <= 0 {
+		o.MaxOps = DefaultMaxOps
+	}
+	if o.FlushChunk <= 0 {
+		o.FlushChunk = DefaultFlushChunk
+	}
+	return o
+}
+
+// entry is one buffered point delta. op says what the buffer holds for
+// the point (a pending insert or a tombstone); baseHas caches whether
+// the base structure contained the point when it was first touched, so
+// duplicate/found semantics and the flush collapse are exact without
+// re-probing.
+type entry struct {
+	del     bool // true: tombstone; false: pending insert
+	baseHas bool
+}
+
+// Buffered decorates a core.Index with a write buffer: updates stage
+// in-memory deltas (journaled for crash safety when Options.Journal is
+// set), queries merge the deltas with base results in canonical (x,y)
+// order, and crossing a size/age threshold bulk-flushes the buffer
+// through the strongest batch interface the base offers —
+// *core.Concurrent.ApplyBatch, *core.Durable.Batch, or plain
+// per-operation calls.
+//
+// Buffered must be the base's only writer: the staged deltas cache
+// base-membership facts (entry.baseHas) that a side-channel write would
+// invalidate. Reads of the base may happen freely elsewhere; they just
+// won't see unflushed deltas.
+type Buffered struct {
+	mu   sync.RWMutex
+	base core.Index
+	ents map[geom.Point]entry
+	net  int // inserts minus deletes staged (Len delta)
+
+	oldest time.Time // when the oldest unflushed entry was staged
+
+	opts Options
+	j    *Journal
+
+	stop chan struct{} // closes the age flusher
+	wg   sync.WaitGroup
+
+	statMu     sync.Mutex
+	flushes    uint64
+	flushedOps uint64
+	lastFlush  int
+	probes     uint64
+	replayed   uint64 // journaled ops re-staged by NewBuffered
+	flushNs    obs.Histogram
+	flushOps   obs.Histogram
+}
+
+var _ core.Index = (*Buffered)(nil)
+
+// NewBuffered wraps base. When opts.Journal names a file, an existing
+// journal is replayed through the staging logic first — restoring every
+// acknowledged-but-unflushed write — and then immediately flushed, so a
+// reopened index starts with an empty buffer and a truncated journal.
+func NewBuffered(base core.Index, opts Options) (*Buffered, error) {
+	opts = opts.withDefaults()
+	b := &Buffered{
+		base: base,
+		ents: make(map[geom.Point]entry),
+		opts: opts,
+		stop: make(chan struct{}),
+	}
+	if opts.Journal != "" {
+		j, replay, err := OpenJournal(opts.Journal)
+		if err != nil {
+			return nil, err
+		}
+		b.j = j
+		if len(replay) > 0 {
+			if err := b.replay(replay); err != nil {
+				j.Close()
+				return nil, err
+			}
+		}
+	}
+	if opts.MaxAge > 0 {
+		b.wg.Add(1)
+		go b.ageFlusher()
+	}
+	return b, nil
+}
+
+// replay re-stages journaled operations in order (last op per point
+// wins, exactly as the live path staged them) and flushes the result.
+// Staging probes the base fresh, so replaying against a base that
+// already absorbed part or all of a flush converges instead of
+// double-applying: an insert the flush landed reads back as baseHas and
+// stages nothing.
+func (b *Buffered) replay(ops []core.BatchOp) error {
+	for _, op := range ops {
+		var err error
+		if op.Delete {
+			_, err = b.stage(op.P, true)
+		} else {
+			_, err = b.stage(op.P, false)
+		}
+		if err != nil && !benign(err) {
+			return fmt.Errorf("wbuf: journal replay: %w", err)
+		}
+	}
+	b.statMu.Lock()
+	b.replayed += uint64(len(ops))
+	b.statMu.Unlock()
+	return b.Flush()
+}
+
+// benign mirrors core's per-operation outcomes that are answers, not
+// failures.
+func benign(err error) bool {
+	return err == nil || errors.Is(err, core.ErrDuplicate) || errors.Is(err, core.ErrCoordRange)
+}
+
+func checkCoord(p geom.Point) error {
+	if p.X == geom.MinCoord || p.X == geom.MaxCoord || p.Y == geom.MinCoord || p.Y == geom.MaxCoord {
+		return fmt.Errorf("wbuf: %v: %w", p, core.ErrCoordRange)
+	}
+	return nil
+}
+
+// probe asks the base whether it stores p (one point query — an
+// O(log_B N) read, no writes: the cost that remains on the buffered
+// update path).
+func (b *Buffered) probe(p geom.Point) (bool, error) {
+	b.statMu.Lock()
+	b.probes++
+	b.statMu.Unlock()
+	res, err := b.base.Query(nil, geom.Rect{XLo: p.X, XHi: p.X, YLo: p.Y, YHi: p.Y})
+	if err != nil {
+		return false, err
+	}
+	return len(res) > 0, nil
+}
+
+// stage applies one operation to the buffer under b.mu and reports the
+// operation's outcome exactly as the undecorated index would: inserting
+// a visible point is core.ErrDuplicate, deleting reports found. It does
+// NOT journal or flush — callers do, so a batch journals once.
+func (b *Buffered) stage(p geom.Point, del bool) (found bool, err error) {
+	if err := checkCoord(p); err != nil {
+		return false, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stageLocked(p, del)
+}
+
+func (b *Buffered) stageLocked(p geom.Point, del bool) (found bool, err error) {
+	e, ok := b.ents[p]
+	var visible bool
+	if ok {
+		visible = !e.del
+	} else {
+		has, err := b.probe(p)
+		if err != nil {
+			return false, err
+		}
+		e = entry{baseHas: has}
+		visible = has
+	}
+	if del {
+		if !visible {
+			return false, nil // nothing staged: deleting an absent point is a no-op
+		}
+		e.del = true
+		b.net--
+	} else {
+		if visible {
+			return false, fmt.Errorf("wbuf: %v: %w", p, core.ErrDuplicate)
+		}
+		e.del = false
+		b.net++
+	}
+	if len(b.ents) == 0 {
+		b.oldest = time.Now()
+	}
+	b.ents[p] = e
+	return del, nil
+}
+
+// journalAndMaybeFlush is the post-stage half of a write: append the
+// ops to the journal, flush synchronously if the buffer crossed the
+// size threshold (attributed to sp's flush phase), then group-commit
+// the journal fsync (attributed to sp's sync phase). The flush-before-
+// sync order is safe: a flush makes the staged ops durable through the
+// base's own WAL, superseding their journal records entirely.
+func (b *Buffered) journalAndMaybeFlush(ops []core.BatchOp, sp *trace.Span) error {
+	var seq uint64
+	if b.j != nil {
+		var err error
+		if seq, err = b.j.Append(ops); err != nil {
+			return err
+		}
+	}
+	b.mu.Lock()
+	depth := len(b.ents)
+	if depth >= b.opts.MaxOps {
+		start := time.Now()
+		err := b.flushLocked(sp)
+		sp.AddPhase(trace.PhaseFlush, time.Since(start))
+		b.mu.Unlock()
+		return err
+	}
+	b.mu.Unlock()
+	if b.j != nil && !b.opts.NoSync {
+		start := time.Now()
+		err := b.j.Sync(seq)
+		sp.AddPhase(trace.PhaseSync, time.Since(start))
+		return err
+	}
+	return nil
+}
+
+// Insert implements core.Index: the point becomes visible (and, with a
+// journal, durable) without touching the base structure.
+func (b *Buffered) Insert(p geom.Point) error { return b.InsertTraced(p, nil) }
+
+// InsertTraced is Insert recording journal-sync time and any triggered
+// flush into sp. A nil sp is exactly Insert.
+func (b *Buffered) InsertTraced(p geom.Point, sp *trace.Span) error {
+	start := time.Now()
+	_, err := b.stage(p, false)
+	sp.AddPhase(trace.PhaseExecute, time.Since(start))
+	if err != nil {
+		return err
+	}
+	return b.journalAndMaybeFlush([]core.BatchOp{{P: p}}, sp)
+}
+
+// Delete implements core.Index via a tombstone.
+func (b *Buffered) Delete(p geom.Point) (bool, error) { return b.DeleteTraced(p, nil) }
+
+// DeleteTraced is Delete with span recording; a nil sp is exactly Delete.
+func (b *Buffered) DeleteTraced(p geom.Point, sp *trace.Span) (bool, error) {
+	start := time.Now()
+	found, err := b.stage(p, true)
+	sp.AddPhase(trace.PhaseExecute, time.Since(start))
+	if err != nil || !found {
+		// An absent point staged nothing — nothing to journal.
+		return found, err
+	}
+	if err := b.journalAndMaybeFlush([]core.BatchOp{{Delete: true, P: p}}, sp); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// ApplyBatchTraced stages a client batch as one journal record and one
+// group-committed fsync, mirroring core.Concurrent's batch entry point.
+// Results are positional; benign outcomes (duplicate insert, absent
+// delete) stay per-entry.
+func (b *Buffered) ApplyBatchTraced(ops []core.BatchOp, sp *trace.Span) []core.BatchResult {
+	if len(ops) == 0 {
+		return nil
+	}
+	start := time.Now()
+	res := make([]core.BatchResult, len(ops))
+	staged := make([]core.BatchOp, 0, len(ops))
+	b.mu.Lock()
+	for i, op := range ops {
+		found, err := b.stageLocked(op.P, op.Delete)
+		res[i] = core.BatchResult{Found: found, Err: err}
+		if err == nil && (!op.Delete || found) {
+			staged = append(staged, op)
+		}
+	}
+	b.mu.Unlock()
+	sp.AddPhase(trace.PhaseExecute, time.Since(start))
+	if len(staged) > 0 {
+		if err := b.journalAndMaybeFlush(staged, sp); err != nil {
+			for i := range res {
+				if res[i].Err == nil {
+					res[i].Err = err
+				}
+			}
+		}
+	}
+	return res
+}
+
+// ApplyBatch is ApplyBatchTraced without a span.
+func (b *Buffered) ApplyBatch(ops []core.BatchOp) []core.BatchResult {
+	return b.ApplyBatchTraced(ops, nil)
+}
+
+// Query implements core.Index by merge-on-read: base results minus
+// points the buffer overrides, plus pending inserts inside q, in
+// canonical (x, y) order.
+func (b *Buffered) Query(dst []geom.Point, q geom.Rect) ([]geom.Point, error) {
+	return b.QueryTraced(dst, q, nil)
+}
+
+// QueryTraced is Query with span recording; a nil sp is exactly Query.
+func (b *Buffered) QueryTraced(dst []geom.Point, q geom.Rect, sp *trace.Span) ([]geom.Point, error) {
+	start := time.Now()
+	defer func() { sp.AddPhase(trace.PhaseExecute, time.Since(start)) }()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	mark := len(dst)
+	dst, err := b.queryBase(dst, q, sp)
+	if err != nil {
+		return dst[:mark], err
+	}
+	if len(b.ents) == 0 {
+		geom.SortByX(dst[mark:]) // canonical order even with nothing to merge
+		return dst, nil
+	}
+	// Suppress every base hit the buffer overrides (a tombstone hides
+	// it; a pending re-insert reports it from the buffer instead, so it
+	// appears exactly once), then add pending inserts inside q.
+	kept := dst[:mark]
+	for _, p := range dst[mark:] {
+		if _, ok := b.ents[p]; !ok {
+			kept = append(kept, p)
+		}
+	}
+	dst = kept
+	for p, e := range b.ents {
+		if !e.del && q.Contains(p) {
+			dst = append(dst, p)
+		}
+	}
+	geom.SortByX(dst[mark:])
+	return dst, nil
+}
+
+// queryBase routes the read through the base's traced entry point when
+// it has one, so snapshot-epoch acquisition and page I/O attribute to
+// the span.
+func (b *Buffered) queryBase(dst []geom.Point, q geom.Rect, sp *trace.Span) ([]geom.Point, error) {
+	if sp != nil {
+		if tq, ok := b.base.(interface {
+			QueryTraced([]geom.Point, geom.Rect, *trace.Span) ([]geom.Point, error)
+		}); ok {
+			return tq.QueryTraced(dst, q, sp)
+		}
+	}
+	return b.base.Query(dst, q)
+}
+
+// Len implements core.Index: the base's count plus the buffered net
+// delta.
+func (b *Buffered) Len() (int, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	n, err := b.base.Len()
+	if err != nil {
+		return 0, err
+	}
+	return n + b.net, nil
+}
+
+// Depth returns the number of distinct points currently buffered.
+func (b *Buffered) Depth() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.ents)
+}
+
+// Flush synchronously drains the buffer into the base and truncates the
+// journal. It is a no-op on an empty buffer.
+func (b *Buffered) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.flushLocked(nil)
+}
+
+// flushLocked collapses the buffer to its net effect and applies it
+// through the strongest batch interface the base offers. Called with
+// b.mu held. The journal is truncated only after the base commit
+// succeeds: a crash in between leaves a journal whose full replay is
+// idempotent against the flushed base.
+func (b *Buffered) flushLocked(sp *trace.Span) error {
+	if len(b.ents) == 0 {
+		return nil
+	}
+	start := time.Now()
+	ops := make([]core.BatchOp, 0, len(b.ents))
+	for p, e := range b.ents {
+		switch {
+		case e.del && e.baseHas:
+			ops = append(ops, core.BatchOp{Delete: true, P: p})
+		case !e.del && !e.baseHas:
+			ops = append(ops, core.BatchOp{P: p})
+			// del && !baseHas: net no-op (insert then delete of a new point);
+			// !del && baseHas: net no-op (delete then re-insert of a base point).
+		}
+	}
+	// Deterministic, locality-friendly apply order.
+	sortOps(ops)
+	if err := b.applyToBase(ops, sp); err != nil {
+		return err
+	}
+	n := len(b.ents)
+	b.ents = make(map[geom.Point]entry)
+	b.net = 0
+	b.oldest = time.Time{}
+	if b.j != nil {
+		if err := b.j.Reset(); err != nil {
+			return err
+		}
+	}
+	b.statMu.Lock()
+	b.flushes++
+	b.flushedOps += uint64(n)
+	b.lastFlush = n
+	b.flushNs.Observe(uint64(time.Since(start)))
+	b.flushOps.Observe(uint64(n))
+	b.statMu.Unlock()
+	return nil
+}
+
+// sortOps orders ops by canonical point order.
+func sortOps(ops []core.BatchOp) {
+	sort.Slice(ops, func(i, k int) bool { return ops[i].P.Less(ops[k].P) })
+}
+
+// applyToBase lands the collapsed operations in the base. Benign
+// per-operation outcomes are tolerated: they only occur when a crash
+// landed part of a previous flush and replay re-derived the same ops.
+func (b *Buffered) applyToBase(ops []core.BatchOp, sp *trace.Span) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	switch base := b.base.(type) {
+	case *core.Concurrent:
+		for _, r := range base.ApplyBatchTraced(ops, sp) {
+			if !benign(r.Err) {
+				return fmt.Errorf("wbuf: flush: %w", r.Err)
+			}
+		}
+		return nil
+	case *core.Durable:
+		for len(ops) > 0 {
+			chunk := ops
+			if len(chunk) > b.opts.FlushChunk {
+				chunk = chunk[:b.opts.FlushChunk]
+			}
+			ops = ops[len(chunk):]
+			err := base.Batch(func(idx core.Index) error {
+				return applyOps(idx, chunk)
+			})
+			if err != nil {
+				return fmt.Errorf("wbuf: flush: %w", err)
+			}
+		}
+		return nil
+	default:
+		return applyOps(b.base, ops)
+	}
+}
+
+func applyOps(idx core.Index, ops []core.BatchOp) error {
+	for _, op := range ops {
+		var err error
+		if op.Delete {
+			_, err = idx.Delete(op.P)
+		} else {
+			err = idx.Insert(op.P)
+		}
+		if !benign(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// ageFlusher drains the buffer whenever its oldest entry exceeds
+// MaxAge, bounding base staleness under write trickles.
+func (b *Buffered) ageFlusher() {
+	defer b.wg.Done()
+	tick := b.opts.MaxAge / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-t.C:
+			b.mu.Lock()
+			if !b.oldest.IsZero() && time.Since(b.oldest) >= b.opts.MaxAge {
+				b.flushLocked(nil) // sticky journal errors resurface on the write path
+			}
+			b.mu.Unlock()
+		}
+	}
+}
+
+// Close flushes the buffer, stops the age flusher, and closes the
+// journal (leaving the — now empty — file in place).
+func (b *Buffered) Close() error {
+	close(b.stop)
+	b.wg.Wait()
+	err := b.Flush()
+	if b.j != nil {
+		if cerr := b.j.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Destroy implements core.Index: buffered state is discarded, the base
+// destroyed, and the journal removed.
+func (b *Buffered) Destroy() error {
+	select {
+	case <-b.stop:
+	default:
+		close(b.stop)
+	}
+	b.wg.Wait()
+	b.mu.Lock()
+	b.ents = make(map[geom.Point]entry)
+	b.net = 0
+	b.mu.Unlock()
+	if b.j != nil {
+		b.j.Close()
+		if err := b.j.Remove(); err != nil {
+			return err
+		}
+	}
+	return b.base.Destroy()
+}
+
+// Epoch delegates to a concurrent base (0 otherwise) so Buffered can
+// stand in as a server backend.
+func (b *Buffered) Epoch() uint64 {
+	if e, ok := b.base.(interface{ Epoch() uint64 }); ok {
+		return e.Epoch()
+	}
+	return 0
+}
+
+// PageSize delegates to a concurrent base (0 otherwise).
+func (b *Buffered) PageSize() int {
+	if e, ok := b.base.(interface{ PageSize() int }); ok {
+		return e.PageSize()
+	}
+	return 0
+}
+
+// AppliedLSN delegates to a concurrent base (0 otherwise). Note the
+// nuance: buffered writes are durable in the sidecar journal, not the
+// base WAL, so AppliedLSN advances at flush time — read barriers
+// against *this node* still see every buffered write via merge-on-read.
+func (b *Buffered) AppliedLSN() uint64 {
+	if e, ok := b.base.(interface{ AppliedLSN() uint64 }); ok {
+		return e.AppliedLSN()
+	}
+	return 0
+}
+
+// WriteBufferStats implements obs.WriteBufferSource.
+func (b *Buffered) WriteBufferStats() obs.WriteBufferStats {
+	b.mu.RLock()
+	depth := len(b.ents)
+	net := b.net
+	b.mu.RUnlock()
+	b.statMu.Lock()
+	defer b.statMu.Unlock()
+	s := obs.WriteBufferStats{
+		Depth:        depth,
+		NetDelta:     net,
+		CapOps:       b.opts.MaxOps,
+		Flushes:      b.flushes,
+		FlushedOps:   b.flushedOps,
+		LastFlushOps: b.lastFlush,
+		Probes:       b.probes,
+		Replayed:     b.replayed,
+		FlushP50Ms:   float64(b.flushNs.Quantile(0.50)) / 1e6,
+		FlushP99Ms:   float64(b.flushNs.Quantile(0.99)) / 1e6,
+		FlushMaxMs:   float64(b.flushNs.Max()) / 1e6,
+		FlushOpsP50:  b.flushOps.Quantile(0.50),
+		FlushOpsMax:  b.flushOps.Max(),
+	}
+	if b.j != nil {
+		s.JournalBytes = b.j.Bytes()
+		s.JournalAppends, s.JournalSyncs = b.j.Counters()
+	}
+	return s
+}

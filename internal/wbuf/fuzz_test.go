@@ -1,0 +1,66 @@
+package wbuf
+
+import (
+	"testing"
+
+	"rangesearch/internal/core"
+	"rangesearch/internal/geom"
+)
+
+// FuzzDecodeBufJournal throws hostile bytes at the journal record
+// decoder: it must never panic or over-allocate, any successful decode
+// must re-encode to exactly the bytes it consumed (canonical form), and
+// ScanJournal over the same input must terminate with a valid-prefix
+// length it can stand behind.
+func FuzzDecodeBufJournal(f *testing.F) {
+	seed := func(seq uint64, ops []core.BatchOp) {
+		enc, err := EncodeRecord(nil, seq, ops)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	seed(1, []core.BatchOp{{P: geom.Point{X: 1, Y: 2}}})
+	seed(2, []core.BatchOp{{Delete: true, P: geom.Point{X: -5, Y: 1 << 40}}})
+	seed(7, sampleOps(13))
+	two, _ := EncodeRecord(nil, 1, sampleOps(2))
+	two, _ = EncodeRecord(two, 2, sampleOps(5))
+	f.Add(two)
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x4a, 0x42, 0x57}) // bare magic
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, ops, n, err := DecodeRecord(data)
+		if err == nil {
+			if n <= 0 || n > len(data) {
+				t.Fatalf("decoded length %d out of [1,%d]", n, len(data))
+			}
+			if len(ops) == 0 || len(ops) > MaxRecordOps {
+				t.Fatalf("decoded %d ops", len(ops))
+			}
+			re, err := EncodeRecord(nil, seq, ops)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if len(re) != n {
+				t.Fatalf("re-encoded %d bytes, decoded %d", len(re), n)
+			}
+			for i := range re {
+				if re[i] != data[i] {
+					t.Fatalf("re-encode differs at byte %d", i)
+				}
+			}
+		}
+		// ScanJournal must terminate and report a prefix that rescans to
+		// itself.
+		opsAll, validLen, lastSeq := ScanJournal(data)
+		if validLen < 0 || validLen > int64(len(data)) {
+			t.Fatalf("validLen %d out of range", validLen)
+		}
+		ops2, len2, seq2 := ScanJournal(data[:validLen])
+		if len2 != validLen || seq2 != lastSeq || len(ops2) != len(opsAll) {
+			t.Fatalf("rescan of valid prefix diverged: (%d,%d,%d) vs (%d,%d,%d)",
+				len(ops2), len2, seq2, len(opsAll), validLen, lastSeq)
+		}
+	})
+}

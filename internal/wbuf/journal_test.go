@@ -1,0 +1,209 @@
+package wbuf
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rangesearch/internal/core"
+	"rangesearch/internal/geom"
+)
+
+func sampleOps(n int) []core.BatchOp {
+	ops := make([]core.BatchOp, n)
+	for i := range ops {
+		ops[i] = core.BatchOp{
+			Delete: i%3 == 0,
+			P:      geom.Point{X: int64(i * 7), Y: int64(-i)},
+		}
+	}
+	return ops
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 17, 300} {
+		ops := sampleOps(n)
+		enc, err := EncodeRecord(nil, uint64(n)+9, ops)
+		if err != nil {
+			t.Fatalf("encode %d ops: %v", n, err)
+		}
+		if len(enc) != EncodedSize(n) {
+			t.Fatalf("encoded size %d, want %d", len(enc), EncodedSize(n))
+		}
+		seq, got, used, err := DecodeRecord(enc)
+		if err != nil {
+			t.Fatalf("decode %d ops: %v", n, err)
+		}
+		if seq != uint64(n)+9 || used != len(enc) || len(got) != n {
+			t.Fatalf("decode: seq=%d used=%d len=%d", seq, used, len(got))
+		}
+		for i := range ops {
+			if got[i] != ops[i] {
+				t.Fatalf("op %d = %+v, want %+v", i, got[i], ops[i])
+			}
+		}
+	}
+}
+
+func TestRecordRejectsCorruption(t *testing.T) {
+	enc, err := EncodeRecord(nil, 3, sampleOps(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip every byte in turn: decode must fail (corrupt) or — never —
+	// succeed with different content.
+	for i := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0xff
+		seq, ops, _, err := DecodeRecord(mut)
+		if err == nil {
+			// A flipped byte that still decodes must reproduce the
+			// original record exactly (impossible for a single flip, so
+			// this is a hard failure).
+			t.Fatalf("byte %d flip: decode succeeded (seq=%d, %d ops)", i, seq, len(ops))
+		}
+	}
+	// Truncations: every prefix must fail cleanly.
+	for n := 0; n < len(enc); n++ {
+		if _, _, _, err := DecodeRecord(enc[:n]); err == nil {
+			t.Fatalf("prefix %d decoded", n)
+		}
+	}
+}
+
+func TestScanJournalTornTail(t *testing.T) {
+	var buf []byte
+	var err error
+	for seq := uint64(1); seq <= 3; seq++ {
+		buf, err = EncodeRecord(buf, seq, sampleOps(int(seq)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	whole := len(buf)
+	// A torn tail at every cut point yields exactly the records wholly
+	// before the cut.
+	for cut := 0; cut <= whole; cut++ {
+		ops, validLen, lastSeq := ScanJournal(buf[:cut])
+		wantOps, wantLen, wantSeq := 0, 0, uint64(0)
+		for seq := 1; seq <= 3; seq++ {
+			end := wantLen + EncodedSize(seq)
+			if end > cut {
+				break
+			}
+			wantOps += seq
+			wantLen = end
+			wantSeq = uint64(seq)
+		}
+		if len(ops) != wantOps || validLen != int64(wantLen) || lastSeq != wantSeq {
+			t.Fatalf("cut %d: got (%d ops, len %d, seq %d), want (%d, %d, %d)",
+				cut, len(ops), validLen, lastSeq, wantOps, wantLen, wantSeq)
+		}
+	}
+	// Sequence regression terminates the scan.
+	regress, err := EncodeRecord(buf, 2, sampleOps(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, validLen, _ := ScanJournal(regress)
+	if len(ops) != 1+2+3 || validLen != int64(whole) {
+		t.Fatalf("seq regression not cut: %d ops, len %d", len(ops), validLen)
+	}
+}
+
+func TestJournalAppendSyncReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, replay, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) != 0 {
+		t.Fatalf("fresh journal replays %d ops", len(replay))
+	}
+	seq1, err := j.Append(sampleOps(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq2, err := j.Append(sampleOps(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq2 != seq1+1 {
+		t.Fatalf("seq2=%d, want %d", seq2, seq1+1)
+	}
+	if err := j.Sync(seq2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: both records replay.
+	j2, replay, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) != 5 {
+		t.Fatalf("replay %d ops, want 5", len(replay))
+	}
+	// Append a third record, then tear its tail off on disk; reopen
+	// must recover the first two.
+	seq3, err := j2.Append(sampleOps(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Sync(seq3); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j3, replay, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) != 5 {
+		t.Fatalf("torn reopen: replay %d ops, want 5", len(replay))
+	}
+	// The torn tail was truncated away on open: the file is exactly the
+	// two whole records again.
+	wantLen := EncodedSize(2) + EncodedSize(3)
+	if raw2, _ := os.ReadFile(path); len(raw2) != wantLen || !bytes.Equal(raw2, raw[:wantLen]) {
+		t.Fatalf("truncated file is %d bytes, want %d", len(raw2), wantLen)
+	}
+	if j3.Bytes() != int64(wantLen) {
+		t.Fatalf("journal bytes %d, want %d", j3.Bytes(), wantLen)
+	}
+
+	// Reset empties the file and short-circuits pending syncs.
+	if _, err := j3.Append(sampleOps(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j3.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if j3.Bytes() != 0 {
+		t.Fatalf("bytes after reset: %d", j3.Bytes())
+	}
+	seq, err := j3.Append(sampleOps(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j3.Sync(seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := j3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, replay, err = OpenJournal(path); err != nil || len(replay) != 1 {
+		t.Fatalf("after reset+append: replay %d ops err=%v, want 1", len(replay), err)
+	}
+}
