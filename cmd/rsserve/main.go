@@ -425,6 +425,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rsserve: -write-buffer is incompatible with replication (buffered writes are not in the shipped WAL)")
 		os.Exit(2)
 	}
+	if *replicateFrom != "" && *store != "" {
+		// The same hazard in journal form: replaying a leftover buffer
+		// journal into a replica would apply writes outside the shipped
+		// WAL and silently diverge it from the primary.
+		if jpath := wbufJournalPath(*store); fileNonEmpty(jpath) {
+			fmt.Fprintf(os.Stderr, "rsserve: store has a leftover write-buffer journal %s; a replica must not apply writes outside the shipped WAL — boot once without -replicate-from to fold it in, or remove it if the primary already holds those writes\n", jpath)
+			os.Exit(2)
+		}
+	}
 	if *writeBufferOps < 1 {
 		fmt.Fprintln(os.Stderr, "rsserve: -write-buffer-ops must be at least 1")
 		os.Exit(2)

@@ -39,10 +39,6 @@ type Options struct {
 	// Journal is the sidecar journal path; "" disables journaling and
 	// with it crash safety of buffered writes.
 	Journal string
-	// NoSync skips the per-acknowledgement journal fsync (the append
-	// still happens). Benchmarks measuring pure staging cost use it;
-	// servers must not.
-	NoSync bool
 	// FlushChunk bounds how many collapsed operations one Durable.Batch
 	// transaction may carry, so a flush never overflows the WAL.
 	// 0 means DefaultFlushChunk. Concurrent bases chunk internally and
@@ -194,17 +190,18 @@ func (b *Buffered) probe(p geom.Point) (bool, error) {
 // stage applies one operation to the buffer under b.mu and reports the
 // operation's outcome exactly as the undecorated index would: inserting
 // a visible point is core.ErrDuplicate, deleting reports found. It does
-// NOT journal or flush — callers do, so a batch journals once.
+// NOT journal or flush — only replay uses it, where the journal records
+// already exist; live writes go through write().
 func (b *Buffered) stage(p geom.Point, del bool) (found bool, err error) {
-	if err := checkCoord(p); err != nil {
-		return false, err
-	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.stageLocked(p, del)
 }
 
 func (b *Buffered) stageLocked(p geom.Point, del bool) (found bool, err error) {
+	if err := checkCoord(p); err != nil {
+		return false, err
+	}
 	e, ok := b.ents[p]
 	var visible bool
 	if ok {
@@ -237,37 +234,65 @@ func (b *Buffered) stageLocked(p geom.Point, del bool) (found bool, err error) {
 	return del, nil
 }
 
-// journalAndMaybeFlush is the post-stage half of a write: append the
-// ops to the journal, flush synchronously if the buffer crossed the
-// size threshold (attributed to sp's flush phase), then group-commit
-// the journal fsync (attributed to sp's sync phase). The flush-before-
-// sync order is safe: a flush makes the staged ops durable through the
-// base's own WAL, superseding their journal records entirely.
-func (b *Buffered) journalAndMaybeFlush(ops []core.BatchOp, sp *trace.Span) error {
-	var seq uint64
-	if b.j != nil {
-		var err error
-		if seq, err = b.j.Append(ops); err != nil {
-			return err
+// write is the one live update path: it stages ops and appends their
+// journal record under a single b.mu hold, flushes synchronously if the
+// buffer crossed the size threshold (attributed to sp's flush phase),
+// and finally group-commits the journal fsync outside the lock
+// (attributed to sp's sync phase).
+//
+// The append MUST happen while b.mu is still held: Journal.Append
+// assigns the record's sequence number, and replay is last-op-wins in
+// sequence order. If staging and appending were separate critical
+// sections, two connections racing on the same point could stage
+// delete-then-insert but journal insert-then-delete, and a crash would
+// recover the opposite of the acknowledged state. Holding b.mu across
+// both makes journal order identical to staging order; the fsync stays
+// outside the lock so concurrent writers still group-commit.
+//
+// The flush-before-sync order is safe: a flush makes the staged ops
+// durable through the base's own WAL, superseding their journal records
+// entirely (Reset marks them synced, so skipping Sync loses nothing).
+func (b *Buffered) write(ops []core.BatchOp, sp *trace.Span) []core.BatchResult {
+	start := time.Now()
+	res := make([]core.BatchResult, len(ops))
+	var staged []core.BatchOp
+	b.mu.Lock()
+	for i, op := range ops {
+		found, err := b.stageLocked(op.P, op.Delete)
+		res[i] = core.BatchResult{Found: found, Err: err}
+		if err == nil && (!op.Delete || found) {
+			staged = append(staged, op)
 		}
 	}
-	b.mu.Lock()
-	depth := len(b.ents)
-	if depth >= b.opts.MaxOps {
-		start := time.Now()
-		err := b.flushLocked(sp)
-		sp.AddPhase(trace.PhaseFlush, time.Since(start))
-		b.mu.Unlock()
-		return err
+	var (
+		seq  uint64
+		werr error
+	)
+	if len(staged) > 0 && b.j != nil {
+		seq, werr = b.j.Append(staged)
+	}
+	sp.AddPhase(trace.PhaseExecute, time.Since(start))
+	flushed := false
+	if werr == nil && len(staged) > 0 && len(b.ents) >= b.opts.MaxOps {
+		fstart := time.Now()
+		werr = b.flushLocked(sp)
+		sp.AddPhase(trace.PhaseFlush, time.Since(fstart))
+		flushed = true
 	}
 	b.mu.Unlock()
-	if b.j != nil && !b.opts.NoSync {
-		start := time.Now()
-		err := b.j.Sync(seq)
-		sp.AddPhase(trace.PhaseSync, time.Since(start))
-		return err
+	if werr == nil && !flushed && len(staged) > 0 && b.j != nil {
+		sstart := time.Now()
+		werr = b.j.Sync(seq)
+		sp.AddPhase(trace.PhaseSync, time.Since(sstart))
 	}
-	return nil
+	if werr != nil {
+		for i := range res {
+			if res[i].Err == nil {
+				res[i].Err = werr
+			}
+		}
+	}
+	return res
 }
 
 // Insert implements core.Index: the point becomes visible (and, with a
@@ -277,13 +302,7 @@ func (b *Buffered) Insert(p geom.Point) error { return b.InsertTraced(p, nil) }
 // InsertTraced is Insert recording journal-sync time and any triggered
 // flush into sp. A nil sp is exactly Insert.
 func (b *Buffered) InsertTraced(p geom.Point, sp *trace.Span) error {
-	start := time.Now()
-	_, err := b.stage(p, false)
-	sp.AddPhase(trace.PhaseExecute, time.Since(start))
-	if err != nil {
-		return err
-	}
-	return b.journalAndMaybeFlush([]core.BatchOp{{P: p}}, sp)
+	return b.write([]core.BatchOp{{P: p}}, sp)[0].Err
 }
 
 // Delete implements core.Index via a tombstone.
@@ -291,17 +310,11 @@ func (b *Buffered) Delete(p geom.Point) (bool, error) { return b.DeleteTraced(p,
 
 // DeleteTraced is Delete with span recording; a nil sp is exactly Delete.
 func (b *Buffered) DeleteTraced(p geom.Point, sp *trace.Span) (bool, error) {
-	start := time.Now()
-	found, err := b.stage(p, true)
-	sp.AddPhase(trace.PhaseExecute, time.Since(start))
-	if err != nil || !found {
-		// An absent point staged nothing — nothing to journal.
-		return found, err
+	r := b.write([]core.BatchOp{{Delete: true, P: p}}, sp)[0]
+	if r.Err != nil {
+		return false, r.Err
 	}
-	if err := b.journalAndMaybeFlush([]core.BatchOp{{Delete: true, P: p}}, sp); err != nil {
-		return false, err
-	}
-	return true, nil
+	return r.Found, nil
 }
 
 // ApplyBatchTraced stages a client batch as one journal record and one
@@ -312,29 +325,7 @@ func (b *Buffered) ApplyBatchTraced(ops []core.BatchOp, sp *trace.Span) []core.B
 	if len(ops) == 0 {
 		return nil
 	}
-	start := time.Now()
-	res := make([]core.BatchResult, len(ops))
-	staged := make([]core.BatchOp, 0, len(ops))
-	b.mu.Lock()
-	for i, op := range ops {
-		found, err := b.stageLocked(op.P, op.Delete)
-		res[i] = core.BatchResult{Found: found, Err: err}
-		if err == nil && (!op.Delete || found) {
-			staged = append(staged, op)
-		}
-	}
-	b.mu.Unlock()
-	sp.AddPhase(trace.PhaseExecute, time.Since(start))
-	if len(staged) > 0 {
-		if err := b.journalAndMaybeFlush(staged, sp); err != nil {
-			for i := range res {
-				if res[i].Err == nil {
-					res[i].Err = err
-				}
-			}
-		}
-	}
-	return res
+	return b.write(ops, sp)
 }
 
 // ApplyBatch is ApplyBatchTraced without a span.
@@ -549,9 +540,14 @@ func (b *Buffered) ageFlusher() {
 }
 
 // Close flushes the buffer, stops the age flusher, and closes the
-// journal (leaving the — now empty — file in place).
+// journal (leaving the — now empty — file in place). Close is
+// idempotent, including after Destroy.
 func (b *Buffered) Close() error {
-	close(b.stop)
+	select {
+	case <-b.stop:
+	default:
+		close(b.stop)
+	}
 	b.wg.Wait()
 	err := b.Flush()
 	if b.j != nil {

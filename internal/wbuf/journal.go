@@ -182,9 +182,10 @@ type Journal struct {
 	staged []byte
 	seq    uint64 // last staged record sequence
 
-	syncMu  sync.Mutex // guards synced/syncing, serializes leaders
+	syncMu  sync.Mutex // guards synced/syncing/closed, serializes leaders
 	syncNow sync.Cond
 	syncing bool
+	closed  bool
 	synced  uint64 // last sequence durably on disk
 	syncErr error  // sticky: a journal that failed to sync is dead
 
@@ -347,12 +348,18 @@ func (j *Journal) Counters() (appends, syncs uint64) {
 }
 
 // Close closes the journal file. It does not remove it: an unflushed
-// journal must survive for the next open to replay.
+// journal must survive for the next open to replay. Close is
+// idempotent.
 func (j *Journal) Close() error {
 	j.syncMu.Lock()
 	for j.syncing {
 		j.syncNow.Wait()
 	}
+	if j.closed {
+		j.syncMu.Unlock()
+		return nil
+	}
+	j.closed = true
 	j.syncMu.Unlock()
 	return j.f.Close()
 }

@@ -3,10 +3,12 @@ package wbuf
 import (
 	"errors"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"rangesearch/internal/core"
 	"rangesearch/internal/eio"
@@ -387,5 +389,118 @@ func TestBufferedFlushOrderDeterministic(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("point %d = %v, want %v", i, got[i], want[i])
 		}
+	}
+}
+
+// TestJournalOrderMatchesStagingOrder is the crash-consistency
+// regression for racing writers on the SAME point: the journal record
+// sequence is assigned under the staging lock, so replay (last-op-wins
+// in sequence order) must reconstruct exactly the state the live buffer
+// acknowledged. If staging and appending ever become separate critical
+// sections again, a delete/insert race journals in the wrong order and
+// this test's post-"crash" replay diverges from the live Query.
+func TestJournalOrderMatchesStagingOrder(t *testing.T) {
+	dir := t.TempDir()
+	base := newBase(t)
+	jpath := filepath.Join(dir, "j")
+	b, err := NewBuffered(base, Options{MaxOps: 1 << 20, Journal: jpath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// A tiny shared key set maximizes same-point interleavings.
+	points := []geom.Point{{X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3}, {X: 4, Y: 4}}
+	const workers, iters = 8, 250
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				p := points[rng.Intn(len(points))]
+				if rng.Intn(2) == 0 {
+					if err := b.Insert(p); err != nil && !errors.Is(err, core.ErrDuplicate) {
+						t.Errorf("insert %v: %v", p, err)
+						return
+					}
+				} else if _, err := b.Delete(p); err != nil {
+					t.Errorf("delete %v: %v", p, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Simulate a crash: read the journal as the next boot would, WITHOUT
+	// Close (which would flush and truncate it). Every acknowledged write
+	// has group-committed, so the file holds the full record sequence.
+	raw, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, validLen, _ := ScanJournal(raw)
+	if int(validLen) != len(raw) {
+		t.Fatalf("journal has a torn tail without a crash: valid %d of %d bytes", validLen, len(raw))
+	}
+	visible := make(map[geom.Point]bool)
+	for _, op := range ops {
+		visible[op.P] = !op.Delete
+	}
+	var want []geom.Point
+	for p, v := range visible {
+		if v {
+			want = append(want, p)
+		}
+	}
+	geom.SortByX(want)
+	got, err := b.Query(nil, geom.Rect{XLo: 0, XHi: 10, YLo: 0, YHi: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replay state diverges from acknowledged state:\nreplay: %v\nlive:   %v", want, got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("replay point %d = %v, live has %v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestBufferedCloseIdempotent pins that Close is safe to call twice and
+// after Destroy (no double close(b.stop) panic, no journal double-close
+// error).
+func TestBufferedCloseIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewBuffered(newBase(t), Options{Journal: filepath.Join(dir, "j"), MaxAge: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Insert(geom.Point{X: 1, Y: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+
+	b2, err := NewBuffered(newBase(t), Options{Journal: filepath.Join(dir, "j2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Insert(geom.Point{X: 2, Y: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Destroy(); err != nil {
+		t.Fatalf("destroy: %v", err)
+	}
+	if err := b2.Close(); err != nil {
+		t.Fatalf("close after destroy: %v", err)
 	}
 }
